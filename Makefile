@@ -1,0 +1,41 @@
+# rcgo — reproduction of Gay & Aiken, "Language Support for Regions" (PLDI 2001)
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments examples fuzz clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper table/figure, plus ablations and
+# primitive microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run rcgo/cmd/rcbench -reps 3 -bars
+
+examples:
+	$(GO) run rcgo/examples/quickstart
+	$(GO) run rcgo/examples/cycles
+	$(GO) run rcgo/examples/webserver
+	$(GO) run rcgo/examples/arenacompiler
+	$(GO) run rcgo/examples/interp
+
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/rcc/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,311 @@
+package rcgo
+
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (see DESIGN.md's per-experiment index), plus ablation benchmarks for
+// the design choices the runtime makes. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Workloads run at a reduced scale here so the full matrix stays fast;
+// cmd/rcbench runs the full-scale versions and prints the paper-format
+// tables.
+
+import (
+	"io"
+	"testing"
+
+	"rcgo/internal/mem"
+	"rcgo/internal/region"
+	"rcgo/internal/vm"
+	"rcgo/internal/workloads"
+)
+
+const benchScaleDiv = 8
+
+func compileWorkload(b *testing.B, name string, mode Mode) *Compiled {
+	b.Helper()
+	w := workloads.ByName(name)
+	c, err := Compile(w.Source(w.DefaultScale/benchScaleDiv+1), mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func runBench(b *testing.B, c *Compiled, cfg RunConfig) *RunResult {
+	b.Helper()
+	cfg.Output = io.Discard
+	var last *RunResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(c, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	return last
+}
+
+// BenchmarkTable1 measures each workload under the RC configuration and
+// reports the Table 1 characteristics as metrics.
+func BenchmarkTable1(b *testing.B) {
+	for _, w := range workloads.All() {
+		b.Run(w.Name, func(b *testing.B) {
+			c := compileWorkload(b, w.Name, ModeInf)
+			res := runBench(b, c, RunConfig{})
+			b.ReportMetric(float64(res.Region.Allocs), "allocs")
+			b.ReportMetric(float64(res.Region.AllocWords*8)/1024, "alloc-kB")
+			b.ReportMetric(float64(res.Region.MaxLiveBytes)/1024, "maxuse-kB")
+		})
+	}
+}
+
+// BenchmarkFigure7 measures each workload under the five allocator
+// configurations (C@, lea, GC, norc, RC).
+func BenchmarkFigure7(b *testing.B) {
+	cells := []struct {
+		name string
+		mode Mode
+		cfg  RunConfig
+	}{
+		{"Cat", ModeNQ, RunConfig{CAtStyle: true}},
+		{"lea", ModeNoRC, RunConfig{Backend: BackendMalloc}},
+		{"GC", ModeNoRC, RunConfig{Backend: BackendGC}},
+		{"norc", ModeNoRC, RunConfig{}},
+		{"RC", ModeInf, RunConfig{}},
+	}
+	for _, w := range workloads.All() {
+		for _, cell := range cells {
+			b.Run(w.Name+"/"+cell.name, func(b *testing.B) {
+				c := compileWorkload(b, w.Name, cell.mode)
+				runBench(b, c, cell.cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 measures the three configurations Table 2 derives its
+// overheads from (norc baseline, C@-style counting, RC counting).
+func BenchmarkTable2(b *testing.B) {
+	for _, w := range workloads.All() {
+		b.Run(w.Name+"/norc", func(b *testing.B) {
+			runBench(b, compileWorkload(b, w.Name, ModeNoRC), RunConfig{})
+		})
+		b.Run(w.Name+"/cat", func(b *testing.B) {
+			runBench(b, compileWorkload(b, w.Name, ModeNQ), RunConfig{CAtStyle: true})
+		})
+		b.Run(w.Name+"/rc", func(b *testing.B) {
+			c := compileWorkload(b, w.Name, ModeInf)
+			res := runBench(b, c, RunConfig{})
+			b.ReportMetric(float64(res.Region.UnscanWords), "unscan-words")
+		})
+	}
+}
+
+// BenchmarkFigure8 measures each workload under nq / qs / inf / nc and
+// reports the deterministic barrier cost (the paper's instruction-count
+// model) as a metric.
+func BenchmarkFigure8(b *testing.B) {
+	for _, w := range workloads.All() {
+		for _, mode := range []Mode{ModeNQ, ModeQS, ModeInf, ModeNC} {
+			b.Run(w.Name+"/"+string(mode), func(b *testing.B) {
+				c := compileWorkload(b, w.Name, mode)
+				res := runBench(b, c, RunConfig{})
+				b.ReportMetric(float64(res.Region.Cost), "cost-units")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure9 reports the runtime pointer-assignment category
+// percentages under the inf configuration.
+func BenchmarkFigure9(b *testing.B) {
+	for _, w := range workloads.All() {
+		b.Run(w.Name, func(b *testing.B) {
+			c := compileWorkload(b, w.Name, ModeInf)
+			res := runBench(b, c, RunConfig{})
+			s := res.Region
+			total := s.UncheckedPtrs + s.SameChecks + s.TradChecks + s.ParentChecks + s.FullUpdates
+			if total > 0 {
+				b.ReportMetric(100*float64(s.UncheckedPtrs)/float64(total), "safe-%")
+				b.ReportMetric(100*float64(s.SameChecks+s.TradChecks+s.ParentChecks)/float64(total), "checked-%")
+				b.ReportMetric(100*float64(s.FullUpdates)/float64(total), "counted-%")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md Section 5).
+
+// BenchmarkAblationPointerFree measures delete-time scanning with and
+// without the pointer-free allocator split, on a workload that allocates
+// many pointer-free objects (grobner's bignum digit arrays).
+func BenchmarkAblationPointerFree(b *testing.B) {
+	for _, split := range []struct {
+		name    string
+		disable bool
+	}{{"split", false}, {"nosplit", true}} {
+		b.Run(split.name, func(b *testing.B) {
+			c := compileWorkload(b, "grobner", ModeInf)
+			res := runBench(b, c, RunConfig{DisablePointerFree: split.disable})
+			b.ReportMetric(float64(res.Region.UnscanWords), "unscan-words")
+			b.ReportMetric(float64(res.Region.UnscanObjects), "unscan-objs")
+		})
+	}
+}
+
+// BenchmarkAblationParentCheck compares the depth-first-numbering
+// parentptr check against walking the parent chain, on the apache
+// workload (the parentptr-heavy one).
+func BenchmarkAblationParentCheck(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		walk bool
+	}{{"numbering", false}, {"walk", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			c := compileWorkload(b, "apache", ModeQS)
+			runBench(b, c, RunConfig{ParentCheckByWalk: v.walk})
+		})
+	}
+}
+
+// BenchmarkAblationLocalPins compares RC's pin-at-deletes-calls protocol
+// against C@'s stack scan at deleteregion, isolating the locals strategy
+// (both run full counting with annotations ignored).
+func BenchmarkAblationLocalPins(b *testing.B) {
+	b.Run("pins", func(b *testing.B) {
+		runBench(b, compileWorkload(b, "apache", ModeNQ), RunConfig{})
+	})
+	b.Run("stackscan", func(b *testing.B) {
+		runBench(b, compileWorkload(b, "apache", ModeNQ), RunConfig{CAtStyle: true})
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the runtime primitives (the paper's Figure 3
+// operations).
+
+func benchRuntime(b *testing.B) (*region.Runtime, region.TypeID, mem.Addr, mem.Addr, mem.Addr) {
+	b.Helper()
+	rt := region.NewRuntime(region.Config{})
+	node := rt.RegisterType(region.TypeDesc{
+		Name: "node", Size: 2,
+		CountedOffsets: []uint64{0}, AllPtrOffsets: []uint64{0, 1},
+	})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	holder := r1.Alloc(node)
+	sameVal := r1.Alloc(node)
+	crossVal := r2.Alloc(node)
+	return rt, node, holder, sameVal, crossVal
+}
+
+func BenchmarkStoreFullUpdate(b *testing.B) {
+	rt, _, holder, same, cross := benchRuntime(b)
+	vals := [2]mem.Addr{same, cross}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.StorePtr(holder, vals[i&1])
+	}
+}
+
+func BenchmarkStoreSameCheck(b *testing.B) {
+	rt, _, holder, same, _ := benchRuntime(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.StoreSameRegion(holder.Add(1), same)
+	}
+}
+
+func BenchmarkStoreParentCheck(b *testing.B) {
+	rt, _, holder, same, _ := benchRuntime(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.StoreParentPtr(holder.Add(1), same)
+	}
+}
+
+func BenchmarkStoreUnchecked(b *testing.B) {
+	rt, _, holder, same, _ := benchRuntime(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.StoreUnchecked(holder.Add(1), same)
+	}
+}
+
+func BenchmarkRegionAlloc(b *testing.B) {
+	rt := region.NewRuntime(region.Config{})
+	node := rt.RegisterType(region.TypeDesc{Name: "node", Size: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10000 == 0 {
+			b.StopTimer()
+			rt = region.NewRuntime(region.Config{})
+			node = rt.RegisterType(region.TypeDesc{Name: "node", Size: 4})
+			b.StartTimer()
+		}
+		r := rt.NewRegion()
+		for j := 0; j < 100; j++ {
+			r.Alloc(node)
+		}
+		rt.DeleteRegion(r)
+	}
+}
+
+// BenchmarkInference measures the constraint inference itself over the
+// largest workload source (the paper: "the largest analysis time on any
+// file in our benchmarks is 30s ... less than 1s for 96% of files").
+func BenchmarkInference(b *testing.B) {
+	w := workloads.ByName("lcc")
+	src := w.Source(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src, ModeInf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoNativeAPI measures the Go-native region layer.
+func BenchmarkGoNativeAPI(b *testing.B) {
+	type node struct {
+		next Ref[node]
+	}
+	b.Run("alloc+link", func(b *testing.B) {
+		a := NewArena()
+		r := a.NewRegion()
+		var prev *Obj[node]
+		for i := 0; i < b.N; i++ {
+			if i%100000 == 0 {
+				b.StopTimer()
+				prev = nil
+				if i > 0 {
+					if err := r.Delete(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				r = a.NewRegion()
+				b.StartTimer()
+			}
+			n := Alloc[node](r)
+			_ = SetSame(n, &n.Value.next, prev)
+			prev = n
+		}
+	})
+	b.Run("counted-store", func(b *testing.B) {
+		a := NewArena()
+		r1 := a.NewRegion()
+		r2 := a.NewRegion()
+		h := Alloc[node](r1)
+		v1 := Alloc[node](r1)
+		v2 := Alloc[node](r2)
+		vals := [2]*Obj[node]{v1, v2}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SetRef(h, &h.Value.next, vals[i&1])
+		}
+	})
+}
+
+var _ = vm.Config{} // keep the import for test helpers in other files

@@ -1,0 +1,107 @@
+// Command rcbench regenerates the tables and figures of the paper's
+// evaluation (Section 5 of Gay & Aiken, "Language Support for Regions",
+// PLDI 2001) over the eight workload programs.
+//
+// Usage:
+//
+//	rcbench                  # everything
+//	rcbench -table 2         # one table (1, 2 or 3)
+//	rcbench -figure 8        # one figure (7, 8 or 9)
+//	rcbench -scale 50 -reps 5 -workloads moss,tile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rcgo/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate only this table (1, 2 or 3)")
+	space := flag.Bool("space", false, "also report peak heap footprint per backend")
+	figure := flag.Int("figure", 0, "regenerate only this figure (7, 8 or 9)")
+	scale := flag.Int("scale", 0, "override workload scale (0 = default)")
+	reps := flag.Int("reps", 3, "timed repetitions per cell (best is reported)")
+	names := flag.String("workloads", "", "comma-separated workload subset")
+	bars := flag.Bool("bars", false, "also render figures as bar charts")
+	flag.Parse()
+
+	o := exp.Options{Scale: *scale, Reps: *reps}
+	if *names != "" {
+		o.Workloads = strings.Split(*names, ",")
+	}
+
+	all := *table == 0 && *figure == 0
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "rcbench:", err)
+		os.Exit(1)
+	}
+
+	if all || *table == 1 {
+		rows, err := exp.Table1(o)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *figure == 7 {
+		rows, err := exp.Figure7(o)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintFigure7(os.Stdout, rows)
+		if *bars {
+			exp.PrintFigure7Bars(os.Stdout, rows)
+		}
+		fmt.Println()
+	}
+	if all || *table == 2 {
+		rows, err := exp.Table2(o)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *table == 3 {
+		rows, err := exp.Table3(o)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintTable3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *figure == 8 {
+		rows, err := exp.Figure8(o)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintFigure8(os.Stdout, rows)
+		if *bars {
+			exp.PrintFigure8Bars(os.Stdout, rows)
+		}
+		fmt.Println()
+	}
+	if all || *figure == 9 {
+		rows, err := exp.Figure9(o)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintFigure9(os.Stdout, rows)
+		if *bars {
+			exp.PrintFigure9Bars(os.Stdout, rows)
+		}
+	}
+	if *space {
+		fmt.Println()
+		rows, err := exp.TableSpace(o)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintTableSpace(os.Stdout, rows)
+	}
+}

@@ -1,0 +1,153 @@
+// Command rcc compiles and runs RC-dialect programs: C with regions,
+// reference-counted for safety, with the sameregion / traditional /
+// parentptr annotations of Gay & Aiken (PLDI 2001).
+//
+// Usage:
+//
+//	rcc prog.rc                     # compile and run (inf configuration)
+//	rcc -mode qs prog.rc            # barrier configuration: nq|qs|inf|nc|norc
+//	rcc -backend malloc prog.rc     # memory backend: region|malloc|gc
+//	rcc -stats prog.rc              # print runtime statistics
+//	rcc -dump-ir prog.rc            # print bytecode instead of running
+//	rcc -dump-infer prog.rc         # print inference results per check site
+//	rcc -workload moss              # run a bundled benchmark workload
+//	rcc -fmt prog.rc                # pretty-print the program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rcgo"
+	"rcgo/internal/ir"
+	"rcgo/internal/rcc"
+	"rcgo/internal/workloads"
+)
+
+func main() {
+	mode := flag.String("mode", "inf", "barrier configuration: nq|qs|inf|nc|norc")
+	backend := flag.String("backend", "region", "memory backend: region|malloc|gc")
+	cat := flag.Bool("cat", false, "use C@-style stack scanning for locals")
+	stats := flag.Bool("stats", false, "print runtime statistics")
+	dumpIR := flag.Bool("dump-ir", false, "print compiled bytecode and exit")
+	dumpInfer := flag.Bool("dump-infer", false, "print check-site inference results and exit")
+	workload := flag.String("workload", "", "run a bundled workload instead of a file")
+	scale := flag.Int("scale", 0, "workload scale (with -workload)")
+	format := flag.Bool("fmt", false, "pretty-print the program and exit")
+	profile := flag.Bool("profile", false, "print per-function instruction counts")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *workload != "":
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "rcc: unknown workload %q (have:", *workload)
+			for _, x := range workloads.All() {
+				fmt.Fprintf(os.Stderr, " %s", x.Name)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+			os.Exit(1)
+		}
+		src = w.Source(*scale)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcc:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: rcc [flags] file.rc  (or -workload NAME); see -help")
+		os.Exit(2)
+	}
+
+	if *format {
+		parsed, err := rcc.Parse(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcc:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rcc.Format(parsed))
+		return
+	}
+
+	c, err := rcgo.Compile(src, rcgo.Mode(*mode))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcc:", err)
+		os.Exit(1)
+	}
+
+	if *dumpInfer {
+		safe, total := 0, 0
+		for i := range c.Infer.SafeSite {
+			if c.Infer.SiteSeen[i] {
+				total++
+				status := "checked"
+				if c.Infer.SafeSite[i] {
+					status = "safe"
+					safe++
+				}
+				fmt.Printf("site %3d: %s\n", i, status)
+			}
+		}
+		fmt.Printf("%d/%d annotated sites proven safe\n", safe, total)
+		return
+	}
+	if *dumpIR {
+		for _, f := range c.Prog.Funcs {
+			fmt.Print(ir.Disasm(f))
+		}
+		return
+	}
+
+	res, err := rcgo.Run(c, rcgo.RunConfig{
+		Backend:  rcgo.Backend(*backend),
+		CAtStyle: *cat,
+		Output:   os.Stdout,
+		Profile:  *profile,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcc:", err)
+		os.Exit(1)
+	}
+	if *profile && res.Profile != nil {
+		type row struct {
+			name string
+			n    int64
+		}
+		var rows []row
+		for name, n := range res.Profile {
+			rows = append(rows, row{name, n})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+		fmt.Fprintf(os.Stderr, "\n-- instructions by function:\n")
+		for _, r := range rows {
+			fmt.Fprintf(os.Stderr, "--   %-20s %12d (%5.1f%%)\n",
+				r.name, r.n, 100*float64(r.n)/float64(res.VM.Instructions))
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\n-- %v, %d instructions, %d calls\n",
+			res.Duration, res.VM.Instructions, res.VM.Calls)
+		if res.Region != nil {
+			s := res.Region
+			fmt.Fprintf(os.Stderr, "-- allocs=%d regions=%d/%d live=%dB max=%dB\n",
+				s.Allocs, s.RegionsDeleted, s.RegionsCreated, s.LiveBytes, s.MaxLiveBytes)
+			fmt.Fprintf(os.Stderr, "-- ptr stores: full=%d same=%d trad=%d parent=%d safe=%d\n",
+				s.FullUpdates, s.SameChecks, s.TradChecks, s.ParentChecks, s.UncheckedPtrs)
+			fmt.Fprintf(os.Stderr, "-- rc ops: +%d -%d pins=%d unscan=%d objs\n",
+				s.RCIncrements, s.RCDecrements, s.PinOps, s.UnscanObjects)
+		}
+		if res.Malloc != nil {
+			fmt.Fprintf(os.Stderr, "-- malloc: allocs=%d frees=%d max=%dB\n",
+				res.Malloc.Allocs, res.Malloc.Frees, res.Malloc.MaxLive*8)
+		}
+		if res.GC != nil {
+			fmt.Fprintf(os.Stderr, "-- gc: allocs=%d collections=%d swept=%d max=%dB\n",
+				res.GC.Allocs, res.GC.Collections, res.GC.Swept, res.GC.MaxLive*8)
+		}
+	}
+}

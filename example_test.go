@@ -1,0 +1,101 @@
+package rcgo_test
+
+import (
+	"fmt"
+	"os"
+
+	"rcgo"
+)
+
+// The Figure 1 pattern with the Go-native API: build a list and its
+// contents in one region, free everything at once.
+func Example() {
+	type node struct {
+		next rcgo.Ref[node]
+		data int
+	}
+	arena := rcgo.NewArena()
+	r := arena.NewRegion()
+
+	var head *rcgo.Obj[node]
+	for i := 0; i < 3; i++ {
+		n := rcgo.Alloc[node](r)
+		n.Value.data = i
+		if err := rcgo.SetSame(n, &n.Value.next, head); err != nil {
+			panic(err)
+		}
+		head = n
+	}
+	for n := head; n != nil; n = n.Value.next.Get() {
+		fmt.Print(n.Value.data, " ")
+	}
+	fmt.Println(r.Delete() == nil)
+	// Output: 2 1 0 true
+}
+
+// Deletion is dynamically safe: it fails while external references
+// remain and succeeds once they are cleared.
+func Example_safety() {
+	type box struct{ payload rcgo.Ref[box] }
+	arena := rcgo.NewArena()
+	r1 := arena.NewRegion()
+	r2 := arena.NewRegion()
+	holder := rcgo.Alloc[box](r1)
+	target := rcgo.Alloc[box](r2)
+
+	rcgo.SetRef(holder, &holder.Value.payload, target)
+	fmt.Println("while referenced:", r2.Delete() != nil)
+	rcgo.SetRef(holder, &holder.Value.payload, nil)
+	fmt.Println("after clearing:", r2.Delete() == nil)
+	// Output:
+	// while referenced: true
+	// after clearing: true
+}
+
+// The toolchain compiles and runs RC-dialect source; the constraint
+// inference removes annotation checks it proves safe.
+func Example_toolchain() {
+	src := `
+struct cell { struct cell *sameregion next; int v; };
+deletes void main(void) {
+	region r = newregion();
+	struct cell *c = ralloc(r, struct cell);
+	c->next = ralloc(regionof(c), struct cell);
+	c->next->v = 41;
+	print_int(c->next->v + 1);
+	c = null;
+	deleteregion(r);
+}`
+	c, err := rcgo.Compile(src, rcgo.ModeInf)
+	if err != nil {
+		panic(err)
+	}
+	res, err := rcgo.Run(c, rcgo.RunConfig{Output: os.Stdout})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nchecks eliminated: %d, remaining: %d\n",
+		res.Region.UncheckedPtrs,
+		res.Region.SameChecks+res.Region.TradChecks+res.Region.ParentChecks)
+	// Output:
+	// 42
+	// checks eliminated: 1, remaining: 0
+}
+
+// Subregions must be deleted before their parents, and parent references
+// never cost reference-count traffic.
+func Example_subregions() {
+	type req struct{ parent rcgo.Ref[req] }
+	arena := rcgo.NewArena()
+	top := arena.NewRegion()
+	sub := top.NewSubregion()
+	p := rcgo.Alloc[req](top)
+	c := rcgo.Alloc[req](sub)
+	fmt.Println("up-link ok:", rcgo.SetParent(c, &c.Value.parent, p) == nil)
+	fmt.Println("parent first:", top.Delete() != nil)
+	fmt.Println("child first:", sub.Delete() == nil, top.Delete() == nil)
+	// Output:
+	// up-link ok: true
+	// parent first: true
+	// child first: true true
+}

@@ -1,0 +1,54 @@
+// Interp: runs the mudlle workload (an expression-language compiler and
+// stack interpreter, the paper's mudlle benchmark shape) through the
+// toolchain on every memory backend, printing the Figure-9-style runtime
+// breakdown of pointer assignments.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"rcgo"
+	"rcgo/internal/workloads"
+)
+
+func main() {
+	src := workloads.Mudlle.Source(500)
+
+	c, err := rcgo.Compile(src, rcgo.ModeInf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Print("program output: ")
+	res, err := rcgo.Run(c, rcgo.RunConfig{Output: os.Stdout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := res.Region
+	totalStores := s.FullUpdates + s.SameChecks + s.TradChecks + s.ParentChecks + s.UncheckedPtrs
+	fmt.Printf("pointer assignments: %d total\n", totalStores)
+	fmt.Printf("  statically safe : %6.2f%%\n", pct(s.UncheckedPtrs, totalStores))
+	fmt.Printf("  runtime checked : %6.2f%%\n", pct(s.SameChecks+s.TradChecks+s.ParentChecks, totalStores))
+	fmt.Printf("  reference counted: %5.2f%%\n", pct(s.FullUpdates, totalStores))
+
+	// The same program runs unchanged on the baseline allocators.
+	for _, be := range []rcgo.Backend{rcgo.BackendMalloc, rcgo.BackendGC} {
+		r2, err := rcgo.Run(c, rcgo.RunConfig{Backend: be, Output: io.Discard})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("backend %-6s: %v, peak heap %d KB\n", be, r2.Duration.Round(1e6), r2.MaxHeapBytes/1024)
+	}
+}
+
+func pct(n, d int64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}

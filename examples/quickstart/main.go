@@ -1,0 +1,68 @@
+// Quickstart: the paper's Figure 1 example — a list and its contents
+// built in a single region and freed all at once — using the Go-native
+// safe region API.
+package main
+
+import (
+	"fmt"
+
+	"rcgo"
+)
+
+// rlist mirrors the paper's struct rlist: both links are same-region
+// (the whole data structure lives and dies with one region).
+type rlist struct {
+	next rcgo.Ref[rlist]
+	data rcgo.Ref[finfo]
+}
+
+type finfo struct {
+	value int
+}
+
+func main() {
+	arena := rcgo.NewArena()
+	r := arena.NewRegion()
+
+	// Build the list and its contents in r (Figure 1's loop).
+	var last *rcgo.Obj[rlist]
+	for i := 0; i < 10; i++ {
+		rl := rcgo.Alloc[rlist](r)
+		data := rcgo.Alloc[finfo](r)
+		data.Value.value = i
+		if err := rcgo.SetSame(rl, &rl.Value.data, data); err != nil {
+			panic(err)
+		}
+		if err := rcgo.SetSame(rl, &rl.Value.next, last); err != nil {
+			panic(err)
+		}
+		last = rl
+	}
+
+	// Output the list.
+	fmt.Print("list:")
+	for n := last; n != nil; n = n.Value.next.Get() {
+		fmt.Printf(" %d", n.Value.data.Get().Value.value)
+	}
+	fmt.Println()
+
+	// Safety demo 1: a counted external reference blocks deletion.
+	outside := arena.NewRegion()
+	holder := rcgo.Alloc[rlist](outside)
+	rcgo.SetRef(holder, &holder.Value.next, last)
+	if err := r.Delete(); err != nil {
+		fmt.Println("delete blocked while referenced:", err)
+	}
+	rcgo.SetRef(holder, &holder.Value.next, nil)
+
+	// Safety demo 2: same-region stores are checked.
+	if err := rcgo.SetSame(holder, &holder.Value.next, last); err != nil {
+		fmt.Println("cross-region sameregion store rejected:", err)
+	}
+
+	// Now deletion succeeds, freeing the list and its contents at once.
+	if err := r.Delete(); err != nil {
+		panic(err)
+	}
+	fmt.Println("region deleted; live objects:", arena.LiveObjects())
+}

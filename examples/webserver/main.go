@@ -1,0 +1,62 @@
+// Webserver: the paper's Apache pattern — a region per request, a
+// subregion per internal subrequest, parent-pointer references from
+// subrequest data to request data, and everything freed when the request
+// completes. Uses the Go-native safe region API.
+package main
+
+import (
+	"fmt"
+
+	"rcgo"
+)
+
+type request struct {
+	parent  rcgo.Ref[request] // parentptr: subrequest -> request
+	id      int
+	headers []string
+	status  int
+}
+
+// handle processes a request in its own region; internal redirects spawn
+// subrequests in subregions, which must be (and are) deleted first.
+func handle(arena *rcgo.Arena, r *rcgo.Region, req *rcgo.Obj[request], depth int) {
+	req.Value.headers = append(req.Value.headers,
+		fmt.Sprintf("X-Request-Id: %d", req.Value.id))
+
+	if depth < 2 {
+		sub := r.NewSubregion()
+		sr := rcgo.Alloc[request](sub)
+		sr.Value.id = req.Value.id*10 + 1
+		// Subrequest data may point UP to request data without any
+		// reference-count traffic: the parent always outlives the child.
+		if err := rcgo.SetParent(sr, &sr.Value.parent, req); err != nil {
+			panic(err)
+		}
+		handle(arena, sub, sr, depth+1)
+		// A downward reference would be rejected: the parent could
+		// otherwise outlive its target.
+		if err := rcgo.SetParent(req, &req.Value.parent, sr); err != nil {
+			fmt.Println("  downward parentptr rejected:", err)
+		}
+		if err := sub.Delete(); err != nil {
+			panic(err)
+		}
+	}
+	req.Value.status = 200
+}
+
+func main() {
+	arena := rcgo.NewArena()
+	for conn := 0; conn < 3; conn++ {
+		r := arena.NewRegion()
+		req := rcgo.Alloc[request](r)
+		req.Value.id = conn + 1
+		handle(arena, r, req, 0)
+		fmt.Printf("request %d -> %d (%d headers)\n",
+			req.Value.id, req.Value.status, len(req.Value.headers))
+		if err := r.Delete(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("all requests served; live objects:", arena.LiveObjects())
+}

@@ -1,0 +1,132 @@
+package rcgo
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's Section 2 expressivity example: an array of regions indexed
+// dynamically, with allocations into randomly chosen regions stored into a
+// separate structure — "There is a type for r, but no type for d in Walker
+// and Morrisett's type system ... Our system preserves the safety of
+// deleteregion via reference counting."
+func TestSection2ExpressivityExample(t *testing.T) {
+	out := runOut(t, `
+struct data { int v; };
+deletes void main(void) {
+	int n = 8;
+	int m = 20;
+	region holder = newregion();
+	region *r = rarrayalloc(holder, n, region);
+	struct data **d = rarrayalloc(holder, m, struct data *);
+	int i;
+	int seed = 7;
+	for (i = 0; i < n; i++) r[i] = newregion();
+	for (i = 0; i < m; i++) {
+		seed = (seed * 1103 + 12345) % 30011;
+		d[i] = ralloc(r[seed % n], struct data);
+		d[i]->v = i;
+	}
+	int sum = 0;
+	for (i = 0; i < m; i++) sum = sum + d[i]->v;
+	print_int(sum);
+	// Deleting a region while d still points into it aborts; clearing
+	// the references first makes every deletion safe.
+	for (i = 0; i < m; i++) d[i] = null;
+	for (i = 0; i < n; i++) deleteregion(r[i]);
+	deleteregion(holder);
+	print_str(" ok");
+}`, ModeInf, RunConfig{})
+	if out != "190 ok" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+// The same program aborts if a region is deleted while the lookup
+// structure still references it — the dynamic safety that replaces Walker
+// and Morrisett's static discipline.
+func TestSection2ExampleAbortsWhenUnsafe(t *testing.T) {
+	_, err := RunSource(`
+struct data { int v; };
+deletes void main(void) {
+	region holder = newregion();
+	region *r = rarrayalloc(holder, 4, region);
+	struct data **d = rarrayalloc(holder, 4, struct data *);
+	int i;
+	for (i = 0; i < 4; i++) r[i] = newregion();
+	for (i = 0; i < 4; i++) d[i] = ralloc(r[i], struct data);
+	deleteregion(r[2]);   // d[2] still points in: must abort
+}`, ModeInf, RunConfig{})
+	if err == nil || !strings.Contains(err.Error(), "external references") {
+		t.Errorf("unsafe deletion not caught: %v", err)
+	}
+}
+
+// The paper's nested-environments pattern (the real-program shape behind
+// the Section 2 example): a list of environments, each in its own region,
+// with lookups returning pointers stored in a separate structure.
+func TestNestedEnvironments(t *testing.T) {
+	out := runOut(t, `
+struct binding {
+	struct binding *sameregion next;
+	int name;
+	int value;
+};
+struct env {
+	struct env *up;               // counted: parent env in another region
+	struct binding *sameregion bindings;
+	region myregion;
+};
+
+struct env *env_push(struct env *parent) {
+	region r = newregion();
+	struct env *e = ralloc(r, struct env);
+	e->up = parent;
+	e->myregion = r;
+	return e;
+}
+
+void env_bind(struct env *e, int name, int value) {
+	struct binding *b = ralloc(regionof(e), struct binding);
+	b->name = name;
+	b->value = value;
+	b->next = e->bindings;
+	e->bindings = b;
+}
+
+int env_lookup(struct env *e, int name) {
+	while (e) {
+		struct binding *b = e->bindings;
+		while (b) {
+			if (b->name == name) return b->value;
+			b = b->next;
+		}
+		e = e->up;
+	}
+	return -1;
+}
+
+deletes void main(void) {
+	struct env *top = env_push(null);
+	env_bind(top, 1, 100);
+	struct env *inner = env_push(top);
+	env_bind(inner, 2, 200);
+	env_bind(inner, 1, 111);   // shadows
+	print_int(env_lookup(inner, 1));
+	print_int(env_lookup(inner, 2));
+	print_int(env_lookup(top, 1));
+	print_int(env_lookup(top, 2));
+	// Pop the inner environment: delete its region.
+	region ir = inner->myregion;
+	inner = null;
+	deleteregion(ir);
+	print_int(env_lookup(top, 1));
+	region tr = top->myregion;
+	top = null;
+	deleteregion(tr);
+	print_str(" done");
+}`, ModeInf, RunConfig{})
+	if out != "111200100-1100 done" {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,3 @@
+module rcgo
+
+go 1.22

@@ -1,0 +1,323 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"rcgo/internal/mem"
+)
+
+func TestMallocAllocFree(t *testing.T) {
+	h := mem.NewHeap()
+	m := NewMalloc(h, 1)
+	a := m.Alloc(3, 0)
+	if m.BlockWords(a) < 3 {
+		t.Fatalf("BlockWords = %d, want >= 3", m.BlockWords(a))
+	}
+	h.Store(a.Add(1), 42)
+	m.Free(a)
+	b := m.Alloc(3, 0)
+	if b != a {
+		t.Errorf("free block not reused: got %#x, want %#x", uint64(b), uint64(a))
+	}
+	if h.Load(b.Add(1)) != 0 {
+		t.Error("recycled block not zeroed")
+	}
+}
+
+func TestMallocSizeClasses(t *testing.T) {
+	h := mem.NewHeap()
+	m := NewMalloc(h, 1)
+	sizes := []uint64{1, 3, 7, 15, 31, 63, 127, 255, 511}
+	var blocks []mem.Addr
+	for _, s := range sizes {
+		a := m.Alloc(s, 0)
+		if got := m.BlockWords(a); got < s {
+			t.Errorf("size %d: block words %d", s, got)
+		}
+		blocks = append(blocks, a)
+	}
+	for _, a := range blocks {
+		m.Free(a)
+	}
+	if m.Stats.Frees != int64(len(blocks)) {
+		t.Errorf("Frees = %d", m.Stats.Frees)
+	}
+}
+
+func TestMallocLargeBlocks(t *testing.T) {
+	h := mem.NewHeap()
+	m := NewMalloc(h, 1)
+	a := m.Alloc(3*mem.PageWords, 0)
+	if m.BlockWords(a) < 3*mem.PageWords {
+		t.Fatalf("large block too small: %d", m.BlockWords(a))
+	}
+	h.Store(a.Add(3*mem.PageWords-1), 9)
+	before := h.MappedPages()
+	m.Free(a)
+	if h.MappedPages() >= before {
+		t.Error("large free did not unmap pages")
+	}
+}
+
+func TestMallocDoubleFreePanics(t *testing.T) {
+	h := mem.NewHeap()
+	m := NewMalloc(h, 1)
+	a := m.Alloc(2, 0)
+	m.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	m.Free(a)
+}
+
+func TestMallocRegionTag(t *testing.T) {
+	h := mem.NewHeap()
+	m := NewMalloc(h, 1)
+	a := m.Alloc(2, 77)
+	if HeaderRegion(h.Load(a)) != 77 {
+		t.Errorf("region tag = %d, want 77", HeaderRegion(h.Load(a)))
+	}
+}
+
+func TestQuickMallocChurn(t *testing.T) {
+	h := mem.NewHeap()
+	m := NewMalloc(h, 1)
+	rng := rand.New(rand.NewSource(3))
+	type obj struct {
+		a     mem.Addr
+		size  uint64
+		stamp uint64
+	}
+	var live []obj
+	for i := 0; i < 5000; i++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			k := rng.Intn(len(live))
+			o := live[k]
+			// Verify stamp integrity before free: no other block
+			// overwrote us.
+			if h.Load(o.a.Add(o.size)) != o.stamp {
+				t.Fatalf("iter %d: block %#x corrupted", i, uint64(o.a))
+			}
+			m.Free(o.a)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			size := uint64(1 + rng.Intn(700))
+			a := m.Alloc(size, 0)
+			stamp := rng.Uint64()
+			h.Store(a.Add(size), stamp) // last usable word
+			live = append(live, obj{a, size, stamp})
+		}
+	}
+	for _, o := range live {
+		if h.Load(o.a.Add(o.size)) != o.stamp {
+			t.Fatalf("final: block %#x corrupted", uint64(o.a))
+		}
+	}
+}
+
+// gcWorld is a root set for GC tests: a slice of words scanned
+// conservatively.
+type gcWorld struct{ roots []uint64 }
+
+func (w *gcWorld) scan(emit func(uint64)) {
+	for _, v := range w.roots {
+		emit(v)
+	}
+}
+
+func TestGCKeepsReachable(t *testing.T) {
+	h := mem.NewHeap()
+	g := NewGC(h, 1)
+	w := &gcWorld{}
+	g.Roots = w.scan
+
+	a := g.Alloc(4, 0)
+	h.Store(a.Add(1), 0xdeadbeef)
+	w.roots = append(w.roots, uint64(a))
+	// b is reachable only through a.
+	b := g.Alloc(4, 0)
+	h.Store(a.Add(2), uint64(b))
+	h.Store(b.Add(1), 0xfeedface)
+	// c is garbage.
+	c := g.Alloc(4, 0)
+	h.Store(c.Add(1), 0x1111)
+
+	g.Collect()
+	if h.Load(a.Add(1)) != 0xdeadbeef || h.Load(b.Add(1)) != 0xfeedface {
+		t.Fatal("collector reclaimed reachable data")
+	}
+	if h.Load(c)&hdrAllocBit != 0 {
+		t.Error("collector kept garbage block")
+	}
+	if g.Stats.Swept == 0 {
+		t.Error("nothing swept")
+	}
+}
+
+func TestGCInteriorPointers(t *testing.T) {
+	h := mem.NewHeap()
+	g := NewGC(h, 1)
+	w := &gcWorld{}
+	g.Roots = w.scan
+	a := g.Alloc(30, 0)
+	h.Store(a.Add(1), 7)
+	// Only an interior pointer survives in the roots.
+	w.roots = []uint64{uint64(a.Add(15))}
+	g.Collect()
+	if h.Load(a.Add(1)) != 7 {
+		t.Fatal("interior pointer did not keep block alive")
+	}
+}
+
+func TestGCLargeObjects(t *testing.T) {
+	h := mem.NewHeap()
+	g := NewGC(h, 1)
+	w := &gcWorld{}
+	g.Roots = w.scan
+	a := g.Alloc(2*mem.PageWords+10, 0)
+	h.Store(a.Add(2*mem.PageWords), 5)
+	w.roots = []uint64{uint64(a.Add(2 * mem.PageWords))} // interior, 3rd page
+	g.Collect()
+	if h.Load(a.Add(2*mem.PageWords)) != 5 {
+		t.Fatal("large object reclaimed while reachable")
+	}
+	w.roots = nil
+	g.Collect()
+	if h.Mapped(a) {
+		t.Fatal("unreachable large object not reclaimed")
+	}
+}
+
+func TestGCAutoTrigger(t *testing.T) {
+	h := mem.NewHeap()
+	g := NewGC(h, 1)
+	w := &gcWorld{}
+	g.Roots = w.scan
+	// Allocate far past the initial threshold with no roots: collections
+	// must happen and memory must stay bounded.
+	for i := 0; i < 20000; i++ {
+		g.Alloc(8, 0)
+	}
+	if g.Stats.Collections == 0 {
+		t.Fatal("no automatic collections")
+	}
+	if h.MappedPages() > 200 {
+		t.Errorf("heap grew to %d pages despite garbage", h.MappedPages())
+	}
+}
+
+func TestGCConservativeNonPointer(t *testing.T) {
+	h := mem.NewHeap()
+	g := NewGC(h, 1)
+	w := &gcWorld{roots: []uint64{12345678901234}} // not a heap address
+	g.Roots = w.scan
+	g.Collect() // must not crash
+}
+
+func TestQuickGCReachabilityInvariant(t *testing.T) {
+	h := mem.NewHeap()
+	g := NewGC(h, 1)
+	w := &gcWorld{}
+	g.Roots = w.scan
+	rng := rand.New(rand.NewSource(9))
+	type node struct {
+		a     mem.Addr
+		stamp uint64
+		slots uint64 // next free link slot (2..4)
+	}
+	var reach []*node // all transitively reachable from roots
+	for i := 0; i < 3000; i++ {
+		a := g.Alloc(6, 0)
+		stamp := rng.Uint64()
+		h.Store(a.Add(1), stamp)
+		switch rng.Intn(3) {
+		case 0: // new root
+			w.roots = append(w.roots, uint64(a))
+			reach = append(reach, &node{a: a, stamp: stamp, slots: 2})
+		case 1: // linked from a reachable node with a free slot
+			linked := false
+			for try := 0; try < 4 && len(reach) > 0; try++ {
+				p := reach[rng.Intn(len(reach))]
+				if p.slots <= 4 {
+					h.Store(p.a.Add(p.slots), uint64(a))
+					p.slots++
+					linked = true
+					break
+				}
+			}
+			if linked {
+				reach = append(reach, &node{a: a, stamp: stamp, slots: 2})
+			}
+		default: // garbage
+		}
+	}
+	g.Collect()
+	for _, n := range reach {
+		if h.Load(n.a.Add(1)) != n.stamp {
+			t.Fatalf("reachable node %#x reclaimed or corrupted", uint64(n.a))
+		}
+	}
+}
+
+func TestEmuMallocLifecycle(t *testing.T) {
+	h := mem.NewHeap()
+	e := NewEmuMalloc(h, 1)
+	r := e.NewRegion()
+	a := e.Alloc(r, 3, 1, 123)
+	if h.Load(a-1) != 123 {
+		t.Error("type header not written")
+	}
+	if e.RegionIDOf(a) != 1 || e.Region(e.RegionIDOf(a)) != r {
+		t.Error("region tag lookup failed")
+	}
+	frees := e.M.Stats.Frees
+	e.DeleteRegion(r)
+	if e.M.Stats.Frees != frees+1 {
+		t.Error("emulated delete did not free object-by-object")
+	}
+}
+
+func TestEmuGCDeleteIsNoopOnObjects(t *testing.T) {
+	h := mem.NewHeap()
+	e := NewEmuGC(h, 1)
+	w := &gcWorld{}
+	e.G.Roots = w.scan
+	r := e.NewRegion()
+	a := e.Alloc(r, 3, 1, 9)
+	w.roots = []uint64{uint64(a)}
+	e.DeleteRegion(r)
+	e.G.Collect()
+	if !h.Mapped(a) || h.Load(a-1) != 9 {
+		t.Fatal("GC emulation reclaimed a reachable object at deleteregion")
+	}
+}
+
+func TestEmuDoubleDeletePanics(t *testing.T) {
+	h := mem.NewHeap()
+	e := NewEmuMalloc(h, 1)
+	r := e.NewRegion()
+	e.DeleteRegion(r)
+	defer func() {
+		if recover() == nil {
+			t.Error("double delete did not panic")
+		}
+	}()
+	e.DeleteRegion(r)
+}
+
+func TestEmuSubregions(t *testing.T) {
+	h := mem.NewHeap()
+	e := NewEmuMalloc(h, 1)
+	p := e.NewRegion()
+	c := e.NewSubregion(p)
+	if c.parent != p {
+		t.Error("subregion parent not recorded")
+	}
+	e.Alloc(c, 2, 1, 1)
+	e.DeleteRegion(c)
+	e.DeleteRegion(p)
+}

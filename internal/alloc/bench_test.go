@@ -1,0 +1,70 @@
+package alloc
+
+import (
+	"testing"
+
+	"rcgo/internal/mem"
+)
+
+// Allocator microbenchmarks: the per-object costs behind the paper's
+// Figure 7 comparison (region bump allocation vs malloc/free vs collected
+// allocation).
+
+func BenchmarkMallocAllocFree(b *testing.B) {
+	h := mem.NewHeap()
+	m := NewMalloc(h, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := m.Alloc(6, 0)
+		m.Free(a)
+	}
+}
+
+func BenchmarkMallocChurn(b *testing.B) {
+	h := mem.NewHeap()
+	m := NewMalloc(h, 1)
+	var ring [64]mem.Addr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 63
+		if ring[k] != 0 {
+			m.Free(ring[k])
+		}
+		ring[k] = m.Alloc(uint64(2+(i%5)*8), 0)
+	}
+}
+
+func BenchmarkGCAlloc(b *testing.B) {
+	h := mem.NewHeap()
+	g := NewGC(h, 1)
+	g.Roots = func(func(uint64)) {} // nothing lives: everything collectable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Alloc(6, 0)
+	}
+}
+
+func BenchmarkGCCollect(b *testing.B) {
+	h := mem.NewHeap()
+	g := NewGC(h, 1)
+	// A live linked structure to mark plus garbage to sweep.
+	var roots []uint64
+	g.Roots = func(emit func(uint64)) {
+		for _, r := range roots {
+			emit(r)
+		}
+	}
+	prev := mem.Addr(0)
+	for i := 0; i < 2000; i++ {
+		a := g.Alloc(6, 0)
+		if i%2 == 0 {
+			h.Store(a.Add(1), uint64(prev))
+			prev = a
+		}
+	}
+	roots = []uint64{uint64(prev)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Collect()
+	}
+}

@@ -1,0 +1,146 @@
+package alloc
+
+import (
+	"fmt"
+
+	"rcgo/internal/mem"
+)
+
+// Emu is the region-emulation library of the paper's evaluation: for
+// benchmarks that were region-based, the "lea" column uses "a simple
+// region-emulation library that uses malloc and free to allocate and free
+// each individual object", and the "GC" column "uses the same code, except
+// that calls to malloc are replaced by calls to garbage collected
+// allocation and calls to free are removed".
+//
+// Emu provides the region API over either backend. It performs no safety
+// checks (the emulation is unsafe, as in the paper) and maintains no
+// reference counts. Object layout matches the region runtime: the returned
+// address points at the body, with the type header one word before it, so
+// compiled code is oblivious to the backend. One extra allocator header
+// word precedes the type header.
+type Emu struct {
+	Heap *mem.Heap
+	// Exactly one of M, G is set.
+	M *Malloc
+	G *GC
+
+	regions []*EmuRegion
+}
+
+// EmuRegion is an emulated region: a list of individually allocated
+// objects (tracked only in malloc mode, where deleteregion frees them).
+type EmuRegion struct {
+	id      int32
+	objects []mem.Addr // block starts; malloc mode only
+	parent  *EmuRegion
+	deleted bool
+}
+
+// NewEmuMalloc creates the malloc/free-backed emulation ("lea").
+func NewEmuMalloc(h *mem.Heap, owner int32) *Emu {
+	return &Emu{Heap: h, M: NewMalloc(h, owner)}
+}
+
+// NewEmuGC creates the GC-backed emulation ("GC").
+func NewEmuGC(h *mem.Heap, owner int32) *Emu {
+	return &Emu{Heap: h, G: NewGC(h, owner)}
+}
+
+// NewRegion creates an emulated top-level region.
+func (e *Emu) NewRegion() *EmuRegion { return e.NewSubregion(nil) }
+
+// NewSubregion creates an emulated subregion.
+func (e *Emu) NewSubregion(parent *EmuRegion) *EmuRegion {
+	r := &EmuRegion{id: int32(len(e.regions)) + 1, parent: parent}
+	e.regions = append(e.regions, r)
+	return r
+}
+
+// Alloc allocates count objects of bodyWords words each in the emulated
+// region, writing the given type header word, and returns the body address.
+func (e *Emu) Alloc(r *EmuRegion, bodyWords, count uint64, typeHeader uint64) mem.Addr {
+	if r.deleted {
+		panic(fmt.Sprintf("alloc: emulated allocation in deleted region %d", r.id))
+	}
+	words := bodyWords*count + 1 // + type header; allocator adds its own header
+	var blk mem.Addr
+	if e.M != nil {
+		blk = e.M.Alloc(words, r.id)
+		r.objects = append(r.objects, blk)
+	} else {
+		blk = e.G.Alloc(words, r.id)
+	}
+	e.Heap.Store(blk.Add(1), typeHeader)
+	return blk.Add(2)
+}
+
+// RegionIDOf returns the emulated region tag of an object body address.
+func (e *Emu) RegionIDOf(body mem.Addr) int32 {
+	return HeaderRegion(e.Heap.Load(body - 2))
+}
+
+// RegionIDOfAny resolves any pointer — including interior pointers — to
+// its object's emulated region tag, mirroring regionof()'s page-map
+// behaviour in the real runtime. Returns 0 (the traditional tag) for nil
+// or foreign addresses.
+func (e *Emu) RegionIDOfAny(a mem.Addr) int32 {
+	var owner int32
+	var runs map[uint64]int
+	if e.M != nil {
+		owner, runs = e.M.Owner, e.M.largeRuns
+	} else {
+		owner, runs = e.G.Owner, e.G.largeRuns
+	}
+	if a == mem.Nil || !e.Heap.Mapped(a) || e.Heap.PageOwner(a.Page()) != owner {
+		return 0
+	}
+	kind := e.Heap.PageKind(a.Page())
+	var blk mem.Addr
+	switch {
+	case kind == kindLarge:
+		for p := a.Page(); ; p-- {
+			if _, ok := runs[p]; ok {
+				blk = mem.Addr(p << mem.PageShift)
+				break
+			}
+			if p == 0 || e.Heap.PageKind(p) != kindLarge {
+				return 0
+			}
+		}
+	case int(kind) >= 0 && int(kind) < len(classes):
+		size := classes[kind]
+		blk = mem.Addr(a.Page()<<mem.PageShift + (a.Offset()/size)*size)
+	default:
+		return 0
+	}
+	h := e.Heap.Load(blk)
+	if h&hdrAllocBit == 0 {
+		return 0
+	}
+	return HeaderRegion(h)
+}
+
+// Region returns the emulated region with the given tag (1-based).
+func (e *Emu) Region(id int32) *EmuRegion {
+	if id <= 0 || int(id) > len(e.regions) {
+		return nil
+	}
+	return e.regions[id-1]
+}
+
+// DeleteRegion deletes an emulated region: under malloc every object is
+// freed individually (the paper's lea column); under GC it is a no-op on
+// the objects, which the collector reclaims once unreachable.
+func (e *Emu) DeleteRegion(r *EmuRegion) {
+	if r.deleted {
+		panic(fmt.Sprintf("alloc: emulated double delete of region %d", r.id))
+	}
+	r.deleted = true
+	if e.M != nil {
+		for _, blk := range r.objects {
+			e.M.Free(blk)
+		}
+	}
+	r.objects = nil
+}

@@ -1,0 +1,222 @@
+package alloc
+
+import (
+	"rcgo/internal/mem"
+)
+
+// GCStats counts collector activity.
+type GCStats struct {
+	Allocs      int64
+	AllocWords  int64
+	LiveWords   int64
+	MaxLive     int64
+	Collections int64
+	Marked      int64
+	Swept       int64
+	ScanWords   int64
+}
+
+// GC is a conservative mark-sweep collector, the stand-in for the
+// Boehm-Weiser collector in the paper's "GC" configuration. It uses the
+// same size-segregated block layout as Malloc. Roots are supplied by the
+// client (the VM scans its frames and globals); root and heap scanning is
+// conservative: any word whose value is the address of an allocated block
+// (or an interior pointer into one) keeps that block alive.
+type GC struct {
+	Heap  *mem.Heap
+	Owner int32
+	Stats GCStats
+
+	// Roots must call emit for every potential pointer word in the root
+	// set. Set by the client before the first collection.
+	Roots func(emit func(uint64))
+
+	freeLists  [len(classes)][]mem.Addr
+	smallPages []uint64
+	largeRuns  map[uint64]int
+
+	threshold int64 // collect when LiveWords-estimate exceeds this
+	markStack []mem.Addr
+}
+
+// NewGC creates a collector over the heap.
+func NewGC(h *mem.Heap, owner int32) *GC {
+	return &GC{Heap: h, Owner: owner, largeRuns: make(map[uint64]int), threshold: 4 * mem.PageWords}
+}
+
+// Alloc returns a zeroed block with at least words usable words after the
+// header, collecting first if the heap has grown past the threshold.
+func (g *GC) Alloc(words uint64, region int32) mem.Addr {
+	total := words + 1
+	if g.Stats.LiveWords >= g.threshold {
+		g.Collect()
+		// Grow the threshold to roughly twice the surviving heap.
+		if t := 2 * g.Stats.LiveWords; t > g.threshold {
+			g.threshold = t
+		}
+	}
+	g.Stats.Allocs++
+	ci, small := classFor(total)
+	if !small {
+		pages := int((total + mem.PageWords - 1) / mem.PageWords)
+		first := g.Heap.MapPages(pages, g.Owner, kindLarge)
+		g.largeRuns[first] = pages
+		rounded := int64(pages) * mem.PageWords
+		g.Stats.AllocWords += rounded
+		g.Stats.LiveWords += rounded
+		if g.Stats.LiveWords > g.Stats.MaxLive {
+			g.Stats.MaxLive = g.Stats.LiveWords
+		}
+		a := mem.Addr(first << mem.PageShift)
+		g.Heap.Store(a, headerMake(-1, region))
+		return a
+	}
+	g.Stats.AllocWords += int64(classes[ci])
+	g.Stats.LiveWords += int64(classes[ci])
+	if g.Stats.LiveWords > g.Stats.MaxLive {
+		g.Stats.MaxLive = g.Stats.LiveWords
+	}
+	fl := &g.freeLists[ci]
+	if len(*fl) == 0 {
+		g.refill(ci)
+		fl = &g.freeLists[ci]
+	}
+	a := (*fl)[len(*fl)-1]
+	*fl = (*fl)[:len(*fl)-1]
+	g.Heap.Store(a, headerMake(ci, region))
+	for i := uint64(1); i < classes[ci]; i++ {
+		g.Heap.Store(a.Add(i), 0)
+	}
+	return a
+}
+
+func (g *GC) refill(ci int) {
+	first := g.Heap.MapPages(1, g.Owner, int8(ci))
+	g.smallPages = append(g.smallPages, first)
+	size := classes[ci]
+	base := mem.Addr(first << mem.PageShift)
+	n := uint64(mem.PageWords) / size
+	for i := uint64(0); i < n; i++ {
+		g.Heap.Store(base.Add(i*size), 0)
+		g.freeLists[ci] = append(g.freeLists[ci], base.Add(i*size))
+	}
+}
+
+// blockStart resolves a conservative pointer guess to the start of an
+// allocated block it points into, or (0, false).
+func (g *GC) blockStart(v uint64) (mem.Addr, bool) {
+	a := mem.Addr(v)
+	if a == mem.Nil || !g.Heap.Mapped(a) {
+		return 0, false
+	}
+	page := a.Page()
+	if g.Heap.PageOwner(page) != g.Owner {
+		return 0, false
+	}
+	kind := g.Heap.PageKind(page)
+	if kind == kindLarge {
+		// Walk back to the run start (runs are short; largeRuns keys are
+		// run starts).
+		for p := page; ; p-- {
+			if _, ok := g.largeRuns[p]; ok {
+				blk := mem.Addr(p << mem.PageShift)
+				if g.Heap.Load(blk)&hdrAllocBit != 0 {
+					return blk, true
+				}
+				return 0, false
+			}
+			if p == 0 || g.Heap.PageKind(p) != kindLarge || g.Heap.PageOwner(p) != g.Owner {
+				return 0, false
+			}
+		}
+	}
+	if int(kind) < 0 || int(kind) >= len(classes) {
+		return 0, false
+	}
+	size := classes[kind]
+	blk := mem.Addr(page<<mem.PageShift + (a.Offset()/size)*size)
+	if g.Heap.Load(blk)&hdrAllocBit == 0 {
+		return 0, false
+	}
+	return blk, true
+}
+
+func (g *GC) mark(v uint64) {
+	blk, ok := g.blockStart(v)
+	if !ok {
+		return
+	}
+	h := g.Heap.Load(blk)
+	if h&hdrMarkBit != 0 {
+		return
+	}
+	g.Heap.Store(blk, h|hdrMarkBit)
+	g.Stats.Marked++
+	g.markStack = append(g.markStack, blk)
+}
+
+func (g *GC) blockWords(blk mem.Addr) uint64 {
+	h := g.Heap.Load(blk)
+	cls := h & hdrClassMask
+	if cls == hdrLargeClass {
+		return uint64(g.largeRuns[blk.Page()]) * mem.PageWords
+	}
+	return classes[cls-1]
+}
+
+// Collect runs a full conservative mark-sweep collection.
+func (g *GC) Collect() {
+	g.Stats.Collections++
+	if g.Roots != nil {
+		g.Roots(g.mark)
+	}
+	for len(g.markStack) > 0 {
+		blk := g.markStack[len(g.markStack)-1]
+		g.markStack = g.markStack[:len(g.markStack)-1]
+		n := g.blockWords(blk)
+		for i := uint64(1); i < n; i++ {
+			g.Stats.ScanWords++
+			g.mark(uint64(g.Heap.Load(blk.Add(i))))
+		}
+	}
+	// Sweep small pages.
+	for _, page := range g.smallPages {
+		size := classes[g.Heap.PageKind(page)]
+		base := mem.Addr(page << mem.PageShift)
+		n := uint64(mem.PageWords) / size
+		for i := uint64(0); i < n; i++ {
+			blk := base.Add(i * size)
+			h := g.Heap.Load(blk)
+			if h&hdrAllocBit == 0 {
+				continue
+			}
+			if h&hdrMarkBit != 0 {
+				g.Heap.Store(blk, h&^hdrMarkBit)
+				continue
+			}
+			g.Heap.Store(blk, 0)
+			ci := int(h&hdrClassMask) - 1
+			g.freeLists[ci] = append(g.freeLists[ci], blk)
+			g.Stats.Swept++
+			g.Stats.LiveWords -= int64(size)
+		}
+	}
+	// Sweep large runs.
+	for first, pages := range g.largeRuns {
+		blk := mem.Addr(first << mem.PageShift)
+		h := g.Heap.Load(blk)
+		if h&hdrAllocBit == 0 {
+			continue
+		}
+		if h&hdrMarkBit != 0 {
+			g.Heap.Store(blk, h&^hdrMarkBit)
+			continue
+		}
+		delete(g.largeRuns, first)
+		for i := 0; i < pages; i++ {
+			g.Heap.UnmapPage(first + uint64(i))
+		}
+		g.Stats.Swept++
+		g.Stats.LiveWords -= int64(pages) * mem.PageWords
+	}
+}

@@ -1,0 +1,177 @@
+// Package alloc provides the baseline memory managers the paper compares
+// against: a segregated free-list malloc/free allocator (standing in for
+// Doug Lea's malloc, the paper's "lea" column) and a conservative
+// mark-sweep garbage collector (standing in for the Boehm-Weiser collector,
+// the "GC" column), plus the region-emulation layer that runs region-based
+// programs on top of either (allocating each object individually and, for
+// malloc, freeing object-by-object on deleteregion).
+//
+// Both allocators manage blocks on the same simulated heap as the region
+// runtime. Small blocks live on size-segregated pages (every page holds
+// blocks of one size class); large blocks get dedicated contiguous page
+// runs. Every block starts with a header word encoding its size class,
+// allocation state, mark bit, and an emulation region tag.
+package alloc
+
+import (
+	"fmt"
+
+	"rcgo/internal/mem"
+)
+
+// Size classes in words. A block of class i holds classes[i] words
+// including the header. Objects needing more than the largest class get a
+// dedicated page run.
+var classes = [...]uint64{4, 8, 16, 32, 64, 128, 256, 512}
+
+// Page kind tags. Small pages use the class index (0..len(classes)-1);
+// every page of a large run uses kindLarge, and the allocator's largeRuns
+// map resolves interior pointers to the run start.
+const kindLarge int8 = 100
+
+// Block header bit layout.
+const (
+	hdrClassMask  = 0xffff // class index + 1; 0xffff = large
+	hdrLargeClass = 0xffff
+	hdrAllocBit   = 1 << 16
+	hdrMarkBit    = 1 << 17
+	hdrRegionShl  = 32 // high 32 bits: emulation region tag
+)
+
+func classFor(words uint64) (int, bool) {
+	for i, c := range classes {
+		if words <= c {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// HeaderRegion extracts the emulation region tag from a block header.
+func HeaderRegion(h uint64) int32 { return int32(h >> hdrRegionShl) }
+
+// headerMake builds a block header.
+func headerMake(classIdx int, region int32) uint64 {
+	var c uint64
+	if classIdx < 0 {
+		c = hdrLargeClass
+	} else {
+		c = uint64(classIdx + 1)
+	}
+	return c | hdrAllocBit | uint64(uint32(region))<<hdrRegionShl
+}
+
+// MallocStats counts allocator activity.
+type MallocStats struct {
+	Allocs     int64
+	Frees      int64
+	AllocWords int64
+	LiveWords  int64
+	MaxLive    int64
+}
+
+// Malloc is a segregated free-list allocator with per-object free,
+// standing in for the paper's "lea" configuration.
+type Malloc struct {
+	Heap  *mem.Heap
+	Owner int32
+	Stats MallocStats
+
+	freeLists [len(classes)][]mem.Addr
+	largeRuns map[uint64]int // first page -> page count, for Free
+}
+
+// NewMalloc creates a malloc allocator over the heap, tagging its pages
+// with owner.
+func NewMalloc(h *mem.Heap, owner int32) *Malloc {
+	return &Malloc{Heap: h, Owner: owner, largeRuns: make(map[uint64]int)}
+}
+
+// Alloc returns a block with at least words usable words after the header.
+// The returned address is the block start; the header occupies word 0. The
+// block body (words 1..) is zeroed. The region tag records which emulated
+// region the object belongs to (0 when unused).
+func (m *Malloc) Alloc(words uint64, region int32) mem.Addr {
+	total := words + 1
+	m.Stats.Allocs++
+	m.Stats.AllocWords += int64(total)
+	m.Stats.LiveWords += int64(total)
+	if m.Stats.LiveWords > m.Stats.MaxLive {
+		m.Stats.MaxLive = m.Stats.LiveWords
+	}
+	ci, small := classFor(total)
+	if !small {
+		pages := int((total + mem.PageWords - 1) / mem.PageWords)
+		first := m.Heap.MapPages(pages, m.Owner, kindLarge)
+		m.largeRuns[first] = pages
+		// Account large blocks by their whole page run.
+		rounded := int64(pages)*mem.PageWords - int64(total)
+		m.Stats.AllocWords += rounded
+		m.Stats.LiveWords += rounded
+		if m.Stats.LiveWords > m.Stats.MaxLive {
+			m.Stats.MaxLive = m.Stats.LiveWords
+		}
+		a := mem.Addr(first << mem.PageShift)
+		m.Heap.Store(a, headerMake(-1, region))
+		return a
+	}
+	fl := &m.freeLists[ci]
+	if len(*fl) == 0 {
+		m.refill(ci)
+		fl = &m.freeLists[ci]
+	}
+	a := (*fl)[len(*fl)-1]
+	*fl = (*fl)[:len(*fl)-1]
+	m.Heap.Store(a, headerMake(ci, region))
+	for i := uint64(1); i < classes[ci]; i++ {
+		m.Heap.Store(a.Add(i), 0)
+	}
+	return a
+}
+
+func (m *Malloc) refill(ci int) {
+	first := m.Heap.MapPages(1, m.Owner, int8(ci))
+	size := classes[ci]
+	base := mem.Addr(first << mem.PageShift)
+	n := uint64(mem.PageWords) / size
+	for i := uint64(0); i < n; i++ {
+		m.freeLists[ci] = append(m.freeLists[ci], base.Add(i*size))
+	}
+}
+
+// Free releases a block returned by Alloc.
+func (m *Malloc) Free(block mem.Addr) {
+	h := m.Heap.Load(block)
+	if h&hdrAllocBit == 0 {
+		panic(fmt.Sprintf("alloc: double free of %#x", uint64(block)))
+	}
+	cls := h & hdrClassMask
+	m.Stats.Frees++
+	if cls == hdrLargeClass {
+		first := block.Page()
+		pages, ok := m.largeRuns[first]
+		if !ok {
+			panic(fmt.Sprintf("alloc: free of unknown large block %#x", uint64(block)))
+		}
+		delete(m.largeRuns, first)
+		for i := 0; i < pages; i++ {
+			m.Heap.UnmapPage(first + uint64(i))
+		}
+		m.Stats.LiveWords -= int64(pages) * mem.PageWords // approximation: run size
+		return
+	}
+	ci := int(cls - 1)
+	m.Heap.Store(block, 0) // clear header: not allocated
+	m.Stats.LiveWords -= int64(classes[ci])
+	m.freeLists[ci] = append(m.freeLists[ci], block)
+}
+
+// BlockWords returns the usable words of a block (excluding header).
+func (m *Malloc) BlockWords(block mem.Addr) uint64 {
+	h := m.Heap.Load(block)
+	cls := h & hdrClassMask
+	if cls == hdrLargeClass {
+		return uint64(m.largeRuns[block.Page()])*mem.PageWords - 1
+	}
+	return classes[cls-1] - 1
+}

@@ -1,0 +1,1039 @@
+// Package compile lowers checked RC programs to bytecode (internal/ir),
+// selecting a pointer-store barrier for every assignment according to the
+// configuration under evaluation:
+//
+//	NQ   annotations ignored: every pointer store runs the full
+//	     reference-count update (the paper's "nq" bars and the C@ system)
+//	QS   annotations used, checked at runtime ("qs")
+//	Inf  annotations used; checks proven safe by the constraint inference
+//	     are removed ("inf")
+//	NC   all annotation checks (unsafely) removed ("nc")
+//	NoRC reference counting disabled entirely ("norc")
+//
+// The compiler also implements the paper's local-variable protocol: calls
+// to deletes-qualified functions are bracketed by pin/unpin of the
+// pointer-typed registers live across the call, computed by a backward
+// liveness analysis over the bytecode.
+package compile
+
+import (
+	"fmt"
+
+	"rcgo/internal/ir"
+	"rcgo/internal/rcc"
+)
+
+// Mode selects the barrier configuration.
+type Mode int
+
+const (
+	ModeNQ Mode = iota
+	ModeQS
+	ModeInf
+	ModeNC
+	ModeNoRC
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNQ:
+		return "nq"
+	case ModeQS:
+		return "qs"
+	case ModeInf:
+		return "inf"
+	case ModeNC:
+		return "nc"
+	default:
+		return "norc"
+	}
+}
+
+// Compile lowers the checked program. safeSites is the inference result
+// (required for ModeInf, ignored otherwise).
+func Compile(cp *rcc.CheckedProgram, mode Mode, safeSites []bool) (*ir.Program, error) {
+	if mode == ModeInf && safeSites == nil {
+		return nil, fmt.Errorf("compile: ModeInf requires inference results")
+	}
+	c := &compiler{
+		cp:    cp,
+		mode:  mode,
+		safe:  safeSites,
+		prog:  &ir.Program{ByName: make(map[string]int), MainIdx: -1},
+		types: make(map[string]int32),
+	}
+	c.prog.GlobalWords = int32(cp.GlobalWords)
+	c.prog.Strings = cp.Strings
+	c.layoutGlobals()
+	for _, fn := range cp.Prog.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		f, err := c.compileFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		c.prog.ByName[fn.Name] = len(c.prog.Funcs)
+		c.prog.Funcs = append(c.prog.Funcs, f)
+	}
+	// Patch call targets now that all indexes are known.
+	for _, f := range c.prog.Funcs {
+		for i := range f.Code {
+			if f.Code[i].Op == ir.OpCall && f.Code[i].K < 0 {
+				name := c.callNames[-f.Code[i].K-1]
+				idx, ok := c.prog.ByName[name]
+				if !ok {
+					return nil, fmt.Errorf("compile: call to undefined function %s", name)
+				}
+				f.Code[i].K = int64(idx)
+			}
+		}
+	}
+	if idx, ok := c.prog.ByName["main"]; ok {
+		c.prog.MainIdx = idx
+	}
+	return c.prog, nil
+}
+
+type compiler struct {
+	cp        *rcc.CheckedProgram
+	mode      Mode
+	safe      []bool
+	prog      *ir.Program
+	types     map[string]int32
+	callNames []string // pending call-target names (negative K encoding)
+
+	// per function state
+	fn *funcState
+}
+
+type funcState struct {
+	out        *ir.Func
+	regOf      map[*rcc.VarInfo]int32
+	slotOf     map[*rcc.VarInfo]int32
+	nextReg    int32
+	ptrReg     map[int32]bool // registers that may hold object pointers
+	freeScalar []int32
+	freePtr    []int32
+	breaks     [][]int // pending jump indexes per loop
+	continues  [][]int
+}
+
+// ---------------------------------------------------------------------------
+// Types and globals.
+
+// counted reports whether a pointer slot with qualifier q is maintained by
+// reference counting under the current mode.
+func (c *compiler) counted(q rcc.Qual) bool {
+	switch c.mode {
+	case ModeNoRC:
+		return false
+	case ModeNQ:
+		return true
+	default:
+		return q == rcc.QualNone
+	}
+}
+
+// typeID returns (registering if needed) the runtime type descriptor for
+// an allocated type.
+func (c *compiler) typeID(t rcc.Type) int32 {
+	key, desc := c.describe(t)
+	if id, ok := c.types[key]; ok {
+		return id
+	}
+	id := int32(len(c.prog.Types))
+	c.prog.Types = append(c.prog.Types, desc)
+	c.types[key] = id
+	return id
+}
+
+func (c *compiler) describe(t rcc.Type) (string, ir.TypeDesc) {
+	switch x := t.(type) {
+	case *rcc.StructRef:
+		key := "struct " + x.Name + "|" + c.mode.String()
+		d := ir.TypeDesc{Name: "struct " + x.Name, Size: x.Decl.SizeWords()}
+		for _, f := range x.Decl.Fields {
+			if p, ok := f.Type.(*rcc.Pointer); ok {
+				d.AllPtrOffsets = append(d.AllPtrOffsets, f.Offset)
+				if c.counted(p.Qual) {
+					d.CountedOffsets = append(d.CountedOffsets, f.Offset)
+				}
+			}
+		}
+		return key, d
+	case *rcc.Pointer:
+		key := "ptr/" + x.Qual.String() + "|" + c.mode.String()
+		d := ir.TypeDesc{Name: "ptr", Size: 1, AllPtrOffsets: []uint64{0}}
+		if c.counted(x.Qual) {
+			d.CountedOffsets = []uint64{0}
+		}
+		return key, d
+	default:
+		return t.String(), ir.TypeDesc{Name: t.String(), Size: 1}
+	}
+}
+
+func (c *compiler) layoutGlobals() {
+	d := ir.TypeDesc{Name: "<globals>", Size: uint64(c.cp.GlobalWords)}
+	for _, g := range c.cp.Prog.Globals {
+		off := uint64(g.Index)
+		switch {
+		case g.ArrayLen > 0:
+			// The slot holds the array address (traditional region).
+			d.AllPtrOffsets = append(d.AllPtrOffsets, off)
+			if c.counted(rcc.QualNone) {
+				d.CountedOffsets = append(d.CountedOffsets, off)
+			}
+			c.prog.Arrays = append(c.prog.Arrays, ir.GlobalArray{
+				Slot: int32(g.Index), Len: uint64(g.ArrayLen),
+				ElemType: c.typeID(g.Type),
+			})
+		default:
+			if p, ok := g.Type.(*rcc.Pointer); ok {
+				d.AllPtrOffsets = append(d.AllPtrOffsets, off)
+				if c.counted(p.Qual) {
+					d.CountedOffsets = append(d.CountedOffsets, off)
+				}
+			}
+			if g.Init != nil {
+				c.prog.Inits = append(c.prog.Inits, c.globalInit(g))
+			}
+		}
+	}
+	c.prog.GlobalDesc = int32(len(c.prog.Types))
+	c.prog.Types = append(c.prog.Types, d)
+}
+
+func (c *compiler) globalInit(g *rcc.GlobalDecl) ir.GlobalInit {
+	switch x := g.Init.(type) {
+	case *rcc.IntLit:
+		return ir.GlobalInit{Slot: int32(g.Index), Kind: 0, K: x.Value}
+	case *rcc.NullLit:
+		return ir.GlobalInit{Slot: int32(g.Index), Kind: 0, K: 0}
+	case *rcc.StrLit:
+		return ir.GlobalInit{Slot: int32(g.Index), Kind: 1, K: int64(x.Idx)}
+	case *rcc.Unary: // -intlit, validated by the checker
+		lit := x.X.(*rcc.IntLit)
+		return ir.GlobalInit{Slot: int32(g.Index), Kind: 0, K: -lit.Value}
+	}
+	return ir.GlobalInit{Slot: int32(g.Index)}
+}
+
+// ---------------------------------------------------------------------------
+// Function compilation.
+
+func isPtrType(t rcc.Type) bool {
+	_, ok := t.(*rcc.Pointer)
+	return ok
+}
+
+func (c *compiler) compileFunc(fd *rcc.FuncDecl) (*ir.Func, error) {
+	fs := &funcState{
+		out: &ir.Func{
+			Name:    fd.Name,
+			NParams: len(fd.Params),
+			Deletes: fd.Deletes,
+		},
+		regOf:  make(map[*rcc.VarInfo]int32),
+		slotOf: make(map[*rcc.VarInfo]int32),
+		ptrReg: make(map[int32]bool),
+	}
+	c.fn = fs
+	// Parameters occupy registers 0..n-1.
+	for i, v := range fd.Vars {
+		if i >= len(fd.Params) {
+			break
+		}
+		r := fs.nextReg
+		fs.nextReg++
+		fs.regOf[v] = r
+		if isPtrType(v.Type) {
+			fs.ptrReg[r] = true
+		}
+	}
+	// Address-taken variables get stack slots; address-taken params are
+	// copied into their slot at entry.
+	for i, v := range fd.Vars {
+		if !v.AddrTaken {
+			continue
+		}
+		slot := fs.out.StackWords
+		fs.out.StackWords++
+		fs.slotOf[v] = slot
+		barrier := int64(-1)
+		if p, ok := v.Type.(*rcc.Pointer); ok {
+			barrier = c.slotBarrier(p.Qual)
+		}
+		fs.out.Slots = append(fs.out.Slots, ir.StackSlot{Off: slot, Barrier: barrier, Name: v.Name})
+		if i < len(fd.Params) {
+			addr := c.tempPtr()
+			c.emit(ir.Instr{Op: ir.OpStackAddr, A: addr, K: int64(slot)})
+			c.emitSlotStore(addr, fs.regOf[v], barrier)
+			c.free(addr)
+		}
+	}
+	c.stmt(fd.Body)
+	// Implicit return (falling off the end returns 0 for non-void).
+	if rcc.IsVoid(fd.Ret) {
+		c.emit(ir.Instr{Op: ir.OpRet, A: -1})
+	} else {
+		r := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpConst, A: r, K: 0})
+		c.emit(ir.Instr{Op: ir.OpRet, A: r})
+		c.free(r)
+	}
+	fs.out.NRegs = int(fs.nextReg)
+	fillPinLists(fs.out, fs.ptrReg)
+	c.fn = nil
+	return fs.out, nil
+}
+
+// slotBarrier is the store barrier for a stack slot holding a pointer with
+// qualifier q (used for frame-pop cleanup and declaration inits).
+func (c *compiler) slotBarrier(q rcc.Qual) int64 {
+	switch c.mode {
+	case ModeNoRC:
+		return ir.BarrierNone
+	case ModeNQ:
+		return ir.BarrierFull
+	}
+	switch q {
+	case rcc.QualNone:
+		return ir.BarrierFull
+	case rcc.QualTraditional:
+		if c.mode == ModeNC {
+			return ir.BarrierNone
+		}
+		return ir.BarrierTrad
+	}
+	return ir.BarrierNone
+}
+
+// barrierFor selects the store barrier for an assignment site.
+func (c *compiler) barrierFor(info *rcc.AssignInfo, siteID int) int64 {
+	if c.mode == ModeNoRC {
+		return ir.BarrierNone
+	}
+	if c.mode == ModeNQ || info.Qual == rcc.QualNone {
+		return ir.BarrierFull
+	}
+	switch c.mode {
+	case ModeNC:
+		return ir.BarrierNone
+	case ModeInf:
+		if siteID >= 0 && siteID < len(c.safe) && c.safe[siteID] {
+			return ir.BarrierNone
+		}
+	}
+	switch info.Qual {
+	case rcc.QualSameRegion:
+		return ir.BarrierSame
+	case rcc.QualTraditional:
+		return ir.BarrierTrad
+	case rcc.QualParentPtr:
+		return ir.BarrierParent
+	}
+	return ir.BarrierFull
+}
+
+func (c *compiler) emit(in ir.Instr) int {
+	c.fn.out.Code = append(c.fn.out.Code, in)
+	return len(c.fn.out.Code) - 1
+}
+
+func (c *compiler) pc() int { return len(c.fn.out.Code) }
+
+func (c *compiler) patch(idx, target int) { c.fn.out.Code[idx].K = int64(target) }
+
+// emitSlotStore stores val through addr with the slot's barrier.
+func (c *compiler) emitSlotStore(addr, val int32, barrier int64) {
+	if barrier < 0 {
+		c.emit(ir.Instr{Op: ir.OpStore, A: addr, B: val})
+		return
+	}
+	c.emit(ir.Instr{Op: ir.OpStoreP, A: addr, B: val, K: barrier})
+}
+
+// ---------------------------------------------------------------------------
+// Register pools. Pointer-holding and scalar temporaries never share
+// registers, so the liveness-based pin sets can classify registers
+// statically.
+
+func (c *compiler) tempScalar() int32 {
+	fs := c.fn
+	if n := len(fs.freeScalar); n > 0 {
+		r := fs.freeScalar[n-1]
+		fs.freeScalar = fs.freeScalar[:n-1]
+		return r
+	}
+	r := fs.nextReg
+	fs.nextReg++
+	return r
+}
+
+func (c *compiler) tempPtr() int32 {
+	fs := c.fn
+	if n := len(fs.freePtr); n > 0 {
+		r := fs.freePtr[n-1]
+		fs.freePtr = fs.freePtr[:n-1]
+		return r
+	}
+	r := fs.nextReg
+	fs.nextReg++
+	fs.ptrReg[r] = true
+	return r
+}
+
+func (c *compiler) temp(t rcc.Type) int32 {
+	if isPtrType(t) {
+		return c.tempPtr()
+	}
+	return c.tempScalar()
+}
+
+// free returns a temporary to its pool. Registers of named variables are
+// never freed; the caller only frees temps it allocated.
+func (c *compiler) free(r int32) {
+	fs := c.fn
+	if fs.ptrReg[r] {
+		fs.freePtr = append(fs.freePtr, r)
+	} else {
+		fs.freeScalar = append(fs.freeScalar, r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+func (c *compiler) stmt(s rcc.Stmt) {
+	switch st := s.(type) {
+	case *rcc.Block:
+		for _, sub := range st.Stmts {
+			c.stmt(sub)
+		}
+	case *rcc.DeclStmt:
+		c.declStmt(st)
+	case *rcc.ExprStmt:
+		r := c.expr(st.X)
+		if r >= 0 {
+			c.free(r)
+		}
+	case *rcc.IfStmt:
+		elseJ := []int{}
+		c.cond(st.Cond, &elseJ, false)
+		c.stmt(st.Then)
+		if st.Else != nil {
+			endJ := c.emit(ir.Instr{Op: ir.OpJmp})
+			for _, j := range elseJ {
+				c.patch(j, c.pc())
+			}
+			c.stmt(st.Else)
+			c.patch(endJ, c.pc())
+		} else {
+			for _, j := range elseJ {
+				c.patch(j, c.pc())
+			}
+		}
+	case *rcc.WhileStmt:
+		head := c.pc()
+		exitJ := []int{}
+		c.cond(st.Cond, &exitJ, false)
+		c.pushLoop()
+		c.stmt(st.Body)
+		conts, brks := c.popLoop()
+		for _, j := range conts {
+			c.patch(j, head)
+		}
+		c.emit(ir.Instr{Op: ir.OpJmp, K: int64(head)})
+		for _, j := range append(exitJ, brks...) {
+			c.patch(j, c.pc())
+		}
+	case *rcc.ForStmt:
+		if st.Init != nil {
+			if r := c.expr(st.Init); r >= 0 {
+				c.free(r)
+			}
+		}
+		head := c.pc()
+		exitJ := []int{}
+		if st.Cond != nil {
+			c.cond(st.Cond, &exitJ, false)
+		}
+		c.pushLoop()
+		c.stmt(st.Body)
+		conts, brks := c.popLoop()
+		postPC := c.pc()
+		for _, j := range conts {
+			c.patch(j, postPC)
+		}
+		if st.Post != nil {
+			if r := c.expr(st.Post); r >= 0 {
+				c.free(r)
+			}
+		}
+		c.emit(ir.Instr{Op: ir.OpJmp, K: int64(head)})
+		for _, j := range append(exitJ, brks...) {
+			c.patch(j, c.pc())
+		}
+	case *rcc.DoWhileStmt:
+		head := c.pc()
+		c.pushLoop()
+		c.stmt(st.Body)
+		conts, brks := c.popLoop()
+		condPC := c.pc()
+		for _, j := range conts {
+			c.patch(j, condPC)
+		}
+		backJ := []int{}
+		c.cond(st.Cond, &backJ, true) // jump back to head while true
+		for _, j := range backJ {
+			c.patch(j, head)
+		}
+		for _, j := range brks {
+			c.patch(j, c.pc())
+		}
+	case *rcc.SwitchStmt:
+		c.switchStmt(st)
+	case *rcc.ReturnStmt:
+		if st.X == nil {
+			c.emit(ir.Instr{Op: ir.OpRet, A: -1})
+			return
+		}
+		r := c.expr(st.X)
+		c.emit(ir.Instr{Op: ir.OpRet, A: r})
+		c.free(r)
+	case *rcc.BreakStmt:
+		j := c.emit(ir.Instr{Op: ir.OpJmp})
+		n := len(c.fn.breaks) - 1
+		c.fn.breaks[n] = append(c.fn.breaks[n], j)
+	case *rcc.ContinueStmt:
+		j := c.emit(ir.Instr{Op: ir.OpJmp})
+		n := len(c.fn.continues) - 1
+		c.fn.continues[n] = append(c.fn.continues[n], j)
+	}
+}
+
+// switchStmt compiles a C switch: a comparison chain dispatching to the
+// clause bodies, which fall through in source order; break exits.
+func (c *compiler) switchStmt(st *rcc.SwitchStmt) {
+	cond := c.expr(st.Cond)
+	// Dispatch: one conditional jump per case clause, then default (or
+	// exit).
+	caseJumps := make([]int, len(st.Clauses))
+	defaultIdx := -1
+	for i, cl := range st.Clauses {
+		if cl.IsDefault {
+			defaultIdx = i
+			continue
+		}
+		k := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpConst, A: k, K: cl.Value})
+		eq := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpEq, A: eq, B: cond, C: k})
+		caseJumps[i] = c.emit(ir.Instr{Op: ir.OpJnz, A: eq})
+		c.free(k)
+		c.free(eq)
+	}
+	c.free(cond)
+	defaultJump := c.emit(ir.Instr{Op: ir.OpJmp})
+	// Bodies with fallthrough; break targets collect on a switch-only
+	// break frame (continue still binds to the enclosing loop).
+	c.fn.breaks = append(c.fn.breaks, nil)
+	for i, cl := range st.Clauses {
+		target := c.pc()
+		if cl.IsDefault {
+			c.patch(defaultJump, target)
+		} else {
+			c.patch(caseJumps[i], target)
+		}
+		for _, s := range cl.Stmts {
+			c.stmt(s)
+		}
+	}
+	if defaultIdx < 0 {
+		c.patch(defaultJump, c.pc())
+	}
+	n := len(c.fn.breaks) - 1
+	for _, j := range c.fn.breaks[n] {
+		c.patch(j, c.pc())
+	}
+	c.fn.breaks = c.fn.breaks[:n]
+}
+
+func (c *compiler) pushLoop() {
+	c.fn.breaks = append(c.fn.breaks, nil)
+	c.fn.continues = append(c.fn.continues, nil)
+}
+
+func (c *compiler) popLoop() (conts, brks []int) {
+	n := len(c.fn.breaks) - 1
+	brks = c.fn.breaks[n]
+	conts = c.fn.continues[n]
+	c.fn.breaks = c.fn.breaks[:n]
+	c.fn.continues = c.fn.continues[:n]
+	return conts, brks
+}
+
+func (c *compiler) declStmt(st *rcc.DeclStmt) {
+	v := st.Var
+	if v.AddrTaken {
+		slot := c.fn.slotOf[v]
+		if st.Init == nil {
+			return // stack area is zeroed at frame entry
+		}
+		val := c.expr(st.Init)
+		addr := c.tempPtr()
+		c.emit(ir.Instr{Op: ir.OpStackAddr, A: addr, K: int64(slot)})
+		barrier := int64(-1)
+		if p, ok := v.Type.(*rcc.Pointer); ok {
+			barrier = c.slotBarrier(p.Qual)
+		}
+		c.emitSlotStore(addr, val, barrier)
+		c.free(addr)
+		c.free(val)
+		return
+	}
+	r := c.fn.nextReg
+	c.fn.nextReg++
+	c.fn.regOf[v] = r
+	if isPtrType(v.Type) {
+		c.fn.ptrReg[r] = true
+	}
+	if st.Init != nil {
+		val := c.expr(st.Init)
+		c.emit(ir.Instr{Op: ir.OpMove, A: r, B: val})
+		c.free(val)
+	} else {
+		c.emit(ir.Instr{Op: ir.OpConst, A: r, K: 0})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Conditions.
+
+// cond compiles a branch: when the condition is false (or true, if
+// jumpIfTrue), a jump is emitted and appended to jumps for later patching.
+func (c *compiler) cond(e rcc.Expr, jumps *[]int, jumpIfTrue bool) {
+	switch x := e.(type) {
+	case *rcc.Unary:
+		if x.Op == rcc.OpNot {
+			c.cond(x.X, jumps, !jumpIfTrue)
+			return
+		}
+	case *rcc.Binary:
+		switch x.Op {
+		case rcc.OpAnd:
+			if !jumpIfTrue {
+				c.cond(x.L, jumps, false)
+				c.cond(x.R, jumps, false)
+			} else {
+				falseJ := []int{}
+				c.cond(x.L, &falseJ, false)
+				c.cond(x.R, jumps, true)
+				for _, j := range falseJ {
+					c.patch(j, c.pc())
+				}
+			}
+			return
+		case rcc.OpOr:
+			if jumpIfTrue {
+				c.cond(x.L, jumps, true)
+				c.cond(x.R, jumps, true)
+			} else {
+				trueJ := []int{}
+				c.cond(x.L, &trueJ, true)
+				c.cond(x.R, jumps, false)
+				for _, j := range trueJ {
+					c.patch(j, c.pc())
+				}
+			}
+			return
+		}
+	}
+	r := c.expr(e)
+	op := ir.OpJz
+	if jumpIfTrue {
+		op = ir.OpJnz
+	}
+	*jumps = append(*jumps, c.emit(ir.Instr{Op: op, A: r}))
+	c.free(r)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions. Each returns the register holding the value, or -1 for
+// void. Returned registers for named variables are the variable's own
+// register; temps must be freed by the caller via freeValue.
+
+func (c *compiler) expr(e rcc.Expr) int32 {
+	switch x := e.(type) {
+	case *rcc.IntLit:
+		r := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpConst, A: r, K: x.Value})
+		return r
+	case *rcc.NullLit:
+		r := c.tempPtr()
+		c.emit(ir.Instr{Op: ir.OpConst, A: r, K: 0})
+		return r
+	case *rcc.StrLit:
+		r := c.tempPtr()
+		c.emit(ir.Instr{Op: ir.OpStrAddr, A: r, K: int64(x.Idx)})
+		return r
+	case *rcc.VarRef:
+		return c.varRead(x.Var)
+	case *rcc.Unary:
+		return c.unary(x)
+	case *rcc.Binary:
+		return c.binary(x)
+	case *rcc.Ternary:
+		return c.ternary(x)
+	case *rcc.Assign:
+		return c.assign(x)
+	case *rcc.Call:
+		return c.call(x)
+	case *rcc.RallocExpr:
+		return c.ralloc(x)
+	case *rcc.FieldAccess:
+		addr, _ := c.addrOf(x)
+		r := c.temp(x.Type())
+		c.emit(ir.Instr{Op: ir.OpLoad, A: r, B: addr})
+		c.free(addr)
+		return r
+	case *rcc.Index:
+		addr, _ := c.addrOf(x)
+		r := c.temp(x.Type())
+		c.emit(ir.Instr{Op: ir.OpLoad, A: r, B: addr})
+		c.free(addr)
+		return r
+	}
+	panic(fmt.Sprintf("compile: unhandled expression %T", e))
+}
+
+// varRead loads a variable's value into a register. For plain locals this
+// is the variable's own register (not to be freed — free() is safe because
+// named registers are never in the temp pools... they are: free would pool
+// them. So varRead returns a COPY for named registers? No: callers free
+// returned regs. To keep ownership simple, named variables return a fresh
+// temp copy only when needed; instead we mark ownership by copying.
+func (c *compiler) varRead(v *rcc.VarInfo) int32 {
+	switch {
+	case v.Kind == rcc.VarGlobal:
+		addr := c.tempPtr()
+		c.emit(ir.Instr{Op: ir.OpGlobalAddr, A: addr, K: int64(v.Index)})
+		r := c.temp(v.Type)
+		c.emit(ir.Instr{Op: ir.OpLoad, A: r, B: addr})
+		c.free(addr)
+		return r
+	case v.AddrTaken:
+		addr := c.tempPtr()
+		c.emit(ir.Instr{Op: ir.OpStackAddr, A: addr, K: int64(c.fn.slotOf[v])})
+		r := c.temp(v.Type)
+		c.emit(ir.Instr{Op: ir.OpLoad, A: r, B: addr})
+		c.free(addr)
+		return r
+	default:
+		// Copy into a temp so the caller may free it uniformly.
+		r := c.temp(v.Type)
+		c.emit(ir.Instr{Op: ir.OpMove, A: r, B: c.fn.regOf[v]})
+		return r
+	}
+}
+
+// addrOf computes the address of a memory lvalue, returning the register
+// holding it and the element words (for diagnostics).
+func (c *compiler) addrOf(e rcc.Expr) (int32, uint64) {
+	switch x := e.(type) {
+	case *rcc.FieldAccess:
+		base := c.expr(x.X)
+		addr := c.tempPtr()
+		c.emit(ir.Instr{Op: ir.OpLea, A: addr, B: base, K: int64(x.Field.Offset)})
+		c.free(base)
+		return addr, 1
+	case *rcc.Index:
+		base := c.expr(x.X)
+		idx := c.expr(x.Idx)
+		stride := int64(1)
+		if p, ok := x.X.Type().(*rcc.Pointer); ok {
+			if sr, ok := p.Elem.(*rcc.StructRef); ok {
+				stride = int64(sr.Decl.SizeWords())
+			}
+		}
+		addr := c.tempPtr()
+		c.emit(ir.Instr{Op: ir.OpLeaIdx, A: addr, B: base, C: idx, K: stride})
+		c.free(base)
+		c.free(idx)
+		return addr, uint64(stride)
+	case *rcc.Unary: // *p
+		base := c.expr(x.X)
+		addr := c.tempPtr()
+		c.emit(ir.Instr{Op: ir.OpLea, A: addr, B: base, K: 0}) // null check
+		c.free(base)
+		return addr, 1
+	}
+	panic(fmt.Sprintf("compile: addrOf on %T", e))
+}
+
+func (c *compiler) unary(x *rcc.Unary) int32 {
+	switch x.Op {
+	case rcc.OpNeg:
+		v := c.expr(x.X)
+		r := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpNeg, A: r, B: v})
+		c.free(v)
+		return r
+	case rcc.OpNot:
+		v := c.expr(x.X)
+		r := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpNot, A: r, B: v})
+		c.free(v)
+		return r
+	case rcc.OpDeref:
+		addr, _ := c.addrOf(x)
+		r := c.temp(x.Type())
+		c.emit(ir.Instr{Op: ir.OpLoad, A: r, B: addr})
+		c.free(addr)
+		return r
+	case rcc.OpAddr:
+		switch lv := x.X.(type) {
+		case *rcc.VarRef:
+			v := lv.Var
+			r := c.tempPtr()
+			if v.Kind == rcc.VarGlobal {
+				c.emit(ir.Instr{Op: ir.OpGlobalAddr, A: r, K: int64(v.Index)})
+			} else {
+				c.emit(ir.Instr{Op: ir.OpStackAddr, A: r, K: int64(c.fn.slotOf[v])})
+			}
+			return r
+		case *rcc.FieldAccess, *rcc.Index:
+			addr, _ := c.addrOf(lv)
+			return addr
+		case *rcc.Unary: // &*p == p
+			return c.expr(lv.X)
+		}
+	}
+	panic("compile: invalid unary")
+}
+
+var binOps = map[rcc.BinOp]ir.Op{
+	rcc.OpAdd: ir.OpAdd, rcc.OpSub: ir.OpSub, rcc.OpMul: ir.OpMul,
+	rcc.OpDiv: ir.OpDiv, rcc.OpMod: ir.OpMod,
+	rcc.OpEq: ir.OpEq, rcc.OpNe: ir.OpNe, rcc.OpLt: ir.OpLt,
+	rcc.OpLe: ir.OpLe, rcc.OpGt: ir.OpGt, rcc.OpGe: ir.OpGe,
+}
+
+func (c *compiler) binary(x *rcc.Binary) int32 {
+	if x.Op == rcc.OpAnd || x.Op == rcc.OpOr {
+		// Value context: materialize 0/1 with short-circuit evaluation.
+		r := c.tempScalar()
+		falseJ := []int{}
+		c.cond(x, &falseJ, false)
+		c.emit(ir.Instr{Op: ir.OpConst, A: r, K: 1})
+		endJ := c.emit(ir.Instr{Op: ir.OpJmp})
+		for _, j := range falseJ {
+			c.patch(j, c.pc())
+		}
+		c.emit(ir.Instr{Op: ir.OpConst, A: r, K: 0})
+		c.patch(endJ, c.pc())
+		return r
+	}
+	l := c.expr(x.L)
+	rr := c.expr(x.R)
+	r := c.tempScalar()
+	c.emit(ir.Instr{Op: binOps[x.Op], A: r, B: l, C: rr})
+	c.free(l)
+	c.free(rr)
+	return r
+}
+
+func (c *compiler) ternary(x *rcc.Ternary) int32 {
+	r := c.temp(x.Type())
+	falseJ := []int{}
+	c.cond(x.Cond, &falseJ, false)
+	tv := c.expr(x.Then)
+	c.emit(ir.Instr{Op: ir.OpMove, A: r, B: tv})
+	c.free(tv)
+	endJ := c.emit(ir.Instr{Op: ir.OpJmp})
+	for _, j := range falseJ {
+		c.patch(j, c.pc())
+	}
+	ev := c.expr(x.Else)
+	c.emit(ir.Instr{Op: ir.OpMove, A: r, B: ev})
+	c.free(ev)
+	c.patch(endJ, c.pc())
+	return r
+}
+
+func (c *compiler) assign(x *rcc.Assign) int32 {
+	// Compound assignment: load, op, store.
+	if x.Op != rcc.TokAssign {
+		op := ir.OpAdd
+		if x.Op == rcc.MinusAssign {
+			op = ir.OpSub
+		}
+		if lv, ok := x.LHS.(*rcc.VarRef); ok && !lv.Var.AddrTaken &&
+			lv.Var.Kind != rcc.VarGlobal {
+			v := c.expr(x.RHS)
+			reg := c.fn.regOf[lv.Var]
+			c.emit(ir.Instr{Op: op, A: reg, B: reg, C: v})
+			c.free(v)
+			res := c.tempScalar()
+			c.emit(ir.Instr{Op: ir.OpMove, A: res, B: reg})
+			return res
+		}
+		addr, _ := c.lvalueAddr(x.LHS)
+		old := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpLoad, A: old, B: addr})
+		v := c.expr(x.RHS)
+		c.emit(ir.Instr{Op: op, A: old, B: old, C: v})
+		c.free(v)
+		c.emit(ir.Instr{Op: ir.OpStore, A: addr, B: old})
+		c.free(addr)
+		return old
+	}
+	// Plain assignment.
+	if lv, ok := x.LHS.(*rcc.VarRef); ok && !lv.Var.AddrTaken &&
+		lv.Var.Kind != rcc.VarGlobal {
+		v := c.expr(x.RHS)
+		c.emit(ir.Instr{Op: ir.OpMove, A: c.fn.regOf[lv.Var], B: v})
+		return v
+	}
+	addr, _ := c.lvalueAddr(x.LHS)
+	v := c.expr(x.RHS)
+	if x.Info != nil && x.Info.PtrStore {
+		c.emit(ir.Instr{Op: ir.OpStoreP, A: addr, B: v, K: c.barrierFor(x.Info, x.SiteID)})
+	} else {
+		c.emit(ir.Instr{Op: ir.OpStore, A: addr, B: v})
+	}
+	c.free(addr)
+	return v
+}
+
+// lvalueAddr computes the address of any memory lvalue, including globals
+// and address-taken locals.
+func (c *compiler) lvalueAddr(e rcc.Expr) (int32, uint64) {
+	if lv, ok := e.(*rcc.VarRef); ok {
+		addr := c.tempPtr()
+		if lv.Var.Kind == rcc.VarGlobal {
+			c.emit(ir.Instr{Op: ir.OpGlobalAddr, A: addr, K: int64(lv.Var.Index)})
+		} else {
+			c.emit(ir.Instr{Op: ir.OpStackAddr, A: addr, K: int64(c.fn.slotOf[lv.Var])})
+		}
+		return addr, 1
+	}
+	return c.addrOf(e)
+}
+
+func (c *compiler) ralloc(x *rcc.RallocExpr) int32 {
+	reg := c.expr(x.Region)
+	tid := c.typeID(x.AllocTy)
+	r := c.tempPtr()
+	if x.Count != nil {
+		n := c.expr(x.Count)
+		c.emit(ir.Instr{Op: ir.OpAllocArr, A: r, B: reg, C: n, K: int64(tid)})
+		c.free(n)
+	} else {
+		c.emit(ir.Instr{Op: ir.OpAlloc, A: r, B: reg, K: int64(tid)})
+	}
+	c.free(reg)
+	return r
+}
+
+func (c *compiler) call(x *rcc.Call) int32 {
+	if x.Builtin != rcc.BNone {
+		return c.builtin(x)
+	}
+	// Arguments are marshalled into a contiguous register block.
+	n := len(x.Args)
+	base := c.fn.nextReg
+	c.fn.nextReg += int32(n)
+	for i, a := range x.Args {
+		if isPtrType(x.Func.Params[i].Type) {
+			c.fn.ptrReg[base+int32(i)] = true
+		}
+		v := c.expr(a)
+		c.emit(ir.Instr{Op: ir.OpMove, A: base + int32(i), B: v})
+		c.free(v)
+	}
+	dst := int32(-1)
+	if !rcc.IsVoid(x.Func.Ret) {
+		dst = c.temp(x.Func.Ret)
+	}
+	deletes := x.Func.Deletes && c.mode != ModeNoRC
+	var pinIdx int
+	if deletes {
+		pinIdx = len(c.fn.out.PinLists)
+		c.fn.out.PinLists = append(c.fn.out.PinLists, nil)
+		c.emit(ir.Instr{Op: ir.OpPin, K: int64(pinIdx)})
+	}
+	// Negative K encodes a pending name reference, patched after all
+	// functions are compiled.
+	c.callNames = append(c.callNames, x.Name)
+	c.emit(ir.Instr{Op: ir.OpCall, A: dst, B: base, C: int32(n),
+		K: -int64(len(c.callNames))})
+	if deletes {
+		c.emit(ir.Instr{Op: ir.OpUnpin, K: int64(pinIdx)})
+	}
+	return dst
+}
+
+func (c *compiler) builtin(x *rcc.Call) int32 {
+	arg := func(i int) int32 { return c.expr(x.Args[i]) }
+	switch x.Builtin {
+	case rcc.BNewRegion:
+		r := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpNewRegion, A: r})
+		return r
+	case rcc.BNewSubregion:
+		p := arg(0)
+		r := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpNewSub, A: r, B: p})
+		c.free(p)
+		return r
+	case rcc.BDeleteRegion:
+		p := arg(0)
+		if c.mode != ModeNoRC {
+			pinIdx := len(c.fn.out.PinLists)
+			c.fn.out.PinLists = append(c.fn.out.PinLists, nil)
+			c.emit(ir.Instr{Op: ir.OpPin, K: int64(pinIdx)})
+			c.emit(ir.Instr{Op: ir.OpDelRegion, A: p})
+			c.emit(ir.Instr{Op: ir.OpUnpin, K: int64(pinIdx)})
+		} else {
+			c.emit(ir.Instr{Op: ir.OpDelRegion, A: p})
+		}
+		c.free(p)
+		return -1
+	case rcc.BRegionOf:
+		p := arg(0)
+		r := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpRegionOf, A: r, B: p})
+		c.free(p)
+		return r
+	case rcc.BArrayLen:
+		p := arg(0)
+		r := c.tempScalar()
+		c.emit(ir.Instr{Op: ir.OpArrLen, A: r, B: p})
+		c.free(p)
+		return r
+	case rcc.BPrintInt:
+		p := arg(0)
+		c.emit(ir.Instr{Op: ir.OpPrintInt, A: p})
+		c.free(p)
+		return -1
+	case rcc.BPrintChar:
+		p := arg(0)
+		c.emit(ir.Instr{Op: ir.OpPrintChar, A: p})
+		c.free(p)
+		return -1
+	case rcc.BPrintStr:
+		p := arg(0)
+		c.emit(ir.Instr{Op: ir.OpPrintStr, A: p})
+		c.free(p)
+		return -1
+	case rcc.BAssert:
+		p := arg(0)
+		c.emit(ir.Instr{Op: ir.OpAssert, A: p})
+		c.free(p)
+		return -1
+	}
+	panic("compile: unknown builtin")
+}

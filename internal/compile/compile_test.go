@@ -1,0 +1,290 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"rcgo/internal/ir"
+	"rcgo/internal/rcc"
+)
+
+func compileSrc(t *testing.T, src string, mode Mode, safe []bool) *ir.Program {
+	t.Helper()
+	prog, err := rcc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := rcc.Check(prog, true)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if mode == ModeInf && safe == nil {
+		safe = make([]bool, cp.NumSites)
+	}
+	p, err := Compile(cp, mode, safe)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func fn(t *testing.T, p *ir.Program, name string) *ir.Func {
+	t.Helper()
+	idx, ok := p.ByName[name]
+	if !ok {
+		t.Fatalf("function %s not compiled", name)
+	}
+	return p.Funcs[idx]
+}
+
+func countBarriers(f *ir.Func) map[int64]int {
+	out := map[int64]int{}
+	for _, in := range f.Code {
+		if in.Op == ir.OpStoreP {
+			out[in.K]++
+		}
+	}
+	return out
+}
+
+const barrierSrc = `
+struct node {
+	struct node *sameregion s;
+	struct node *traditional t;
+	struct node *parentptr p;
+	struct node *u;
+};
+void main(void) {
+	region r = newregion();
+	struct node *n = ralloc(r, struct node);
+	n->s = n;
+	n->t = null;
+	n->p = null;
+	n->u = n;
+}`
+
+func TestBarrierSelection(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		want map[int64]int
+	}{
+		{ModeNQ, map[int64]int{ir.BarrierFull: 4}},
+		{ModeQS, map[int64]int{ir.BarrierSame: 1, ir.BarrierTrad: 1,
+			ir.BarrierParent: 1, ir.BarrierFull: 1}},
+		{ModeNC, map[int64]int{ir.BarrierNone: 3, ir.BarrierFull: 1}},
+		{ModeNoRC, map[int64]int{ir.BarrierNone: 4}},
+	}
+	for _, tc := range cases {
+		p := compileSrc(t, barrierSrc, tc.mode, nil)
+		got := countBarriers(fn(t, p, "main"))
+		for k, v := range tc.want {
+			if got[k] != v {
+				t.Errorf("mode %v: barrier %d count %d, want %d (all: %v)",
+					tc.mode, k, got[k], v, got)
+			}
+		}
+	}
+}
+
+func TestBarrierInfUsesSafeSites(t *testing.T) {
+	// All annotated sites marked safe: their barriers become none.
+	prog, err := rcc.Parse(barrierSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := rcc.Check(prog, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := make([]bool, cp.NumSites)
+	for i := range safe {
+		safe[i] = true
+	}
+	p, err := Compile(cp, ModeInf, safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countBarriers(fn(t, p, "main"))
+	if got[ir.BarrierNone] != 3 || got[ir.BarrierFull] != 1 {
+		t.Errorf("inf barriers: %v", got)
+	}
+	// ModeInf without inference results is an error.
+	if _, err := Compile(cp, ModeInf, nil); err == nil {
+		t.Error("ModeInf without safe sites accepted")
+	}
+}
+
+func TestTypeDescsPerMode(t *testing.T) {
+	// Under nq, annotated pointer fields are counted (and scanned at
+	// delete); under qs they are not.
+	pNQ := compileSrc(t, barrierSrc, ModeNQ, nil)
+	pQS := compileSrc(t, barrierSrc, ModeQS, nil)
+	find := func(p *ir.Program, name string) *ir.TypeDesc {
+		for i := range p.Types {
+			if p.Types[i].Name == name {
+				return &p.Types[i]
+			}
+		}
+		t.Fatalf("type %s missing", name)
+		return nil
+	}
+	nq := find(pNQ, "struct node")
+	qs := find(pQS, "struct node")
+	if len(nq.CountedOffsets) != 4 {
+		t.Errorf("nq counted offsets = %v, want all 4", nq.CountedOffsets)
+	}
+	if len(qs.CountedOffsets) != 1 {
+		t.Errorf("qs counted offsets = %v, want only the unannotated one", qs.CountedOffsets)
+	}
+	if len(nq.AllPtrOffsets) != 4 || len(qs.AllPtrOffsets) != 4 {
+		t.Error("AllPtrOffsets should list every pointer field in both modes")
+	}
+}
+
+const pinSrc = `
+struct s { int v; };
+deletes void main(void) {
+	region r = newregion();
+	struct s *live = ralloc(r, struct s);
+	struct s *dead = ralloc(r, struct s);
+	dead->v = 1;
+	region r2 = newregion();
+	deleteregion(r2);
+	live->v = 2;     // live across the deleteregion call
+	live = null;
+	deleteregion(r);
+}`
+
+func TestPinListsUseLiveness(t *testing.T) {
+	p := compileSrc(t, pinSrc, ModeQS, nil)
+	m := fn(t, p, "main")
+	if len(m.PinLists) != 2 {
+		t.Fatalf("expected 2 pin sites (two deleteregions), got %d", len(m.PinLists))
+	}
+	// First deleteregion (r2): only `live` is live across it. Its pin
+	// list must have exactly one pointer register; the second
+	// deleteregion must pin nothing (live was nulled and is dead).
+	if len(m.PinLists[0]) != 1 {
+		t.Errorf("first pin list = %v, want exactly the live pointer", m.PinLists[0])
+	}
+	if len(m.PinLists[1]) != 0 {
+		t.Errorf("second pin list = %v, want empty", m.PinLists[1])
+	}
+}
+
+func TestFigure1PinListEmpty(t *testing.T) {
+	// The paper's Figure 1: rl and last still hold pointers into r at
+	// deleteregion(r) but are dead; the pin list must be empty or the
+	// program would abort.
+	p := compileSrc(t, `
+struct rlist { struct rlist *sameregion next; int v; };
+deletes void main(void) {
+	struct rlist *rl;
+	struct rlist *last = null;
+	region r = newregion();
+	int i = 0;
+	while (i < 3) {
+		rl = ralloc(r, struct rlist);
+		rl->next = last;
+		last = rl;
+		i++;
+	}
+	print_int(last->v);
+	deleteregion(r);
+}`, ModeQS, nil)
+	m := fn(t, p, "main")
+	for i, pl := range m.PinLists {
+		if len(pl) != 0 {
+			t.Errorf("pin list %d = %v, want empty (locals are dead)", i, pl)
+		}
+	}
+}
+
+func TestStackSlots(t *testing.T) {
+	p := compileSrc(t, `
+struct s { int v; };
+void setp(struct s **pp, struct s *v) { *pp = v; }
+void main(void) {
+	region r = newregion();
+	struct s *x = null;
+	int n = 0;
+	setp(&x, ralloc(r, struct s));
+	int *np = &n;
+	*np = 5;
+	if (x) print_int(n);
+}`, ModeQS, nil)
+	m := fn(t, p, "main")
+	if m.StackWords != 2 {
+		t.Fatalf("StackWords = %d, want 2 (x and n)", m.StackWords)
+	}
+	var ptrSlots, intSlots int
+	for _, s := range m.Slots {
+		if s.Barrier == ir.BarrierFull {
+			ptrSlots++
+		} else if s.Barrier < 0 {
+			intSlots++
+		}
+	}
+	if ptrSlots != 1 || intSlots != 1 {
+		t.Errorf("slots = %+v", m.Slots)
+	}
+}
+
+func TestNoRCHasNoPins(t *testing.T) {
+	p := compileSrc(t, pinSrc, ModeNoRC, nil)
+	m := fn(t, p, "main")
+	for _, in := range m.Code {
+		if in.Op == ir.OpPin || in.Op == ir.OpUnpin {
+			t.Fatal("norc mode emitted pin instructions")
+		}
+	}
+}
+
+func TestGlobalLayout(t *testing.T) {
+	p := compileSrc(t, `
+int a = 5;
+char *msg = "hi";
+char buf[32];
+struct s { int v; };
+struct s *cache;
+void main(void) { print_int(a); }`, ModeQS, nil)
+	if p.GlobalWords != 4 {
+		t.Errorf("GlobalWords = %d, want 4", p.GlobalWords)
+	}
+	if len(p.Arrays) != 1 || p.Arrays[0].Len != 32 {
+		t.Errorf("Arrays = %+v", p.Arrays)
+	}
+	if len(p.Inits) != 2 {
+		t.Errorf("Inits = %+v", p.Inits)
+	}
+	if len(p.Strings) != 1 || p.Strings[0] != "hi" {
+		t.Errorf("Strings = %v", p.Strings)
+	}
+	g := p.Types[p.GlobalDesc]
+	// cache is a counted global pointer slot; msg and buf hold
+	// traditional-region values but are unannotated, hence also counted.
+	if len(g.CountedOffsets) != 3 {
+		t.Errorf("globals counted offsets = %v", g.CountedOffsets)
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	p := compileSrc(t, barrierSrc, ModeQS, nil)
+	text := ir.Disasm(fn(t, p, "main"))
+	for _, want := range []string{"alloc", "storep", "barrier=same", "barrier=trad",
+		"barrier=parent", "barrier=full", "newregion", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeNQ: "nq", ModeQS: "qs", ModeInf: "inf", ModeNC: "nc", ModeNoRC: "norc",
+	} {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q", m, m.String())
+		}
+	}
+}

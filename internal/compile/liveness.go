@@ -1,0 +1,150 @@
+package compile
+
+import (
+	"rcgo/internal/ir"
+)
+
+// fillPinLists computes, for every pin site in the function, the set of
+// pointer-holding registers that are live across the bracketed
+// deletes-call, via a standard backward liveness analysis over the
+// bytecode. This implements the paper's local-variable protocol: "when
+// calling a function that may delete a region, RC increments the reference
+// count of all regions referred to by live local variables and decrements
+// these reference counts on return."
+//
+// Precision matters semantically, not just for performance: pinning a dead
+// local would make legitimate deletions fail (in Figure 1 of the paper,
+// rl and last still hold pointers into r at deleteregion(r), but both are
+// dead by then).
+func fillPinLists(f *ir.Func, ptrReg map[int32]bool) {
+	if len(f.PinLists) == 0 {
+		return
+	}
+	n := len(f.Code)
+	nregs := f.NRegs
+
+	words := (nregs + 63) / 64
+	liveIn := make([][]uint64, n)
+	liveOut := make([][]uint64, n)
+	for i := range liveIn {
+		liveIn[i] = make([]uint64, words)
+		liveOut[i] = make([]uint64, words)
+	}
+	get := func(bs []uint64, r int32) bool {
+		return r >= 0 && int(r) < nregs && bs[r/64]&(1<<(uint(r)%64)) != 0
+	}
+
+	// Defs and uses per instruction.
+	defs := make([]int32, n)
+	uses := make([][]int32, n)
+	for i, in := range f.Code {
+		defs[i] = -1
+		switch in.Op {
+		case ir.OpConst, ir.OpGlobalAddr, ir.OpStackAddr, ir.OpStrAddr,
+			ir.OpNewRegion:
+			defs[i] = in.A
+		case ir.OpMove, ir.OpNeg, ir.OpNot, ir.OpLoad, ir.OpNewSub,
+			ir.OpRegionOf, ir.OpArrLen:
+			defs[i] = in.A
+			uses[i] = []int32{in.B}
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod,
+			ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			defs[i] = in.A
+			uses[i] = []int32{in.B, in.C}
+		case ir.OpLea:
+			defs[i] = in.A
+			uses[i] = []int32{in.B}
+		case ir.OpLeaIdx:
+			defs[i] = in.A
+			uses[i] = []int32{in.B, in.C}
+		case ir.OpAlloc:
+			defs[i] = in.A
+			uses[i] = []int32{in.B}
+		case ir.OpAllocArr:
+			defs[i] = in.A
+			uses[i] = []int32{in.B, in.C}
+		case ir.OpJz, ir.OpJnz, ir.OpDelRegion, ir.OpPrintInt,
+			ir.OpPrintChar, ir.OpPrintStr, ir.OpAssert:
+			uses[i] = []int32{in.A}
+		case ir.OpRet:
+			if in.A >= 0 {
+				uses[i] = []int32{in.A}
+			}
+		case ir.OpStore, ir.OpStoreP:
+			uses[i] = []int32{in.A, in.B}
+		case ir.OpCall:
+			if in.A >= 0 {
+				defs[i] = in.A
+			}
+			for k := int32(0); k < in.C; k++ {
+				uses[i] = append(uses[i], in.B+k)
+			}
+		}
+	}
+
+	succs := func(i int) []int {
+		in := f.Code[i]
+		switch in.Op {
+		case ir.OpJmp:
+			return []int{int(in.K)}
+		case ir.OpJz, ir.OpJnz:
+			return []int{i + 1, int(in.K)}
+		case ir.OpRet:
+			return nil
+		default:
+			if i+1 < n {
+				return []int{i + 1}
+			}
+			return nil
+		}
+	}
+
+	// Iterate to fixpoint (backwards).
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := liveOut[i]
+			for w := range out {
+				out[w] = 0
+			}
+			for _, s := range succs(i) {
+				for w := range out {
+					out[w] |= liveIn[s][w]
+				}
+			}
+			// in = use ∪ (out \ def)
+			for w := range liveIn[i] {
+				nv := out[w]
+				if d := defs[i]; d >= 0 && int(d)/64 == w {
+					nv &^= 1 << (uint(d) % 64)
+				}
+				for _, u := range uses[i] {
+					if u >= 0 && int(u)/64 == w {
+						nv |= 1 << (uint(u) % 64)
+					}
+				}
+				if nv != liveIn[i][w] {
+					liveIn[i][w] = nv
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pin sets: pointer registers live after the matching Unpin (their
+	// values survive the call; the callee protects what it was passed).
+	for i, in := range f.Code {
+		if in.Op != ir.OpUnpin {
+			continue
+		}
+		idx := int(in.K)
+		var regs []int32
+		for r := int32(0); int(r) < nregs; r++ {
+			if ptrReg[r] && get(liveOut[i], r) {
+				regs = append(regs, r)
+			}
+		}
+		f.PinLists[idx] = regs
+	}
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// barWidth is the maximum bar length in cells.
+const barWidth = 36
+
+// bar renders a proportional bar.
+func bar(v, max time.Duration) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(float64(barWidth) * float64(v) / float64(max))
+	if n < 1 && v > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// printBarGroups renders grouped horizontal bars, one group per
+// benchmark, normalized within the group (as in the paper's per-benchmark
+// panels of Figures 7 and 8).
+func printBarGroups(w io.Writer, title string, names []string,
+	groups []string, value func(group, name string) time.Duration) {
+	fmt.Fprintln(w, title)
+	for _, g := range groups {
+		var max time.Duration
+		for _, n := range names {
+			if v := value(g, n); v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(w, "%s\n", g)
+		for _, n := range names {
+			v := value(g, n)
+			fmt.Fprintf(w, "  %-5s %-*s %8.3fs\n", n, barWidth, bar(v, max), v.Seconds())
+		}
+	}
+}
+
+// PrintFigure7Bars renders Figure 7 as per-benchmark bar groups.
+func PrintFigure7Bars(w io.Writer, rows []Fig7Row) {
+	byName := map[string]Fig7Row{}
+	var groups []string
+	for _, r := range rows {
+		byName[r.Name] = r
+		groups = append(groups, r.Name)
+	}
+	printBarGroups(w, "Figure 7 (bars, simulated time)", Fig7Configs, groups,
+		func(g, n string) time.Duration { return byName[g].Sim[n] })
+}
+
+// PrintFigure8Bars renders Figure 8 as per-benchmark bar groups.
+func PrintFigure8Bars(w io.Writer, rows []Fig8Row) {
+	byName := map[string]Fig8Row{}
+	var groups []string
+	for _, r := range rows {
+		byName[r.Name] = r
+		groups = append(groups, r.Name)
+	}
+	printBarGroups(w, "Figure 8 (bars, simulated time)", Fig8Configs, groups,
+		func(g, n string) time.Duration { return byName[g].Sim[n] })
+}
+
+// PrintFigure9Bars renders Figure 9 as stacked percentage bars (safe,
+// checked, counted), mirroring the paper's stacked chart.
+func PrintFigure9Bars(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintln(w, "Figure 9 (bars: █ safe, ▒ checked, ░ counted)")
+	for _, r := range rows {
+		s, c, n := r.Pct()
+		ns := int(float64(barWidth) * s / 100)
+		nc := int(float64(barWidth) * c / 100)
+		nn := int(float64(barWidth) * n / 100)
+		fmt.Fprintf(w, "  %-8s %s%s%s %5.1f/%5.1f/%5.1f%%\n", r.Name,
+			strings.Repeat("█", ns), strings.Repeat("▒", nc), strings.Repeat("░", nn),
+			s, c, n)
+	}
+}

@@ -1,0 +1,515 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section 5) over the eight workloads:
+//
+//	Table 1   benchmark characteristics (lines, allocations, memory)
+//	Figure 7  execution time under C@ / lea / GC / norc / RC
+//	Table 2   reference-counting overhead for C@ and RC, and unscan time
+//	Table 3   annotation counts and statically-verified assignment sites
+//	Figure 8  execution time under nq / qs / inf / nc
+//	Figure 9  runtime pointer-assignment categories (safe/checked/counted)
+//
+// Absolute numbers differ from the paper (the substrate is a simulator,
+// not a 333 MHz UltraSPARC), but the comparisons — who wins, by roughly
+// what factor, where the overheads lie — are the reproduction targets.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"rcgo"
+	"rcgo/internal/workloads"
+)
+
+// Options configures experiment runs.
+type Options struct {
+	// Scale overrides every workload's default scale (0 = defaults).
+	Scale int
+	// Reps is the number of timed runs per cell; the best is reported,
+	// following the paper ("the best of five runs"). Default 3.
+	Reps int
+	// Workloads restricts the set (nil = all eight).
+	Workloads []string
+}
+
+func (o *Options) reps() int {
+	if o.Reps <= 0 {
+		return 3
+	}
+	return o.Reps
+}
+
+func (o *Options) list() []*workloads.Workload {
+	if len(o.Workloads) == 0 {
+		return workloads.All()
+	}
+	var out []*workloads.Workload
+	for _, n := range o.Workloads {
+		if w := workloads.ByName(n); w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// compiled caches one workload's compilation under each mode.
+type compiled struct {
+	w    *workloads.Workload
+	prog map[rcgo.Mode]*rcgo.Compiled
+}
+
+func compileAll(w *workloads.Workload, scale int, modes ...rcgo.Mode) (*compiled, error) {
+	c := &compiled{w: w, prog: make(map[rcgo.Mode]*rcgo.Compiled)}
+	src := w.Source(scale)
+	for _, m := range modes {
+		p, err := rcgo.Compile(src, m)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", w.Name, m, err)
+		}
+		c.prog[m] = p
+	}
+	return c, nil
+}
+
+// timeRun executes a compiled program reps times and returns the best
+// duration and the last run's result. The Go collector runs between reps
+// so its pauses do not land inside a timed region.
+func timeRun(c *rcgo.Compiled, cfg rcgo.RunConfig, reps int) (time.Duration, *rcgo.RunResult, error) {
+	best := time.Duration(0)
+	var last *rcgo.RunResult
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		res, err := rcgo.Run(c, cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		if best == 0 || res.Duration < best {
+			best = res.Duration
+		}
+		last = res
+	}
+	return best, last, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — benchmark characteristics.
+
+// Table1Row is one line of Table 1.
+type Table1Row struct {
+	Name       string
+	Lines      int
+	Allocs     int64
+	MemAllocKB int64
+	MaxUseKB   int64
+}
+
+// Table1 regenerates the paper's Table 1.
+func Table1(o Options) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, w := range o.list() {
+		c, err := rcgo.Compile(w.Source(o.Scale), rcgo.ModeInf)
+		if err != nil {
+			return nil, err
+		}
+		res, err := rcgo.Run(c, rcgo.RunConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		rows = append(rows, Table1Row{
+			Name:       w.Name,
+			Lines:      w.Lines(),
+			Allocs:     res.Region.Allocs,
+			MemAllocKB: res.Region.AllocWords * 8 / 1024,
+			MaxUseKB:   res.Region.MaxLiveBytes / 1024,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: Benchmark characteristics\n")
+	fmt.Fprintf(w, "%-8s %7s %12s %12s %10s\n", "Name", "Lines", "Number", "Mem alloc", "Max use")
+	fmt.Fprintf(w, "%-8s %7s %12s %12s %10s\n", "", "", "allocs", "(kB)", "(kB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %7d %12d %12d %10d\n",
+			r.Name, r.Lines, r.Allocs, r.MemAllocKB, r.MaxUseKB)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — execution time under the five allocator configurations.
+
+// Fig7Configs are the paper's five columns.
+var Fig7Configs = []string{"C@", "lea", "GC", "norc", "RC"}
+
+// Fig7Row is one benchmark's bar group: deterministic simulated time
+// (primary, see simtime.go) and wall time (secondary, noisy).
+type Fig7Row struct {
+	Name string
+	Sim  map[string]time.Duration
+	Wall map[string]time.Duration
+}
+
+// Figure7 regenerates Figure 7.
+func Figure7(o Options) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, w := range o.list() {
+		c, err := compileAll(w, o.Scale, rcgo.ModeNQ, rcgo.ModeInf, rcgo.ModeNoRC)
+		if err != nil {
+			return nil, err
+		}
+		sim := make(map[string]time.Duration)
+		wall := make(map[string]time.Duration)
+		cells := []struct {
+			name string
+			mode rcgo.Mode
+			cfg  rcgo.RunConfig
+		}{
+			{"C@", rcgo.ModeNQ, rcgo.RunConfig{CAtStyle: true}},
+			{"lea", rcgo.ModeNoRC, rcgo.RunConfig{Backend: rcgo.BackendMalloc}},
+			{"GC", rcgo.ModeNoRC, rcgo.RunConfig{Backend: rcgo.BackendGC}},
+			{"norc", rcgo.ModeNoRC, rcgo.RunConfig{}},
+			{"RC", rcgo.ModeInf, rcgo.RunConfig{}},
+		}
+		for _, cell := range cells {
+			best, res, err := timeRun(c.prog[cell.mode], cell.cfg, o.reps())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, cell.name, err)
+			}
+			wall[cell.name] = best
+			sim[cell.name] = simTime(res)
+		}
+		rows = append(rows, Fig7Row{Name: w.Name, Sim: sim, Wall: wall})
+	}
+	return rows, nil
+}
+
+// PrintFigure7 renders Figure 7.
+func PrintFigure7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Figure 7: Execution time (simulated seconds; wall seconds in parens)\n")
+	fmt.Fprintf(w, "%-8s", "Name")
+	for _, c := range Fig7Configs {
+		fmt.Fprintf(w, " %16s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s", r.Name)
+		for _, c := range Fig7Configs {
+			fmt.Fprintf(w, " %8.3f (%5.2f)", r.Sim[c].Seconds(), r.Wall[c].Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — reference counting overhead.
+
+// Table2Row is one line of Table 2.
+type Table2Row struct {
+	Name string
+	// C@ overhead: time(C@) - time(norc).
+	CAtOverhead time.Duration
+	CAtPct      float64
+	// RC overhead: time(RC) - time(norc).
+	RCOverhead time.Duration
+	RCPct      float64
+	// Unscan is the delete-time scan portion of the RC run.
+	Unscan time.Duration
+}
+
+// Table2 regenerates the paper's Table 2 from simulated time (the
+// deterministic cost model of simtime.go), so overheads are exact rather
+// than differences of noisy wall-clock measurements.
+func Table2(o Options) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range o.list() {
+		c, err := compileAll(w, o.Scale, rcgo.ModeNQ, rcgo.ModeInf, rcgo.ModeNoRC)
+		if err != nil {
+			return nil, err
+		}
+		run := func(m rcgo.Mode, cfg rcgo.RunConfig) (*rcgo.RunResult, error) {
+			res, err := rcgo.Run(c.prog[m], cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, m, err)
+			}
+			return res, nil
+		}
+		norc, err := run(rcgo.ModeNoRC, rcgo.RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		cat, err := run(rcgo.ModeNQ, rcgo.RunConfig{CAtStyle: true})
+		if err != nil {
+			return nil, err
+		}
+		rct, err := run(rcgo.ModeInf, rcgo.RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		base := simTime(norc)
+		catT := simTime(cat)
+		rcT := simTime(rct)
+		row := Table2Row{
+			Name:        w.Name,
+			CAtOverhead: catT - base,
+			RCOverhead:  rcT - base,
+			Unscan:      simUnscanTime(rct),
+		}
+		if catT > 0 {
+			row.CAtPct = 100 * float64(row.CAtOverhead) / float64(catT)
+		}
+		if rcT > 0 {
+			row.RCPct = 100 * float64(row.RCOverhead) / float64(rcT)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table 2: Reference counting overhead (C@-style vs RC)\n")
+	fmt.Fprintf(w, "%-8s %10s %7s %10s %7s %12s\n",
+		"Name", "C@ (s)", "(%)", "RC (s)", "(%)", "unscan (s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10.3f %6.1f%% %10.3f %6.1f%% %12.4f\n",
+			r.Name, r.CAtOverhead.Seconds(), r.CAtPct,
+			r.RCOverhead.Seconds(), r.RCPct, r.Unscan.Seconds())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — annotation statistics.
+
+// Table3Row is one line of Table 3.
+type Table3Row struct {
+	Name string
+	// Keywords is the number of sameregion/traditional/parentptr
+	// annotations in the source.
+	Keywords int
+	// SafeSites / AnnotatedSites: check sites proven safe statically.
+	SafeSites      int
+	AnnotatedSites int
+	// PaperSafePct is the paper's reported percentage, for comparison.
+	PaperSafePct int
+}
+
+// SafePct is the percentage of annotated sites proven safe.
+func (r Table3Row) SafePct() float64 {
+	if r.AnnotatedSites == 0 {
+		return 0
+	}
+	return 100 * float64(r.SafeSites) / float64(r.AnnotatedSites)
+}
+
+// Table3 regenerates the paper's Table 3.
+func Table3(o Options) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, w := range o.list() {
+		src := w.Source(o.Scale)
+		c, err := rcgo.Compile(src, rcgo.ModeInf)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Name: w.Name, PaperSafePct: w.PaperSafePct}
+		for _, kw := range []string{"sameregion", "traditional", "parentptr"} {
+			row.Keywords += strings.Count(src, kw)
+		}
+		for i := range c.Infer.SafeSite {
+			if c.Infer.SiteSeen[i] {
+				row.AnnotatedSites++
+				if c.Infer.SafeSite[i] {
+					row.SafeSites++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable3 renders Table 3.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "Table 3: sameregion, parentptr and traditional static statistics\n")
+	fmt.Fprintf(w, "%-8s %9s %12s %12s %14s\n",
+		"Name", "Keywords", "safe sites", "total sites", "%safe (paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %9d %12d %12d %6.0f%% (%d%%)\n",
+			r.Name, r.Keywords, r.SafeSites, r.AnnotatedSites,
+			r.SafePct(), r.PaperSafePct)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — execution time under nq / qs / inf / nc.
+
+// Fig8Configs are the paper's four bars.
+var Fig8Configs = []string{"nq", "qs", "inf", "nc"}
+
+// Fig8Row is one benchmark's bar group: deterministic simulated time per
+// configuration, plus wall time as the secondary measurement.
+type Fig8Row struct {
+	Name string
+	Sim  map[string]time.Duration
+	Wall map[string]time.Duration
+}
+
+// Figure8 regenerates Figure 8.
+func Figure8(o Options) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	modes := map[string]rcgo.Mode{
+		"nq": rcgo.ModeNQ, "qs": rcgo.ModeQS,
+		"inf": rcgo.ModeInf, "nc": rcgo.ModeNC,
+	}
+	for _, w := range o.list() {
+		c, err := compileAll(w, o.Scale, rcgo.ModeNQ, rcgo.ModeQS, rcgo.ModeInf, rcgo.ModeNC)
+		if err != nil {
+			return nil, err
+		}
+		sim := make(map[string]time.Duration)
+		wall := make(map[string]time.Duration)
+		for _, name := range Fig8Configs {
+			best, res, err := timeRun(c.prog[modes[name]], rcgo.RunConfig{}, o.reps())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, name, err)
+			}
+			wall[name] = best
+			sim[name] = simTime(res)
+		}
+		rows = append(rows, Fig8Row{Name: w.Name, Sim: sim, Wall: wall})
+	}
+	return rows, nil
+}
+
+// PrintFigure8 renders Figure 8.
+func PrintFigure8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "Figure 8: Execution time with annotations (simulated seconds; wall in parens)\n")
+	fmt.Fprintf(w, "%-8s", "Name")
+	for _, c := range Fig8Configs {
+		fmt.Fprintf(w, " %16s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s", r.Name)
+		for _, c := range Fig8Configs {
+			fmt.Fprintf(w, " %8.3f (%5.2f)", r.Sim[c].Seconds(), r.Wall[c].Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — pointer-assignment categories.
+
+// Fig9Row is one benchmark's bar: the runtime breakdown of pointer
+// assignments (excluding register locals, as in the paper) into statically
+// safe, runtime-checked, and reference-counted.
+type Fig9Row struct {
+	Name    string
+	Safe    int64
+	Checked int64
+	Counted int64
+}
+
+// Total is the denominator.
+func (r Fig9Row) Total() int64 { return r.Safe + r.Checked + r.Counted }
+
+// Pct returns the three percentages.
+func (r Fig9Row) Pct() (safe, checked, counted float64) {
+	t := float64(r.Total())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return 100 * float64(r.Safe) / t, 100 * float64(r.Checked) / t, 100 * float64(r.Counted) / t
+}
+
+// Figure9 regenerates Figure 9 from the inf configuration's runtime
+// counters.
+func Figure9(o Options) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, w := range o.list() {
+		c, err := rcgo.Compile(w.Source(o.Scale), rcgo.ModeInf)
+		if err != nil {
+			return nil, err
+		}
+		res, err := rcgo.Run(c, rcgo.RunConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		st := res.Region
+		rows = append(rows, Fig9Row{
+			Name:    w.Name,
+			Safe:    st.UncheckedPtrs,
+			Checked: st.SameChecks + st.TradChecks + st.ParentChecks,
+			Counted: st.FullUpdates,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigure9 renders Figure 9.
+func PrintFigure9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintf(w, "Figure 9: Pointer assignment categories at runtime (inf configuration)\n")
+	fmt.Fprintf(w, "%-8s %8s %9s %9s %12s\n", "Name", "safe%", "checked%", "counted%", "assignments")
+	for _, r := range rows {
+		s, ch, co := r.Pct()
+		fmt.Fprintf(w, "%-8s %7.1f%% %8.1f%% %8.1f%% %12d\n", r.Name, s, ch, co, r.Total())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Bonus: space usage per backend. The paper's companion study ([6], Gay &
+// Aiken PLDI'98) compared the space behaviour of regions against explicit
+// deallocation and garbage collection; this table reports peak simulated
+// heap footprint for the same three backends.
+
+// SpaceRow is one benchmark's peak heap footprint per backend.
+type SpaceRow struct {
+	Name     string
+	RegionKB int64
+	MallocKB int64
+	GCKB     int64
+}
+
+// TableSpace measures peak heap usage under each backend.
+func TableSpace(o Options) ([]SpaceRow, error) {
+	var rows []SpaceRow
+	for _, w := range o.list() {
+		c, err := compileAll(w, o.Scale, rcgo.ModeInf, rcgo.ModeNoRC)
+		if err != nil {
+			return nil, err
+		}
+		row := SpaceRow{Name: w.Name}
+		cells := []struct {
+			dst  *int64
+			mode rcgo.Mode
+			cfg  rcgo.RunConfig
+		}{
+			{&row.RegionKB, rcgo.ModeInf, rcgo.RunConfig{}},
+			{&row.MallocKB, rcgo.ModeNoRC, rcgo.RunConfig{Backend: rcgo.BackendMalloc}},
+			{&row.GCKB, rcgo.ModeNoRC, rcgo.RunConfig{Backend: rcgo.BackendGC}},
+		}
+		for _, cell := range cells {
+			res, err := rcgo.Run(c.prog[cell.mode], cell.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", w.Name, err)
+			}
+			*cell.dst = res.MaxHeapBytes / 1024
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTableSpace renders the space table.
+func PrintTableSpace(w io.Writer, rows []SpaceRow) {
+	fmt.Fprintf(w, "Space: peak heap footprint (kB)\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "Name", "regions", "malloc", "GC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10d %10d %10d\n", r.Name, r.RegionKB, r.MallocKB, r.GCKB)
+	}
+}

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rcgo"
+	"rcgo/internal/region"
+	"rcgo/internal/vm"
+)
+
+// small runs the harness over a single fast workload.
+func small() Options {
+	return Options{Scale: 3, Reps: 1, Workloads: []string{"apache"}}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Name != "apache" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Allocs <= 0 || rows[0].MemAllocKB <= 0 || rows[0].Lines < 30 {
+		t.Errorf("implausible row: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "apache") {
+		t.Error("rendered table missing workload")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	rows, err := Figure7(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	for _, cfg := range Fig7Configs {
+		if r.Sim[cfg] <= 0 || r.Wall[cfg] <= 0 {
+			t.Errorf("config %s has no time", cfg)
+		}
+	}
+	// Deterministic shape: counting costs more than not counting, and
+	// C@ (full counting everywhere) costs at least as much as RC.
+	if r.Sim["RC"] <= r.Sim["norc"] {
+		t.Errorf("RC (%v) should exceed norc (%v)", r.Sim["RC"], r.Sim["norc"])
+	}
+	if r.Sim["C@"] < r.Sim["RC"] {
+		t.Errorf("C@ (%v) should be at least RC (%v)", r.Sim["C@"], r.Sim["RC"])
+	}
+	var buf bytes.Buffer
+	PrintFigure7(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.RCOverhead <= 0 || r.CAtOverhead <= 0 {
+		t.Errorf("overheads not positive: %+v", r)
+	}
+	if r.RCOverhead >= r.CAtOverhead {
+		t.Errorf("RC overhead (%v) should be below C@'s (%v)", r.RCOverhead, r.CAtOverhead)
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "unscan") {
+		t.Error("render missing unscan column")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows, err := Table3(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Keywords == 0 || r.AnnotatedSites == 0 {
+		t.Errorf("no annotations found: %+v", r)
+	}
+	if r.SafePct() < 0 || r.SafePct() > 100 {
+		t.Errorf("SafePct = %v", r.SafePct())
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "%safe") {
+		t.Error("render missing safe-percentage header")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	rows, err := Figure8(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// Deterministic ordering: nq ≥ qs ≥ inf ≥ nc in simulated time.
+	order := []string{"nq", "qs", "inf", "nc"}
+	for i := 0; i+1 < len(order); i++ {
+		if r.Sim[order[i]] < r.Sim[order[i+1]] {
+			t.Errorf("%s (%v) should be ≥ %s (%v)",
+				order[i], r.Sim[order[i]], order[i+1], r.Sim[order[i+1]])
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure8(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	rows, err := Figure9(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	s, c, n := r.Pct()
+	if r.Total() == 0 || s+c+n < 99.9 || s+c+n > 100.1 {
+		t.Errorf("percentages do not sum: %v %v %v (total %d)", s, c, n, r.Total())
+	}
+	var buf bytes.Buffer
+	PrintFigure9(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Error("render missing title")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	if o.reps() != 3 {
+		t.Errorf("default reps = %d", o.reps())
+	}
+	if len(o.list()) != 8 {
+		t.Errorf("default workload list = %d", len(o.list()))
+	}
+	bad := Options{Workloads: []string{"nonexistent"}}
+	if len(bad.list()) != 0 {
+		t.Error("unknown workload not filtered")
+	}
+}
+
+func TestSimTimeComponents(t *testing.T) {
+	// simTime is strictly monotone in each stat it charges.
+	base := simTime(&resFixture)
+	if base <= 0 {
+		t.Fatal("zero sim time")
+	}
+	more := resFixture
+	moreRegion := *resFixture.Region
+	moreRegion.FullUpdates++
+	more.Region = &moreRegion
+	if simTime(&more) != base+costExtraFull*time.Nanosecond {
+		t.Error("full-update charge wrong")
+	}
+}
+
+// resFixture is a minimal run result for simTime unit tests.
+var resFixture = rcgo.RunResult{
+	VM:     vm.Stats{Instructions: 1000},
+	Region: &region.Stats{FullUpdates: 3, SameChecks: 2, Allocs: 5},
+}
+
+func TestTableSpace(t *testing.T) {
+	rows, err := TableSpace(Options{Scale: 3, Workloads: []string{"grobner"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.RegionKB <= 0 || r.MallocKB <= 0 || r.GCKB <= 0 {
+		t.Fatalf("implausible row: %+v", r)
+	}
+	// The collector trades space for not freeing eagerly: its peak
+	// footprint must exceed the region allocator's.
+	if r.GCKB < r.RegionKB {
+		t.Errorf("GC peak (%d) below regions (%d)", r.GCKB, r.RegionKB)
+	}
+	var buf bytes.Buffer
+	PrintTableSpace(&buf, rows)
+	if !strings.Contains(buf.String(), "grobner") {
+		t.Error("render missing workload")
+	}
+}

@@ -1,0 +1,205 @@
+// Package ir defines the bytecode the RC compiler targets: a register
+// machine over the simulated heap. Pointer stores come in barrier
+// flavours corresponding to the paper's Figure 3: a full reference-count
+// update, one of the three annotation checks, or nothing (statically safe
+// or checking disabled).
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+const (
+	// OpConst: r[A] = K.
+	OpConst Op = iota
+	// OpMove: r[A] = r[B].
+	OpMove
+	// Arithmetic (signed 64-bit): r[A] = r[B] op r[C].
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	// OpNeg: r[A] = -r[B]. OpNot: r[A] = (r[B] == 0).
+	OpNeg
+	OpNot
+	// Comparisons: r[A] = r[B] op r[C] (0/1).
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// Control flow: Jmp to K; Jz/Jnz test r[A].
+	OpJmp
+	OpJz
+	OpJnz
+	// OpCall: call Funcs[K] with args r[B..B+C-1], result to r[A]
+	// (A = -1 for void).
+	OpCall
+	// OpRet: return r[A] (A = -1 for void).
+	OpRet
+	// OpLea: r[A] = r[B] + K, with a null check on r[B].
+	OpLea
+	// OpLeaIdx: r[A] = r[B] + r[C]*K, with a null check on r[B].
+	OpLeaIdx
+	// OpLoad: r[A] = heap[r[B]].
+	OpLoad
+	// OpStore: heap[r[A]] = r[B] (scalar or region store, no barrier).
+	OpStore
+	// OpStoreP: heap[r[A]] = r[B] with pointer barrier K (Barrier*).
+	OpStoreP
+	// OpGlobalAddr: r[A] = &globals[K].
+	OpGlobalAddr
+	// OpStackAddr: r[A] = frame stack base + K.
+	OpStackAddr
+	// OpStrAddr: r[A] = address of interned string K.
+	OpStrAddr
+	// Region operations.
+	OpNewRegion // r[A] = newregion()
+	OpNewSub    // r[A] = newsubregion(r[B])
+	OpDelRegion // deleteregion(r[A])
+	OpRegionOf  // r[A] = regionof(r[B])
+	OpAlloc     // r[A] = ralloc(r[B], type K)
+	OpAllocArr  // r[A] = rarrayalloc(r[B], r[C], type K)
+	OpArrLen    // r[A] = arraylen(r[B])
+	// Builtins.
+	OpPrintInt
+	OpPrintChar
+	OpPrintStr
+	OpAssert
+	// Local-variable pinning around deletes-calls: K indexes
+	// Func.PinLists.
+	OpPin
+	OpUnpin
+)
+
+// Barrier kinds for OpStoreP (operand K).
+const (
+	BarrierFull   int64 = iota // Figure 3(a) reference-count update
+	BarrierSame                // sameregion check
+	BarrierTrad                // traditional check
+	BarrierParent              // parentptr check
+	BarrierNone                // statically safe / checking disabled
+)
+
+// Instr is one instruction.
+type Instr struct {
+	Op      Op
+	A, B, C int32
+	K       int64
+}
+
+// StackSlot describes one word of a function's stack area (an
+// address-taken local).
+type StackSlot struct {
+	Off int32
+	// Barrier is the store barrier its assignments use (BarrierFull for
+	// counted pointer slots); -1 for non-pointer slots.
+	Barrier int64
+	Name    string
+}
+
+// Func is a compiled function.
+type Func struct {
+	Name       string
+	NParams    int
+	NRegs      int
+	StackWords int32
+	Slots      []StackSlot
+	Code       []Instr
+	Deletes    bool
+	// PinLists holds, per pin site, the pointer-typed registers live
+	// across the corresponding deletes-call.
+	PinLists [][]int32
+}
+
+// TypeDesc mirrors region.TypeDesc; the compiler produces one per
+// allocated type, with counted offsets depending on the barrier
+// configuration.
+type TypeDesc struct {
+	Name           string
+	Size           uint64
+	CountedOffsets []uint64
+	AllPtrOffsets  []uint64
+}
+
+// GlobalArray describes a global array to allocate at startup.
+type GlobalArray struct {
+	Slot     int32 // globals-area slot receiving the address
+	Len      uint64
+	ElemType int32 // index into Types
+}
+
+// GlobalInit is a constant scalar initializer.
+type GlobalInit struct {
+	Slot int32
+	// Kind 0: integer K; kind 1: string index K.
+	Kind int
+	K    int64
+}
+
+// Program is a compiled program.
+type Program struct {
+	Funcs   []*Func
+	ByName  map[string]int
+	MainIdx int
+
+	Types       []TypeDesc
+	GlobalWords int32
+	// GlobalDesc indexes the Types entry describing the globals area.
+	GlobalDesc int32
+	Arrays     []GlobalArray
+	Inits      []GlobalInit
+	Strings    []string
+}
+
+var opNames = [...]string{
+	OpConst: "const", OpMove: "move", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpMod: "mod", OpNeg: "neg", OpNot: "not",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpJmp: "jmp", OpJz: "jz", OpJnz: "jnz", OpCall: "call", OpRet: "ret",
+	OpLea: "lea", OpLeaIdx: "leaidx", OpLoad: "load", OpStore: "store",
+	OpStoreP: "storep", OpGlobalAddr: "gaddr", OpStackAddr: "saddr",
+	OpStrAddr: "straddr", OpNewRegion: "newregion", OpNewSub: "newsub",
+	OpDelRegion: "delregion", OpRegionOf: "regionof", OpAlloc: "alloc",
+	OpAllocArr: "allocarr", OpArrLen: "arrlen", OpPrintInt: "printi",
+	OpPrintChar: "printc", OpPrintStr: "prints", OpAssert: "assert",
+	OpPin: "pin", OpUnpin: "unpin",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+var barrierNames = map[int64]string{
+	BarrierFull: "full", BarrierSame: "same", BarrierTrad: "trad",
+	BarrierParent: "parent", BarrierNone: "none",
+}
+
+// Disasm renders a function's code for debugging and tests.
+func Disasm(f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s: params=%d regs=%d stack=%d deletes=%v\n",
+		f.Name, f.NParams, f.NRegs, f.StackWords, f.Deletes)
+	for i, in := range f.Code {
+		fmt.Fprintf(&sb, "  %3d: %-9s", i, in.Op)
+		switch in.Op {
+		case OpStoreP:
+			fmt.Fprintf(&sb, "[r%d] = r%d  barrier=%s", in.A, in.B, barrierNames[in.K])
+		case OpCall:
+			fmt.Fprintf(&sb, "r%d = f%d(r%d..%d)", in.A, in.K, in.B, in.B+in.C-1)
+		default:
+			fmt.Fprintf(&sb, "A=%d B=%d C=%d K=%d", in.A, in.B, in.C, in.K)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

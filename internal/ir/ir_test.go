@@ -1,0 +1,50 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := OpConst; op <= OpUnpin; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Error("unknown opcode formatting wrong")
+	}
+}
+
+func TestDisasmFormats(t *testing.T) {
+	f := &Func{
+		Name: "f", NParams: 1, NRegs: 4, StackWords: 2, Deletes: true,
+		Code: []Instr{
+			{Op: OpConst, A: 0, K: 7},
+			{Op: OpStoreP, A: 1, B: 2, K: BarrierParent},
+			{Op: OpCall, A: 3, B: 0, C: 2, K: 5},
+			{Op: OpRet, A: 3},
+		},
+	}
+	text := Disasm(f)
+	for _, want := range []string{
+		"func f: params=1 regs=4 stack=2 deletes=true",
+		"barrier=parent",
+		"r3 = f5(r0..1)",
+		"ret",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBarrierConstantsDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for _, b := range []int64{BarrierFull, BarrierSame, BarrierTrad, BarrierParent, BarrierNone} {
+		if seen[b] {
+			t.Fatalf("duplicate barrier constant %d", b)
+		}
+		seen[b] = true
+	}
+}

@@ -1,0 +1,205 @@
+// Package mem provides the simulated word-addressed heap that underlies
+// every allocator in this repository.
+//
+// The paper's RC runtime allocates memory in blocks that are multiples of
+// an 8 KiB page, aligned on page boundaries, and keeps a map from pages to
+// regions so that regionof(p) is a shift and a table lookup. We reproduce
+// that structure exactly, but over a simulated address space: addresses are
+// 64-bit word indices, and each page holds PageWords 64-bit words.
+//
+// Address 0 is the null pointer and is never backed by a page.
+package mem
+
+import (
+	"fmt"
+)
+
+const (
+	// PageShift is log2 of the page size in words. 8 KiB pages of 8-byte
+	// words gives 1024 words per page, so PageShift is 10.
+	PageShift = 10
+	// PageWords is the number of 64-bit words in a page.
+	PageWords = 1 << PageShift
+	// PageMask extracts the offset-within-page bits of an address.
+	PageMask = PageWords - 1
+)
+
+// Addr is a simulated heap address: an index into the word-addressed
+// address space. Addr 0 is the null pointer.
+type Addr uint64
+
+// Nil is the null address.
+const Nil Addr = 0
+
+// Page returns the page number containing a.
+func (a Addr) Page() uint64 { return uint64(a) >> PageShift }
+
+// Offset returns the word offset of a within its page.
+func (a Addr) Offset() uint64 { return uint64(a) & PageMask }
+
+// Add returns the address n words past a.
+func (a Addr) Add(n uint64) Addr { return a + Addr(n) }
+
+// Heap is a paged, word-addressed simulated memory. Pages are allocated
+// on demand and tagged with an integer owner (an allocator-defined ID; the
+// region runtime uses region IDs, the malloc and GC allocators use a single
+// owner). Page 0 is reserved so that address 0 stays invalid.
+type Heap struct {
+	pages []*pageInfo // index = page number; nil entries are unmapped
+	free  []uint64    // recycled page numbers
+	// spare holds pageInfo structs of unmapped pages for reuse, so the
+	// region runtime's rapid map/unmap churn does not allocate.
+	spare []*pageInfo
+	// Live counts for accounting.
+	mappedPages int64
+}
+
+type pageInfo struct {
+	words [PageWords]uint64
+	owner int32
+	// kind is an allocator-defined tag (e.g. region "normal" vs
+	// "pointer-free" pages).
+	kind int8
+}
+
+// NewHeap returns an empty heap. The zeroth page is reserved.
+func NewHeap() *Heap {
+	return &Heap{pages: make([]*pageInfo, 1, 64)}
+}
+
+// MapPages maps n fresh contiguous... pages need not be contiguous for the
+// page table design, but contiguous runs make multi-page objects simple, so
+// MapPages returns the first page number of a run of n contiguous pages all
+// owned by owner with the given kind tag.
+func (h *Heap) MapPages(n int, owner int32, kind int8) uint64 {
+	if n <= 0 {
+		panic("mem: MapPages with non-positive count")
+	}
+	newPage := func(owner int32, kind int8) *pageInfo {
+		if k := len(h.spare); k > 0 {
+			p := h.spare[k-1]
+			h.spare = h.spare[:k-1]
+			p.words = [PageWords]uint64{}
+			p.owner = owner
+			p.kind = kind
+			return p
+		}
+		return &pageInfo{owner: owner, kind: kind}
+	}
+	var first uint64
+	if n == 1 && len(h.free) > 0 {
+		first = h.free[len(h.free)-1]
+		h.free = h.free[:len(h.free)-1]
+		h.pages[first] = newPage(owner, kind)
+	} else {
+		first = uint64(len(h.pages))
+		for i := 0; i < n; i++ {
+			h.pages = append(h.pages, newPage(owner, kind))
+		}
+	}
+	h.mappedPages += int64(n)
+	return first
+}
+
+// UnmapPage releases a page. Its addresses become invalid.
+func (h *Heap) UnmapPage(page uint64) {
+	if page == 0 || page >= uint64(len(h.pages)) || h.pages[page] == nil {
+		panic(fmt.Sprintf("mem: unmap of invalid page %d", page))
+	}
+	if len(h.spare) < 64 {
+		h.spare = append(h.spare, h.pages[page])
+	}
+	h.pages[page] = nil
+	h.free = append(h.free, page)
+	h.mappedPages--
+}
+
+// Owner returns the owner tag of the page containing a, or -1 if a is nil
+// or unmapped.
+func (h *Heap) Owner(a Addr) int32 {
+	p := a.Page()
+	if a == Nil || p >= uint64(len(h.pages)) || h.pages[p] == nil {
+		return -1
+	}
+	return h.pages[p].owner
+}
+
+// PageOwner returns the owner tag of a page, or -1 if unmapped.
+func (h *Heap) PageOwner(page uint64) int32 {
+	if page >= uint64(len(h.pages)) || h.pages[page] == nil {
+		return -1
+	}
+	return h.pages[page].owner
+}
+
+// PageKind returns the kind tag of a page, or -1 if unmapped.
+func (h *Heap) PageKind(page uint64) int8 {
+	if page >= uint64(len(h.pages)) || h.pages[page] == nil {
+		return -1
+	}
+	return h.pages[page].kind
+}
+
+// SetOwner retags the page containing a. Used by allocators that recycle
+// pages between owners without unmapping.
+func (h *Heap) SetOwner(page uint64, owner int32) {
+	if page >= uint64(len(h.pages)) || h.pages[page] == nil {
+		panic(fmt.Sprintf("mem: SetOwner of unmapped page %d", page))
+	}
+	h.pages[page].owner = owner
+}
+
+// Mapped reports whether the address lies on a mapped page.
+func (h *Heap) Mapped(a Addr) bool {
+	p := a.Page()
+	return a != Nil && p < uint64(len(h.pages)) && h.pages[p] != nil
+}
+
+// Load reads the word at a. Panics on nil or unmapped addresses: in the
+// simulated machine that is a segmentation fault, and it indicates a bug in
+// an allocator or in compiled code, never a user-level condition.
+func (h *Heap) Load(a Addr) uint64 {
+	p := a.Page()
+	if a == Nil || p >= uint64(len(h.pages)) || h.pages[p] == nil {
+		panic(SegFault{Addr: a, Op: "load"})
+	}
+	return h.pages[p].words[a.Offset()]
+}
+
+// Store writes the word at a. Panics on nil or unmapped addresses.
+func (h *Heap) Store(a Addr, v uint64) {
+	p := a.Page()
+	if a == Nil || p >= uint64(len(h.pages)) || h.pages[p] == nil {
+		panic(SegFault{Addr: a, Op: "store"})
+	}
+	h.pages[p].words[a.Offset()] = v
+}
+
+// PageWordsSlice returns the backing word slice of a page for bulk scans
+// (the region delete-time unscan and the GC mark phase). The caller must
+// not retain the slice across an UnmapPage.
+func (h *Heap) PageWordsSlice(page uint64) []uint64 {
+	if page >= uint64(len(h.pages)) || h.pages[page] == nil {
+		panic(fmt.Sprintf("mem: PageWordsSlice of unmapped page %d", page))
+	}
+	return h.pages[page].words[:]
+}
+
+// NumPages returns the size of the page table (including unmapped slots).
+func (h *Heap) NumPages() uint64 { return uint64(len(h.pages)) }
+
+// MappedPages returns the number of currently mapped pages.
+func (h *Heap) MappedPages() int64 { return h.mappedPages }
+
+// MappedBytes returns the number of currently mapped bytes (8 per word).
+func (h *Heap) MappedBytes() int64 { return h.mappedPages * PageWords * 8 }
+
+// SegFault is the panic value raised by access to invalid addresses.
+type SegFault struct {
+	Addr Addr
+	Op   string
+}
+
+func (s SegFault) Error() string {
+	return fmt.Sprintf("mem: segmentation fault: %s at %#x", s.Op, uint64(s.Addr))
+}

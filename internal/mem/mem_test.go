@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrArithmetic(t *testing.T) {
+	a := Addr(3*PageWords + 17)
+	if a.Page() != 3 {
+		t.Errorf("Page() = %d, want 3", a.Page())
+	}
+	if a.Offset() != 17 {
+		t.Errorf("Offset() = %d, want 17", a.Offset())
+	}
+	if a.Add(5).Offset() != 22 {
+		t.Errorf("Add(5).Offset() = %d, want 22", a.Add(5).Offset())
+	}
+}
+
+func TestNilAddr(t *testing.T) {
+	h := NewHeap()
+	if h.Mapped(Nil) {
+		t.Error("nil address reported as mapped")
+	}
+	if h.Owner(Nil) != -1 {
+		t.Errorf("Owner(Nil) = %d, want -1", h.Owner(Nil))
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("Load(Nil) did not panic")
+		} else if _, ok := r.(SegFault); !ok {
+			t.Errorf("Load(Nil) panicked with %v, want SegFault", r)
+		}
+	}()
+	h.Load(Nil)
+}
+
+func TestMapLoadStore(t *testing.T) {
+	h := NewHeap()
+	p := h.MapPages(1, 7, 2)
+	if p == 0 {
+		t.Fatal("MapPages returned reserved page 0")
+	}
+	a := Addr(p << PageShift)
+	h.Store(a, 42)
+	h.Store(a.Add(PageWords-1), 99)
+	if got := h.Load(a); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+	if got := h.Load(a.Add(PageWords - 1)); got != 99 {
+		t.Errorf("Load = %d, want 99", got)
+	}
+	if h.Owner(a) != 7 {
+		t.Errorf("Owner = %d, want 7", h.Owner(a))
+	}
+	if h.PageKind(p) != 2 {
+		t.Errorf("PageKind = %d, want 2", h.PageKind(p))
+	}
+}
+
+func TestContiguousRun(t *testing.T) {
+	h := NewHeap()
+	first := h.MapPages(4, 1, 0)
+	for i := uint64(0); i < 4; i++ {
+		if h.PageOwner(first+i) != 1 {
+			t.Errorf("page %d of run not owned", i)
+		}
+	}
+	// A multi-page object spans the run.
+	base := Addr(first << PageShift)
+	for i := uint64(0); i < 4*PageWords; i += 512 {
+		h.Store(base.Add(i), i)
+	}
+	for i := uint64(0); i < 4*PageWords; i += 512 {
+		if h.Load(base.Add(i)) != i {
+			t.Errorf("word %d corrupted", i)
+		}
+	}
+}
+
+func TestUnmapAndRecycle(t *testing.T) {
+	h := NewHeap()
+	p := h.MapPages(1, 1, 0)
+	a := Addr(p << PageShift)
+	h.Store(a, 5)
+	h.UnmapPage(p)
+	if h.Mapped(a) {
+		t.Error("address mapped after unmap")
+	}
+	if h.MappedPages() != 0 {
+		t.Errorf("MappedPages = %d, want 0", h.MappedPages())
+	}
+	q := h.MapPages(1, 2, 0)
+	if q != p {
+		t.Errorf("recycled page = %d, want %d", q, p)
+	}
+	if h.PageOwner(q) != 2 {
+		t.Errorf("recycled owner = %d, want 2", h.PageOwner(q))
+	}
+}
+
+func TestUnmapInvalidPanics(t *testing.T) {
+	h := NewHeap()
+	for _, page := range []uint64{0, 999} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("UnmapPage(%d) did not panic", page)
+				}
+			}()
+			h.UnmapPage(page)
+		}()
+	}
+}
+
+func TestSetOwner(t *testing.T) {
+	h := NewHeap()
+	p := h.MapPages(1, 1, 0)
+	h.SetOwner(p, 9)
+	if h.PageOwner(p) != 9 {
+		t.Errorf("owner = %d, want 9", h.PageOwner(p))
+	}
+}
+
+func TestStoreUnmappedPanics(t *testing.T) {
+	h := NewHeap()
+	p := h.MapPages(1, 1, 0)
+	h.UnmapPage(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("Store to unmapped page did not panic")
+		}
+	}()
+	h.Store(Addr(p<<PageShift), 1)
+}
+
+func TestMappedBytes(t *testing.T) {
+	h := NewHeap()
+	h.MapPages(3, 1, 0)
+	if got := h.MappedBytes(); got != 3*PageWords*8 {
+		t.Errorf("MappedBytes = %d, want %d", got, 3*PageWords*8)
+	}
+}
+
+func TestSegFaultError(t *testing.T) {
+	e := SegFault{Addr: 16, Op: "load"}
+	if e.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+// Property: a store to any mapped address is read back exactly, and never
+// disturbs a different mapped address.
+func TestQuickStoreIsolation(t *testing.T) {
+	h := NewHeap()
+	const npages = 8
+	first := h.MapPages(npages, 1, 0)
+	base := Addr(first << PageShift)
+	size := uint64(npages * PageWords)
+	shadow := make(map[Addr]uint64)
+	f := func(off uint64, v uint64) bool {
+		a := base.Add(off % size)
+		h.Store(a, v)
+		shadow[a] = v
+		// Verify a random sample of previously stored addresses.
+		for sa, sv := range shadow {
+			if h.Load(sa) != sv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: page ownership is stable across unrelated map/unmap traffic.
+func TestQuickOwnershipStability(t *testing.T) {
+	h := NewHeap()
+	rng := rand.New(rand.NewSource(1))
+	type rec struct {
+		page  uint64
+		owner int32
+	}
+	var live []rec
+	for i := 0; i < 2000; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			h.UnmapPage(live[k].page)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			owner := int32(rng.Intn(100))
+			p := h.MapPages(1, owner, 0)
+			live = append(live, rec{p, owner})
+		}
+		for _, r := range live {
+			if h.PageOwner(r.page) != r.owner {
+				t.Fatalf("iteration %d: page %d owner = %d, want %d",
+					i, r.page, h.PageOwner(r.page), r.owner)
+			}
+		}
+	}
+	if h.MappedPages() != int64(len(live)) {
+		t.Errorf("MappedPages = %d, want %d", h.MappedPages(), len(live))
+	}
+}

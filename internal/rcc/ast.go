@@ -1,0 +1,574 @@
+package rcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Qual is a pointer type annotation (Section 3.2 of the paper).
+type Qual int
+
+const (
+	QualNone Qual = iota
+	QualSameRegion
+	QualTraditional
+	QualParentPtr
+)
+
+func (q Qual) String() string {
+	switch q {
+	case QualSameRegion:
+		return "sameregion"
+	case QualTraditional:
+		return "traditional"
+	case QualParentPtr:
+		return "parentptr"
+	default:
+		return ""
+	}
+}
+
+// Type is an RC dialect type. Every value is one word; structs exist only
+// behind pointers.
+type Type interface {
+	String() string
+	isType()
+}
+
+// BasicKind enumerates the scalar types.
+type BasicKind int
+
+const (
+	Int BasicKind = iota
+	Char
+	Void
+	RegionK
+)
+
+// Basic is a scalar type.
+type Basic struct{ Kind BasicKind }
+
+func (b *Basic) isType() {}
+func (b *Basic) String() string {
+	switch b.Kind {
+	case Int:
+		return "int"
+	case Char:
+		return "char"
+	case Void:
+		return "void"
+	default:
+		return "region"
+	}
+}
+
+// Shared basic type instances.
+var (
+	IntT    = &Basic{Int}
+	CharT   = &Basic{Char}
+	VoidT   = &Basic{Void}
+	RegionT = &Basic{RegionK}
+)
+
+// Pointer is a pointer type with an optional qualifier on this level.
+type Pointer struct {
+	Elem Type
+	Qual Qual
+}
+
+func (p *Pointer) isType() {}
+func (p *Pointer) String() string {
+	s := p.Elem.String() + " *"
+	if p.Qual != QualNone {
+		s += p.Qual.String()
+	}
+	return strings.TrimRight(s, " ")
+}
+
+// StructRef is a named struct type; Decl is resolved by the checker.
+type StructRef struct {
+	Name string
+	Decl *StructDecl
+}
+
+func (s *StructRef) isType()        {}
+func (s *StructRef) String() string { return "struct " + s.Name }
+
+// IsNumeric reports whether t is int or char.
+func IsNumeric(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == Int || b.Kind == Char)
+}
+
+// IsRegion reports whether t is the region type.
+func IsRegion(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == RegionK
+}
+
+// IsVoid reports whether t is void.
+func IsVoid(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Void
+}
+
+// SameType reports type identity, ignoring pointer qualifiers (annotations
+// are dynamic properties; converting between differently-qualified
+// pointers is legal and checked at runtime).
+func SameType(a, b Type) bool {
+	switch x := a.(type) {
+	case *Basic:
+		y, ok := b.(*Basic)
+		if !ok {
+			return false
+		}
+		if x.Kind == y.Kind {
+			return true
+		}
+		// char and int are interchangeable.
+		return IsNumeric(x) && IsNumeric(y)
+	case *Pointer:
+		y, ok := b.(*Pointer)
+		return ok && SameType(x.Elem, y.Elem)
+	case *StructRef:
+		y, ok := b.(*StructRef)
+		return ok && x.Name == y.Name
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Declarations.
+
+// Program is a parsed RC translation unit.
+type Program struct {
+	Structs []*StructDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct. Field offsets are word indexes (every
+// field is one word).
+type StructDecl struct {
+	Name   string
+	Fields []*Field
+	Pos    Pos
+}
+
+// Field is a struct member.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset uint64
+	Pos    Pos
+}
+
+// FieldByName returns the named field or nil.
+func (s *StructDecl) FieldByName(name string) *Field {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// SizeWords is the struct size in words.
+func (s *StructDecl) SizeWords() uint64 { return uint64(len(s.Fields)) }
+
+// GlobalDecl declares a global variable. If ArrayLen > 0 the global is a
+// statically sized array of Type elements, allocated in the traditional
+// region at startup; the global's value is the array's address.
+type GlobalDecl struct {
+	Name     string
+	Type     Type
+	ArrayLen int64
+	Init     Expr // optional constant initializer
+	Pos      Pos
+
+	Index int // filled by the checker: slot in the globals area
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name    string
+	Ret     Type
+	Params  []*Param
+	Deletes bool
+	// Static mirrors C's static storage class: the function is private
+	// to its translation unit, so separate-compilation analyses may keep
+	// its inferred properties (non-static functions must assume unknown
+	// callers — the paper's file-boundary rule).
+	Static bool
+	Body   *Block // nil for a prototype
+	Pos    Pos
+
+	// Filled by the checker.
+	Vars []*VarInfo // params then locals, in declaration order
+}
+
+// VarKind distinguishes variable storage.
+type VarKind int
+
+const (
+	VarParam VarKind = iota
+	VarLocal
+	VarGlobal
+)
+
+// VarInfo is the checker's record of a variable.
+type VarInfo struct {
+	Name      string
+	Type      Type
+	Kind      VarKind
+	Index     int  // per-function var index, or global slot
+	AddrTaken bool // address-of applied: lives in the stack area
+	// ArrayGlobal marks a global declared as a static array: its value
+	// is the address of the startup-allocated array in the traditional
+	// region. Like a C array name, it is not assignable.
+	ArrayGlobal bool
+	Decl        Pos
+}
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt declares (and optionally initializes) a local variable.
+type DeclStmt struct {
+	Name string
+	Type Type
+	Init Expr
+	Pos  Pos
+
+	Var *VarInfo // filled by the checker
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// DoWhileStmt is a C do/while loop: the body runs at least once.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+	Pos  Pos
+}
+
+// ForStmt is a C for loop. Init and Post may be nil; Cond may be nil
+// (infinite).
+type ForStmt struct {
+	Init Expr
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// SwitchStmt is a C switch with fallthrough semantics. Clauses appear in
+// source order; control falls from one clause's statements into the next
+// unless a break intervenes.
+type SwitchStmt struct {
+	Cond    Expr
+	Clauses []*CaseClause
+	Pos     Pos
+}
+
+// CaseClause is one case (or default) label and its statements.
+type CaseClause struct {
+	Value     int64 // case constant; ignored for default
+	IsDefault bool
+	Stmts     []Stmt
+	Pos       Pos
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	X   Expr // nil for void
+	Pos Pos
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// Expressions.
+
+// Expr is an expression node. The checker fills in types via SetType.
+type Expr interface {
+	exprNode()
+	Type() Type
+	Position() Pos
+}
+
+type exprBase struct {
+	typ Type
+	pos Pos
+}
+
+func (e *exprBase) exprNode()     {}
+func (e *exprBase) Type() Type    { return e.typ }
+func (e *exprBase) Position() Pos { return e.pos }
+func (e *exprBase) setType(t Type) {
+	e.typ = t
+}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// StrLit is a string literal; its value is a pointer to a NUL-terminated
+// char array in the traditional region. Idx is the intern-table index,
+// assigned by the checker.
+type StrLit struct {
+	exprBase
+	Value string
+	Idx   int
+}
+
+// NullLit is the null pointer literal.
+type NullLit struct{ exprBase }
+
+// VarRef references a variable.
+type VarRef struct {
+	exprBase
+	Name string
+	Var  *VarInfo // filled by the checker
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+const (
+	OpNeg UnOp = iota
+	OpNot
+	OpDeref
+	OpAddr
+)
+
+// Unary is a unary operation.
+type Unary struct {
+	exprBase
+	Op UnOp
+	X  Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpAnd // short-circuit &&
+	OpOr  // short-circuit ||
+)
+
+// Binary is a binary operation.
+type Binary struct {
+	exprBase
+	Op   BinOp
+	L, R Expr
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	exprBase
+	Cond, Then, Else Expr
+}
+
+// Assign is an assignment expression. Op is Assign, PlusAssign or
+// MinusAssign (compound forms are valid on numeric lvalues only).
+type Assign struct {
+	exprBase
+	Op  Tok
+	LHS Expr
+	RHS Expr
+
+	// SiteID is a unique ID for pointer-store sites, assigned by the
+	// checker and used by the rlang constraint inference to report which
+	// runtime checks are statically safe. -1 for non-pointer stores.
+	SiteID int
+	// Info is the checker's classification of the assignment target.
+	Info *AssignInfo
+}
+
+// Call is a function call (user function or builtin).
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+
+	Func    *FuncDecl // resolved user function, nil for builtins
+	Builtin Builtin   // resolved builtin, BNone for user functions
+}
+
+// Builtin identifies the built-in functions.
+type Builtin int
+
+const (
+	BNone Builtin = iota
+	BNewRegion
+	BNewSubregion
+	BDeleteRegion
+	BRegionOf
+	BArrayLen
+	BPrintInt
+	BPrintChar
+	BPrintStr
+	BAssert
+)
+
+// RallocExpr is ralloc(r, T) or rarrayalloc(r, n, T).
+type RallocExpr struct {
+	exprBase
+	Region   Expr
+	Count    Expr // nil for single-object ralloc
+	AllocTy  Type // the T argument
+	IsStruct bool
+}
+
+// FieldAccess is x->f (the dialect has no struct values, so only the arrow
+// form exists).
+type FieldAccess struct {
+	exprBase
+	X    Expr
+	Name string
+
+	Field *Field // filled by the checker
+}
+
+// Index is x[i] on a pointer.
+type Index struct {
+	exprBase
+	X   Expr
+	Idx Expr
+}
+
+// QuoteRC renders a string as an RC string literal, using only the escape
+// sequences the RC lexer understands (other bytes, including newlines,
+// appear raw — the lexer accepts them).
+func QuoteRC(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case 0:
+			sb.WriteString(`\0`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// Dump renders an expression for diagnostics.
+func Dump(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return fmt.Sprint(x.Value)
+	case *StrLit:
+		return QuoteRC(x.Value)
+	case *NullLit:
+		return "null"
+	case *VarRef:
+		return x.Name
+	case *Unary:
+		ops := map[UnOp]string{OpNeg: "-", OpNot: "!", OpDeref: "*", OpAddr: "&"}
+		return ops[x.Op] + Dump(x.X)
+	case *Binary:
+		ops := map[BinOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+			OpMod: "%", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+			OpEq: "==", OpNe: "!=", OpAnd: "&&", OpOr: "||"}
+		return "(" + Dump(x.L) + " " + ops[x.Op] + " " + Dump(x.R) + ")"
+	case *Ternary:
+		return "(" + Dump(x.Cond) + " ? " + Dump(x.Then) + " : " + Dump(x.Else) + ")"
+	case *Assign:
+		op := "="
+		switch x.Op {
+		case PlusAssign:
+			op = "+="
+		case MinusAssign:
+			op = "-="
+		}
+		return "(" + Dump(x.LHS) + " " + op + " " + Dump(x.RHS) + ")"
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Dump(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *RallocExpr:
+		if x.Count != nil {
+			return "rarrayalloc(" + Dump(x.Region) + ", " + Dump(x.Count) + ", " + x.AllocTy.String() + ")"
+		}
+		return "ralloc(" + Dump(x.Region) + ", " + x.AllocTy.String() + ")"
+	case *FieldAccess:
+		return Dump(x.X) + "->" + x.Name
+	case *Index:
+		return Dump(x.X) + "[" + Dump(x.Idx) + "]"
+	}
+	return "?"
+}

@@ -1,0 +1,1051 @@
+package rcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckedProgram is the result of type checking: the annotated AST plus
+// program-wide tables the later phases need.
+type CheckedProgram struct {
+	Prog *Program
+	// Strings holds interned string literal contents, indexed by
+	// StrLit.Idx.
+	Strings []string
+	// NumSites is the number of pointer-store sites (Assign.SiteID
+	// values range over [0, NumSites)).
+	NumSites int
+	// GlobalWords is the size of the globals area in words.
+	GlobalWords int
+	// FuncByName resolves function names.
+	FuncByName map[string]*FuncDecl
+	// StructByName resolves struct names.
+	StructByName map[string]*StructDecl
+}
+
+// StoreClass classifies an assignment's target for code generation.
+type StoreClass int
+
+const (
+	// StoreReg assigns a non-address-taken local: a register move.
+	StoreReg StoreClass = iota
+	// StoreMem assigns through memory (global, address-taken local,
+	// field, deref or index target).
+	StoreMem
+)
+
+// Extra fields the checker records on Assign nodes live here to keep
+// ast.go declarative. They are attached via the Assign.Info pointer.
+type AssignInfo struct {
+	Class StoreClass
+	// PtrStore is true when the assigned slot holds a counted or
+	// annotated pointer (i.e. the value is pointer-typed and the slot is
+	// in memory).
+	PtrStore bool
+	// Qual is the target slot's qualifier for PtrStore sites.
+	Qual Qual
+}
+
+// checker carries checking state.
+type checker struct {
+	cp   *CheckedProgram
+	errs []string
+
+	fn      *FuncDecl
+	scopes  []map[string]*VarInfo
+	globals map[string]*VarInfo
+	strIdx  map[string]int
+	loop    int
+	swDepth int
+}
+
+// Check resolves and type-checks a parsed program. requireMain demands a
+// main function with no parameters.
+func Check(prog *Program, requireMain bool) (*CheckedProgram, error) {
+	c := &checker{
+		cp: &CheckedProgram{
+			Prog:         prog,
+			FuncByName:   make(map[string]*FuncDecl),
+			StructByName: make(map[string]*StructDecl),
+		},
+		globals: make(map[string]*VarInfo),
+		strIdx:  make(map[string]int),
+	}
+	c.collect()
+	if len(c.errs) == 0 {
+		for _, fn := range prog.Funcs {
+			if fn.Body != nil {
+				c.checkFunc(fn)
+			}
+		}
+	}
+	if len(c.errs) == 0 {
+		c.checkDeletes()
+	}
+	if requireMain && len(c.errs) == 0 {
+		m := c.cp.FuncByName["main"]
+		if m == nil || m.Body == nil {
+			c.errs = append(c.errs, "program has no main function")
+		} else if len(m.Params) != 0 {
+			c.errs = append(c.errs, "main must take no parameters")
+		}
+	}
+	if len(c.errs) > 0 {
+		return nil, fmt.Errorf("rcc: %s", strings.Join(c.errs, "\n"))
+	}
+	return c.cp, nil
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Sprintf("%s: ", pos)+fmt.Sprintf(format, args...))
+	if len(c.errs) > 50 {
+		panic(tooManyErrors{})
+	}
+}
+
+type tooManyErrors struct{}
+
+// collect gathers top-level declarations and resolves struct references.
+func (c *checker) collect() {
+	for _, s := range c.cp.Prog.Structs {
+		if _, dup := c.cp.StructByName[s.Name]; dup {
+			c.errorf(s.Pos, "duplicate struct %s", s.Name)
+			continue
+		}
+		c.cp.StructByName[s.Name] = s
+	}
+	for _, s := range c.cp.Prog.Structs {
+		for _, f := range s.Fields {
+			c.resolveType(f.Type, f.Pos)
+			if sr, ok := f.Type.(*StructRef); ok {
+				c.errorf(f.Pos, "field %s has struct value type %s; use a pointer", f.Name, sr)
+			}
+			if IsVoid(f.Type) {
+				c.errorf(f.Pos, "field %s has void type", f.Name)
+			}
+		}
+	}
+	// Functions: prototypes and definitions must agree; at most one body.
+	for _, fn := range c.cp.Prog.Funcs {
+		c.resolveType(fn.Ret, fn.Pos)
+		for _, p := range fn.Params {
+			c.resolveType(p.Type, p.Pos)
+			c.checkDeclQual(p.Type, p.Pos, "parameter")
+			if IsVoid(p.Type) || isStructValue(p.Type) {
+				c.errorf(p.Pos, "parameter %s has invalid type %s", p.Name, p.Type)
+			}
+		}
+		if prev, ok := c.cp.FuncByName[fn.Name]; ok {
+			if !c.sameSignature(prev, fn) {
+				c.errorf(fn.Pos, "conflicting declarations of %s", fn.Name)
+			}
+			if prev.Body != nil && fn.Body != nil {
+				c.errorf(fn.Pos, "duplicate definition of %s", fn.Name)
+			}
+			if fn.Body != nil {
+				c.cp.FuncByName[fn.Name] = fn
+			}
+		} else {
+			if builtinByName[fn.Name] != BNone || fn.Name == "ralloc" || fn.Name == "rarrayalloc" {
+				c.errorf(fn.Pos, "%s is a builtin and cannot be redefined", fn.Name)
+			}
+			c.cp.FuncByName[fn.Name] = fn
+		}
+	}
+	// Globals.
+	for _, g := range c.cp.Prog.Globals {
+		c.resolveType(g.Type, g.Pos)
+		c.checkDeclQual(g.Type, g.Pos, "global")
+		if IsVoid(g.Type) || isStructValue(g.Type) {
+			c.errorf(g.Pos, "global %s has invalid type %s", g.Name, g.Type)
+		}
+		if _, dup := c.globals[g.Name]; dup {
+			c.errorf(g.Pos, "duplicate global %s", g.Name)
+			continue
+		}
+		if g.ArrayLen < 0 || (g.ArrayLen == 0 && g.Init != nil && !c.constInit(g)) {
+			continue
+		}
+		v := &VarInfo{Name: g.Name, Kind: VarGlobal, Index: c.cp.GlobalWords, Decl: g.Pos}
+		if g.ArrayLen > 0 {
+			// The global's value is a pointer to the startup-allocated
+			// array.
+			v.Type = &Pointer{Elem: g.Type}
+			v.ArrayGlobal = true
+		} else {
+			v.Type = g.Type
+		}
+		g.Index = v.Index
+		c.cp.GlobalWords++
+		c.globals[g.Name] = v
+	}
+}
+
+// constInit validates a global initializer (constants only) and reports
+// whether it is acceptable.
+func (c *checker) constInit(g *GlobalDecl) bool {
+	switch x := g.Init.(type) {
+	case *IntLit:
+		if !IsNumeric(g.Type) {
+			c.errorf(g.Pos, "numeric initializer for %s global %s", g.Type, g.Name)
+			return false
+		}
+		return true
+	case *NullLit:
+		if _, ok := g.Type.(*Pointer); !ok {
+			c.errorf(g.Pos, "null initializer for non-pointer global %s", g.Name)
+			return false
+		}
+		return true
+	case *StrLit:
+		p, ok := g.Type.(*Pointer)
+		if !ok || !IsNumeric(p.Elem) {
+			c.errorf(g.Pos, "string initializer needs char* global, have %s", g.Type)
+			return false
+		}
+		c.internString(x)
+		return true
+	case *Unary:
+		if x.Op == OpNeg {
+			if lit, ok := x.X.(*IntLit); ok {
+				_ = lit
+				if !IsNumeric(g.Type) {
+					c.errorf(g.Pos, "numeric initializer for %s global %s", g.Type, g.Name)
+					return false
+				}
+				return true
+			}
+		}
+	}
+	c.errorf(g.Pos, "global initializer for %s must be a constant", g.Name)
+	return false
+}
+
+func isStructValue(t Type) bool {
+	_, ok := t.(*StructRef)
+	return ok
+}
+
+// checkDeclQual rejects sameregion/parentptr as the outermost qualifier of
+// a variable declaration: those annotations are relative to a containing
+// heap object, which locals, parameters and globals do not have.
+// traditional is allowed anywhere. Inner pointer levels may carry any
+// qualifier (they describe heap slots reached through the pointer).
+func (c *checker) checkDeclQual(t Type, pos Pos, what string) {
+	if p, ok := t.(*Pointer); ok {
+		if p.Qual == QualSameRegion || p.Qual == QualParentPtr {
+			c.errorf(pos, "%s qualifier is only meaningful on struct fields, not on a %s", p.Qual, what)
+		}
+	}
+}
+
+func (c *checker) resolveType(t Type, pos Pos) {
+	switch x := t.(type) {
+	case *Pointer:
+		c.resolveType(x.Elem, pos)
+	case *StructRef:
+		if x.Decl == nil {
+			d, ok := c.cp.StructByName[x.Name]
+			if !ok {
+				c.errorf(pos, "undefined struct %s", x.Name)
+				return
+			}
+			x.Decl = d
+		}
+	}
+}
+
+func (c *checker) sameSignature(a, b *FuncDecl) bool {
+	if !SameType(a.Ret, b.Ret) || len(a.Params) != len(b.Params) || a.Deletes != b.Deletes {
+		return false
+	}
+	for i := range a.Params {
+		if !SameType(a.Params[i].Type, b.Params[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) internString(s *StrLit) {
+	idx, ok := c.strIdx[s.Value]
+	if !ok {
+		idx = len(c.cp.Strings)
+		c.cp.Strings = append(c.cp.Strings, s.Value)
+		c.strIdx[s.Value] = idx
+	}
+	s.Idx = idx
+	s.setType(&Pointer{Elem: CharT})
+}
+
+// ---------------------------------------------------------------------------
+// Function bodies.
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(tooManyErrors); !ok {
+				panic(r)
+			}
+		}
+	}()
+	c.fn = fn
+	c.scopes = []map[string]*VarInfo{make(map[string]*VarInfo)}
+	fn.Vars = nil
+	for _, p := range fn.Params {
+		v := &VarInfo{Name: p.Name, Type: p.Type, Kind: VarParam, Index: len(fn.Vars), Decl: p.Pos}
+		if _, dup := c.scopes[0][p.Name]; dup {
+			c.errorf(p.Pos, "duplicate parameter %s", p.Name)
+		}
+		c.scopes[0][p.Name] = v
+		fn.Vars = append(fn.Vars, v)
+	}
+	c.checkBlock(fn.Body)
+	c.fn = nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*VarInfo)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *VarInfo {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkBlock(b *Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		c.checkBlock(st)
+	case *DeclStmt:
+		c.resolveType(st.Type, st.Pos)
+		c.checkDeclQual(st.Type, st.Pos, "local")
+		if IsVoid(st.Type) || isStructValue(st.Type) {
+			c.errorf(st.Pos, "local %s has invalid type %s", st.Name, st.Type)
+			return
+		}
+		if st.Init != nil {
+			t := c.checkExpr(st.Init)
+			if !c.assignable(st.Type, t, st.Init) {
+				c.errorf(st.Pos, "cannot initialize %s %s with %s", st.Type, st.Name, t)
+			}
+		}
+		if _, dup := c.scopes[len(c.scopes)-1][st.Name]; dup {
+			c.errorf(st.Pos, "duplicate variable %s in this scope", st.Name)
+			return
+		}
+		v := &VarInfo{Name: st.Name, Type: st.Type, Kind: VarLocal, Index: len(c.fn.Vars), Decl: st.Pos}
+		c.fn.Vars = append(c.fn.Vars, v)
+		c.scopes[len(c.scopes)-1][st.Name] = v
+		st.Var = v
+	case *ExprStmt:
+		c.checkExpr(st.X)
+	case *IfStmt:
+		c.checkCond(st.Cond)
+		c.checkStmt(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *WhileStmt:
+		c.checkCond(st.Cond)
+		c.loop++
+		c.checkStmt(st.Body)
+		c.loop--
+	case *DoWhileStmt:
+		c.loop++
+		c.checkStmt(st.Body)
+		c.loop--
+		c.checkCond(st.Cond)
+	case *ForStmt:
+		if st.Init != nil {
+			c.checkExpr(st.Init)
+		}
+		if st.Cond != nil {
+			c.checkCond(st.Cond)
+		}
+		if st.Post != nil {
+			c.checkExpr(st.Post)
+		}
+		c.loop++
+		c.checkStmt(st.Body)
+		c.loop--
+	case *ReturnStmt:
+		if st.X == nil {
+			if !IsVoid(c.fn.Ret) {
+				c.errorf(st.Pos, "missing return value in %s", c.fn.Name)
+			}
+			return
+		}
+		if IsVoid(c.fn.Ret) {
+			c.errorf(st.Pos, "return with value in void function %s", c.fn.Name)
+			return
+		}
+		t := c.checkExpr(st.X)
+		if !c.assignable(c.fn.Ret, t, st.X) {
+			c.errorf(st.Pos, "cannot return %s from function returning %s", t, c.fn.Ret)
+		}
+	case *SwitchStmt:
+		t := c.checkExpr(st.Cond)
+		if t != nil && !IsNumeric(t) {
+			c.errorf(st.Pos, "switch condition has type %s", t)
+		}
+		seen := map[int64]bool{}
+		defaults := 0
+		c.swDepth++
+		for _, cl := range st.Clauses {
+			if cl.IsDefault {
+				defaults++
+				if defaults > 1 {
+					c.errorf(cl.Pos, "multiple default clauses")
+				}
+			} else {
+				if seen[cl.Value] {
+					c.errorf(cl.Pos, "duplicate case %d", cl.Value)
+				}
+				seen[cl.Value] = true
+			}
+			c.pushScope()
+			for _, s := range cl.Stmts {
+				c.checkStmt(s)
+			}
+			c.popScope()
+		}
+		c.swDepth--
+	case *BreakStmt:
+		if c.loop == 0 && c.swDepth == 0 {
+			c.errorf(st.Pos, "break outside loop or switch")
+		}
+	case *ContinueStmt:
+		if c.loop == 0 {
+			c.errorf(st.Pos, "continue outside loop")
+		}
+	}
+}
+
+// checkCond types a condition: numeric, pointer or region (tested against
+// zero/null).
+func (c *checker) checkCond(e Expr) {
+	t := c.checkExpr(e)
+	if t == nil {
+		return
+	}
+	switch t.(type) {
+	case *Pointer:
+		return
+	case *Basic:
+		if !IsVoid(t) {
+			return
+		}
+	}
+	c.errorf(e.Position(), "invalid condition of type %s", t)
+}
+
+// assignable reports whether a value of type src (from expression rhs,
+// used to special-case null) may be assigned to a slot of type dst.
+func (c *checker) assignable(dst, src Type, rhs Expr) bool {
+	if src == nil || dst == nil {
+		return true // prior error
+	}
+	if _, isNull := rhs.(*NullLit); isNull {
+		_, ok := dst.(*Pointer)
+		return ok
+	}
+	return SameType(dst, src)
+}
+
+// checkExpr types an expression and records the type on the node.
+func (c *checker) checkExpr(e Expr) Type {
+	t := c.typeExpr(e)
+	if t != nil {
+		setExprType(e, t)
+	}
+	return t
+}
+
+func setExprType(e Expr, t Type) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.setType(t)
+	case *StrLit:
+		x.setType(t)
+	case *NullLit:
+		x.setType(t)
+	case *VarRef:
+		x.setType(t)
+	case *Unary:
+		x.setType(t)
+	case *Binary:
+		x.setType(t)
+	case *Ternary:
+		x.setType(t)
+	case *Assign:
+		x.setType(t)
+	case *Call:
+		x.setType(t)
+	case *RallocExpr:
+		x.setType(t)
+	case *FieldAccess:
+		x.setType(t)
+	case *Index:
+		x.setType(t)
+	}
+}
+
+var builtinByName = map[string]Builtin{
+	"newregion":    BNewRegion,
+	"newsubregion": BNewSubregion,
+	"deleteregion": BDeleteRegion,
+	"regionof":     BRegionOf,
+	"arraylen":     BArrayLen,
+	"print_int":    BPrintInt,
+	"print_char":   BPrintChar,
+	"print_str":    BPrintStr,
+	"assert":       BAssert,
+}
+
+func (c *checker) typeExpr(e Expr) Type {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.Type() != nil {
+			return x.Type()
+		}
+		return IntT
+	case *StrLit:
+		c.internString(x)
+		return x.Type()
+	case *NullLit:
+		// Typed as a wildcard pointer; assignability special-cases it.
+		return &Pointer{Elem: VoidT}
+	case *VarRef:
+		v := c.lookup(x.Name)
+		if v == nil {
+			c.errorf(x.Position(), "undefined variable %s", x.Name)
+			return nil
+		}
+		x.Var = v
+		return v.Type
+	case *Unary:
+		return c.typeUnary(x)
+	case *Binary:
+		return c.typeBinary(x)
+	case *Ternary:
+		c.checkCond(x.Cond)
+		t1 := c.checkExpr(x.Then)
+		t2 := c.checkExpr(x.Else)
+		if t1 == nil || t2 == nil {
+			return t1
+		}
+		if _, isNull := x.Then.(*NullLit); isNull {
+			return t2
+		}
+		if _, isNull := x.Else.(*NullLit); isNull {
+			return t1
+		}
+		if !SameType(t1, t2) {
+			c.errorf(x.Position(), "ternary branches have mismatched types %s and %s", t1, t2)
+		}
+		return t1
+	case *Assign:
+		return c.typeAssign(x)
+	case *Call:
+		return c.typeCall(x)
+	case *RallocExpr:
+		return c.typeRalloc(x)
+	case *FieldAccess:
+		t := c.checkExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		p, ok := t.(*Pointer)
+		if !ok {
+			c.errorf(x.Position(), "-> on non-pointer type %s", t)
+			return nil
+		}
+		sr, ok := p.Elem.(*StructRef)
+		if !ok || sr.Decl == nil {
+			c.errorf(x.Position(), "-> on pointer to non-struct type %s", p.Elem)
+			return nil
+		}
+		f := sr.Decl.FieldByName(x.Name)
+		if f == nil {
+			c.errorf(x.Position(), "struct %s has no field %s", sr.Name, x.Name)
+			return nil
+		}
+		x.Field = f
+		return f.Type
+	case *Index:
+		t := c.checkExpr(x.X)
+		it := c.checkExpr(x.Idx)
+		if t == nil {
+			return nil
+		}
+		p, ok := t.(*Pointer)
+		if !ok {
+			c.errorf(x.Position(), "index on non-pointer type %s", t)
+			return nil
+		}
+		if it != nil && !IsNumeric(it) {
+			c.errorf(x.Position(), "index of type %s", it)
+		}
+		if IsVoid(p.Elem) {
+			c.errorf(x.Position(), "index on void pointer")
+			return nil
+		}
+		if isStructValue(p.Elem) {
+			c.errorf(x.Position(), "cannot use struct array element as a value; use &%s[...]", Dump(x.X))
+			return nil
+		}
+		return p.Elem
+	}
+	c.errorf(e.Position(), "unsupported expression")
+	return nil
+}
+
+func (c *checker) typeUnary(x *Unary) Type {
+	switch x.Op {
+	case OpNeg:
+		t := c.checkExpr(x.X)
+		if t != nil && !IsNumeric(t) {
+			c.errorf(x.Position(), "unary - on type %s", t)
+		}
+		return IntT
+	case OpNot:
+		c.checkCond(x.X)
+		return IntT
+	case OpDeref:
+		t := c.checkExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		p, ok := t.(*Pointer)
+		if !ok {
+			c.errorf(x.Position(), "* on non-pointer type %s", t)
+			return nil
+		}
+		if isStructValue(p.Elem) {
+			c.errorf(x.Position(), "cannot use struct value; use ->")
+			return nil
+		}
+		if IsVoid(p.Elem) {
+			c.errorf(x.Position(), "* on void pointer")
+			return nil
+		}
+		return p.Elem
+	case OpAddr:
+		// &p[i] is legal even for struct elements (it is the only way to
+		// address into a struct array), so type the index directly.
+		if ix, ok := x.X.(*Index); ok {
+			bt := c.checkExpr(ix.X)
+			it := c.checkExpr(ix.Idx)
+			if bt == nil {
+				return nil
+			}
+			p, okp := bt.(*Pointer)
+			if !okp {
+				c.errorf(x.Position(), "index on non-pointer type %s", bt)
+				return nil
+			}
+			if it != nil && !IsNumeric(it) {
+				c.errorf(x.Position(), "index of type %s", it)
+			}
+			setExprType(ix, p.Elem)
+			return &Pointer{Elem: p.Elem}
+		}
+		t := c.checkExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		switch lv := x.X.(type) {
+		case *VarRef:
+			if lv.Var != nil {
+				if IsRegion(lv.Var.Type) {
+					// Region handles are not addressable: their storage
+					// is runtime metadata.
+					c.errorf(x.Position(), "cannot take the address of region variable %s", lv.Name)
+					return nil
+				}
+				lv.Var.AddrTaken = true
+			}
+		case *FieldAccess, *Index:
+			// Heap lvalues are addressable as-is.
+		case *Unary:
+			if lv.Op == OpDeref {
+				return lv.X.Type() // &*p == p
+			}
+			c.errorf(x.Position(), "& of non-lvalue")
+			return nil
+		default:
+			c.errorf(x.Position(), "& of non-lvalue")
+			return nil
+		}
+		return &Pointer{Elem: t}
+	}
+	return nil
+}
+
+func (c *checker) typeBinary(x *Binary) Type {
+	if x.Op == OpAnd || x.Op == OpOr {
+		c.checkCond(x.L)
+		c.checkCond(x.R)
+		return IntT
+	}
+	lt := c.checkExpr(x.L)
+	rt := c.checkExpr(x.R)
+	if lt == nil || rt == nil {
+		return IntT
+	}
+	switch x.Op {
+	case OpEq, OpNe:
+		_, lp := lt.(*Pointer)
+		_, rp := rt.(*Pointer)
+		_, lNull := x.L.(*NullLit)
+		_, rNull := x.R.(*NullLit)
+		switch {
+		case IsNumeric(lt) && IsNumeric(rt):
+		case lNull || rNull:
+			if !lp && !rp {
+				c.errorf(x.Position(), "invalid comparison between %s and %s", lt, rt)
+			}
+		case lp && rp:
+			if !SameType(lt, rt) {
+				c.errorf(x.Position(), "comparison of distinct pointer types %s and %s", lt, rt)
+			}
+		case IsRegion(lt) && IsRegion(rt):
+		default:
+			c.errorf(x.Position(), "invalid comparison between %s and %s", lt, rt)
+		}
+		return IntT
+	case OpLt, OpLe, OpGt, OpGe:
+		if !IsNumeric(lt) || !IsNumeric(rt) {
+			c.errorf(x.Position(), "ordered comparison between %s and %s", lt, rt)
+		}
+		return IntT
+	default: // arithmetic
+		if !IsNumeric(lt) || !IsNumeric(rt) {
+			c.errorf(x.Position(), "arithmetic on %s and %s", lt, rt)
+		}
+		return IntT
+	}
+}
+
+func (c *checker) typeAssign(x *Assign) Type {
+	lt := c.checkExpr(x.LHS)
+	rt := c.checkExpr(x.RHS)
+	if lt == nil {
+		return nil
+	}
+	info := &AssignInfo{}
+	// Classify the target.
+	switch lv := x.LHS.(type) {
+	case *VarRef:
+		if lv.Var == nil {
+			return nil
+		}
+		if lv.Var.ArrayGlobal {
+			c.errorf(x.Position(), "cannot assign to array %s", lv.Name)
+			return nil
+		}
+		if lv.Var.Kind == VarGlobal || lv.Var.AddrTaken {
+			info.Class = StoreMem
+		} else {
+			info.Class = StoreReg
+		}
+		if p, ok := lv.Var.Type.(*Pointer); ok {
+			info.Qual = p.Qual
+		}
+	case *FieldAccess:
+		info.Class = StoreMem
+		if lv.Field != nil {
+			if p, ok := lv.Field.Type.(*Pointer); ok {
+				info.Qual = p.Qual
+			}
+		}
+	case *Index:
+		info.Class = StoreMem
+		if p, ok := lv.X.Type().(*Pointer); ok {
+			if ep, ok := p.Elem.(*Pointer); ok {
+				info.Qual = ep.Qual
+			}
+		}
+	case *Unary:
+		if lv.Op != OpDeref {
+			c.errorf(x.Position(), "assignment to non-lvalue")
+			return nil
+		}
+		info.Class = StoreMem
+		if p, ok := lv.X.Type().(*Pointer); ok {
+			if ep, ok := p.Elem.(*Pointer); ok {
+				info.Qual = ep.Qual
+			}
+		}
+	default:
+		c.errorf(x.Position(), "assignment to non-lvalue")
+		return nil
+	}
+	if x.Op == PlusAssign || x.Op == MinusAssign {
+		if !IsNumeric(lt) || (rt != nil && !IsNumeric(rt)) {
+			c.errorf(x.Position(), "compound assignment on %s and %s", lt, rt)
+		}
+	} else if !c.assignable(lt, rt, x.RHS) {
+		c.errorf(x.Position(), "cannot assign %s to %s", rt, lt)
+	}
+	// Pointer-store sites get a site ID for the inference results. A
+	// memory store of a pointer-typed value is a barrier site; stores of
+	// regions and scalars are not.
+	if _, isPtr := lt.(*Pointer); isPtr && info.Class == StoreMem {
+		info.PtrStore = true
+		x.SiteID = c.cp.NumSites
+		c.cp.NumSites++
+	} else {
+		x.SiteID = -1
+	}
+	x.Info = info
+	return lt
+}
+
+func (c *checker) typeRalloc(x *RallocExpr) Type {
+	rt := c.checkExpr(x.Region)
+	if rt != nil && !IsRegion(rt) {
+		c.errorf(x.Position(), "ralloc region argument has type %s", rt)
+	}
+	if x.Count != nil {
+		ct := c.checkExpr(x.Count)
+		if ct != nil && !IsNumeric(ct) {
+			c.errorf(x.Position(), "rarrayalloc count has type %s", ct)
+		}
+	}
+	c.resolveType(x.AllocTy, x.Position())
+	switch t := x.AllocTy.(type) {
+	case *StructRef:
+		x.IsStruct = true
+		if t.Decl == nil {
+			return nil
+		}
+		return &Pointer{Elem: t}
+	case *Basic:
+		if t.Kind == Void {
+			c.errorf(x.Position(), "cannot allocate void")
+			return nil
+		}
+		return &Pointer{Elem: t}
+	case *Pointer:
+		return &Pointer{Elem: t}
+	}
+	return nil
+}
+
+func (c *checker) typeCall(x *Call) Type {
+	if b, ok := builtinByName[x.Name]; ok {
+		x.Builtin = b
+		return c.typeBuiltin(x, b)
+	}
+	fn, ok := c.cp.FuncByName[x.Name]
+	if !ok {
+		c.errorf(x.Position(), "undefined function %s", x.Name)
+		return nil
+	}
+	x.Func = fn
+	if len(x.Args) != len(fn.Params) {
+		c.errorf(x.Position(), "%s takes %d arguments, got %d", fn.Name, len(fn.Params), len(x.Args))
+		return fn.Ret
+	}
+	for i, a := range x.Args {
+		at := c.checkExpr(a)
+		if !c.assignable(fn.Params[i].Type, at, a) {
+			c.errorf(a.Position(), "argument %d of %s: cannot pass %s as %s",
+				i+1, fn.Name, at, fn.Params[i].Type)
+		}
+	}
+	return fn.Ret
+}
+
+func (c *checker) typeBuiltin(x *Call, b Builtin) Type {
+	argTypes := make([]Type, len(x.Args))
+	for i, a := range x.Args {
+		argTypes[i] = c.checkExpr(a)
+	}
+	want := func(n int) bool {
+		if len(x.Args) != n {
+			c.errorf(x.Position(), "%s takes %d argument(s), got %d", x.Name, n, len(x.Args))
+			return false
+		}
+		return true
+	}
+	isPtrArg := func(i int) bool {
+		if argTypes[i] == nil {
+			return true
+		}
+		_, ok := argTypes[i].(*Pointer)
+		if !ok {
+			c.errorf(x.Args[i].Position(), "%s argument %d must be a pointer, have %s", x.Name, i+1, argTypes[i])
+		}
+		return ok
+	}
+	isRegionArg := func(i int) bool {
+		if argTypes[i] == nil {
+			return true
+		}
+		if !IsRegion(argTypes[i]) {
+			c.errorf(x.Args[i].Position(), "%s argument %d must be a region, have %s", x.Name, i+1, argTypes[i])
+			return false
+		}
+		return true
+	}
+	isNumArg := func(i int) {
+		if argTypes[i] != nil && !IsNumeric(argTypes[i]) {
+			c.errorf(x.Args[i].Position(), "%s argument %d must be numeric, have %s", x.Name, i+1, argTypes[i])
+		}
+	}
+	switch b {
+	case BNewRegion:
+		want(0)
+		return RegionT
+	case BNewSubregion:
+		if want(1) {
+			isRegionArg(0)
+		}
+		return RegionT
+	case BDeleteRegion:
+		if want(1) {
+			isRegionArg(0)
+		}
+		return VoidT
+	case BRegionOf:
+		if want(1) {
+			isPtrArg(0)
+		}
+		return RegionT
+	case BArrayLen:
+		if want(1) {
+			isPtrArg(0)
+		}
+		return IntT
+	case BPrintInt, BPrintChar, BAssert:
+		if want(1) {
+			isNumArg(0)
+		}
+		return VoidT
+	case BPrintStr:
+		if want(1) {
+			isPtrArg(0)
+		}
+		return VoidT
+	}
+	return nil
+}
+
+// checkDeletes enforces the deletes-qualifier rule: any function that
+// calls a deletes function (or deleteregion) must itself be qualified
+// deletes (Section 3.3.2 of the paper).
+func (c *checker) checkDeletes() {
+	for _, fn := range c.cp.Prog.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		walkCalls(fn.Body, func(call *Call, pos Pos) {
+			deletes := call.Builtin == BDeleteRegion ||
+				(call.Func != nil && call.Func.Deletes)
+			if deletes && !fn.Deletes {
+				c.errorf(pos, "%s calls deletes function %s but is not qualified deletes",
+					fn.Name, call.Name)
+			}
+		})
+	}
+}
+
+// walkCalls visits every Call in a statement tree.
+func walkCalls(s Stmt, f func(*Call, Pos)) {
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *Unary:
+			walkExpr(x.X)
+		case *Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Ternary:
+			walkExpr(x.Cond)
+			walkExpr(x.Then)
+			walkExpr(x.Else)
+		case *Assign:
+			walkExpr(x.LHS)
+			walkExpr(x.RHS)
+		case *Call:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+			f(x, x.Position())
+		case *RallocExpr:
+			walkExpr(x.Region)
+			if x.Count != nil {
+				walkExpr(x.Count)
+			}
+		case *FieldAccess:
+			walkExpr(x.X)
+		case *Index:
+			walkExpr(x.X)
+			walkExpr(x.Idx)
+		}
+	}
+	var walkStmt func(Stmt)
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, sub := range st.Stmts {
+				walkStmt(sub)
+			}
+		case *DeclStmt:
+			if st.Init != nil {
+				walkExpr(st.Init)
+			}
+		case *ExprStmt:
+			walkExpr(st.X)
+		case *IfStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *WhileStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Body)
+		case *DoWhileStmt:
+			walkStmt(st.Body)
+			walkExpr(st.Cond)
+		case *ForStmt:
+			if st.Init != nil {
+				walkExpr(st.Init)
+			}
+			if st.Cond != nil {
+				walkExpr(st.Cond)
+			}
+			if st.Post != nil {
+				walkExpr(st.Post)
+			}
+			walkStmt(st.Body)
+		case *SwitchStmt:
+			walkExpr(st.Cond)
+			for _, cl := range st.Clauses {
+				for _, sub := range cl.Stmts {
+					walkStmt(sub)
+				}
+			}
+		case *ReturnStmt:
+			if st.X != nil {
+				walkExpr(st.X)
+			}
+		}
+	}
+	walkStmt(s)
+}

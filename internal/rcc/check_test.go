@@ -1,0 +1,255 @@
+package rcc
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCheck(t *testing.T, src string) *CheckedProgram {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := Check(prog, true)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return cp
+}
+
+func checkErr(t *testing.T, src, want string) {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(prog, true)
+	if err == nil {
+		t.Fatalf("no check error, want %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+const checkPrelude = `
+struct node { struct node *sameregion next; int v; };
+`
+
+func TestCheckOK(t *testing.T) {
+	cp := mustCheck(t, checkPrelude+`
+deletes void main(void) {
+	region r = newregion();
+	struct node *n = ralloc(r, struct node);
+	n->next = n;
+	n->v = 3;
+	print_int(n->v);
+	deleteregion(r);
+}`)
+	if cp.NumSites != 1 {
+		t.Errorf("NumSites = %d, want 1 (n->next = n)", cp.NumSites)
+	}
+}
+
+func TestCheckAssignInfo(t *testing.T) {
+	cp := mustCheck(t, checkPrelude+`
+struct node *cache;
+void main(void) {
+	struct node *local = null;
+	local = null;         // register store
+	cache = local;        // global: memory pointer store
+	local->next = local;  // field: memory pointer store, sameregion
+	local->v = 1;         // field scalar store
+}`)
+	fn := cp.FuncByName["main"]
+	var assigns []*Assign
+	walkCalls(fn.Body, func(*Call, Pos) {}) // smoke: walk runs
+	var collect func(s Stmt)
+	collect = func(s Stmt) {
+		if b, ok := s.(*Block); ok {
+			for _, sub := range b.Stmts {
+				collect(sub)
+			}
+			return
+		}
+		if es, ok := s.(*ExprStmt); ok {
+			if a, ok := es.X.(*Assign); ok {
+				assigns = append(assigns, a)
+			}
+		}
+	}
+	collect(fn.Body)
+	if len(assigns) != 4 {
+		t.Fatalf("found %d assigns", len(assigns))
+	}
+	if assigns[0].Info.Class != StoreReg || assigns[0].Info.PtrStore {
+		t.Error("local = null misclassified")
+	}
+	if assigns[1].Info.Class != StoreMem || !assigns[1].Info.PtrStore || assigns[1].Info.Qual != QualNone {
+		t.Error("cache = local misclassified")
+	}
+	if !assigns[2].Info.PtrStore || assigns[2].Info.Qual != QualSameRegion {
+		t.Error("local->next misclassified")
+	}
+	if assigns[3].Info.PtrStore {
+		t.Error("scalar field store marked as pointer store")
+	}
+	if cp.NumSites != 2 {
+		t.Errorf("NumSites = %d, want 2", cp.NumSites)
+	}
+}
+
+func TestCheckAddrTaken(t *testing.T) {
+	cp := mustCheck(t, `
+void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+void main(void) {
+	int x = 1;
+	int y = 2;
+	swap(&x, &y);
+}`)
+	fn := cp.FuncByName["main"]
+	if !fn.Vars[0].AddrTaken || !fn.Vars[1].AddrTaken {
+		t.Error("address-taken locals not marked")
+	}
+}
+
+func TestCheckDeletesPropagation(t *testing.T) {
+	checkErr(t, `
+void helper(region r) { deleteregion(r); }
+void main(void) {}`,
+		"not qualified deletes")
+	checkErr(t, `
+deletes void helper(region r) { deleteregion(r); }
+void main(void) { region r = newregion(); helper(r); }`,
+		"not qualified deletes")
+	// Correctly qualified chain passes.
+	mustCheck(t, `
+deletes void helper(region r) { deleteregion(r); }
+deletes void main(void) { region r = newregion(); helper(r); }`)
+}
+
+func TestCheckQualifierPlacement(t *testing.T) {
+	checkErr(t, `void main(void) { int *sameregion p; p = null; }`,
+		"only meaningful on struct fields")
+	checkErr(t, `struct s { int x; }; struct s *parentptr g; void main(void) {}`,
+		"only meaningful on struct fields")
+	// traditional is fine on locals and globals.
+	mustCheck(t, `
+int *traditional g;
+void main(void) { int *traditional p = null; g = p; }`)
+	// Inner levels may be qualified anywhere.
+	mustCheck(t, `
+struct s { int v; };
+void main(void) { struct s *sameregion *stack = null; if (stack) print_int(0); }`)
+}
+
+func TestCheckTypeErrors(t *testing.T) {
+	checkErr(t, `void main(void) { int x = null; }`, "cannot initialize")
+	checkErr(t, `void main(void) { undefined_fn(); }`, "undefined function")
+	checkErr(t, `void main(void) { print_int(y); }`, "undefined variable")
+	checkErr(t, `struct a { int x; }; struct b { int x; };
+void main(void) { struct a *p = null; struct b *q = null; p = q; }`, "cannot assign")
+	checkErr(t, `void main(void) { region r = newregion(); int x = r; }`, "cannot initialize")
+	checkErr(t, `void main(void) { int x; x->f = 1; }`, "-> on non-pointer")
+	checkErr(t, `struct s { int v; }; void main(void) { struct s *p = null; p->w = 1; }`, "no field")
+	checkErr(t, `void main(void) { break; }`, "break outside loop")
+	checkErr(t, `int f(void) { return; } void main(void) {}`, "missing return value")
+	checkErr(t, `void f(void) { return 1; } void main(void) {}`, "return with value")
+	checkErr(t, `void main(void) { int x = 3 + null; }`, "arithmetic")
+	checkErr(t, `void main(void) { ralloc(3, int); }`, "region argument")
+	checkErr(t, `struct s { struct s inner; }; void main(void) {}`, "struct value")
+	checkErr(t, `void main(void) { region r = newregion(); region *p = &r; }`,
+		"address of region")
+}
+
+func TestCheckMainRequired(t *testing.T) {
+	checkErr(t, `void notmain(void) {}`, "no main function")
+	prog, err := Parse(`void notmain(void) {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog, false); err != nil {
+		t.Errorf("requireMain=false still errored: %v", err)
+	}
+}
+
+func TestCheckGlobalArrays(t *testing.T) {
+	cp := mustCheck(t, `
+char buf[128];
+int nums[16];
+void main(void) {
+	buf[0] = 'a';
+	nums[1] = 2;
+	print_char(buf[0]);
+}`)
+	if cp.GlobalWords != 2 {
+		t.Errorf("GlobalWords = %d", cp.GlobalWords)
+	}
+}
+
+func TestCheckStringLiterals(t *testing.T) {
+	cp := mustCheck(t, `
+void main(void) {
+	char *s = "hello";
+	char *t = "hello";
+	char *u = "world";
+	print_str(s); print_str(t); print_str(u);
+}`)
+	if len(cp.Strings) != 2 {
+		t.Errorf("interned %d strings, want 2", len(cp.Strings))
+	}
+}
+
+func TestCheckCharIntInterchange(t *testing.T) {
+	mustCheck(t, `
+void main(void) {
+	char c = 65;
+	int i = c;
+	c = i + 1;
+	print_char(c);
+}`)
+}
+
+func TestCheckBuiltins(t *testing.T) {
+	mustCheck(t, `
+struct s { int v; };
+deletes void main(void) {
+	region r = newregion();
+	region sub = newsubregion(r);
+	struct s *p = ralloc(sub, struct s);
+	region q = regionof(p);
+	assert(q == sub);
+	int *arr = rarrayalloc(r, 32, int);
+	assert(arraylen(arr) == 32);
+	deleteregion(sub);
+	deleteregion(r);
+}`)
+	checkErr(t, `void main(void) { newregion(3); }`, "takes 0")
+	checkErr(t, `void main(void) { regionof(5); }`, "must be a pointer")
+	checkErr(t, `deletes void main(void) { deleteregion(5); }`, "must be a region")
+}
+
+func TestCheckPrototypeMismatch(t *testing.T) {
+	checkErr(t, `
+int f(int a);
+int f(char *a) { return 0; }
+void main(void) {}`, "conflicting declarations")
+	checkErr(t, `
+int f(int a) { return a; }
+int f(int a) { return a; }
+void main(void) {}`, "duplicate definition")
+}
+
+func TestCheckDuplicates(t *testing.T) {
+	checkErr(t, `int g; int g; void main(void) {}`, "duplicate global")
+	checkErr(t, `struct s { int a; }; struct s { int b; }; void main(void) {}`, "duplicate struct")
+	checkErr(t, `void f(int a, int a) {} void main(void) {}`, "duplicate parameter")
+	checkErr(t, `void main(void) { int x; int x; }`, "duplicate variable")
+	// Shadowing in a nested scope is legal.
+	mustCheck(t, `void main(void) { int x = 1; { int x = 2; print_int(x); } print_int(x); }`)
+}
+
+func TestCheckBuiltinRedefinition(t *testing.T) {
+	checkErr(t, `int regionof(int x) { return x; } void main(void) {}`, "builtin")
+}

@@ -1,0 +1,184 @@
+package rcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a parsed program back to RC source. The output
+// reparses to a structurally identical program (the round-trip property
+// tested in format_test.go), which makes it usable as a formatter and as
+// a debugging aid for generated programs.
+func Format(p *Program) string {
+	f := &formatter{}
+	for _, s := range p.Structs {
+		f.structDecl(s)
+	}
+	if len(p.Structs) > 0 {
+		f.nl()
+	}
+	for _, g := range p.Globals {
+		f.globalDecl(g)
+	}
+	if len(p.Globals) > 0 {
+		f.nl()
+	}
+	for i, fn := range p.Funcs {
+		if i > 0 {
+			f.nl()
+		}
+		f.funcDecl(fn)
+	}
+	return f.sb.String()
+}
+
+type formatter struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (f *formatter) pf(format string, args ...any) {
+	fmt.Fprintf(&f.sb, format, args...)
+}
+
+func (f *formatter) line(format string, args ...any) {
+	f.sb.WriteString(strings.Repeat("\t", f.indent))
+	f.pf(format, args...)
+	f.nl()
+}
+
+func (f *formatter) nl() { f.sb.WriteByte('\n') }
+
+func (f *formatter) structDecl(s *StructDecl) {
+	f.line("struct %s {", s.Name)
+	f.indent++
+	for _, fd := range s.Fields {
+		f.line("%s;", declString(fd.Type, fd.Name))
+	}
+	f.indent--
+	f.line("};")
+}
+
+// declString renders "type name" with C pointer placement.
+func declString(t Type, name string) string {
+	return t.String() + " " + name
+}
+
+func (f *formatter) globalDecl(g *GlobalDecl) {
+	switch {
+	case g.ArrayLen > 0:
+		f.line("%s[%d];", declString(g.Type, g.Name), g.ArrayLen)
+	case g.Init != nil:
+		f.line("%s = %s;", declString(g.Type, g.Name), Dump(g.Init))
+	default:
+		f.line("%s;", declString(g.Type, g.Name))
+	}
+}
+
+func (f *formatter) funcDecl(fn *FuncDecl) {
+	var params []string
+	for _, p := range fn.Params {
+		params = append(params, declString(p.Type, p.Name))
+	}
+	if len(params) == 0 {
+		params = []string{"void"}
+	}
+	prefix := ""
+	if fn.Deletes {
+		prefix = "deletes "
+	}
+	if fn.Body == nil {
+		f.line("%s%s %s(%s);", prefix, fn.Ret, fn.Name, strings.Join(params, ", "))
+		return
+	}
+	f.line("%s%s %s(%s) {", prefix, fn.Ret, fn.Name, strings.Join(params, ", "))
+	f.indent++
+	for _, s := range fn.Body.Stmts {
+		f.stmt(s)
+	}
+	f.indent--
+	f.line("}")
+}
+
+func (f *formatter) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		f.line("{")
+		f.indent++
+		for _, sub := range st.Stmts {
+			f.stmt(sub)
+		}
+		f.indent--
+		f.line("}")
+	case *DeclStmt:
+		if st.Init != nil {
+			f.line("%s = %s;", declString(st.Type, st.Name), Dump(st.Init))
+		} else {
+			f.line("%s;", declString(st.Type, st.Name))
+		}
+	case *ExprStmt:
+		f.line("%s;", Dump(st.X))
+	case *IfStmt:
+		f.line("if (%s)", Dump(st.Cond))
+		f.blockOrStmt(st.Then)
+		if st.Else != nil {
+			f.line("else")
+			f.blockOrStmt(st.Else)
+		}
+	case *WhileStmt:
+		f.line("while (%s)", Dump(st.Cond))
+		f.blockOrStmt(st.Body)
+	case *DoWhileStmt:
+		f.line("do")
+		f.blockOrStmt(st.Body)
+		f.line("while (%s);", Dump(st.Cond))
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if st.Init != nil {
+			init = Dump(st.Init)
+		}
+		if st.Cond != nil {
+			cond = Dump(st.Cond)
+		}
+		if st.Post != nil {
+			post = Dump(st.Post)
+		}
+		f.line("for (%s; %s; %s)", init, cond, post)
+		f.blockOrStmt(st.Body)
+	case *SwitchStmt:
+		f.line("switch (%s) {", Dump(st.Cond))
+		for _, cl := range st.Clauses {
+			if cl.IsDefault {
+				f.line("default:")
+			} else {
+				f.line("case %d:", cl.Value)
+			}
+			f.indent++
+			for _, sub := range cl.Stmts {
+				f.stmt(sub)
+			}
+			f.indent--
+		}
+		f.line("}")
+	case *ReturnStmt:
+		if st.X != nil {
+			f.line("return %s;", Dump(st.X))
+		} else {
+			f.line("return;")
+		}
+	case *BreakStmt:
+		f.line("break;")
+	case *ContinueStmt:
+		f.line("continue;")
+	}
+}
+
+func (f *formatter) blockOrStmt(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		f.stmt(b)
+		return
+	}
+	f.indent++
+	f.stmt(s)
+	f.indent--
+}

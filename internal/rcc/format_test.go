@@ -1,0 +1,183 @@
+package rcc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shape reduces a program to a comparable structural fingerprint:
+// declaration names/kinds and the Dump of every statement's expressions.
+func shape(p *Program) []string {
+	var out []string
+	for _, s := range p.Structs {
+		line := "struct " + s.Name
+		for _, f := range s.Fields {
+			line += " " + f.Type.String() + ":" + f.Name
+		}
+		out = append(out, line)
+	}
+	for _, g := range p.Globals {
+		out = append(out, "global "+g.Name+" "+g.Type.String())
+	}
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, sub := range st.Stmts {
+				walk(sub)
+			}
+		case *DeclStmt:
+			line := "decl " + st.Name + " " + st.Type.String()
+			if st.Init != nil {
+				line += " = " + Dump(st.Init)
+			}
+			out = append(out, line)
+		case *ExprStmt:
+			out = append(out, "expr "+Dump(st.X))
+		case *IfStmt:
+			out = append(out, "if "+Dump(st.Cond))
+			walk(st.Then)
+			if st.Else != nil {
+				out = append(out, "else")
+				walk(st.Else)
+			}
+		case *WhileStmt:
+			out = append(out, "while "+Dump(st.Cond))
+			walk(st.Body)
+		case *DoWhileStmt:
+			out = append(out, "do")
+			walk(st.Body)
+			out = append(out, "dowhile "+Dump(st.Cond))
+		case *ForStmt:
+			out = append(out, "for")
+			walk(st.Body)
+		case *SwitchStmt:
+			out = append(out, "switch "+Dump(st.Cond))
+			for _, cl := range st.Clauses {
+				if cl.IsDefault {
+					out = append(out, "default")
+				} else {
+					out = append(out, "case")
+				}
+				for _, sub := range cl.Stmts {
+					walk(sub)
+				}
+			}
+		case *ReturnStmt:
+			if st.X != nil {
+				out = append(out, "return "+Dump(st.X))
+			} else {
+				out = append(out, "return")
+			}
+		case *BreakStmt:
+			out = append(out, "break")
+		case *ContinueStmt:
+			out = append(out, "continue")
+		}
+	}
+	for _, fn := range p.Funcs {
+		sig := "func " + fn.Name
+		if fn.Deletes {
+			sig = "deletes " + sig
+		}
+		out = append(out, sig)
+		if fn.Body != nil {
+			walk(fn.Body)
+		}
+	}
+	return out
+}
+
+const formatCorpus = `
+struct finfo { int value; };
+struct rlist {
+	struct rlist *sameregion next;
+	struct finfo *sameregion data;
+	struct rlist *parentptr up;
+	char *traditional tag;
+};
+int counter = 7;
+char buf[64];
+char *msg = "hi\n";
+struct rlist *cache;
+
+struct rlist *mk(region r, int v);
+
+int helper(struct rlist *l, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		switch (i % 3) {
+		case 0:
+			s += i;
+			break;
+		case 1:
+		case 2:
+			s -= 1;
+		default:
+			s++;
+			break;
+		}
+		if (l && l->next != null) l = l->next; else break;
+	}
+	while (s > 100) { s = s / 2; continue; }
+	do { s--; } while (s > 50);
+	return s > 0 ? s : -s;
+}
+
+deletes void main(void) {
+	region r = newregion();
+	region sub = newsubregion(r);
+	struct rlist *x = ralloc(r, struct rlist);
+	int *arr = rarrayalloc(r, 10, int);
+	x->data = ralloc(regionof(x), struct finfo);
+	x->tag = msg;
+	arr[3] = arraylen(arr);
+	int q;
+	int *qp = &q;
+	*qp = arr[3];
+	print_int(*qp);
+	print_str("bye");
+	x = null;
+	deleteregion(sub);
+	deleteregion(r);
+}
+`
+
+// The formatter round-trips: formatting a parsed program and reparsing it
+// yields the same structure, and formatting is idempotent.
+func TestFormatRoundTrip(t *testing.T) {
+	p1, err := Parse(formatCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := Format(p1)
+	p2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("formatted output does not reparse: %v\n%s", err, text1)
+	}
+	s1, s2 := shape(p1), shape(p2)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("round-trip changed structure:\nbefore: %v\nafter:  %v\ntext:\n%s", s1, s2, text1)
+	}
+	text2 := Format(p2)
+	if text1 != text2 {
+		t.Errorf("formatting not idempotent:\n--- first\n%s\n--- second\n%s", text1, text2)
+	}
+	// The round-tripped program still type checks.
+	if _, err := Check(p2, true); err != nil {
+		t.Fatalf("formatted program does not check: %v", err)
+	}
+}
+
+func TestFormatQualifiers(t *testing.T) {
+	p, err := Parse(`struct t { struct t *sameregion *sameregion arr; };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	if !strings.Contains(text, "*sameregion *sameregion") {
+		t.Errorf("qualifiers lost:\n%s", text)
+	}
+}

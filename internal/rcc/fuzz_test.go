@@ -1,0 +1,58 @@
+package rcc
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the front end never panics on arbitrary input,
+// and that every program it accepts survives a Format round-trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"void main(void) {}",
+		"struct s { int x; };",
+		`struct rlist { struct rlist *sameregion next; };
+deletes void main(void) { region r = newregion(); deleteregion(r); }`,
+		`int f(int a) { switch (a) { case -1: return 0; default: break; } return a; }`,
+		`char *s = "a\"b\\c\0d"; void main(void) { print_str(s); }`,
+		`void main(void) { int x = 'q' + 0x1F; for (;;) break; }`,
+		"void f() { x. }",
+		"struct { }",
+		"deletes deletes int x;",
+		"int a[99999999999];",
+		"void main(void) { a(b(c(d(e()))))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		out := Format(prog)
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput: %q\noutput:\n%s",
+				err, src, out)
+		}
+		// Checking must also be panic-free (errors are fine).
+		_, _ = Check(prog, false)
+	})
+}
+
+// FuzzLexer checks the lexer alone never panics or loops.
+func FuzzLexer(f *testing.F) {
+	for _, s := range []string{"", `"`, "'", "/*", "//", "0x", "->>", "|", "\\", "\x00\xff"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		l := NewLexer(src)
+		for i := 0; i < len(src)+10; i++ {
+			tok, err := l.Next()
+			if err != nil || tok.Kind == EOF {
+				return
+			}
+		}
+		t.Fatalf("lexer did not terminate on %q", src)
+	})
+}

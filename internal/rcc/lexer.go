@@ -1,0 +1,285 @@
+package rcc
+
+import (
+	"strings"
+)
+
+// Lexer turns RC source text into tokens. It supports //- and /* */-style
+// comments, decimal and hexadecimal integers, character literals with the
+// usual escapes, and string literals.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) escape(pos Pos) (byte, error) {
+	if l.off >= len(l.src) {
+		return 0, errf(pos, "unterminated escape")
+	}
+	switch c := l.advance(); c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	default:
+		return 0, errf(pos, "unknown escape '\\%c'", c)
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.advance()
+	switch {
+	case isIdentStart(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if kw, ok := keywords[word]; ok {
+			return Token{Kind: kw, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: IDENT, Pos: pos, Text: word}, nil
+	case isDigit(c):
+		var v int64
+		if c == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+			l.advance()
+			n := 0
+			for l.off < len(l.src) {
+				d := l.peek()
+				var dv int64
+				switch {
+				case isDigit(d):
+					dv = int64(d - '0')
+				case d >= 'a' && d <= 'f':
+					dv = int64(d-'a') + 10
+				case d >= 'A' && d <= 'F':
+					dv = int64(d-'A') + 10
+				default:
+					goto doneHex
+				}
+				v = v*16 + dv
+				n++
+				l.advance()
+			}
+		doneHex:
+			if n == 0 {
+				return Token{}, errf(pos, "malformed hex literal")
+			}
+		} else {
+			v = int64(c - '0')
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				v = v*10 + int64(l.advance()-'0')
+			}
+		}
+		return Token{Kind: INTLIT, Pos: pos, Int: v}, nil
+	case c == '\'':
+		if l.off >= len(l.src) {
+			return Token{}, errf(pos, "unterminated character literal")
+		}
+		ch := l.advance()
+		if ch == '\\' {
+			e, err := l.escape(pos)
+			if err != nil {
+				return Token{}, err
+			}
+			ch = e
+		}
+		if l.off >= len(l.src) || l.advance() != '\'' {
+			return Token{}, errf(pos, "unterminated character literal")
+		}
+		return Token{Kind: CHARLIT, Pos: pos, Int: int64(ch)}, nil
+	case c == '"':
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, errf(pos, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				e, err := l.escape(pos)
+				if err != nil {
+					return Token{}, err
+				}
+				ch = e
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: STRLIT, Pos: pos, Text: sb.String()}, nil
+	}
+
+	two := func(next byte, yes, no Tok) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: yes, Pos: pos}
+		}
+		return Token{Kind: no, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case '?':
+		return Token{Kind: Question, Pos: pos}, nil
+	case ':':
+		return Token{Kind: Colon, Pos: pos}, nil
+	case '=':
+		return two('=', EqEq, TokAssign), nil
+	case '!':
+		return two('=', NotEq, Not), nil
+	case '<':
+		return two('=', Le, Lt), nil
+	case '>':
+		return two('=', Ge, Gt), nil
+	case '&':
+		return two('&', AndAnd, Amp), nil
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OrOr, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '|'")
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: PlusPlus, Pos: pos}, nil
+		}
+		return two('=', PlusAssign, Plus), nil
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			return Token{Kind: MinusMinus, Pos: pos}, nil
+		case '>':
+			l.advance()
+			return Token{Kind: Arrow, Pos: pos}, nil
+		}
+		return two('=', MinusAssign, Minus), nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '.':
+		return Token{Kind: Dot, Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// LexAll lexes the whole input, for tests and tools.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

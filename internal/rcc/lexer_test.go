@@ -1,0 +1,98 @@
+package rcc
+
+import "testing"
+
+func kinds(toks []Token) []Tok {
+	out := make([]Tok, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll(`struct rlist *sameregion next; int x = 42;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tok{KwStruct, IDENT, Star, KwSameregion, IDENT, Semi,
+		KwInt, IDENT, TokAssign, INTLIT, Semi, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[9].Int != 42 {
+		t.Errorf("int literal = %d", toks[9].Int)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll(`-> ++ -- += -= == != <= >= && || ? : . & * !`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tok{Arrow, PlusPlus, MinusMinus, PlusAssign, MinusAssign,
+		EqEq, NotEq, Le, Ge, AndAnd, OrOr, Question, Colon, Dot, Amp, Star, Not, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a // line comment\n/* block\ncomment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comment handling wrong: %v", toks)
+	}
+}
+
+func TestLexCharAndString(t *testing.T) {
+	toks, err := LexAll(`'a' '\n' '\0' "hi\tthere"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 'a' || toks[1].Int != '\n' || toks[2].Int != 0 {
+		t.Errorf("char literals: %v", toks[:3])
+	}
+	if toks[3].Text != "hi\tthere" {
+		t.Errorf("string literal: %q", toks[3].Text)
+	}
+}
+
+func TestLexHex(t *testing.T) {
+	toks, err := LexAll("0x1F 0X10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 31 || toks[1].Int != 16 {
+		t.Errorf("hex literals: %d %d", toks[0].Int, toks[1].Int)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("positions: %v %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'a", `"abc`, "/* unterminated", "'\\q'", "@"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}

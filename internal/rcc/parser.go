@@ -1,0 +1,913 @@
+package rcc
+
+// Parser is a recursive-descent parser for the RC dialect.
+type Parser struct {
+	lex *Lexer
+	tok Token
+	// one-token lookahead beyond tok
+	ahead    *Token
+	filename string
+	// pendingStatic carries a leading 'static' into the declaration.
+	pendingStatic bool
+}
+
+// Parse parses a complete RC translation unit.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return p.program()
+}
+
+func (p *Parser) next() error {
+	if p.ahead != nil {
+		p.tok = *p.ahead
+		p.ahead = nil
+		return nil
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) peekAhead() (Token, error) {
+	if p.ahead == nil {
+		t, err := p.lex.Next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.ahead = &t
+	}
+	return *p.ahead, nil
+}
+
+func (p *Parser) expect(k Tok) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %v, found %v", k, p.tok.Kind)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+func (p *Parser) accept(k Tok) (bool, error) {
+	if p.tok.Kind == k {
+		return true, p.next()
+	}
+	return false, nil
+}
+
+func (p *Parser) isTypeStart() bool {
+	switch p.tok.Kind {
+	case KwInt, KwChar, KwVoid, KwRegion, KwStruct:
+		return true
+	}
+	return false
+}
+
+// parseType parses: baseType ('*' qual?)*
+func (p *Parser) parseType() (Type, error) {
+	var base Type
+	switch p.tok.Kind {
+	case KwInt:
+		base = IntT
+	case KwChar:
+		base = CharT
+	case KwVoid:
+		base = VoidT
+	case KwRegion:
+		base = RegionT
+	case KwStruct:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return p.parseStars(&StructRef{Name: name.Text})
+	default:
+		return nil, errf(p.tok.Pos, "expected type, found %v", p.tok.Kind)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return p.parseStars(base)
+}
+
+func (p *Parser) parseStars(base Type) (Type, error) {
+	t := base
+	for p.tok.Kind == Star {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		q := QualNone
+		switch p.tok.Kind {
+		case KwSameregion:
+			q = QualSameRegion
+		case KwTraditional:
+			q = QualTraditional
+		case KwParentptr:
+			q = QualParentPtr
+		}
+		if q != QualNone {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		t = &Pointer{Elem: t, Qual: q}
+	}
+	return t, nil
+}
+
+func (p *Parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.tok.Kind != EOF {
+		static, err := p.accept(KwStatic)
+		if err != nil {
+			return nil, err
+		}
+		deletes, err := p.accept(KwDeletes)
+		if err != nil {
+			return nil, err
+		}
+		p.pendingStatic = static
+		if p.tok.Kind == KwStruct && !deletes {
+			// Could be a struct declaration or a struct-typed
+			// global/function: struct NAME '{' starts a declaration.
+			ahead, err := p.peekAhead()
+			if err != nil {
+				return nil, err
+			}
+			if ahead.Kind == IDENT {
+				pos := p.tok.Pos
+				// Need 2-token lookahead: check for '{' after the name.
+				if err := p.next(); err != nil { // at IDENT
+					return nil, err
+				}
+				name := p.tok.Text
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				if p.tok.Kind == LBrace {
+					sd, err := p.structBody(name, pos)
+					if err != nil {
+						return nil, err
+					}
+					prog.Structs = append(prog.Structs, sd)
+					continue
+				}
+				if p.tok.Kind == Semi {
+					// Forward declaration: struct NAME; — a no-op, the
+					// definition lives elsewhere (possibly another file).
+					if err := p.next(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				// Not a struct declaration: reconstruct the type.
+				t, err := p.parseStars(&StructRef{Name: name})
+				if err != nil {
+					return nil, err
+				}
+				if err := p.topDecl(prog, t, deletes); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.topDecl(prog, t, deletes); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) structBody(name string, pos Pos) (*StructDecl, error) {
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Name: name, Pos: pos}
+	for p.tok.Kind != RBrace {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, &Field{
+			Name: fname.Text, Type: ft,
+			Offset: uint64(len(sd.Fields)), Pos: fname.Pos,
+		})
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.next(); err != nil { // consume '}'
+		return nil, err
+	}
+	_, err := p.expect(Semi)
+	return sd, err
+}
+
+// topDecl parses a global variable or function after its leading type.
+func (p *Parser) topDecl(prog *Program, t Type, deletes bool) error {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	switch p.tok.Kind {
+	case LParen:
+		fn, err := p.funcRest(t, name, deletes)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	case LBracket:
+		if deletes {
+			return errf(name.Pos, "deletes qualifier on a variable")
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+		n, err := p.expect(INTLIT)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return err
+		}
+		prog.Globals = append(prog.Globals, &GlobalDecl{
+			Name: name.Text, Type: t, ArrayLen: n.Int, Pos: name.Pos,
+		})
+		return nil
+	default:
+		if deletes {
+			return errf(name.Pos, "deletes qualifier on a variable")
+		}
+		g := &GlobalDecl{Name: name.Text, Type: t, Pos: name.Pos}
+		ok, err := p.accept(TokAssign)
+		if err != nil {
+			return err
+		}
+		if ok {
+			init, err := p.assignment()
+			if err != nil {
+				return err
+			}
+			g.Init = init
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return err
+		}
+		prog.Globals = append(prog.Globals, g)
+		return nil
+	}
+}
+
+func (p *Parser) funcRest(ret Type, name Token, deletes bool) (*FuncDecl, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Deletes: deletes,
+		Static: p.pendingStatic, Pos: name.Pos}
+	if p.tok.Kind == KwVoid {
+		// void parameter list: 'void )'
+		ahead, err := p.peekAhead()
+		if err != nil {
+			return nil, err
+		}
+		if ahead.Kind == RParen {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for p.tok.Kind != RParen {
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, &Param{Name: pn.Text, Type: pt, Pos: pn.Pos})
+		if p.tok.Kind != RParen {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.next(); err != nil { // consume ')'
+		return nil, err
+	}
+	if ok, err := p.accept(Semi); err != nil || ok {
+		return fn, err // prototype
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+func (p *Parser) block() (*Block, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: pos}
+	for p.tok.Kind != RBrace {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	return b, p.next()
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case LBrace:
+		return p.block()
+	case Semi:
+		return nil, p.next()
+	case KwIf:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if ok, err := p.accept(KwElse); err != nil {
+			return nil, err
+		} else if ok {
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+	case KwWhile:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+	case KwFor:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		f := &ForStmt{Pos: pos}
+		if p.tok.Kind != Semi {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = e
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != Semi {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Cond = e
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != RParen {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Post = e
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = body
+		return f, nil
+	case KwDo:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond, Pos: pos}, nil
+	case KwSwitch:
+		return p.switchStmt(pos)
+	case KwReturn:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r := &ReturnStmt{Pos: pos}
+		if p.tok.Kind != Semi {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = e
+		}
+		_, err := p.expect(Semi)
+		return r, err
+	case KwBreak:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(Semi)
+		return &BreakStmt{Pos: pos}, err
+	case KwContinue:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(Semi)
+		return &ContinueStmt{Pos: pos}, err
+	}
+	if p.isTypeStart() {
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: name.Text, Type: t, Pos: pos}
+		if ok, err := p.accept(TokAssign); err != nil {
+			return nil, err
+		} else if ok {
+			init, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		_, err = p.expect(Semi)
+		return d, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Pos: pos}, nil
+}
+
+// switchStmt parses: switch '(' expr ')' '{' clause* '}' where each
+// clause is (case CONST | default) ':' stmt*.
+func (p *Parser) switchStmt(pos Pos) (Stmt, error) {
+	if err := p.next(); err != nil { // consume 'switch'
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	sw := &SwitchStmt{Cond: cond, Pos: pos}
+	for p.tok.Kind != RBrace {
+		cpos := p.tok.Pos
+		clause := &CaseClause{Pos: cpos}
+		switch p.tok.Kind {
+		case KwCase:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			neg := false
+			if ok, err := p.accept(Minus); err != nil {
+				return nil, err
+			} else if ok {
+				neg = true
+			}
+			lit := p.tok
+			if lit.Kind != INTLIT && lit.Kind != CHARLIT {
+				return nil, errf(lit.Pos, "case label must be an integer or character constant")
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			clause.Value = lit.Int
+			if neg {
+				clause.Value = -clause.Value
+			}
+		case KwDefault:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			clause.IsDefault = true
+		default:
+			return nil, errf(cpos, "expected 'case' or 'default', found %v", p.tok.Kind)
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		for p.tok.Kind != KwCase && p.tok.Kind != KwDefault && p.tok.Kind != RBrace {
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				clause.Stmts = append(clause.Stmts, s)
+			}
+		}
+		sw.Clauses = append(sw.Clauses, clause)
+	}
+	return sw, p.next()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing).
+
+func (p *Parser) expr() (Expr, error) { return p.assignment() }
+
+func (p *Parser) assignment() (Expr, error) {
+	lhs, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TokAssign, PlusAssign, MinusAssign:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		a := &Assign{Op: op, LHS: lhs, RHS: rhs}
+		a.pos = pos
+		return a, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) ternary() (Expr, error) {
+	cond, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != Question {
+		return cond, nil
+	}
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	els, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	t := &Ternary{Cond: cond, Then: then, Else: els}
+	t.pos = pos
+	return t, nil
+}
+
+var binPrec = map[Tok]int{
+	OrOr: 1, AndAnd: 2,
+	EqEq: 3, NotEq: 3,
+	Lt: 4, Le: 4, Gt: 4, Ge: 4,
+	Plus: 5, Minus: 5,
+	Star: 6, Slash: 6, Percent: 6,
+}
+
+var binOps = map[Tok]BinOp{
+	OrOr: OpOr, AndAnd: OpAnd, EqEq: OpEq, NotEq: OpNe,
+	Lt: OpLt, Le: OpLe, Gt: OpGt, Ge: OpGe,
+	Plus: OpAdd, Minus: OpSub, Star: OpMul, Slash: OpDiv, Percent: OpMod,
+}
+
+func (p *Parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := binOps[p.tok.Kind]
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &Binary{Op: op, L: lhs, R: rhs}
+		b.pos = pos
+		lhs = b
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case Minus:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: OpNeg, X: x}
+		u.pos = pos
+		return u, nil
+	case Not:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: OpNot, X: x}
+		u.pos = pos
+		return u, nil
+	case Star:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: OpDeref, X: x}
+		u.pos = pos
+		return u, nil
+	case Amp:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: OpAddr, X: x}
+		u.pos = pos
+		return u, nil
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.tok.Pos
+		switch p.tok.Kind {
+		case Arrow:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			fa := &FieldAccess{X: x, Name: name.Text}
+			fa.pos = pos
+			x = fa
+		case Dot:
+			return nil, errf(pos, "the dialect has no struct values; use '->'")
+		case LBracket:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			ix := &Index{X: x, Idx: idx}
+			ix.pos = pos
+			x = ix
+		case PlusPlus, MinusMinus:
+			// Post-increment/decrement as statement sugar: x++ becomes
+			// x = x + 1. Valid only where the value is unused; the
+			// checker enforces numeric lvalues.
+			op := OpAdd
+			if p.tok.Kind == MinusMinus {
+				op = OpSub
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			one := &IntLit{Value: 1}
+			one.pos = pos
+			b := &Binary{Op: op, L: x, R: one}
+			b.pos = pos
+			a := &Assign{Op: TokAssign, LHS: x, RHS: b}
+			a.pos = pos
+			return a, nil
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case INTLIT, CHARLIT:
+		v := p.tok.Int
+		kind := p.tok.Kind
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		lit := &IntLit{Value: v}
+		lit.pos = pos
+		if kind == CHARLIT {
+			lit.setType(CharT)
+		}
+		return lit, nil
+	case STRLIT:
+		s := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		lit := &StrLit{Value: s}
+		lit.pos = pos
+		return lit, nil
+	case KwNull:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		n := &NullLit{}
+		n.pos = pos
+		return n, nil
+	case LParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RParen)
+		return e, err
+	case IDENT:
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != LParen {
+			v := &VarRef{Name: name}
+			v.pos = pos
+			return v, nil
+		}
+		// Call; ralloc and rarrayalloc take a type argument.
+		if err := p.next(); err != nil { // consume '('
+			return nil, err
+		}
+		if name == "ralloc" || name == "rarrayalloc" {
+			return p.rallocRest(name, pos)
+		}
+		call := &Call{Name: name}
+		call.pos = pos
+		for p.tok.Kind != RParen {
+			a, err := p.assignment()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if p.tok.Kind != RParen {
+				if _, err := p.expect(Comma); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return call, p.next()
+	}
+	return nil, errf(pos, "expected expression, found %v", p.tok.Kind)
+}
+
+func (p *Parser) rallocRest(name string, pos Pos) (Expr, error) {
+	r := &RallocExpr{}
+	r.pos = pos
+	reg, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	r.Region = reg
+	if _, err := p.expect(Comma); err != nil {
+		return nil, err
+	}
+	if name == "rarrayalloc" {
+		n, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		r.Count = n
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	r.AllocTy = t
+	_, err = p.expect(RParen)
+	return r, err
+}

@@ -1,0 +1,220 @@
+package rcc
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return prog
+}
+
+func TestParseFigure1(t *testing.T) {
+	// The paper's Figure 1 example, adapted to the dialect.
+	prog := mustParse(t, `
+struct finfo { int value; };
+struct rlist {
+	struct rlist *sameregion next;
+	struct finfo *sameregion data;
+};
+void output_rlist(struct rlist *l) {
+	while (l) {
+		print_int(l->data->value);
+		l = l->next;
+	}
+}
+deletes void main(void) {
+	struct rlist *rl;
+	struct rlist *last = null;
+	region r = newregion();
+	int i = 0;
+	while (i < 10) {
+		rl = ralloc(r, struct rlist);
+		rl->data = ralloc(r, struct finfo);
+		rl->data->value = i;
+		rl->next = last;
+		last = rl;
+		i = i + 1;
+	}
+	output_rlist(last);
+	deleteregion(r);
+}
+`)
+	if len(prog.Structs) != 2 || len(prog.Funcs) != 2 {
+		t.Fatalf("got %d structs, %d funcs", len(prog.Structs), len(prog.Funcs))
+	}
+	if prog.Structs[1].Name != "rlist" || len(prog.Structs[1].Fields) != 2 {
+		t.Error("rlist struct wrong")
+	}
+	f := prog.Structs[1].Fields[0]
+	p, ok := f.Type.(*Pointer)
+	if !ok || p.Qual != QualSameRegion {
+		t.Errorf("next field type = %v", f.Type)
+	}
+	if !prog.Funcs[1].Deletes {
+		t.Error("main not marked deletes")
+	}
+}
+
+func TestParseQualifiers(t *testing.T) {
+	prog := mustParse(t, `
+struct t {
+	int *traditional a;
+	struct t *parentptr up;
+	struct t *sameregion *sameregion arr;
+};
+`)
+	fs := prog.Structs[0].Fields
+	if fs[0].Type.(*Pointer).Qual != QualTraditional {
+		t.Error("traditional qual lost")
+	}
+	if fs[1].Type.(*Pointer).Qual != QualParentPtr {
+		t.Error("parentptr qual lost")
+	}
+	outer := fs[2].Type.(*Pointer)
+	if outer.Qual != QualSameRegion || outer.Elem.(*Pointer).Qual != QualSameRegion {
+		t.Error("nested quals lost")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := mustParse(t, `int f(int a, int b) { return a + b * 2 - -a % 3; }`)
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	got := Dump(ret.X)
+	want := "((a + (b * 2)) - (-a % 3))"
+	if got != want {
+		t.Errorf("precedence: got %s, want %s", got, want)
+	}
+}
+
+func TestParseTernaryAndLogic(t *testing.T) {
+	prog := mustParse(t, `int f(int a) { return a > 0 && a < 10 || !a ? 1 : 0; }`)
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if _, ok := ret.X.(*Ternary); !ok {
+		t.Errorf("not a ternary: %s", Dump(ret.X))
+	}
+}
+
+func TestParsePostIncrement(t *testing.T) {
+	prog := mustParse(t, `void f(void) { int i = 0; i++; i--; }`)
+	s := prog.Funcs[0].Body.Stmts[1].(*ExprStmt)
+	a, ok := s.X.(*Assign)
+	if !ok {
+		t.Fatalf("i++ not desugared to assignment: %s", Dump(s.X))
+	}
+	if Dump(a) != "(i = (i + 1))" {
+		t.Errorf("i++ desugared to %s", Dump(a))
+	}
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	prog := mustParse(t, `void f(void) { int i = 0; i += 2; i -= 3; }`)
+	s := prog.Funcs[0].Body.Stmts[1].(*ExprStmt)
+	if a, ok := s.X.(*Assign); !ok || a.Op != PlusAssign {
+		t.Error("+= not parsed")
+	}
+}
+
+func TestParseRalloc(t *testing.T) {
+	prog := mustParse(t, `
+struct v { int x; };
+void f(region r) {
+	struct v *a = ralloc(r, struct v);
+	int *b = rarrayalloc(r, 10, int);
+	a = a;
+	b = b;
+}`)
+	decl := prog.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	ra, ok := decl.Init.(*RallocExpr)
+	if !ok || ra.Count != nil {
+		t.Fatalf("ralloc parse: %s", Dump(decl.Init))
+	}
+	decl2 := prog.Funcs[0].Body.Stmts[1].(*DeclStmt)
+	ra2, ok := decl2.Init.(*RallocExpr)
+	if !ok || ra2.Count == nil {
+		t.Fatalf("rarrayalloc parse: %s", Dump(decl2.Init))
+	}
+}
+
+func TestParseGlobalsAndArrays(t *testing.T) {
+	prog := mustParse(t, `
+int counter = 0;
+char buf[4096];
+struct s { int x; };
+struct s *cache;
+`)
+	if len(prog.Globals) != 3 {
+		t.Fatalf("got %d globals", len(prog.Globals))
+	}
+	if prog.Globals[1].ArrayLen != 4096 {
+		t.Errorf("array len = %d", prog.Globals[1].ArrayLen)
+	}
+}
+
+func TestParsePrototypeAndStatic(t *testing.T) {
+	prog := mustParse(t, `
+deletes void helper(region r);
+static int util(int x) { return x; }
+deletes void helper(region r) { deleteregion(r); }
+`)
+	if len(prog.Funcs) != 3 {
+		t.Fatalf("got %d funcs", len(prog.Funcs))
+	}
+	if prog.Funcs[0].Body != nil {
+		t.Error("prototype has a body")
+	}
+	if !prog.Funcs[2].Deletes {
+		t.Error("deletes lost on definition")
+	}
+}
+
+func TestParseAddressOfAndDeref(t *testing.T) {
+	prog := mustParse(t, `
+void f(int **qp) {
+	int x = 1;
+	*qp = &x;
+	x = **qp + (*qp)[0];
+}`)
+	if len(prog.Funcs[0].Body.Stmts) != 3 {
+		t.Fatal("wrong statement count")
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	prog := mustParse(t, `void f(void) { int i; for (i = 0; i < 10; i++) print_int(i); for (;;) break; }`)
+	f := prog.Funcs[0].Body.Stmts[1].(*ForStmt)
+	if f.Init == nil || f.Cond == nil || f.Post == nil {
+		t.Error("for clauses missing")
+	}
+	inf := prog.Funcs[0].Body.Stmts[2].(*ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Error("empty for clauses not nil")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`void f() { x. y; }`, "struct values"},
+		{`void f() { return }`, "expected"},
+		{`struct s { int x }`, "expected"},
+		{`deletes int g;`, "deletes qualifier on a variable"},
+		{`void f() { int x = ; }`, "expected expression"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("no error for %q", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error for %q = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}

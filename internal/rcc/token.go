@@ -1,0 +1,162 @@
+// Package rcc implements the front end for the RC dialect: a C subset
+// extended with the paper's region API and type annotations (sameregion,
+// traditional, parentptr on pointers; deletes on functions).
+//
+// The dialect covers what the paper's benchmarks need: ints and chars,
+// structs, (multi-level) pointers with per-level qualifiers, global
+// scalars/pointers/arrays, functions, the usual statements and expressions,
+// address-of, string literals, and the region builtins newregion,
+// newsubregion, deleteregion, ralloc, rarrayalloc, regionof.
+package rcc
+
+import "fmt"
+
+// Tok is a lexical token kind.
+type Tok int
+
+const (
+	EOF Tok = iota
+	IDENT
+	INTLIT
+	CHARLIT
+	STRLIT
+
+	// Keywords.
+	KwStruct
+	KwInt
+	KwChar
+	KwVoid
+	KwRegion
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwNull
+	KwSwitch
+	KwCase
+	KwDefault
+	KwDo
+	KwSameregion
+	KwTraditional
+	KwParentptr
+	KwDeletes
+	KwStatic
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	TokAssign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Not
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Arrow
+	Dot
+	Question
+	Colon
+	PlusPlus
+	MinusMinus
+	PlusAssign
+	MinusAssign
+)
+
+var keywords = map[string]Tok{
+	"struct":      KwStruct,
+	"int":         KwInt,
+	"char":        KwChar,
+	"void":        KwVoid,
+	"region":      KwRegion,
+	"if":          KwIf,
+	"else":        KwElse,
+	"while":       KwWhile,
+	"for":         KwFor,
+	"return":      KwReturn,
+	"break":       KwBreak,
+	"continue":    KwContinue,
+	"null":        KwNull,
+	"NULL":        KwNull,
+	"switch":      KwSwitch,
+	"case":        KwCase,
+	"default":     KwDefault,
+	"do":          KwDo,
+	"sameregion":  KwSameregion,
+	"traditional": KwTraditional,
+	"parentptr":   KwParentptr,
+	"deletes":     KwDeletes,
+	"static":      KwStatic,
+}
+
+var tokNames = map[Tok]string{
+	EOF: "end of file", IDENT: "identifier", INTLIT: "integer literal",
+	CHARLIT: "character literal", STRLIT: "string literal",
+	KwStruct: "'struct'", KwInt: "'int'", KwChar: "'char'", KwVoid: "'void'",
+	KwRegion: "'region'", KwIf: "'if'", KwElse: "'else'", KwWhile: "'while'",
+	KwFor: "'for'", KwReturn: "'return'", KwBreak: "'break'",
+	KwContinue: "'continue'", KwNull: "'null'",
+	KwSwitch: "'switch'", KwCase: "'case'", KwDefault: "'default'",
+	KwDo:         "'do'",
+	KwSameregion: "'sameregion'", KwTraditional: "'traditional'",
+	KwParentptr: "'parentptr'", KwDeletes: "'deletes'", KwStatic: "'static'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Semi: "';'", Comma: "','",
+	TokAssign: "'='", Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+	Percent: "'%'", Amp: "'&'", Not: "'!'", Lt: "'<'", Gt: "'>'",
+	Le: "'<='", Ge: "'>='", EqEq: "'=='", NotEq: "'!='",
+	AndAnd: "'&&'", OrOr: "'||'", Arrow: "'->'", Dot: "'.'",
+	Question: "'?'", Colon: "':'", PlusPlus: "'++'", MinusMinus: "'--'",
+	PlusAssign: "'+='", MinusAssign: "'-='",
+}
+
+func (t Tok) String() string {
+	if s, ok := tokNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(t))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token with its position and payload.
+type Token struct {
+	Kind Tok
+	Pos  Pos
+	Text string // identifier or string contents
+	Int  int64  // integer/char value
+}
+
+// Error is a front-end diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,114 @@
+package region
+
+import (
+	"testing"
+
+	"rcgo/internal/mem"
+)
+
+func TestMapStack(t *testing.T) {
+	rt := NewRuntime(Config{})
+	base := rt.MapStack(4)
+	// Stack pages belong to the traditional region.
+	if rt.RegionOf(base) != rt.Traditional() {
+		t.Error("stack not in the traditional region")
+	}
+	if rt.Heap.PageKind(base.Page()) != KindStack {
+		t.Error("stack page kind wrong")
+	}
+	// Stack words are plain storage.
+	rt.Heap.Store(base.Add(100), 42)
+	if rt.Heap.Load(base.Add(100)) != 42 {
+		t.Error("stack storage broken")
+	}
+	// Stack pages are never visited by EachObject.
+	n := 0
+	rt.Traditional().EachObject(func(mem.Addr, TypeID, uint64) { n++ })
+	if n != 0 {
+		t.Errorf("EachObject visited %d stack objects", n)
+	}
+}
+
+func TestDeleteRegionUnsafe(t *testing.T) {
+	rt := NewRuntime(Config{})
+	node := rt.RegisterType(TypeDesc{Name: "n", Size: 1, CountedOffsets: []uint64{0}, AllPtrOffsets: []uint64{0}})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	// Build a (bogus, norc-style) external reference without counting.
+	a := r1.Alloc(node)
+	rt.StoreUnchecked(a, r2.Alloc(node))
+	// Unsafe delete ignores counts and performs no unscan.
+	before := rt.Stats.UnscanObjects
+	rt.DeleteRegionUnsafe(r2)
+	if !r2.Deleted() {
+		t.Fatal("not deleted")
+	}
+	if rt.Stats.UnscanObjects != before {
+		t.Error("unsafe delete ran the unscan")
+	}
+	rt.DeleteRegionUnsafe(r1)
+	// Subregion structure is still enforced.
+	p := rt.NewRegion()
+	rt.NewSubregion(p)
+	expectCheckError(t, "deleteregion", func() { rt.DeleteRegionUnsafe(p) })
+}
+
+func TestUnscanTimeTracked(t *testing.T) {
+	rt := NewRuntime(Config{})
+	node := rt.RegisterType(TypeDesc{Name: "n", Size: 2, CountedOffsets: []uint64{0}, AllPtrOffsets: []uint64{0}})
+	r := rt.NewRegion()
+	for i := 0; i < 5000; i++ {
+		r.Alloc(node)
+	}
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats.UnscanNanos <= 0 {
+		t.Error("unscan time not tracked")
+	}
+	if rt.Stats.UnscanWords != 5000 {
+		t.Errorf("UnscanWords = %d", rt.Stats.UnscanWords)
+	}
+}
+
+func TestRegionOfInterior(t *testing.T) {
+	rt := NewRuntime(Config{})
+	big := rt.RegisterType(TypeDesc{Name: "big", Size: 3000})
+	r := rt.NewRegion()
+	a := r.AllocArray(big, 2)
+	// Interior addresses anywhere in the multi-page run resolve to r.
+	for _, off := range []uint64{0, 1000, 2999, 3000, 5999} {
+		if rt.RegionOf(a.Add(off)) != r {
+			t.Errorf("interior offset %d not in region", off)
+		}
+	}
+}
+
+func TestPointerFreeAblation(t *testing.T) {
+	// DisablePointerFree routes pointer-free objects onto normal pages,
+	// making the delete-time scan visit them.
+	for _, disable := range []bool{false, true} {
+		rt := NewRuntime(Config{DisablePointerFree: disable})
+		leaf := rt.RegisterType(TypeDesc{Name: "leaf", Size: 4})
+		r := rt.NewRegion()
+		for i := 0; i < 100; i++ {
+			r.Alloc(leaf)
+		}
+		if err := rt.DeleteRegion(r); err != nil {
+			t.Fatal(err)
+		}
+		if disable && rt.Stats.UnscanObjects != 100 {
+			t.Errorf("nosplit: scanned %d objects, want 100", rt.Stats.UnscanObjects)
+		}
+		if !disable && rt.Stats.UnscanObjects != 0 {
+			t.Errorf("split: scanned %d objects, want 0", rt.Stats.UnscanObjects)
+		}
+	}
+}
+
+func TestCheckErrorMessage(t *testing.T) {
+	e := &CheckError{Op: "x", Msg: "y"}
+	if e.Error() != "region: x: y" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}

@@ -1,0 +1,173 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+
+	"rcgo/internal/mem"
+)
+
+// randomWorkload drives the runtime through a random sequence of region
+// operations (create, subregion, alloc, pointer stores of every flavour,
+// delete) and checks the two core invariants after every step batch:
+//
+//  1. every region's maintained reference count equals the count found by
+//     a ground-truth heap scan (ValidateCounts);
+//  2. the depth-first numbering matches the hierarchy (ValidateNumbering).
+//
+// All operations run under DeleteFail so unsafe deletions are (correctly)
+// refused rather than aborting; annotated stores are wrapped to tolerate
+// check failures, which the random driver will legitimately provoke.
+func randomWorkload(t *testing.T, seed int64, steps int, policy DeletePolicy) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rt := NewRuntime(Config{Policy: policy})
+	node := rt.RegisterType(TypeDesc{
+		Name: "node", Size: 4,
+		CountedOffsets: []uint64{0, 1},
+		AllPtrOffsets:  []uint64{0, 1, 2},
+	})
+
+	var regions []*Region
+	var objects []mem.Addr // live objects (removed when their region dies)
+
+	pruneDead := func() {
+		live := objects[:0]
+		for _, o := range objects {
+			if !rt.RegionOf(o).Deleted() && rt.Heap.Mapped(o) {
+				live = append(live, o)
+			}
+		}
+		objects = live
+		liveR := regions[:0]
+		for _, r := range regions {
+			if !r.Deleted() {
+				liveR = append(liveR, r)
+			}
+		}
+		regions = liveR
+	}
+
+	tolerateCheck := func(f func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*CheckError); !ok {
+					panic(r)
+				}
+			}
+		}()
+		f()
+	}
+
+	for i := 0; i < steps; i++ {
+		pruneDead() // deferred policy reclaims regions implicitly
+		switch op := rng.Intn(10); {
+		case op == 0 || len(regions) == 0:
+			regions = append(regions, rt.NewRegion())
+		case op == 1:
+			regions = append(regions, rt.NewSubregion(regions[rng.Intn(len(regions))]))
+		case op <= 4: // alloc
+			objects = append(objects, regions[rng.Intn(len(regions))].Alloc(node))
+		case op <= 7 && len(objects) > 0: // counted pointer store
+			p := objects[rng.Intn(len(objects))].Add(uint64(rng.Intn(2)))
+			var val mem.Addr
+			if rng.Intn(4) > 0 {
+				val = objects[rng.Intn(len(objects))]
+			}
+			rt.StorePtr(p, val)
+		case op == 8 && len(objects) > 0: // annotated store (slot 2, uncounted)
+			p := objects[rng.Intn(len(objects))].Add(2)
+			var val mem.Addr
+			if rng.Intn(3) > 0 {
+				val = objects[rng.Intn(len(objects))]
+			}
+			switch rng.Intn(3) {
+			case 0:
+				tolerateCheck(func() { rt.StoreSameRegion(p, val) })
+			case 1:
+				tolerateCheck(func() { rt.StoreParentPtr(p, val) })
+			default:
+				tolerateCheck(func() { rt.StoreTraditional(p, val) })
+			}
+		case op == 9 && len(regions) > 0: // try to delete
+			r := regions[rng.Intn(len(regions))]
+			err := rt.DeleteRegion(r)
+			if policy == DeleteFail && err == nil && !r.Deleted() {
+				t.Fatalf("step %d: DeleteRegion returned nil but region live", i)
+			}
+			pruneDead()
+		}
+		if i%16 == 0 {
+			if err := rt.ValidateCounts(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, i, err)
+			}
+			if err := rt.ValidateNumbering(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, i, err)
+			}
+		}
+	}
+	if err := rt.ValidateCounts(); err != nil {
+		t.Fatalf("seed %d final: %v", seed, err)
+	}
+	if err := rt.ValidateNumbering(); err != nil {
+		t.Fatalf("seed %d final: %v", seed, err)
+	}
+}
+
+func TestQuickRefcountInvariant(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		randomWorkload(t, seed, 400, DeleteFail)
+	}
+}
+
+func TestQuickRefcountInvariantDeferred(t *testing.T) {
+	for seed := int64(100); seed <= 106; seed++ {
+		randomWorkload(t, seed, 300, DeleteDeferred)
+	}
+}
+
+// Property: after any sequence of creations and deletions, IsAncestorOf
+// computed from the numbering agrees with walking parent links.
+func TestQuickNumberingAgreesWithParentWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rt := NewRuntime(Config{Policy: DeleteFail})
+	var regions []*Region
+	for i := 0; i < 300; i++ {
+		switch {
+		case len(regions) == 0 || rng.Intn(4) == 0:
+			regions = append(regions, rt.NewRegion())
+		case rng.Intn(3) == 0 && len(regions) > 0:
+			r := regions[rng.Intn(len(regions))]
+			if !r.Deleted() && r.Subregions() == 0 && r.RC() == 0 {
+				_ = rt.DeleteRegion(r)
+			}
+		default:
+			p := regions[rng.Intn(len(regions))]
+			if !p.Deleted() {
+				regions = append(regions, rt.NewSubregion(p))
+			}
+		}
+		// Cross-check all live pairs.
+		var live []*Region
+		for _, r := range regions {
+			if !r.Deleted() {
+				live = append(live, r)
+			}
+		}
+		for _, a := range live {
+			for _, b := range live {
+				walkUp := false
+				for s := b; s != nil; s = s.Parent() {
+					if s == a {
+						walkUp = true
+						break
+					}
+				}
+				if got := a.IsAncestorOf(b); got != walkUp {
+					t.Fatalf("iter %d: IsAncestorOf(%s,%s) = %v, parent walk says %v",
+						i, a.Name(), b.Name(), got, walkUp)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,687 @@
+// Package region implements the RC runtime of Gay & Aiken, "Language
+// Support for Regions" (PLDI 2001), Section 3.3: reference-counted regions
+// over a paged simulated heap.
+//
+// A region is a growable set of pages holding objects that are freed all at
+// once when the region is deleted. Safety is dynamic: each region keeps a
+// count of the external pointers into it (pointers stored outside the
+// region), and deletion fails while that count is non-zero. Pointer
+// assignments to fields annotated sameregion, traditional or parentptr
+// never update a count; they run the cheap checks of the paper's
+// Figure 3(b) instead of the full update of Figure 3(a).
+//
+// Mirroring the paper's struct region, every Region carries a reference
+// count, a depth-first numbering (id, nextid) of the region hierarchy used
+// by the parentptr check, and two bump allocators: "normal" for objects
+// containing counted pointers (these pages are scanned at delete time) and
+// "pointer-free" for objects containing only non-pointer data or annotated
+// pointers (never scanned).
+package region
+
+import (
+	"fmt"
+	"time"
+
+	"rcgo/internal/mem"
+)
+
+// Page kind tags in the heap page table.
+const (
+	KindNormal      int8 = 0
+	KindPointerFree int8 = 1
+	// KindStack tags pages of the simulated program stack. They belong to
+	// the traditional region (the paper: the traditional region contains
+	// the code, stack, global data and malloc heap) but are not walked by
+	// EachObject or the delete-time scan.
+	KindStack int8 = 2
+)
+
+// DeletePolicy selects what DeleteRegion does when unsafe, corresponding to
+// the three notions of memory safety discussed in Section 3 of the paper.
+type DeletePolicy int
+
+const (
+	// DeleteAbort aborts the program (panics with *CheckError) when a
+	// region with remaining external references or subregions is deleted.
+	// This is the paper's default.
+	DeleteAbort DeletePolicy = iota
+	// DeleteFail makes DeleteRegion return an error instead of aborting.
+	DeleteFail
+	// DeleteDeferred marks the region dead and reclaims it implicitly
+	// when its reference count drops to zero and it has no subregions
+	// (garbage-collection-like semantics).
+	DeleteDeferred
+)
+
+// Abstract cost units per operation, from the paper's SPARC instruction
+// counts: a full reference-count update takes 23 instructions, the
+// annotation checks between 6 and 14, a plain store 1.
+const (
+	CostFullUpdate  = 23
+	CostSameCheck   = 6
+	CostTradCheck   = 6
+	CostParentCheck = 14
+	CostPlainStore  = 1
+)
+
+// TypeDesc describes an allocated type to the runtime: its size and where
+// its pointers live. CountedOffsets lists word offsets of unannotated
+// pointer fields (the ones maintained by reference counting and visited by
+// the delete-time scan). AllPtrOffsets additionally includes annotated
+// pointer fields; the conservative GC baseline and heap validators use it.
+type TypeDesc struct {
+	Name           string
+	Size           uint64 // words, excluding the object header
+	CountedOffsets []uint64
+	AllPtrOffsets  []uint64
+}
+
+// PointerFree reports whether objects of this type can live on
+// pointer-free pages (no counted pointers, so no delete-time scan needed).
+func (t *TypeDesc) PointerFree() bool { return len(t.CountedOffsets) == 0 }
+
+// TypeID names a registered TypeDesc.
+type TypeID int32
+
+// CheckError is the panic/error value for failed safety checks: a failed
+// annotation check, an unsafe deleteregion, or use of a deleted region.
+type CheckError struct {
+	Op  string
+	Msg string
+}
+
+func (e *CheckError) Error() string { return "region: " + e.Op + ": " + e.Msg }
+
+// Stats accumulates the dynamic counts the paper's evaluation reports.
+type Stats struct {
+	Allocs         int64 // objects allocated in regions
+	AllocWords     int64 // words allocated (incl. headers)
+	RCIncrements   int64
+	RCDecrements   int64
+	FullUpdates    int64 // pointer stores that ran the Figure 3(a) protocol
+	SameChecks     int64 // pointer stores that ran the sameregion check
+	TradChecks     int64
+	ParentChecks   int64
+	UncheckedPtrs  int64 // pointer stores with no runtime work (statically safe)
+	UnscanWords    int64 // words visited by delete-time scans
+	UnscanObjects  int64
+	UnscanNanos    int64 // wall time spent in delete-time scans
+	RegionsCreated int64
+	RegionsDeleted int64
+	Cost           int64 // abstract cost units charged to pointer stores
+	MaxLiveBytes   int64
+	LiveBytes      int64
+	PinOps         int64 // local-variable pin/unpin pairs at deletes-calls
+}
+
+func (s *Stats) addLive(words int64) {
+	s.LiveBytes += words * 8
+	if s.LiveBytes > s.MaxLiveBytes {
+		s.MaxLiveBytes = s.LiveBytes
+	}
+}
+
+// Config controls optional runtime behaviour, including the ablation
+// switches benchmarked in bench_test.go.
+type Config struct {
+	Policy DeletePolicy
+	// DisablePointerFree forces every object onto normal (scanned) pages,
+	// ablating the pointer-free allocator split.
+	DisablePointerFree bool
+	// ParentCheckByWalk implements the parentptr check by walking the
+	// parent chain instead of the depth-first numbering, ablating the
+	// (id, nextid) scheme.
+	ParentCheckByWalk bool
+}
+
+// Region is a reference-counted region of the heap.
+type Region struct {
+	rt *Runtime
+
+	rc     int64 // external references (heap pointers from outside + pins)
+	pins   int64 // live-local pins active during deletes-calls
+	id     int32 // depth-first numbering: descendants have id in [id, nextid)
+	nextid int32
+
+	parent   *Region
+	children []*Region
+
+	normal      bumpAllocator
+	pointerFree bumpAllocator
+
+	regID   int32 // owner tag in the heap page table
+	deleted bool
+	zombie  bool // DeleteDeferred: marked for implicit deletion
+	name    string
+}
+
+// A bumpAllocator carves objects out of runs of contiguous pages.
+type bumpAllocator struct {
+	runs []pageRun
+	kind int8
+}
+
+type pageRun struct {
+	first uint64 // first page number
+	pages int
+	used  uint64 // words used in the run
+}
+
+func (r pageRun) base() mem.Addr { return mem.Addr(r.first << mem.PageShift) }
+func (r pageRun) capWords() uint64 {
+	return uint64(r.pages) * mem.PageWords
+}
+
+// Runtime owns the heap, the region forest and the type registry. The
+// distinguished traditional region (holding globals and malloc-emulated
+// data; never deletable) is the root of the forest, so every region is a
+// descendant of it.
+type Runtime struct {
+	Heap   *mem.Heap
+	Stats  Stats
+	Config Config
+
+	regions     []*Region // indexed by regID; nil for deleted slots
+	freeIDs     []int32
+	traditional *Region
+	types       []*TypeDesc
+}
+
+// NewRuntime creates a runtime with a fresh heap and the traditional
+// region already in place.
+func NewRuntime(cfg Config) *Runtime {
+	rt := &Runtime{Heap: mem.NewHeap(), Config: cfg}
+	trad := &Region{rt: rt, name: "traditional"}
+	trad.normal.kind = KindNormal
+	trad.pointerFree.kind = KindPointerFree
+	trad.regID = int32(len(rt.regions))
+	rt.regions = append(rt.regions, trad)
+	rt.traditional = trad
+	rt.renumber()
+	return rt
+}
+
+// Traditional returns the distinguished traditional region, the paper's
+// region constant R_T. It can allocate but never be deleted.
+func (rt *Runtime) Traditional() *Region { return rt.traditional }
+
+// RegisterType records a type descriptor and returns its ID.
+func (rt *Runtime) RegisterType(d TypeDesc) TypeID {
+	cp := d
+	rt.types = append(rt.types, &cp)
+	return TypeID(len(rt.types) - 1)
+}
+
+// Type returns the descriptor for id.
+func (rt *Runtime) Type(id TypeID) *TypeDesc { return rt.types[id] }
+
+// NewRegion creates a new top-level region (a child of the traditional
+// region), corresponding to newregion().
+func (rt *Runtime) NewRegion() *Region { return rt.NewSubregion(rt.traditional) }
+
+// NewSubregion creates a region below parent, corresponding to
+// newsubregion(parent). Subregions must be deleted before their parents.
+func (rt *Runtime) NewSubregion(parent *Region) *Region {
+	if parent.deleted {
+		panic(&CheckError{Op: "newsubregion", Msg: "parent region already deleted"})
+	}
+	r := &Region{rt: rt, parent: parent, name: fmt.Sprintf("r%d", rt.Stats.RegionsCreated+1)}
+	r.normal.kind = KindNormal
+	r.pointerFree.kind = KindPointerFree
+	if n := len(rt.freeIDs); n > 0 {
+		r.regID = rt.freeIDs[n-1]
+		rt.freeIDs = rt.freeIDs[:n-1]
+		rt.regions[r.regID] = r
+	} else {
+		r.regID = int32(len(rt.regions))
+		rt.regions = append(rt.regions, r)
+	}
+	parent.children = append(parent.children, r)
+	rt.Stats.RegionsCreated++
+	// The paper's implementation renumbers the hierarchy on every region
+	// creation; we do the same (see also Config.ParentCheckByWalk).
+	rt.renumber()
+	return r
+}
+
+// renumber assigns depth-first (id, nextid) intervals across the forest:
+// region a is an ancestor-or-self of b iff b.id ∈ [a.id, a.nextid).
+func (rt *Runtime) renumber() {
+	var next int32
+	var walk func(r *Region)
+	walk = func(r *Region) {
+		r.id = next
+		next++
+		for _, c := range r.children {
+			walk(c)
+		}
+		r.nextid = next
+	}
+	walk(rt.traditional)
+}
+
+// RegionOf returns the region containing address a. The null pointer and
+// any address outside region pages belong to the traditional region,
+// matching the paper's view of traditional C pointers.
+func (rt *Runtime) RegionOf(a mem.Addr) *Region {
+	owner := rt.Heap.Owner(a)
+	if owner < 0 {
+		return rt.traditional
+	}
+	return rt.regions[owner]
+}
+
+// Parent returns the region's parent (nil for the traditional region).
+func (r *Region) Parent() *Region { return r.parent }
+
+// Deleted reports whether the region has been deleted.
+func (r *Region) Deleted() bool { return r.deleted }
+
+// RC returns the current external reference count (including pins).
+func (r *Region) RC() int64 { return r.rc }
+
+// Name returns a debug name for the region.
+func (r *Region) Name() string { return r.name }
+
+// Subregions returns the number of live subregions.
+func (r *Region) Subregions() int { return len(r.children) }
+
+// ID returns the region's current depth-first number (for tests).
+func (r *Region) ID() int32 { return r.id }
+
+// NextID returns the end of the region's depth-first interval (for tests).
+func (r *Region) NextID() int32 { return r.nextid }
+
+// IsAncestorOf reports whether r is an ancestor of (or equal to) s, using
+// the depth-first numbering.
+func (r *Region) IsAncestorOf(s *Region) bool {
+	return s.id >= r.id && s.id < r.nextid
+}
+
+// objHeader packs a type ID and an element count into the word that
+// precedes every object on normal pages. Pointer-free objects carry the
+// header too: it costs one word and keeps ArrayLen/validation uniform.
+func objHeader(t TypeID, count uint64) uint64 {
+	return uint64(uint32(t))<<32 | uint64(uint32(count))
+}
+
+func headerType(h uint64) TypeID { return TypeID(uint32(h >> 32)) }
+func headerCount(h uint64) uint64 {
+	return uint64(uint32(h))
+}
+
+// Alloc allocates one object of type t in the region (ralloc). The
+// returned address points at the object body; all fields start as zero
+// (null). Aborts if the region is deleted.
+func (r *Region) Alloc(t TypeID) mem.Addr {
+	return r.AllocArray(t, 1)
+}
+
+// AllocArray allocates count contiguous objects of type t (rarrayalloc).
+func (r *Region) AllocArray(t TypeID, count uint64) mem.Addr {
+	if r.deleted {
+		panic(&CheckError{Op: "ralloc", Msg: "allocation in deleted region " + r.name})
+	}
+	if count == 0 {
+		count = 1
+	}
+	desc := r.rt.types[t]
+	words := desc.Size*count + 1 // +1 for header
+	alloc := &r.normal
+	if desc.PointerFree() && !r.rt.Config.DisablePointerFree {
+		alloc = &r.pointerFree
+	}
+	a := r.bump(alloc, words)
+	r.rt.Heap.Store(a, objHeader(t, count))
+	r.rt.Stats.Allocs++
+	r.rt.Stats.AllocWords += int64(words)
+	r.rt.Stats.addLive(int64(words))
+	return a.Add(1)
+}
+
+func (r *Region) bump(alloc *bumpAllocator, words uint64) mem.Addr {
+	if n := len(alloc.runs); n > 0 {
+		run := &alloc.runs[n-1]
+		if run.used+words <= run.capWords() {
+			a := run.base().Add(run.used)
+			run.used += words
+			return a
+		}
+	}
+	pages := int((words + mem.PageWords - 1) / mem.PageWords)
+	if pages == 0 {
+		pages = 1
+	}
+	first := r.rt.Heap.MapPages(pages, r.regID, alloc.kind)
+	alloc.runs = append(alloc.runs, pageRun{first: first, pages: pages, used: words})
+	return mem.Addr(first << mem.PageShift)
+}
+
+// ArrayLen returns the element count recorded in the header of an object
+// allocated by Alloc/AllocArray.
+func (rt *Runtime) ArrayLen(a mem.Addr) uint64 {
+	return headerCount(rt.Heap.Load(a - 1))
+}
+
+// TypeOf returns the type of an allocated object.
+func (rt *Runtime) TypeOf(a mem.Addr) TypeID {
+	return headerType(rt.Heap.Load(a - 1))
+}
+
+// ---------------------------------------------------------------------------
+// Pointer stores: the Figure 3(a) full update and Figure 3(b) checks.
+
+// StorePtr performs *p = newval on an unannotated pointer field, running
+// the full reference-count update of Figure 3(a).
+func (rt *Runtime) StorePtr(p, newval mem.Addr) {
+	old := mem.Addr(rt.Heap.Load(p))
+	rold := rt.RegionOf(old)
+	rnew := rt.RegionOf(newval)
+	if rold != rnew {
+		rp := rt.RegionOf(p)
+		if rold != rp {
+			rt.decRC(rold)
+		}
+		if rnew != rp {
+			rnew.rc++
+			rt.Stats.RCIncrements++
+		}
+	}
+	rt.Stats.FullUpdates++
+	rt.Stats.Cost += CostFullUpdate
+	rt.Heap.Store(p, uint64(newval))
+}
+
+func (rt *Runtime) decRC(r *Region) {
+	r.rc--
+	rt.Stats.RCDecrements++
+	if r.zombie && r.rc == 0 && r.pins == 0 && len(r.children) == 0 {
+		rt.reclaim(r)
+	}
+}
+
+// StoreSameRegion performs *p = newval on a sameregion field: newval must
+// be null or in the same region as p. No reference count is touched.
+func (rt *Runtime) StoreSameRegion(p, newval mem.Addr) {
+	rt.Stats.SameChecks++
+	rt.Stats.Cost += CostSameCheck
+	if newval != mem.Nil && rt.RegionOf(newval) != rt.RegionOf(p) {
+		panic(&CheckError{Op: "sameregion check",
+			Msg: fmt.Sprintf("value in region %s stored into field in region %s",
+				rt.RegionOf(newval).name, rt.RegionOf(p).name)})
+	}
+	rt.Heap.Store(p, uint64(newval))
+}
+
+// StoreTraditional performs *p = newval on a traditional field: newval
+// must be null or point into the traditional region.
+func (rt *Runtime) StoreTraditional(p, newval mem.Addr) {
+	rt.Stats.TradChecks++
+	rt.Stats.Cost += CostTradCheck
+	if newval != mem.Nil && rt.RegionOf(newval) != rt.traditional {
+		panic(&CheckError{Op: "traditional check",
+			Msg: fmt.Sprintf("value in region %s stored into traditional field",
+				rt.RegionOf(newval).name)})
+	}
+	rt.Heap.Store(p, uint64(newval))
+}
+
+// StoreParentPtr performs *p = newval on a parentptr field: newval must be
+// null or point into an ancestor (or the same) region of p's region. The
+// check uses the depth-first numbering: rp.id ∈ [rn.id, rn.nextid).
+func (rt *Runtime) StoreParentPtr(p, newval mem.Addr) {
+	rt.Stats.ParentChecks++
+	rt.Stats.Cost += CostParentCheck
+	if newval != mem.Nil {
+		rn := rt.RegionOf(newval)
+		rp := rt.RegionOf(p)
+		ok := false
+		if rt.Config.ParentCheckByWalk {
+			for s := rp; s != nil; s = s.parent {
+				if s == rn {
+					ok = true
+					break
+				}
+			}
+		} else {
+			ok = rp.id >= rn.id && rp.id < rn.nextid
+		}
+		if !ok {
+			panic(&CheckError{Op: "parentptr check",
+				Msg: fmt.Sprintf("value in region %s is not an ancestor of field region %s",
+					rn.name, rp.name)})
+		}
+	}
+	rt.Heap.Store(p, uint64(newval))
+}
+
+// StoreUnchecked performs *p = newval with no runtime work: the assignment
+// was proven safe statically by the constraint inference, or checking is
+// disabled ("nc" configuration).
+func (rt *Runtime) StoreUnchecked(p, newval mem.Addr) {
+	rt.Stats.UncheckedPtrs++
+	rt.Stats.Cost += CostPlainStore
+	rt.Heap.Store(p, uint64(newval))
+}
+
+// ---------------------------------------------------------------------------
+// Local-variable handling: pins around deletes-calls.
+
+// Pin increments the region's count on behalf of a live local variable for
+// the duration of a call to a deletes-qualified function.
+func (r *Region) Pin() {
+	r.rc++
+	r.pins++
+	r.rt.Stats.PinOps++
+	r.rt.Stats.RCIncrements++
+}
+
+// Unpin undoes Pin.
+func (r *Region) Unpin() {
+	r.pins--
+	r.rt.decRC(r)
+}
+
+// MapStack maps a run of pages in the traditional region to serve as the
+// simulated program stack and returns its base address. Stack pages are
+// never scanned by the runtime; the VM manages their contents.
+func (rt *Runtime) MapStack(pages int) mem.Addr {
+	first := rt.Heap.MapPages(pages, rt.traditional.regID, KindStack)
+	return mem.Addr(first << mem.PageShift)
+}
+
+// ---------------------------------------------------------------------------
+// Deletion.
+
+// DeleteRegion deletes the region, freeing all its objects
+// (deleteregion(r)). Under DeleteAbort it panics with *CheckError if the
+// region still has subregions or a non-zero external reference count;
+// under DeleteFail it returns the error instead; under DeleteDeferred it
+// marks the region and reclaims it when it becomes unreferenced.
+func (rt *Runtime) DeleteRegion(r *Region) error {
+	if r == rt.traditional {
+		err := &CheckError{Op: "deleteregion", Msg: "cannot delete the traditional region"}
+		if rt.Config.Policy == DeleteFail {
+			return err
+		}
+		panic(err)
+	}
+	if r.deleted {
+		err := &CheckError{Op: "deleteregion", Msg: "region " + r.name + " already deleted"}
+		if rt.Config.Policy == DeleteFail {
+			return err
+		}
+		panic(err)
+	}
+	unsafe := len(r.children) > 0 || r.rc != 0
+	if unsafe {
+		switch rt.Config.Policy {
+		case DeleteAbort:
+			panic(rt.deleteError(r))
+		case DeleteFail:
+			return rt.deleteError(r)
+		case DeleteDeferred:
+			r.zombie = true
+			return nil
+		}
+	}
+	rt.reclaim(r)
+	return nil
+}
+
+func (rt *Runtime) deleteError(r *Region) *CheckError {
+	if len(r.children) > 0 {
+		return &CheckError{Op: "deleteregion",
+			Msg: fmt.Sprintf("region %s has %d live subregions", r.name, len(r.children))}
+	}
+	return &CheckError{Op: "deleteregion",
+		Msg: fmt.Sprintf("region %s has %d external references", r.name, r.rc)}
+}
+
+// DeleteRegionUnsafe reclaims the region without any safety check and
+// without the delete-time unscan. It implements the "norc" configuration
+// of the paper's evaluation, in which reference counting is disabled
+// entirely (no counts exist, so there is nothing to check or fix up).
+// Subregion structure is still maintained. It panics if subregions remain,
+// since reclaiming a parent under live children would corrupt the
+// hierarchy rather than merely being memory-unsafe.
+func (rt *Runtime) DeleteRegionUnsafe(r *Region) {
+	if r == rt.traditional || r.deleted {
+		panic(&CheckError{Op: "deleteregion", Msg: "unsafe delete of traditional or deleted region"})
+	}
+	if len(r.children) > 0 {
+		panic(&CheckError{Op: "deleteregion", Msg: "unsafe delete of region with subregions"})
+	}
+	rt.release(r)
+}
+
+// reclaim performs the actual deletion: the "region unscan" that removes
+// the dying region's references to other regions, then page release.
+func (rt *Runtime) reclaim(r *Region) {
+	rt.unscan(r)
+	rt.release(r)
+}
+
+func (rt *Runtime) release(r *Region) {
+	for _, run := range r.normal.runs {
+		for i := 0; i < run.pages; i++ {
+			rt.Heap.UnmapPage(run.first + uint64(i))
+		}
+		rt.Stats.addLive(-int64(run.used))
+	}
+	for _, run := range r.pointerFree.runs {
+		for i := 0; i < run.pages; i++ {
+			rt.Heap.UnmapPage(run.first + uint64(i))
+		}
+		rt.Stats.addLive(-int64(run.used))
+	}
+	r.normal.runs = nil
+	r.pointerFree.runs = nil
+	r.deleted = true
+	rt.Stats.RegionsDeleted++
+	// Detach from the hierarchy.
+	p := r.parent
+	for i, c := range p.children {
+		if c == r {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			break
+		}
+	}
+	rt.regions[r.regID] = nil
+	rt.freeIDs = append(rt.freeIDs, r.regID)
+	rt.renumber()
+	// Deferred policy: deleting the last subregion may unblock a zombie
+	// parent.
+	if p.zombie && p.rc == 0 && p.pins == 0 && len(p.children) == 0 {
+		rt.reclaim(p)
+	}
+}
+
+// unscan walks every object on the region's normal pages and decrements
+// the counts of other regions referenced from counted pointer fields. The
+// pointer-free pages are skipped — that is the point of the split.
+func (rt *Runtime) unscan(r *Region) {
+	if len(r.normal.runs) > 0 {
+		start := time.Now()
+		defer func() { rt.Stats.UnscanNanos += time.Since(start).Nanoseconds() }()
+	}
+	for _, run := range r.normal.runs {
+		base := run.base()
+		off := uint64(0)
+		for off < run.used {
+			h := rt.Heap.Load(base.Add(off))
+			t := rt.types[headerType(h)]
+			count := headerCount(h)
+			rt.Stats.UnscanObjects++
+			body := base.Add(off + 1)
+			for i := uint64(0); i < count; i++ {
+				elem := body.Add(i * t.Size)
+				for _, po := range t.CountedOffsets {
+					rt.Stats.UnscanWords++
+					val := mem.Addr(rt.Heap.Load(elem.Add(po)))
+					if val == mem.Nil {
+						continue
+					}
+					target := rt.RegionOf(val)
+					if target != r {
+						rt.decRC(target)
+					}
+				}
+			}
+			off += t.Size*count + 1
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection used by tests, validators and the experiment harness.
+
+// EachObject calls f(addr, type, count) for every live object in the
+// region, on both normal and pointer-free pages.
+func (r *Region) EachObject(f func(a mem.Addr, t TypeID, count uint64)) {
+	for _, alloc := range []*bumpAllocator{&r.normal, &r.pointerFree} {
+		for _, run := range alloc.runs {
+			base := run.base()
+			off := uint64(0)
+			for off < run.used {
+				h := r.rt.Heap.Load(base.Add(off))
+				t := headerType(h)
+				count := headerCount(h)
+				f(base.Add(off+1), t, count)
+				off += r.rt.types[t].Size*count + 1
+			}
+		}
+	}
+}
+
+// EachRegion calls f for every live region, including the traditional one.
+func (rt *Runtime) EachRegion(f func(r *Region)) {
+	for _, r := range rt.regions {
+		if r != nil && !r.deleted {
+			f(r)
+		}
+	}
+}
+
+// LiveRegions returns the number of live regions, excluding traditional.
+func (rt *Runtime) LiveRegions() int {
+	n := 0
+	rt.EachRegion(func(r *Region) {
+		if r != rt.traditional {
+			n++
+		}
+	})
+	return n
+}
+
+// UsedWords returns the words consumed by live allocations in the region.
+func (r *Region) UsedWords() uint64 {
+	var n uint64
+	for _, run := range r.normal.runs {
+		n += run.used
+	}
+	for _, run := range r.pointerFree.runs {
+		n += run.used
+	}
+	return n
+}

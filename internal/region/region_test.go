@@ -1,0 +1,508 @@
+package region
+
+import (
+	"strings"
+	"testing"
+
+	"rcgo/internal/mem"
+)
+
+// Test fixture types: a two-pointer list node and a pointer-free payload.
+func newTestRuntime(t *testing.T, cfg Config) (*Runtime, TypeID, TypeID) {
+	t.Helper()
+	rt := NewRuntime(cfg)
+	node := rt.RegisterType(TypeDesc{
+		Name: "node", Size: 3,
+		CountedOffsets: []uint64{0, 1},
+		AllPtrOffsets:  []uint64{0, 1},
+	})
+	leaf := rt.RegisterType(TypeDesc{Name: "leaf", Size: 2})
+	return rt, node, leaf
+}
+
+func expectCheckError(t *testing.T, op string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: expected CheckError panic", op)
+		}
+		ce, ok := r.(*CheckError)
+		if !ok {
+			t.Fatalf("%s: panicked with %v, want *CheckError", op, r)
+		}
+		if !strings.Contains(ce.Op, op) {
+			t.Fatalf("%s: got op %q", op, ce.Op)
+		}
+	}()
+	f()
+}
+
+func TestAllocAndRegionOf(t *testing.T) {
+	rt, node, leaf := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	a := r.Alloc(node)
+	b := r.Alloc(leaf)
+	if rt.RegionOf(a) != r || rt.RegionOf(b) != r {
+		t.Fatal("RegionOf does not map allocations to their region")
+	}
+	if rt.RegionOf(mem.Nil) != rt.Traditional() {
+		t.Error("RegionOf(nil) should be the traditional region")
+	}
+	if rt.TypeOf(a) != node {
+		t.Errorf("TypeOf = %d, want %d", rt.TypeOf(a), node)
+	}
+	// Fields start null.
+	if rt.Heap.Load(a) != 0 || rt.Heap.Load(a.Add(2)) != 0 {
+		t.Error("fresh object not zeroed")
+	}
+}
+
+func TestPointerFreeSegregation(t *testing.T) {
+	rt, node, leaf := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	a := r.Alloc(node)
+	b := r.Alloc(leaf)
+	if rt.Heap.PageKind((a - 1).Page()) != KindNormal {
+		t.Error("node allocated on non-normal page")
+	}
+	if rt.Heap.PageKind((b - 1).Page()) != KindPointerFree {
+		t.Error("pointer-free object allocated on normal page")
+	}
+	// Ablation: disabling the split puts everything on normal pages.
+	rt2 := NewRuntime(Config{DisablePointerFree: true})
+	leaf2 := rt2.RegisterType(TypeDesc{Name: "leaf", Size: 2})
+	c := rt2.NewRegion().Alloc(leaf2)
+	if rt2.Heap.PageKind((c - 1).Page()) != KindNormal {
+		t.Error("DisablePointerFree did not force normal pages")
+	}
+}
+
+func TestArrayAlloc(t *testing.T) {
+	rt, _, leaf := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	a := r.AllocArray(leaf, 10)
+	if rt.ArrayLen(a) != 10 {
+		t.Errorf("ArrayLen = %d, want 10", rt.ArrayLen(a))
+	}
+	// Elements are contiguous: 10 elements of size 2.
+	for i := uint64(0); i < 20; i++ {
+		rt.Heap.Store(a.Add(i), i+1)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if rt.Heap.Load(a.Add(i)) != i+1 {
+			t.Fatalf("element word %d corrupted", i)
+		}
+	}
+}
+
+func TestLargeObject(t *testing.T) {
+	rt := NewRuntime(Config{})
+	big := rt.RegisterType(TypeDesc{Name: "big", Size: 3 * mem.PageWords})
+	r := rt.NewRegion()
+	a := r.Alloc(big)
+	rt.Heap.Store(a.Add(3*mem.PageWords-1), 7)
+	if rt.Heap.Load(a.Add(3*mem.PageWords-1)) != 7 {
+		t.Error("large object tail inaccessible")
+	}
+	if rt.RegionOf(a.Add(2*mem.PageWords)) != r {
+		t.Error("interior page of large object not owned by region")
+	}
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefCountBasic(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	a := r1.Alloc(node)
+	b := r2.Alloc(node)
+	// Store b into a.field0: external reference r1 -> r2.
+	rt.StorePtr(a, b)
+	if r2.RC() != 1 {
+		t.Fatalf("r2.RC = %d, want 1", r2.RC())
+	}
+	if r1.RC() != 0 {
+		t.Fatalf("r1.RC = %d, want 0", r1.RC())
+	}
+	// Overwrite with an internal pointer: count drops.
+	a2 := r1.Alloc(node)
+	rt.StorePtr(a, a2)
+	if r2.RC() != 0 {
+		t.Fatalf("r2.RC after overwrite = %d, want 0", r2.RC())
+	}
+	if err := rt.ValidateCounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefCountSameRegionAssignsFree(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	a := r.Alloc(node)
+	b := r.Alloc(node)
+	rt.StorePtr(a, b) // internal: no count changes
+	if r.RC() != 0 {
+		t.Errorf("internal pointer counted: RC = %d", r.RC())
+	}
+	if rt.Stats.RCIncrements != 0 {
+		t.Errorf("RCIncrements = %d, want 0", rt.Stats.RCIncrements)
+	}
+}
+
+func TestRefCountNullTransitions(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	a := r1.Alloc(node)
+	b := r2.Alloc(node)
+	rt.StorePtr(a, b)
+	rt.StorePtr(a, mem.Nil) // null out: count restored
+	if r2.RC() != 0 {
+		t.Fatalf("r2.RC = %d, want 0", r2.RC())
+	}
+	if err := rt.ValidateCounts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAbortOnExternalRef(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	a := r1.Alloc(node)
+	rt.StorePtr(a, r2.Alloc(node))
+	expectCheckError(t, "deleteregion", func() { _ = rt.DeleteRegion(r2) })
+}
+
+func TestDeleteFailPolicy(t *testing.T) {
+	rt := NewRuntime(Config{Policy: DeleteFail})
+	node := rt.RegisterType(TypeDesc{Name: "node", Size: 1, CountedOffsets: []uint64{0}, AllPtrOffsets: []uint64{0}})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	rt.StorePtr(r1.Alloc(node), r2.Alloc(node))
+	if err := rt.DeleteRegion(r2); err == nil {
+		t.Fatal("DeleteFail returned nil for referenced region")
+	}
+	if r2.Deleted() {
+		t.Fatal("region deleted despite references")
+	}
+	// Clearing the reference makes deletion succeed.
+	r1.EachObject(func(a mem.Addr, _ TypeID, _ uint64) { rt.StorePtr(a, mem.Nil) })
+	if err := rt.DeleteRegion(r2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteDeferredPolicy(t *testing.T) {
+	rt := NewRuntime(Config{Policy: DeleteDeferred})
+	node := rt.RegisterType(TypeDesc{Name: "node", Size: 1, CountedOffsets: []uint64{0}, AllPtrOffsets: []uint64{0}})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	slot := r1.Alloc(node)
+	rt.StorePtr(slot, r2.Alloc(node))
+	if err := rt.DeleteRegion(r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Deleted() {
+		t.Fatal("deferred delete reclaimed a referenced region")
+	}
+	// Dropping the last reference reclaims implicitly.
+	rt.StorePtr(slot, mem.Nil)
+	if !r2.Deleted() {
+		t.Fatal("deferred delete did not reclaim at rc==0")
+	}
+}
+
+func TestDeleteDeferredCascadeToParent(t *testing.T) {
+	rt := NewRuntime(Config{Policy: DeleteDeferred})
+	parent := rt.NewRegion()
+	child := rt.NewSubregion(parent)
+	if err := rt.DeleteRegion(parent); err != nil {
+		t.Fatal(err)
+	}
+	if parent.Deleted() {
+		t.Fatal("parent reclaimed while child lives")
+	}
+	if err := rt.DeleteRegion(child); err != nil {
+		t.Fatal(err)
+	}
+	if !child.Deleted() || !parent.Deleted() {
+		t.Fatal("cascade did not reclaim parent after last child")
+	}
+}
+
+func TestDeleteSubregionOrder(t *testing.T) {
+	rt, _, _ := newTestRuntime(t, Config{})
+	parent := rt.NewRegion()
+	child := rt.NewSubregion(parent)
+	expectCheckError(t, "deleteregion", func() { _ = rt.DeleteRegion(parent) })
+	if err := rt.DeleteRegion(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeleteRegion(parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteTraditionalForbidden(t *testing.T) {
+	rt, _, _ := newTestRuntime(t, Config{})
+	expectCheckError(t, "deleteregion", func() { _ = rt.DeleteRegion(rt.Traditional()) })
+}
+
+func TestDoubleDelete(t *testing.T) {
+	rt, _, _ := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	expectCheckError(t, "deleteregion", func() { _ = rt.DeleteRegion(r) })
+}
+
+func TestAllocInDeletedRegion(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	expectCheckError(t, "ralloc", func() { r.Alloc(node) })
+}
+
+func TestUnscanDecrementsOutboundCounts(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	// r1 holds three pointers into r2.
+	for i := 0; i < 3; i++ {
+		rt.StorePtr(r1.Alloc(node), r2.Alloc(node))
+	}
+	if r2.RC() != 3 {
+		t.Fatalf("r2.RC = %d, want 3", r2.RC())
+	}
+	if err := rt.DeleteRegion(r1); err != nil {
+		t.Fatal(err)
+	}
+	if r2.RC() != 0 {
+		t.Fatalf("r2.RC after unscan = %d, want 0", r2.RC())
+	}
+	if rt.Stats.UnscanObjects == 0 {
+		t.Error("unscan did not visit objects")
+	}
+	if err := rt.DeleteRegion(r2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnscanSkipsPointerFreePages(t *testing.T) {
+	rt, _, leaf := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	for i := 0; i < 100; i++ {
+		r.Alloc(leaf)
+	}
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats.UnscanObjects != 0 {
+		t.Errorf("unscan visited %d pointer-free objects", rt.Stats.UnscanObjects)
+	}
+}
+
+func TestSameRegionCheck(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	a := r1.Alloc(node)
+	rt.StoreSameRegion(a, r1.Alloc(node)) // ok
+	rt.StoreSameRegion(a, mem.Nil)        // null ok
+	expectCheckError(t, "sameregion", func() { rt.StoreSameRegion(a, r2.Alloc(node)) })
+	if r2.RC() != 0 || r1.RC() != 0 {
+		t.Error("sameregion store touched reference counts")
+	}
+}
+
+func TestTraditionalCheck(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r1 := rt.NewRegion()
+	a := r1.Alloc(node)
+	tradObj := rt.Traditional().Alloc(node)
+	rt.StoreTraditional(a, tradObj) // ok
+	rt.StoreTraditional(a, mem.Nil) // null ok
+	expectCheckError(t, "traditional", func() { rt.StoreTraditional(a, r1.Alloc(node)) })
+}
+
+func TestParentPtrCheck(t *testing.T) {
+	for _, walk := range []bool{false, true} {
+		rt := NewRuntime(Config{ParentCheckByWalk: walk})
+		node := rt.RegisterType(TypeDesc{Name: "node", Size: 2, CountedOffsets: []uint64{0}, AllPtrOffsets: []uint64{0}})
+		parent := rt.NewRegion()
+		child := rt.NewSubregion(parent)
+		sibling := rt.NewRegion()
+		a := child.Alloc(node)
+		rt.StoreParentPtr(a.Add(1), parent.Alloc(node)) // up: ok
+		rt.StoreParentPtr(a.Add(1), child.Alloc(node))  // same region: ok
+		rt.StoreParentPtr(a.Add(1), mem.Nil)            // null: ok
+		expectCheckError(t, "parentptr", func() {
+			rt.StoreParentPtr(a.Add(1), sibling.Alloc(node))
+		})
+		// Downward pointers are rejected too.
+		b := parent.Alloc(node)
+		expectCheckError(t, "parentptr", func() {
+			rt.StoreParentPtr(b.Add(1), child.Alloc(node))
+		})
+	}
+}
+
+func TestParentPtrToTraditional(t *testing.T) {
+	// The traditional region is the root of the forest, so a parentptr may
+	// legally point at traditional data.
+	rt, node, _ := newTestRuntime(t, Config{})
+	r := rt.NewSubregion(rt.NewRegion())
+	a := r.Alloc(node)
+	rt.StoreParentPtr(a, rt.Traditional().Alloc(node))
+}
+
+func TestPinsBlockDeletion(t *testing.T) {
+	rt := NewRuntime(Config{Policy: DeleteFail})
+	r := rt.NewRegion()
+	r.Pin()
+	if err := rt.DeleteRegion(r); err == nil {
+		t.Fatal("pinned region deleted")
+	}
+	r.Unpin()
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinUnpinDeferredReclaims(t *testing.T) {
+	rt := NewRuntime(Config{Policy: DeleteDeferred})
+	r := rt.NewRegion()
+	r.Pin()
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Deleted() {
+		t.Fatal("pinned region reclaimed")
+	}
+	r.Unpin()
+	if !r.Deleted() {
+		t.Fatal("unpin did not trigger deferred reclaim")
+	}
+}
+
+func TestNumbering(t *testing.T) {
+	rt, _, _ := newTestRuntime(t, Config{})
+	a := rt.NewRegion()
+	b := rt.NewSubregion(a)
+	c := rt.NewSubregion(b)
+	d := rt.NewRegion()
+	if err := rt.ValidateNumbering(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsAncestorOf(c) || !a.IsAncestorOf(b) || !b.IsAncestorOf(c) {
+		t.Error("ancestry via numbering failed")
+	}
+	if a.IsAncestorOf(d) || d.IsAncestorOf(a) || c.IsAncestorOf(a) {
+		t.Error("false ancestry via numbering")
+	}
+	if !rt.Traditional().IsAncestorOf(c) {
+		t.Error("traditional region should be everyone's ancestor")
+	}
+	if err := rt.DeleteRegion(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ValidateNumbering(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSubregionOfDeletedPanics(t *testing.T) {
+	rt, _, _ := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	expectCheckError(t, "newsubregion", func() { rt.NewSubregion(r) })
+}
+
+func TestCycleWithinRegionIsFine(t *testing.T) {
+	rt, node, _ := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	a := r.Alloc(node)
+	b := r.Alloc(node)
+	rt.StorePtr(a, b)
+	rt.StorePtr(b, a) // cycle inside one region: no counts, freely deletable
+	if r.RC() != 0 {
+		t.Fatalf("RC = %d, want 0", r.RC())
+	}
+	if err := rt.DeleteRegion(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossRegionCycleBlocksAndBreaks(t *testing.T) {
+	rt := NewRuntime(Config{Policy: DeleteFail})
+	node := rt.RegisterType(TypeDesc{Name: "node", Size: 1, CountedOffsets: []uint64{0}, AllPtrOffsets: []uint64{0}})
+	r1 := rt.NewRegion()
+	r2 := rt.NewRegion()
+	a := r1.Alloc(node)
+	b := r2.Alloc(node)
+	rt.StorePtr(a, b)
+	rt.StorePtr(b, a)
+	if rt.DeleteRegion(r1) == nil || rt.DeleteRegion(r2) == nil {
+		t.Fatal("cross-region cycle did not block deletion")
+	}
+	// Breaking the cycle (programmer's responsibility per the paper)
+	// unblocks deletion.
+	rt.StorePtr(a, mem.Nil)
+	if err := rt.DeleteRegion(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeleteRegion(r1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rt, node, leaf := newTestRuntime(t, Config{})
+	r := rt.NewRegion()
+	a := r.Alloc(node)
+	r.Alloc(leaf)
+	rt.StorePtr(a, mem.Nil)
+	rt.StoreSameRegion(a, mem.Nil)
+	rt.StoreUnchecked(a, mem.Nil)
+	s := rt.Stats
+	if s.Allocs != 2 || s.FullUpdates != 1 || s.SameChecks != 1 || s.UncheckedPtrs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	wantCost := int64(CostFullUpdate + CostSameCheck + CostPlainStore)
+	if s.Cost != wantCost {
+		t.Errorf("Cost = %d, want %d", s.Cost, wantCost)
+	}
+	if s.MaxLiveBytes <= 0 {
+		t.Error("MaxLiveBytes not tracked")
+	}
+}
+
+func TestPageRecyclingAcrossRegions(t *testing.T) {
+	rt, _, leaf := newTestRuntime(t, Config{})
+	for i := 0; i < 50; i++ {
+		r := rt.NewRegion()
+		for j := 0; j < 200; j++ {
+			r.Alloc(leaf)
+		}
+		if err := rt.DeleteRegion(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Heap should not grow without bound: live pages are zero, page table
+	// stays small thanks to recycling.
+	if rt.Heap.MappedPages() != 0 {
+		t.Errorf("MappedPages = %d, want 0", rt.Heap.MappedPages())
+	}
+	if rt.Heap.NumPages() > 16 {
+		t.Errorf("page table grew to %d entries; recycling broken?", rt.Heap.NumPages())
+	}
+}

@@ -1,0 +1,82 @@
+package region
+
+import (
+	"fmt"
+
+	"rcgo/internal/mem"
+)
+
+// ValidateCounts recomputes every region's external reference count by a
+// full scan of all counted pointer fields in the heap and compares it with
+// the maintained count (minus live-local pins). It returns an error
+// describing the first mismatch, or nil.
+//
+// This is the runtime's ground-truth invariant: for every region r,
+//
+//	r.rc - r.pins == #{ counted heap slots s outside r : *s points into r }
+//
+// Annotated (sameregion/traditional/parentptr) fields are excluded, exactly
+// as in the paper: their checks guarantee they never create unaccounted
+// unsafe references.
+func (rt *Runtime) ValidateCounts() error {
+	want := make(map[*Region]int64)
+	rt.EachRegion(func(src *Region) {
+		src.EachObject(func(a mem.Addr, tid TypeID, count uint64) {
+			t := rt.types[tid]
+			for i := uint64(0); i < count; i++ {
+				elem := a.Add(i * t.Size)
+				for _, po := range t.CountedOffsets {
+					val := mem.Addr(rt.Heap.Load(elem.Add(po)))
+					if val == mem.Nil {
+						continue
+					}
+					target := rt.RegionOf(val)
+					if target != src {
+						want[target]++
+					}
+				}
+			}
+		})
+	})
+	var err error
+	rt.EachRegion(func(r *Region) {
+		if err != nil || r == rt.traditional {
+			return
+		}
+		if got := r.rc - r.pins; got != want[r] {
+			err = fmt.Errorf("region %s: maintained count %d (rc %d - pins %d), heap scan found %d external references",
+				r.name, got, r.rc, r.pins, want[r])
+		}
+	})
+	return err
+}
+
+// ValidateNumbering checks that the depth-first numbering is consistent
+// with the region hierarchy: intervals nest exactly along parent links.
+func (rt *Runtime) ValidateNumbering() error {
+	var err error
+	var walk func(r *Region)
+	walk = func(r *Region) {
+		if err != nil {
+			return
+		}
+		if r.id >= r.nextid {
+			err = fmt.Errorf("region %s: empty interval [%d,%d)", r.name, r.id, r.nextid)
+			return
+		}
+		prev := r.id + 1
+		for _, c := range r.children {
+			if c.id != prev {
+				err = fmt.Errorf("region %s: child %s id %d, want %d", r.name, c.name, c.id, prev)
+				return
+			}
+			walk(c)
+			prev = c.nextid
+		}
+		if prev != r.nextid {
+			err = fmt.Errorf("region %s: nextid %d, children end at %d", r.name, r.nextid, prev)
+		}
+	}
+	walk(rt.traditional)
+	return err
+}

@@ -1,0 +1,183 @@
+package rlang
+
+import (
+	"fmt"
+)
+
+// CheckProgram validates an inferred typing against the typing rules of
+// the paper's Figure 6, playing the role of the declarative type checker
+// for which Infer computes a witness. It re-derives the facts holding at
+// every program point from the summaries alone and verifies that
+//
+//   - at every call site, the caller's facts imply the callee's input
+//     property (the premise of the (fncall) rule);
+//   - at every return, the facts imply the function's output property and
+//     the result's property (the premise of the (fndef) rule);
+//   - every chk eliminated by the inference is implied by the facts at
+//     that point (the (check) rule made statically redundant).
+//
+// A sound inference always produces a typing that passes; the checker
+// exists so that bugs in the fixpoint machinery cannot silently produce
+// an inadmissible (unsound) typing.
+func CheckProgram(p *Program, res *InferResult) error {
+	for name, f := range p.Funcs {
+		if err := checkFunc(p, f, res); err != nil {
+			return fmt.Errorf("rlang: function %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func checkFunc(p *Program, f *Func, res *InferResult) error {
+	sum := res.Summaries[f.Name]
+	if sum == nil {
+		return fmt.Errorf("missing summary")
+	}
+	ins := make([]*Set, len(f.Blocks))
+	for i := range ins {
+		ins[i] = Universe()
+	}
+	entry := sum.Input
+	if entry.IsUniverse() {
+		entry = Empty()
+	}
+	ins[0] = entry.Clone()
+
+	ck := &checker{
+		prog: p,
+		res:  res,
+		scratch: &InferResult{
+			SafeSite:  make([]bool, p.NumSites),
+			SiteSeen:  make([]bool, p.NumSites),
+			Summaries: res.Summaries,
+		},
+	}
+	work := []int{0}
+	inWork := make([]bool, len(f.Blocks))
+	inWork[0] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		facts := ins[bi].Clone()
+		for si := range f.Blocks[bi].Stmts {
+			var err error
+			facts, err = ck.step(f, &f.Blocks[bi].Stmts[si], facts, sum)
+			if err != nil {
+				return fmt.Errorf("block %d stmt %d: %w", bi, si, err)
+			}
+		}
+		for _, succ := range f.Blocks[bi].Succs {
+			merged := Meet(ins[succ], facts)
+			if !merged.Equal(ins[succ]) {
+				ins[succ] = merged
+				if !inWork[succ] {
+					inWork[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog *Program
+	res  *InferResult
+	// scratch receives the transfer function's site classifications so
+	// checking never mutates the result under validation.
+	scratch *InferResult
+}
+
+// step applies one statement, verifying its side conditions. It reuses
+// the inference's transfer semantics but demands rather than computes the
+// judgment premises.
+func (ck *checker) step(f *Func, s *Stmt, in *Set, sum *Summary) (*Set, error) {
+	switch s.Kind {
+	case SFieldWrite:
+		if fact, annotated := chkFact(s.Qual, s.Src, s.Val); annotated {
+			if s.Site >= 0 && s.Site < len(ck.res.SafeSite) && ck.res.SafeSite[s.Site] {
+				if !in.Implies(fact) {
+					return nil, fmt.Errorf("eliminated check at site %d not implied: %v ⊬ %v",
+						s.Site, in, fact)
+				}
+			}
+		}
+	case SCall:
+		callee, known := ck.prog.Funcs[s.Callee]
+		if known {
+			csum := ck.res.Summaries[s.Callee]
+			// The (fncall) premise: caller facts imply the callee's
+			// input property under the formal-for-actual substitution.
+			if !csum.Input.IsUniverse() {
+				back := make(map[Var]Var)
+				for i, pv := range callee.Params {
+					if i >= len(s.Args) || pv == NoVar || s.Args[i] == NoVar {
+						continue
+					}
+					if _, taken := back[pv]; !taken {
+						back[pv] = s.Args[i]
+					}
+				}
+				renamed := csum.Input.Restrict(back)
+				if err := implied(in, renamed); err != nil {
+					return nil, fmt.Errorf("call to %s: input property not satisfied: %w",
+						s.Callee, err)
+				}
+			}
+		}
+	case SReturn:
+		// The (fndef) premise: the facts at return imply the declared
+		// output property; the result value satisfies the result
+		// property.
+		rename := make(map[Var]Var)
+		for _, pv := range f.Params {
+			if pv != NoVar {
+				rename[pv] = pv
+			}
+		}
+		have := in.Restrict(rename)
+		if err := implied(have, sum.Output); err != nil {
+			return nil, fmt.Errorf("output property not satisfied: %w", err)
+		}
+		if s.Src != NoVar {
+			rename2 := make(map[Var]Var)
+			for _, pv := range f.Params {
+				if pv != NoVar {
+					rename2[pv] = pv
+				}
+			}
+			var haveR *Set
+			if _, isParam := rename2[s.Src]; isParam {
+				haveR = in.Restrict(rename2)
+				haveR.Add(Eq(resultVar(f), s.Src))
+			} else {
+				rename2[s.Src] = resultVar(f)
+				haveR = in.Restrict(rename2)
+			}
+			if err := implied(haveR, sum.Result); err != nil {
+				return nil, fmt.Errorf("result property not satisfied: %w", err)
+			}
+		}
+	}
+	// Advance using the inference's (shared) transfer semantics.
+	inf := &inference{prog: ck.prog, sums: ck.res.Summaries}
+	var oAcc, rAcc *Set = Universe(), Universe()
+	out := inf.transfer(f, s, in, ck.scratch, map[string]bool{}, &oAcc, &rAcc)
+	return out, nil
+}
+
+// implied verifies that have entails every fact of want.
+func implied(have, want *Set) error {
+	if want.IsUniverse() {
+		// The universal property only types unreachable code; reaching
+		// it with concrete facts is a fixpoint bug.
+		return fmt.Errorf("reached code with universal (unreachable) property")
+	}
+	for f := range want.facts {
+		if !have.Implies(f) {
+			return fmt.Errorf("%v ⊬ %v", have, f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package rlang
+
+import (
+	"strings"
+	"testing"
+
+	"rcgo/internal/rcc"
+)
+
+func translateSrc(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := rcc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := rcc.Check(prog, true)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return Translate(cp)
+}
+
+// Every inferred typing over the test corpus must pass the Figure 6
+// checker.
+func TestCheckerAcceptsInference(t *testing.T) {
+	srcs := []string{
+		listDecl + `
+struct rlist *new_rlist(region r, struct rlist *next) {
+	struct rlist *n = ralloc(r, struct rlist);
+	n->next = next;
+	return n;
+}
+deletes void main(void) {
+	region r = newregion();
+	struct rlist *head = null;
+	int i = 0;
+	while (i < 5) { head = new_rlist(r, head); i++; }
+	head = null;
+	deleteregion(r);
+}`,
+		listDecl + `
+region myregionof(struct rlist *x) { return regionof(x); }
+void main(void) {
+	region r = newregion();
+	struct rlist *y = ralloc(r, struct rlist);
+	struct rlist *z = ralloc(myregionof(y), struct rlist);
+	y->next = z;
+}`,
+		`
+struct req { struct req *parentptr up; };
+deletes void main(void) {
+	region a = newregion();
+	region b = newsubregion(a);
+	struct req *x = ralloc(b, struct req);
+	x->up = ralloc(a, struct req);
+	x = null;
+	deleteregion(b);
+	deleteregion(a);
+}`,
+		// Mutual recursion in dead code: exercises the grounding loop.
+		listDecl + `
+void ping(struct rlist *x);
+void pong(struct rlist *x) { if (x) ping(x->next); }
+void ping(struct rlist *x) { if (x) pong(x->next); }
+void main(void) { print_int(1); }`,
+	}
+	for i, src := range srcs {
+		p := translateSrc(t, src)
+		res := Infer(p)
+		if err := CheckProgram(p, res); err != nil {
+			t.Errorf("program %d: checker rejected inferred typing: %v", i, err)
+		}
+	}
+}
+
+// Corrupting a summary with an unjustified fact must be caught.
+func TestCheckerRejectsBogusOutput(t *testing.T) {
+	p := translateSrc(t, listDecl+`
+struct rlist *mk(region r) { return ralloc(r, struct rlist); }
+void main(void) {
+	region r = newregion();
+	struct rlist *x = mk(r);
+	if (x) print_int(1);
+}`)
+	res := Infer(p)
+	if err := CheckProgram(p, res); err != nil {
+		t.Fatalf("clean typing rejected: %v", err)
+	}
+	// Claim mk's parameter region equals the traditional region — never
+	// justified at the return.
+	mk := p.Funcs["mk"]
+	var pv Var
+	for _, v := range mk.Params {
+		if v != NoVar {
+			pv = v
+		}
+	}
+	bogus := res.Summaries["mk"].Output.Clone()
+	bogus.Add(Eq(pv, RT))
+	res.Summaries["mk"].Output = bogus
+	err := CheckProgram(p, res)
+	if err == nil || !strings.Contains(err.Error(), "output property") {
+		t.Fatalf("bogus output accepted: %v", err)
+	}
+}
+
+func TestCheckerRejectsBogusInput(t *testing.T) {
+	p := translateSrc(t, listDecl+`
+void use(struct rlist *x) { if (x) print_int(1); }
+void main(void) {
+	struct rlist *n = null;
+	use(n);
+}`)
+	res := Infer(p)
+	// Demand that use's argument is never null; main passes null.
+	use := p.Funcs["use"]
+	var pv Var
+	for _, v := range use.Params {
+		if v != NoVar {
+			pv = v
+		}
+	}
+	stronger := Empty()
+	stronger.Add(NeTop(pv))
+	res.Summaries["use"].Input = stronger
+	// The corruption is caught either at main's call site (the input
+	// property is not satisfied) or inside use itself (whose inferred
+	// output property no longer follows from the strengthened input).
+	err := CheckProgram(p, res)
+	if err == nil || !strings.Contains(err.Error(), "property not satisfied") {
+		t.Fatalf("bogus input accepted: %v", err)
+	}
+}
+
+func TestCheckerRejectsBogusElimination(t *testing.T) {
+	p := translateSrc(t, listDecl+`
+struct rlist **objects;
+void main(void) {
+	region r = newregion();
+	objects = rarrayalloc(r, 4, struct rlist *);
+	struct rlist *x = ralloc(r, struct rlist);
+	x->next = objects[2];
+}`)
+	res := Infer(p)
+	// Force-eliminate the unverifiable array-sourced store.
+	forced := false
+	for i := range res.SafeSite {
+		if res.SiteSeen[i] && !res.SafeSite[i] {
+			res.SafeSite[i] = true
+			forced = true
+		}
+	}
+	if !forced {
+		t.Fatal("no unverified site to corrupt")
+	}
+	err := CheckProgram(p, res)
+	if err == nil || !strings.Contains(err.Error(), "eliminated check") {
+		t.Fatalf("bogus elimination accepted: %v", err)
+	}
+}

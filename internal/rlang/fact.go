@@ -1,0 +1,525 @@
+// Package rlang implements the region type system of Section 4 of Gay &
+// Aiken, "Language Support for Regions" (PLDI 2001): types that annotate
+// every pointer with a (possibly existentially quantified) abstract region,
+// and a constraint-based inference that verifies the sameregion,
+// traditional and parentptr annotations statically, eliminating their
+// runtime checks.
+//
+// Following the paper's implementation (Section 4.3), boolean region
+// properties are approximated by constraint sets over the facts
+//
+//	σ = ⊤        (the value is null)
+//	σ ≠ ⊤        (the value is not null)
+//	σ1 ≤ σ2      (σ1 is a subregion of — below — σ2)
+//	σ1 = σ2      (same region)
+//	σ1 = ⊤ ∨ σ1 = σ2
+//
+// over abstract regions σ drawn from one variable per local/parameter plus
+// the constants ⊤ (the region of null) and R_T (the traditional region).
+// Constraint sets form a finite lattice under ⊇ with meet = intersection;
+// all transfer functions are monotone, so a greatest fixed point exists and
+// is the most precise typing expressible with these facts.
+package rlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var names an abstract region. Top and RT are the distinguished
+// constants; per-function variables start at FirstVar.
+type Var int32
+
+const (
+	// Top is ⊤, the region of the null pointer. Every region is ≤ ⊤.
+	Top Var = 0
+	// RT is the traditional region constant (stack, globals, strings).
+	RT Var = 1
+	// NoVar marks expressions with no region (scalars).
+	NoVar Var = -1
+	// FirstVar is the first per-function variable.
+	FirstVar Var = 2
+)
+
+// FactKind enumerates constraint forms.
+type FactKind uint8
+
+const (
+	// FEqTop is a = ⊤.
+	FEqTop FactKind = iota
+	// FNeTop is a ≠ ⊤.
+	FNeTop
+	// FEq is a = b.
+	FEq
+	// FLeq is a ≤ b (a is a descendant of, or equal to, b).
+	FLeq
+	// FCondEq is a = ⊤ ∨ a = b.
+	FCondEq
+)
+
+// Fact is one constraint. For FEq the pair is stored with A < B
+// (normalized); for FLeq and FCondEq the order is significant; for
+// FEqTop/FNeTop only A is used.
+type Fact struct {
+	Kind FactKind
+	A, B Var
+}
+
+// EqTop builds a = ⊤.
+func EqTop(a Var) Fact { return Fact{Kind: FEqTop, A: a} }
+
+// NeTop builds a ≠ ⊤.
+func NeTop(a Var) Fact { return Fact{Kind: FNeTop, A: a} }
+
+// Eq builds a = b (normalized).
+func Eq(a, b Var) Fact {
+	if a > b {
+		a, b = b, a
+	}
+	return Fact{Kind: FEq, A: a, B: b}
+}
+
+// Leq builds a ≤ b.
+func Leq(a, b Var) Fact { return Fact{Kind: FLeq, A: a, B: b} }
+
+// CondEq builds a = ⊤ ∨ a = b.
+func CondEq(a, b Var) Fact { return Fact{Kind: FCondEq, A: a, B: b} }
+
+func (f Fact) String() string {
+	v := func(x Var) string {
+		switch x {
+		case Top:
+			return "⊤"
+		case RT:
+			return "R_T"
+		default:
+			return fmt.Sprintf("ρ%d", int(x)-int(FirstVar))
+		}
+	}
+	switch f.Kind {
+	case FEqTop:
+		return v(f.A) + "=⊤"
+	case FNeTop:
+		return v(f.A) + "≠⊤"
+	case FEq:
+		return v(f.A) + "=" + v(f.B)
+	case FLeq:
+		return v(f.A) + "≤" + v(f.B)
+	case FCondEq:
+		return v(f.A) + "=⊤∨" + v(f.A) + "=" + v(f.B)
+	}
+	return "?"
+}
+
+// Set is a constraint set: a conjunction of facts, or the universal set
+// (the lattice top, standing for "all facts" — the property of unreachable
+// code and the optimistic starting point of the greatest-fixed-point
+// inference).
+type Set struct {
+	univ  bool
+	facts map[Fact]struct{}
+	// closed memoizes Closure(): the transfer functions close the same
+	// set many times (meets, implications, kills). Mutation through Add
+	// invalidates it. A closed set points to itself.
+	closed *Set
+}
+
+// Universe returns the universal (top) set.
+func Universe() *Set { return &Set{univ: true} }
+
+// Empty returns the empty set (the lattice bottom: no information).
+func Empty() *Set { return &Set{facts: map[Fact]struct{}{}} }
+
+// IsUniverse reports whether the set is universal.
+func (s *Set) IsUniverse() bool { return s.univ }
+
+// Len returns the number of facts (0 for the universal set, which is
+// symbolic).
+func (s *Set) Len() int {
+	if s.univ {
+		return 0
+	}
+	return len(s.facts)
+}
+
+// Clone copies the set. The clone shares the memoized closure until it
+// is mutated.
+func (s *Set) Clone() *Set {
+	if s.univ {
+		return Universe()
+	}
+	n := &Set{facts: make(map[Fact]struct{}, len(s.facts)), closed: s.closed}
+	for f := range s.facts {
+		n.facts[f] = struct{}{}
+	}
+	return n
+}
+
+// Add inserts a fact (no-op on the universal set). Trivially true facts
+// are dropped.
+func (s *Set) Add(f Fact) {
+	if s.univ {
+		return
+	}
+	if trivial(f) {
+		return
+	}
+	if _, ok := s.facts[f]; !ok {
+		s.facts[f] = struct{}{}
+		s.closed = nil
+	}
+}
+
+// trivial reports facts that hold by definition and need not be stored.
+func trivial(f Fact) bool {
+	switch f.Kind {
+	case FEq:
+		return f.A == f.B
+	case FLeq:
+		return f.A == f.B || f.B == Top // r ≤ r and r ≤ ⊤ always hold
+	case FCondEq:
+		return f.A == f.B || f.A == Top
+	case FNeTop:
+		return f.A == RT // the traditional region is not ⊤
+	case FEqTop:
+		return f.A == Top
+	}
+	return false
+}
+
+// Has reports literal membership (used by tests; prefer Implies).
+func (s *Set) Has(f Fact) bool {
+	if s.univ {
+		return true
+	}
+	_, ok := s.facts[f]
+	return ok
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(o *Set) bool {
+	if s.univ || o.univ {
+		return s.univ == o.univ
+	}
+	if len(s.facts) != len(o.facts) {
+		return false
+	}
+	for f := range s.facts {
+		if _, ok := o.facts[f]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Meet intersects two sets (the dataflow meet: facts that hold on both
+// paths). The universal set is the identity.
+func Meet(a, b *Set) *Set {
+	if a.univ {
+		return b.Clone()
+	}
+	if b.univ {
+		return a.Clone()
+	}
+	// Close both sides first so shared consequences survive the
+	// intersection even when derived from different premises.
+	ac, bc := a.Closure(), b.Closure()
+	out := Empty()
+	for f := range ac.facts {
+		if _, ok := bc.facts[f]; ok {
+			out.facts[f] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Union conjoins two sets of facts that both hold (e.g. caller facts plus
+// a callee's guaranteed output facts). The universal set absorbs.
+func Union(a, b *Set) *Set {
+	if a.univ || b.univ {
+		return Universe()
+	}
+	out := a.Clone()
+	for f := range b.facts {
+		out.facts[f] = struct{}{}
+	}
+	return out
+}
+
+// Closure returns the set closed under the derivation rules of the
+// constraint language: equality symmetry/transitivity/congruence,
+// propagation of (non-)nullness across equalities, resolution of
+// conditional equalities by non-nullness, ≤-transitivity, and substitution
+// of equals. Closure is a no-op on the universal set.
+func (s *Set) Closure() *Set {
+	if s.univ {
+		return s
+	}
+	if s.closed != nil {
+		return s.closed
+	}
+	out := s.Clone()
+	changed := true
+	add := func(f Fact) {
+		if trivial(f) {
+			return
+		}
+		if _, ok := out.facts[f]; !ok {
+			out.facts[f] = struct{}{}
+			changed = true
+		}
+	}
+	for changed {
+		changed = false
+		facts := make([]Fact, 0, len(out.facts))
+		vars := map[Var]struct{}{RT: {}}
+		for f := range out.facts {
+			facts = append(facts, f)
+			if f.A != Top {
+				vars[f.A] = struct{}{}
+			}
+			if (f.Kind == FEq || f.Kind == FLeq || f.Kind == FCondEq) && f.B != Top {
+				vars[f.B] = struct{}{}
+			}
+		}
+		for _, f := range facts {
+			switch f.Kind {
+			case FEqTop:
+				// Weakenings over the mentioned variables, so that
+				// consequences common to both sides survive the meet
+				// (set intersection): a=⊤ entails a=⊤∨a=v for every v,
+				// and v ≤ a for every v (everything is ≤ ⊤).
+				for v := range vars {
+					if v != f.A {
+						add(CondEq(f.A, v))
+						add(Leq(v, f.A))
+					}
+				}
+			case FEq:
+				// Weakenings: a=b entails the conditional equalities and
+				// both orderings.
+				add(CondEq(f.A, f.B))
+				add(CondEq(f.B, f.A))
+				add(Leq(f.A, f.B))
+				add(Leq(f.B, f.A))
+				for _, g := range facts {
+					switch g.Kind {
+					case FEq: // transitivity
+						switch {
+						case f.B == g.A:
+							add(Eq(f.A, g.B))
+						case f.B == g.B:
+							add(Eq(f.A, g.A))
+						case f.A == g.A:
+							add(Eq(f.B, g.B))
+						case f.A == g.B:
+							add(Eq(f.B, g.A))
+						}
+					case FEqTop:
+						if g.A == f.A {
+							add(EqTop(f.B))
+						}
+						if g.A == f.B {
+							add(EqTop(f.A))
+						}
+					case FNeTop:
+						if g.A == f.A {
+							add(NeTop(f.B))
+						}
+						if g.A == f.B {
+							add(NeTop(f.A))
+						}
+					case FLeq: // substitution of equals
+						add(substLeq(g, f.A, f.B))
+						add(substLeq(g, f.B, f.A))
+					case FCondEq:
+						add(substCond(g, f.A, f.B))
+						add(substCond(g, f.B, f.A))
+					}
+				}
+			case FCondEq:
+				// a=⊤ ∨ a=b resolved by a ≠ ⊤.
+				if _, ok := out.facts[NeTop(f.A)]; ok {
+					add(Eq(f.A, f.B))
+				}
+				// Resolved the other way by a = ⊤: trivially true,
+				// nothing new.
+			case FLeq:
+				for _, g := range facts {
+					if g.Kind == FLeq && f.B == g.A {
+						add(Leq(f.A, g.B))
+					}
+				}
+				// ⊤ ≤ b forces b = ⊤.
+				if _, ok := out.facts[EqTop(f.A)]; ok {
+					add(EqTop(f.B))
+				}
+			}
+		}
+	}
+	out.closed = out // a closed set is its own closure
+	s.closed = out
+	return out
+}
+
+func substLeq(g Fact, from, to Var) Fact {
+	a, b := g.A, g.B
+	if a == from {
+		a = to
+	}
+	if b == from {
+		b = to
+	}
+	return Leq(a, b)
+}
+
+func substCond(g Fact, from, to Var) Fact {
+	a, b := g.A, g.B
+	if a == from {
+		a = to
+	}
+	if b == from {
+		b = to
+	}
+	return CondEq(a, b)
+}
+
+// Implies reports whether the (closed) set entails the fact, using the
+// axioms of the region order: r ≤ ⊤ for every r, R_T ≠ ⊤, r = r.
+func (s *Set) Implies(f Fact) bool {
+	if s.univ || trivial(f) {
+		return true
+	}
+	c := s.Closure()
+	if _, ok := c.facts[f]; ok {
+		return true
+	}
+	switch f.Kind {
+	case FCondEq:
+		// a=⊤ suffices; a=b suffices.
+		if _, ok := c.facts[EqTop(f.A)]; ok {
+			return true
+		}
+		if _, ok := c.facts[Eq(f.A, f.B)]; ok {
+			return true
+		}
+	case FLeq:
+		// b=⊤ suffices (everything is ≤ ⊤); a=b suffices.
+		if _, ok := c.facts[EqTop(f.B)]; ok {
+			return true
+		}
+		if _, ok := c.facts[Eq(f.A, f.B)]; ok {
+			return true
+		}
+		// a=⊤ and b=⊤... covered by b=⊤.
+	case FEq:
+		// a=⊤ and b=⊤ imply a=b.
+		_, aTop := c.facts[EqTop(f.A)]
+		_, bTop := c.facts[EqTop(f.B)]
+		if aTop && bTop {
+			return true
+		}
+	}
+	return false
+}
+
+// KillVar removes all knowledge about v (used when v is rebound). The set
+// is closed first so consequences between other variables survive.
+func (s *Set) KillVar(v Var) *Set {
+	if s.univ {
+		return s
+	}
+	c := s.Closure()
+	out := Empty()
+	for f := range c.facts {
+		if f.A == v || (f.Kind == FEq || f.Kind == FLeq || f.Kind == FCondEq) && f.B == v {
+			continue
+		}
+		out.facts[f] = struct{}{}
+	}
+	return out
+}
+
+// Restrict keeps only facts whose variables are all in keep (constants Top
+// and RT are always kept) and renames them through the map. Used to build
+// function summaries from caller/return facts.
+func (s *Set) Restrict(rename map[Var]Var) *Set {
+	if s.univ {
+		return s
+	}
+	c := s.Closure()
+	out := Empty()
+	lookup := func(v Var) (Var, bool) {
+		if v == Top || v == RT {
+			return v, true
+		}
+		n, ok := rename[v]
+		return n, ok
+	}
+	for f := range c.facts {
+		a, okA := lookup(f.A)
+		if !okA {
+			continue
+		}
+		switch f.Kind {
+		case FEqTop:
+			out.Add(EqTop(a))
+		case FNeTop:
+			out.Add(NeTop(a))
+		default:
+			b, okB := lookup(f.B)
+			if !okB {
+				continue
+			}
+			switch f.Kind {
+			case FEq:
+				out.Add(Eq(a, b))
+			case FLeq:
+				out.Add(Leq(a, b))
+			case FCondEq:
+				out.Add(CondEq(a, b))
+			}
+		}
+	}
+	return out
+}
+
+// Rename maps variables through rename (variables not present map to
+// themselves). Unlike Restrict it never drops facts.
+func (s *Set) Rename(rename map[Var]Var) *Set {
+	if s.univ {
+		return s
+	}
+	out := Empty()
+	lookup := func(v Var) Var {
+		if n, ok := rename[v]; ok {
+			return n
+		}
+		return v
+	}
+	for f := range s.facts {
+		g := f
+		g.A = lookup(f.A)
+		if f.Kind == FEq || f.Kind == FLeq || f.Kind == FCondEq {
+			g.B = lookup(f.B)
+		}
+		if f.Kind == FEq {
+			g = Eq(g.A, g.B)
+		}
+		out.Add(g)
+	}
+	return out
+}
+
+func (s *Set) String() string {
+	if s.univ {
+		return "{*}"
+	}
+	strs := make([]string, 0, len(s.facts))
+	for f := range s.facts {
+		strs = append(strs, f.String())
+	}
+	sort.Strings(strs)
+	return "{" + strings.Join(strs, ", ") + "}"
+}

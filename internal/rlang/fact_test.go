@@ -1,0 +1,228 @@
+package rlang
+
+import "testing"
+
+const (
+	vA = FirstVar + iota
+	vB
+	vC
+	vD
+)
+
+func TestFactNormalization(t *testing.T) {
+	if Eq(vB, vA) != Eq(vA, vB) {
+		t.Error("Eq not normalized")
+	}
+	if Leq(vA, vB) == Leq(vB, vA) {
+		t.Error("Leq should be ordered")
+	}
+}
+
+func TestTrivialFacts(t *testing.T) {
+	s := Empty()
+	s.Add(Eq(vA, vA))
+	s.Add(Leq(vA, Top)) // r ≤ ⊤ always
+	s.Add(Leq(vA, vA))
+	s.Add(CondEq(vA, vA))
+	s.Add(NeTop(RT))
+	if s.Len() != 0 {
+		t.Errorf("trivial facts stored: %s", s)
+	}
+	if !s.Implies(Leq(vA, Top)) || !s.Implies(NeTop(RT)) || !s.Implies(Eq(vA, vA)) {
+		t.Error("axioms not implied by empty set")
+	}
+}
+
+func TestClosureEqTransitivity(t *testing.T) {
+	s := Empty()
+	s.Add(Eq(vA, vB))
+	s.Add(Eq(vB, vC))
+	if !s.Implies(Eq(vA, vC)) {
+		t.Error("transitivity failed")
+	}
+}
+
+func TestClosureTopPropagation(t *testing.T) {
+	s := Empty()
+	s.Add(Eq(vA, vB))
+	s.Add(EqTop(vA))
+	if !s.Implies(EqTop(vB)) {
+		t.Error("= ⊤ did not propagate across equality")
+	}
+	s2 := Empty()
+	s2.Add(Eq(vA, vB))
+	s2.Add(NeTop(vB))
+	if !s2.Implies(NeTop(vA)) {
+		t.Error("≠ ⊤ did not propagate across equality")
+	}
+}
+
+func TestClosureCondEqResolution(t *testing.T) {
+	// (a=⊤ ∨ a=b) together with a≠⊤ gives a=b.
+	s := Empty()
+	s.Add(CondEq(vA, vB))
+	s.Add(NeTop(vA))
+	if !s.Implies(Eq(vA, vB)) {
+		t.Error("conditional equality not resolved by non-nullness")
+	}
+}
+
+func TestClosureLeqTransitivity(t *testing.T) {
+	s := Empty()
+	s.Add(Leq(vA, vB))
+	s.Add(Leq(vB, vC))
+	if !s.Implies(Leq(vA, vC)) {
+		t.Error("≤ transitivity failed")
+	}
+}
+
+func TestClosureLeqSubstitution(t *testing.T) {
+	s := Empty()
+	s.Add(Leq(vA, vB))
+	s.Add(Eq(vB, vC))
+	if !s.Implies(Leq(vA, vC)) {
+		t.Error("substitution of equals into ≤ failed")
+	}
+}
+
+func TestClosureTopLeqForcesTop(t *testing.T) {
+	s := Empty()
+	s.Add(EqTop(vA))
+	s.Add(Leq(vA, vB))
+	if !s.Implies(EqTop(vB)) {
+		t.Error("⊤ ≤ b should force b = ⊤")
+	}
+}
+
+func TestImpliesCondEqFromParts(t *testing.T) {
+	s := Empty()
+	s.Add(EqTop(vA))
+	if !s.Implies(CondEq(vA, vB)) {
+		t.Error("a=⊤ should imply a=⊤∨a=b")
+	}
+	s2 := Empty()
+	s2.Add(Eq(vA, vB))
+	if !s2.Implies(CondEq(vA, vB)) {
+		t.Error("a=b should imply a=⊤∨a=b")
+	}
+}
+
+func TestImpliesLeqFromTop(t *testing.T) {
+	s := Empty()
+	s.Add(EqTop(vB))
+	if !s.Implies(Leq(vA, vB)) {
+		t.Error("b=⊤ should imply a≤b (null parentptr target)")
+	}
+}
+
+func TestMeet(t *testing.T) {
+	a := Empty()
+	a.Add(Eq(vA, vB))
+	a.Add(NeTop(vC))
+	b := Empty()
+	b.Add(Eq(vA, vB))
+	b.Add(EqTop(vC))
+	m := Meet(a, b)
+	if !m.Implies(Eq(vA, vB)) {
+		t.Error("common fact lost in meet")
+	}
+	if m.Implies(NeTop(vC)) || m.Implies(EqTop(vC)) {
+		t.Error("path-specific fact survived meet")
+	}
+}
+
+func TestMeetUsesClosure(t *testing.T) {
+	// a derives Eq(vA,vC) via transitivity, b holds it directly: the
+	// meet must keep it.
+	a := Empty()
+	a.Add(Eq(vA, vB))
+	a.Add(Eq(vB, vC))
+	b := Empty()
+	b.Add(Eq(vA, vC))
+	if !Meet(a, b).Implies(Eq(vA, vC)) {
+		t.Error("meet lost a derived common fact")
+	}
+}
+
+func TestMeetUniverse(t *testing.T) {
+	a := Empty()
+	a.Add(NeTop(vA))
+	if !Meet(Universe(), a).Equal(a) || !Meet(a, Universe()).Equal(a) {
+		t.Error("universe is not the meet identity")
+	}
+	if !Universe().Implies(EqTop(vA)) {
+		t.Error("universe should imply everything")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Empty()
+	a.Add(NeTop(vA))
+	b := Empty()
+	b.Add(NeTop(vB))
+	u := Union(a, b)
+	if !u.Implies(NeTop(vA)) || !u.Implies(NeTop(vB)) {
+		t.Error("union lost facts")
+	}
+	if !Union(a, Universe()).IsUniverse() {
+		t.Error("universe should absorb in union")
+	}
+}
+
+func TestKillVar(t *testing.T) {
+	s := Empty()
+	s.Add(Eq(vA, vB))
+	s.Add(Eq(vB, vC))
+	s.Add(NeTop(vB))
+	k := s.KillVar(vB)
+	if k.Implies(NeTop(vB)) || k.Implies(Eq(vA, vB)) {
+		t.Error("killed variable facts survive")
+	}
+	// Consequences between other variables survive via pre-kill closure.
+	if !k.Implies(Eq(vA, vC)) {
+		t.Error("derived fact between surviving vars lost")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	s := Empty()
+	s.Add(Eq(vA, vB))
+	s.Add(NeTop(vB))
+	s.Add(Eq(vC, vD))
+	s.Add(Eq(vA, RT))
+	r := s.Restrict(map[Var]Var{vA: vC})
+	if !r.Implies(NeTop(vC)) {
+		t.Error("derived fact on renamed var lost (vA=vB ∧ vB≠⊤ ⊨ vA≠⊤)")
+	}
+	if !r.Implies(Eq(vC, RT)) {
+		t.Error("constant-related fact lost")
+	}
+	if r.Implies(Eq(vC, vD)) {
+		t.Error("fact mentioning dropped var survived")
+	}
+}
+
+func TestSetEqualAndClone(t *testing.T) {
+	a := Empty()
+	a.Add(NeTop(vA))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.Add(NeTop(vB))
+	if a.Equal(b) {
+		t.Error("mutation aliased")
+	}
+	if a.Equal(Universe()) || !Universe().Equal(Universe()) {
+		t.Error("universe equality wrong")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	s := Empty()
+	s.Add(CondEq(vA, RT))
+	s.Add(Leq(vA, vB))
+	if s.String() == "" || EqTop(vA).String() == "" {
+		t.Error("empty string forms")
+	}
+}

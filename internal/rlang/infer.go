@@ -1,0 +1,468 @@
+package rlang
+
+import (
+	"rcgo/internal/rcc"
+)
+
+// Infer runs the paper's Section 4.3 constraint inference over a
+// translated program: a greatest-fixed-point dataflow analysis that
+// computes, for every function, input/output/result constraint sets over
+// its abstract region parameters, and then eliminates every chk statement
+// whose property is implied by the facts holding at that point.
+//
+// All sets start at the universal set (the lattice top) and only shrink,
+// and all transfer functions are monotone, so the iteration converges to
+// the most precise typing expressible with these constraint sets.
+//
+// The paper restricts the analysis to one source file and assumes empty
+// sets for external functions; our programs are whole single translation
+// units, so the analysis is whole-program, with main's input set empty.
+// InferExternal reproduces the paper's file-boundary pessimism for a
+// chosen set of functions.
+func Infer(p *Program) *InferResult { return InferExternal(p, nil) }
+
+// InferExternal is Infer with the paper's separate-compilation rule:
+// every function for which external returns true is treated as crossing a
+// translation-unit boundary — "any non-static C function and any function
+// called via a function pointer has empty input, output and result
+// constraint sets" — so no caller facts flow into it and no callee facts
+// flow out of it.
+func InferExternal(p *Program, external func(name string) bool) *InferResult {
+	inf := &inference{
+		prog:    p,
+		sums:    make(map[string]*Summary, len(p.Funcs)),
+		callers: make(map[string]map[string]bool),
+	}
+	for name := range p.Funcs {
+		inf.sums[name] = &Summary{
+			Input:  Universe(),
+			Output: Universe(),
+			Result: Universe(),
+		}
+		if external != nil && external(name) {
+			inf.sums[name] = &Summary{Input: Empty(), Output: Empty(), Result: Empty()}
+			inf.external = append(inf.external, name)
+		}
+		inf.callers[name] = make(map[string]bool)
+	}
+	inf.isExt = make(map[string]bool, len(inf.external))
+	for _, n := range inf.external {
+		inf.isExt[n] = true
+	}
+	// Record the static call graph for requeuing.
+	for name, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				if s.Kind == SCall {
+					if _, ok := inf.callers[s.Callee]; ok {
+						inf.callers[s.Callee][name] = true
+					}
+				}
+			}
+		}
+	}
+	// Entry points — main and functions with no static callers — have no
+	// caller-supplied facts, so their input property is empty.
+	for name := range p.Funcs {
+		if name == "main" || len(inf.callers[name]) == 0 {
+			inf.sums[name].Input = Empty()
+		}
+	}
+	// Worklist to convergence.
+	work := make([]string, 0, len(p.Funcs))
+	inWork := make(map[string]bool, len(p.Funcs))
+	push := func(n string) {
+		if !inWork[n] {
+			inWork[n] = true
+			work = append(work, n)
+		}
+	}
+	runFixpoint := func() {
+		for len(work) > 0 {
+			name := work[len(work)-1]
+			work = work[:len(work)-1]
+			inWork[name] = false
+			changedCallees, summaryChanged := inf.analyze(name, nil)
+			for _, c := range changedCallees {
+				push(c)
+			}
+			if summaryChanged {
+				for caller := range inf.callers[name] {
+					push(caller)
+				}
+			}
+		}
+	}
+	for name := range p.Funcs {
+		push(name)
+	}
+	runFixpoint()
+	// Functions in call cycles reachable from no entry point may still
+	// carry universal inputs; ground them (they never execute, but their
+	// sites are classified and their summaries must be admissible) and
+	// re-converge.
+	for {
+		grounded := false
+		for name := range p.Funcs {
+			if inf.sums[name].Input.IsUniverse() {
+				inf.sums[name].Input = Empty()
+				push(name)
+				grounded = true
+			}
+		}
+		if !grounded {
+			break
+		}
+		runFixpoint()
+	}
+	// Final pass: classify every annotated check site against the
+	// converged facts.
+	res := &InferResult{
+		SafeSite:  make([]bool, p.NumSites),
+		SiteSeen:  make([]bool, p.NumSites),
+		Summaries: inf.sums,
+	}
+	for name := range p.Funcs {
+		inf.analyze(name, res)
+	}
+	return res
+}
+
+// InferResult reports which pointer-store sites were proven safe.
+type InferResult struct {
+	// SafeSite[i] is true when the runtime check of site i is statically
+	// redundant. Only meaningful where SiteSeen[i].
+	SafeSite []bool
+	// SiteSeen[i] is true when site i is an annotated check site that the
+	// translation produced (unannotated sites are full reference-count
+	// updates and have no check to eliminate).
+	SiteSeen  []bool
+	Summaries map[string]*Summary
+}
+
+// Summary is a function's inferred properties, over its Params variable
+// space; the result region is resultVar(f).
+type Summary struct {
+	Input  *Set
+	Output *Set
+	Result *Set
+}
+
+func resultVar(f *Func) Var { return Var(f.NumVars) }
+
+type inference struct {
+	prog    *Program
+	sums    map[string]*Summary
+	callers map[string]map[string]bool
+	// external lists functions pinned to empty summaries (the paper's
+	// separate-compilation boundary); isExt resolves membership.
+	external []string
+	isExt    map[string]bool
+}
+
+// chkFact is the property an annotated field write must satisfy
+// (Section 4.3's translation): the value's region ρ_val against the
+// containing object's region ρ_obj.
+func chkFact(q rcc.Qual, obj, val Var) (Fact, bool) {
+	switch q {
+	case rcc.QualSameRegion:
+		return CondEq(val, obj), true
+	case rcc.QualTraditional:
+		return CondEq(val, RT), true
+	case rcc.QualParentPtr:
+		return Leq(obj, val), true
+	}
+	return Fact{}, false
+}
+
+// analyze runs the intraprocedural dataflow for one function using current
+// callee summaries. It returns callees whose Input shrank and whether this
+// function's Output/Result summary shrank. When res is non-nil it instead
+// records site classifications (the summaries are converged).
+func (inf *inference) analyze(name string, res *InferResult) (changedCallees []string, summaryChanged bool) {
+	f := inf.prog.Funcs[name]
+	sum := inf.sums[name]
+
+	ins := make([]*Set, len(f.Blocks))
+	for i := range ins {
+		ins[i] = Universe()
+	}
+	ins[0] = sum.Input.Clone()
+
+	outputAcc := Universe()
+	resultAcc := Universe()
+
+	calleeShrunk := map[string]bool{}
+
+	work := []int{0}
+	inWork := make([]bool, len(f.Blocks))
+	inWork[0] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		facts := ins[bi].Clone()
+		for si := range f.Blocks[bi].Stmts {
+			s := &f.Blocks[bi].Stmts[si]
+			facts = inf.transfer(f, s, facts, res, calleeShrunk, &outputAcc, &resultAcc)
+		}
+		for _, succ := range f.Blocks[bi].Succs {
+			merged := Meet(ins[succ], facts)
+			if !merged.Equal(ins[succ]) {
+				ins[succ] = merged
+				if !inWork[succ] {
+					inWork[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+
+	if res == nil && !inf.isExt[name] {
+		if !outputAcc.Equal(sum.Output) {
+			sum.Output = outputAcc
+			summaryChanged = true
+		}
+		if !resultAcc.Equal(sum.Result) {
+			sum.Result = resultAcc
+			summaryChanged = true
+		}
+	}
+	if res == nil {
+		for c := range calleeShrunk {
+			changedCallees = append(changedCallees, c)
+		}
+	}
+	return changedCallees, summaryChanged
+}
+
+// expandTops materializes, over the given variable space, the weakenings
+// of null facts: σ=⊤ entails σ=⊤∨σ=v and v≤σ for every v. The closure
+// only materializes weakenings over variables a set already mentions, so
+// without this step a meet across call sites or return paths can lose
+// consequences involving parameters one side never constrained.
+func expandTops(s *Set, vars []Var) *Set {
+	if s.IsUniverse() {
+		return s
+	}
+	out := s.Clone()
+	for _, a := range vars {
+		if a == NoVar || !s.Implies(EqTop(a)) {
+			continue
+		}
+		for _, b := range vars {
+			if b == NoVar || b == a {
+				continue
+			}
+			out.Add(CondEq(a, b))
+			out.Add(Leq(b, a))
+		}
+		out.Add(CondEq(a, RT))
+		out.Add(Leq(RT, a))
+	}
+	return out
+}
+
+// transfer applies one statement's effect to the fact set.
+func (inf *inference) transfer(f *Func, s *Stmt, in *Set, res *InferResult,
+	calleeShrunk map[string]bool, outputAcc, resultAcc **Set) *Set {
+
+	kill := func(v Var) *Set {
+		if v == NoVar {
+			return in
+		}
+		return in.KillVar(v)
+	}
+
+	switch s.Kind {
+	case SCopy:
+		if s.Dst == s.Src || s.Dst == NoVar {
+			return in
+		}
+		out := kill(s.Dst)
+		if s.Src != NoVar {
+			out.Add(Eq(s.Dst, s.Src))
+		}
+		return out
+	case SNull:
+		out := kill(s.Dst)
+		out.Add(EqTop(s.Dst))
+		return out
+	case SFresh:
+		return kill(s.Dst)
+	case SMkTrad:
+		out := kill(s.Dst)
+		out.Add(Eq(s.Dst, RT))
+		out.Add(NeTop(s.Dst))
+		return out
+	case SFieldRead:
+		withObj := in
+		if s.Src != NoVar && s.Src != s.Dst {
+			withObj = in.Clone()
+			withObj.Add(NeTop(s.Src))
+		}
+		in = withObj
+		out := kill(s.Dst)
+		if s.Src != NoVar && s.Src != s.Dst {
+			switch s.Qual {
+			case rcc.QualSameRegion:
+				out.Add(CondEq(s.Dst, s.Src))
+			case rcc.QualTraditional:
+				out.Add(CondEq(s.Dst, RT))
+			case rcc.QualParentPtr:
+				out.Add(Leq(s.Src, s.Dst))
+			}
+		} else if s.Qual == rcc.QualTraditional {
+			out.Add(CondEq(s.Dst, RT))
+		}
+		return out
+	case SFieldWrite:
+		out := in.Clone()
+		if fact, annotated := chkFact(s.Qual, s.Src, s.Val); annotated {
+			if res != nil && s.Site >= 0 {
+				res.SiteSeen[s.Site] = true
+				if in.Implies(fact) {
+					res.SafeSite[s.Site] = true
+				}
+			}
+			// After the (possibly runtime) check, the property holds.
+			out.Add(fact)
+		}
+		if s.Src != NoVar {
+			out.Add(NeTop(s.Src))
+		}
+		return out
+	case SAlloc:
+		out := kill(s.Dst)
+		out.Add(NeTop(s.Dst))
+		if s.Src != NoVar && s.Src != s.Dst {
+			out.Add(NeTop(s.Src))
+			out.Add(Eq(s.Dst, s.Src))
+		}
+		return out
+	case SNewRegion:
+		out := kill(s.Dst)
+		out.Add(NeTop(s.Dst))
+		return out
+	case SNewSub:
+		withP := in
+		if s.Src != NoVar && s.Src != s.Dst {
+			withP = in.Clone()
+			withP.Add(NeTop(s.Src))
+		}
+		in = withP
+		out := kill(s.Dst)
+		out.Add(NeTop(s.Dst))
+		if s.Src != NoVar && s.Src != s.Dst {
+			out.Add(Leq(s.Dst, s.Src))
+		}
+		return out
+	case SRegionOf:
+		// regionof requires a live object, so the argument is non-null
+		// and the result names its region.
+		withP := in
+		if s.Src != NoVar && s.Src != s.Dst {
+			withP = in.Clone()
+			withP.Add(NeTop(s.Src))
+		}
+		in = withP
+		out := kill(s.Dst)
+		out.Add(NeTop(s.Dst))
+		if s.Src != NoVar && s.Src != s.Dst {
+			out.Add(Eq(s.Dst, s.Src))
+		}
+		return out
+	case SAssume:
+		out := in.Clone()
+		out.Add(s.F)
+		return out
+	case SNonNull:
+		if s.Src == NoVar {
+			return in
+		}
+		out := in.Clone()
+		out.Add(NeTop(s.Src))
+		return out
+	case SKillTemps:
+		return in.Restrict(f.NamedRename())
+	case SReturn:
+		// Fold this return's facts into the function summary.
+		rename := make(map[Var]Var)
+		for _, pv := range f.Params {
+			if pv != NoVar {
+				rename[pv] = pv
+			}
+		}
+		space := append([]Var{}, f.Params...)
+		space = append(space, resultVar(f))
+		outFacts := expandTops(in.Restrict(rename), space)
+		*outputAcc = Meet(*outputAcc, outFacts)
+		switch {
+		case s.Src == NoVar:
+			*resultAcc = Meet(*resultAcc, outFacts)
+		default:
+			if _, isParam := rename[s.Src]; isParam {
+				// Returning a parameter: keep the parameter's identity
+				// and record result = parameter.
+				rs := in.Restrict(rename)
+				rs.Add(Eq(resultVar(f), s.Src))
+				*resultAcc = Meet(*resultAcc, expandTops(rs, space))
+			} else {
+				rename[s.Src] = resultVar(f)
+				*resultAcc = Meet(*resultAcc, expandTops(in.Restrict(rename), space))
+			}
+		}
+		return in
+	case SCall:
+		callee, known := inf.prog.Funcs[s.Callee]
+		if !known {
+			// External/unknown function: pessimistic.
+			return kill(s.Dst)
+		}
+		csum := inf.sums[s.Callee]
+		// Contribute caller facts to the callee's input set.
+		rename := make(map[Var]Var)
+		var dups []Fact
+		for i, pv := range callee.Params {
+			if i >= len(s.Args) || pv == NoVar || s.Args[i] == NoVar {
+				continue
+			}
+			if prev, ok := rename[s.Args[i]]; ok {
+				// Same actual passed twice: the params are equal.
+				dups = append(dups, Eq(prev, pv))
+				continue
+			}
+			rename[s.Args[i]] = pv
+		}
+		contribution := in.Restrict(rename)
+		for _, d := range dups {
+			contribution.Add(d)
+		}
+		contribution = expandTops(contribution, callee.Params)
+		if res == nil && !inf.isExt[s.Callee] {
+			merged := Meet(csum.Input, contribution)
+			if !merged.Equal(csum.Input) {
+				csum.Input = merged
+				calleeShrunk[s.Callee] = true
+			}
+		}
+		// Apply the callee's output/result properties in the caller.
+		out := kill(s.Dst)
+		back := make(map[Var]Var)
+		for i, pv := range callee.Params {
+			if i >= len(s.Args) || pv == NoVar || s.Args[i] == NoVar {
+				continue
+			}
+			if _, taken := back[pv]; !taken {
+				back[pv] = s.Args[i]
+			}
+		}
+		effect := csum.Output
+		if s.Dst != NoVar {
+			back[resultVar(callee)] = s.Dst
+			effect = csum.Result
+		}
+		return Union(out, effect.Restrict(back))
+	}
+	return in
+}

@@ -1,0 +1,393 @@
+package rlang
+
+import (
+	"testing"
+
+	"rcgo/internal/rcc"
+)
+
+// inferSrc runs the whole front-end pipeline and the inference, returning
+// per-site results. Sites are numbered in source order of pointer stores.
+func inferSrc(t *testing.T, src string) (*rcc.CheckedProgram, *InferResult) {
+	t.Helper()
+	prog, err := rcc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := rcc.Check(prog, true)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res := Infer(Translate(cp))
+	return cp, res
+}
+
+func wantSites(t *testing.T, res *InferResult, want []bool) {
+	t.Helper()
+	if len(res.SafeSite) != len(want) {
+		t.Fatalf("have %d sites, want %d", len(res.SafeSite), len(want))
+	}
+	for i, w := range want {
+		if res.SafeSite[i] != w {
+			t.Errorf("site %d: safe=%v, want %v", i, res.SafeSite[i], w)
+		}
+	}
+}
+
+const listDecl = `
+struct finfo { int v; };
+struct rlist {
+	struct rlist *sameregion next;
+	struct finfo *sameregion data;
+};
+`
+
+// The paper's first successfully verified idiom: creating the contents of
+// x after x itself exists.
+func TestInferConstructorAfterAlloc(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+void main(void) {
+	region r = newregion();
+	struct rlist *x = ralloc(r, struct rlist);
+	x->next = ralloc(regionof(x), struct rlist);
+}`)
+	wantSites(t, res, []bool{true})
+}
+
+// The paper's Figure 1 loop: "we can successfully verify all the
+// assignments in Figure 1".
+func TestInferFigure1Loop(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+deletes void main(void) {
+	struct rlist *rl;
+	struct rlist *last = null;
+	region r = newregion();
+	int i = 0;
+	while (i < 10) {
+		rl = ralloc(r, struct rlist);
+		rl->data = ralloc(r, struct finfo);
+		rl->next = last;
+		last = rl;
+		i++;
+	}
+	deleteregion(r);
+}`)
+	// Sites in order: rl->data = ..., rl->next = last. Both verified.
+	wantSites(t, res, []bool{true, true})
+}
+
+// The paper's heap-access idiom: x = ralloc(regionof(y), ...);
+// x->next = y->next.
+func TestInferRegionOfHeapAccess(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+void f(struct rlist *y) {
+	struct rlist *x = ralloc(regionof(y), struct rlist);
+	x->next = y->next;
+}
+void main(void) {
+	region r = newregion();
+	struct rlist *y = ralloc(r, struct rlist);
+	f(y);
+}`)
+	wantSites(t, res, []bool{true})
+}
+
+// The paper's failing idiom: "Nothing is known about objects accessed from
+// arbitrary arrays": x->next = objects[23].
+func TestInferArrayAccessNotVerified(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+struct rlist **objects;
+void main(void) {
+	region r = newregion();
+	objects = rarrayalloc(r, 100, struct rlist *);
+	struct rlist *x = ralloc(r, struct rlist);
+	x->next = objects[23];
+}`)
+	// Sites: objects = rarrayalloc (global pointer store, unannotated:
+	// site but no check), x->next = objects[23] (sameregion, NOT safe).
+	if res.SafeSite[1] {
+		t.Error("array-sourced store must not be verified")
+	}
+	if res.SiteSeen[0] {
+		t.Error("unannotated global store should have no check site")
+	}
+}
+
+// The paper's failing idiom: hand-written constructors. new_rlist's
+// assignment cannot be verified when callers pass unrelated regions.
+func TestInferHandWrittenConstructor(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+struct rlist *new_rlist(region r, struct rlist *next) {
+	struct rlist *n = ralloc(r, struct rlist);
+	n->next = next;
+	return n;
+}
+struct rlist **objects;
+void main(void) {
+	region r = newregion();
+	objects = rarrayalloc(r, 10, struct rlist *);
+	struct rlist *a = new_rlist(r, null);
+	struct rlist *b = new_rlist(r, objects[3]);
+	objects[0] = b;
+	if (a) print_int(1);
+}`)
+	// Site 0 is n->next = next inside the constructor: the second call
+	// passes an array-sourced pointer, so the input property cannot
+	// relate next's region to r and the check stays.
+	if res.SafeSite[0] {
+		t.Error("constructor store verified despite unrelated call site")
+	}
+}
+
+// But a constructor whose every call site passes matching regions IS
+// verified interprocedurally (the paper: "a more elaborate version of this
+// loop (involving inter-procedural analysis) is found in moss and is also
+// verified").
+func TestInferConstructorInterprocedural(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+struct rlist *new_rlist(region r, struct rlist *next) {
+	struct rlist *n = ralloc(r, struct rlist);
+	n->next = next;
+	return n;
+}
+void main(void) {
+	region r = newregion();
+	struct rlist *head = null;
+	int i = 0;
+	while (i < 5) {
+		head = new_rlist(r, head);
+		i++;
+	}
+}`)
+	// Call sites pass (r, null) then (r, head) where head came from
+	// new_rlist(r, ...) whose result is in r. Input property:
+	// next=⊤ ∨ next=r, which discharges the check.
+	wantSites(t, res, []bool{true})
+}
+
+// Globals defeat the inference (the paper: "our region type system does
+// not represent the region of global variables, so verification of
+// annotations often fails in these programs").
+func TestInferGlobalRegionNotVerified(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+region g;
+void main(void) {
+	g = newregion();
+	struct rlist *x = ralloc(g, struct rlist);
+	x->next = ralloc(g, struct rlist);
+}`)
+	// The two ralloc(g) calls read the untracked global twice; the
+	// regions cannot be proven equal.
+	wantSites(t, res, []bool{false})
+}
+
+// ... and the paper's fix: "where possible, we changed these programs to
+// keep regions in local variables, or used regionof to find the
+// appropriate region in which to allocate objects".
+func TestInferGlobalRegionFixedWithRegionof(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+region g;
+void main(void) {
+	g = newregion();
+	struct rlist *x = ralloc(g, struct rlist);
+	x->next = ralloc(regionof(x), struct rlist);
+}`)
+	wantSites(t, res, []bool{true})
+}
+
+func TestInferTraditional(t *testing.T) {
+	_, res := inferSrc(t, `
+struct buf { char *traditional data; };
+char storage[256];
+void main(void) {
+	region r = newregion();
+	struct buf *b = ralloc(r, struct buf);
+	b->data = storage;        // global array: traditional, safe
+	b->data = "literal";      // string literal: traditional, safe
+	char *p = b->data;        // traditional read
+	b->data = p;              // value known null-or-traditional: safe
+}`)
+	wantSites(t, res, []bool{true, true, true})
+}
+
+func TestInferParentPtr(t *testing.T) {
+	_, res := inferSrc(t, `
+struct req { struct req *parentptr parent; int id; };
+void main(void) {
+	region r = newregion();
+	region sub = newsubregion(r);
+	struct req *outer = ralloc(r, struct req);
+	struct req *inner = ralloc(sub, struct req);
+	inner->parent = outer;   // up the hierarchy: safe
+	inner->parent = null;    // null: safe
+	outer->parent = inner;   // DOWN the hierarchy: not provable
+}`)
+	wantSites(t, res, []bool{true, true, false})
+}
+
+func TestInferNullCheckBranches(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+void main(void) {
+	region r = newregion();
+	struct rlist *x = ralloc(r, struct rlist);
+	struct rlist *y = x->next;   // sameregion read: y=⊤ ∨ y=x's region
+	if (y != null) {
+		x->next = y;             // y ≠ ⊤ resolves to y = region(x): safe
+	}
+	x->next = y;                 // also safe: CondEq holds directly
+}`)
+	wantSites(t, res, []bool{true, true})
+}
+
+func TestInferAddressTakenDefeats(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+void setp(struct rlist **pp, struct rlist *v) { *pp = v; }
+void main(void) {
+	region r = newregion();
+	struct rlist *x = ralloc(r, struct rlist);
+	setp(&x, ralloc(r, struct rlist));
+	x->next = x;   // x is address-taken: untracked, check remains
+}`)
+	// Sites: *pp = v (unannotated: no check), x->next = x. An
+	// address-taken variable is untracked, so each read produces a fresh
+	// unknown region: even x->next = x cannot be verified (the two reads
+	// of x could in principle differ).
+	if res.SafeSite[1] {
+		t.Error("store through address-taken pointer verified unsoundly")
+	}
+	// A store of a DIFFERENT untracked value is not safe.
+	_, res2 := inferSrc(t, listDecl+`
+void main(void) {
+	region r = newregion();
+	struct rlist *x = ralloc(r, struct rlist);
+	struct rlist *y = ralloc(r, struct rlist);
+	int used = 0;
+	struct rlist **px = &x;
+	if (px) used = 1;
+	x->next = y;   // x addr-taken: its region is unknown at the store
+}`)
+	last := len(res2.SafeSite) - 1
+	if res2.SafeSite[last] {
+		t.Error("store into address-taken pointer's target verified unsoundly")
+	}
+}
+
+func TestInferTernary(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+void main(void) {
+	region r = newregion();
+	struct rlist *a = ralloc(r, struct rlist);
+	struct rlist *b = ralloc(r, struct rlist);
+	int flag = 1;
+	struct rlist *c = flag ? a : b;  // both in r
+	a->next = c;                     // safe
+}`)
+	wantSites(t, res, []bool{true})
+}
+
+func TestInferLoopInvariant(t *testing.T) {
+	// A pointer that escapes to another region inside a loop must defeat
+	// verification on the loop's back edge.
+	_, res := inferSrc(t, listDecl+`
+void main(void) {
+	region r1 = newregion();
+	region r2 = newregion();
+	struct rlist *x = ralloc(r1, struct rlist);
+	int i = 0;
+	while (i < 4) {
+		x->next = x;                  // x same as x: safe
+		if (i == 2) {
+			x = ralloc(r2, struct rlist);
+		}
+		i++;
+	}
+}`)
+	wantSites(t, res, []bool{true})
+}
+
+func TestInferCrossRegionNotSafe(t *testing.T) {
+	_, res := inferSrc(t, listDecl+`
+void main(void) {
+	region r1 = newregion();
+	region r2 = newregion();
+	struct rlist *a = ralloc(r1, struct rlist);
+	struct rlist *b = ralloc(r2, struct rlist);
+	a->next = b;   // cross-region: must stay checked (and would abort)
+}`)
+	wantSites(t, res, []bool{false})
+}
+
+// Summaries: a function returning a new region has result ≠ ⊤ but
+// unrelated to its argument; myregionof relates result to its parameter
+// (the paper's Section 4.3 example).
+func TestInferSummaries(t *testing.T) {
+	cp, res := inferSrc(t, listDecl+`
+region myregionof(struct rlist *x) { return regionof(x); }
+region mynewregion(struct rlist *x) { return newregion(); }
+void main(void) {
+	region r = newregion();
+	struct rlist *y = ralloc(r, struct rlist);
+	region a = myregionof(y);
+	struct rlist *z = ralloc(a, struct rlist);
+	y->next = z;   // a = regionof(y), so z is in y's region: safe
+	region b = mynewregion(y);
+	struct rlist *w = ralloc(b, struct rlist);
+	y->next = w;   // w is in a fresh region: not safe
+}`)
+	_ = cp
+	wantSites(t, res, []bool{true, false})
+	mro := res.Summaries["myregionof"]
+	if mro == nil || mro.Result.IsUniverse() {
+		t.Fatal("myregionof has no result summary")
+	}
+}
+
+// The paper's separate-compilation rule: non-static functions crossing a
+// file boundary get empty input/output/result sets, so interprocedural
+// verification is lost exactly there.
+func TestInferExternalBoundary(t *testing.T) {
+	src := listDecl + `
+struct rlist *new_rlist(region r, struct rlist *next) {
+	struct rlist *n = ralloc(r, struct rlist);
+	n->next = next;
+	return n;
+}
+void main(void) {
+	region r = newregion();
+	struct rlist *head = null;
+	int i = 0;
+	while (i < 5) { head = new_rlist(r, head); i++; }
+}`
+	prog, err := rcc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := rcc.Check(prog, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Translate(cp)
+
+	// Whole-program: the constructor's store is verified (all call sites
+	// pass matching regions).
+	whole := Infer(p)
+	if !whole.SafeSite[0] {
+		t.Fatal("whole-program inference should verify the constructor store")
+	}
+	// With new_rlist treated as external (callable from other files),
+	// its input property must stay empty and the check remains.
+	sep := InferExternal(p, func(name string) bool { return name == "new_rlist" })
+	if sep.SafeSite[0] {
+		t.Error("separate-compilation inference verified across the file boundary")
+	}
+	if !sep.Summaries["new_rlist"].Input.Equal(Empty()) ||
+		!sep.Summaries["new_rlist"].Output.Equal(Empty()) {
+		t.Error("external function's summary not pinned to empty sets")
+	}
+	// Callers also stop learning from the external function's result:
+	// head's region is unknown, but the loop still runs (no errors) and
+	// the typing stays admissible.
+	if err := CheckProgram(p, sep); err != nil {
+		t.Errorf("separate-compilation typing inadmissible: %v", err)
+	}
+}

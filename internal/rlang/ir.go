@@ -1,0 +1,186 @@
+package rlang
+
+import (
+	"fmt"
+	"strings"
+
+	"rcgo/internal/rcc"
+)
+
+// The rlang intermediate form: each RC function becomes a control-flow
+// graph of region-relevant statements (Figure 5 of the paper, flattened to
+// three-address form). Scalars carry no region information and disappear;
+// every pointer- or region-typed local, parameter and temporary gets an
+// abstract region variable, and each statement's effect on the constraint
+// set mirrors the typing rules of Figure 6 under the translation of
+// Section 4.3:
+//
+//   - an unannotated pointer field has type ∃ρ'. T[ρ']@ρ'
+//   - a traditional field has type ∃ρ'/ρ'=⊤ ∨ ρ'=R_T. T[ρ']@ρ'
+//   - a sameregion field of an object in ρ has type ∃ρ'/ρ'=⊤ ∨ ρ'=ρ. T[ρ']@ρ'
+//   - a parentptr field of an object in ρ has type ∃ρ'/ρ≤ρ'. T[ρ']@ρ'
+//
+// Reads instantiate the existential into the destination variable; writes
+// are preceded by a chk of the property, which the inference tries to
+// discharge statically.
+
+// StmtKind enumerates rlang IR statements.
+type StmtKind uint8
+
+const (
+	// SCopy: Dst = Src (pointer or region copy).
+	SCopy StmtKind = iota
+	// SNull: Dst = null.
+	SNull
+	// SFresh: Dst = unknown value (global read, address-taken local read,
+	// or any source the type system does not track).
+	SFresh
+	// SMkTrad: Dst = value known to be null-or-traditional and non-null
+	// (string literal, address of a stack slot or global array).
+	SMkTrad
+	// SFieldRead: Dst = Obj.f where the field has qualifier Qual.
+	// Implies Obj ≠ ⊤; Dst gets the field type's property.
+	SFieldRead
+	// SFieldWrite: Obj.f = Val, field qualifier Qual, check site Site.
+	// Emits chk(property); afterwards the property and Obj ≠ ⊤ hold.
+	SFieldWrite
+	// SAlloc: Dst = ralloc(Region, ...): Dst = Region, both non-null.
+	SAlloc
+	// SNewRegion: Dst = newregion(): Dst non-null, fresh.
+	SNewRegion
+	// SNewSub: Dst = newsubregion(Src): Dst ≤ Src, both non-null.
+	SNewSub
+	// SRegionOf: Dst = regionof(Src): Dst = Src (the paper's signature
+	// regionof_T[ρ](x : T[ρ]@ρ) : region@ρ).
+	SRegionOf
+	// SCall: Dst = Callee(Args...). Scalars in Args are NoVar.
+	SCall
+	// SAssume: the branch fact F holds on this path.
+	SAssume
+	// SReturn: function returns Src (NoVar for void/scalar returns).
+	SReturn
+	// SNonNull: Src is known non-null (e.g. arraylen(Src) succeeded).
+	SNonNull
+	// SKillTemps drops all facts about temporary (non-named) variables.
+	// The translation emits one at every source-statement boundary, where
+	// all expression temporaries are dead; this is the tractability
+	// device the paper describes as "ignoring local variables that are
+	// effectively temporaries".
+	SKillTemps
+)
+
+// Stmt is one rlang IR statement.
+type Stmt struct {
+	Kind StmtKind
+	Dst  Var
+	Src  Var // Obj for field ops, Src otherwise
+	Val  Var // value for SFieldWrite
+	Qual rcc.Qual
+	Site int  // pointer-store site ID for SFieldWrite (-1 if none)
+	F    Fact // for SAssume
+
+	Callee string
+	Args   []Var
+}
+
+// Block is a basic block: straight-line statements and successor edges.
+type Block struct {
+	Stmts []Stmt
+	Succs []int
+}
+
+// Func is a translated function.
+type Func struct {
+	Name string
+	// Params are the region variables of the declared parameters, in
+	// order; scalar parameters have NoVar.
+	Params []Var
+	// NumVars is the number of region variables allocated (FirstVar..).
+	NumVars int
+	Blocks  []*Block
+	// Deletes mirrors the RC deletes qualifier.
+	Deletes bool
+	// Named[v] is true for region variables of declared RC variables
+	// (params and locals); false entries are expression temporaries,
+	// whose facts SKillTemps discards.
+	Named []bool
+
+	namedRename map[Var]Var // lazily built identity map over named vars
+}
+
+// NamedRename returns (building once) the identity renaming over the
+// function's named variables, used to restrict fact sets at statement
+// boundaries.
+func (f *Func) NamedRename() map[Var]Var {
+	if f.namedRename == nil {
+		f.namedRename = make(map[Var]Var)
+		for v := FirstVar; int(v) < len(f.Named); v++ {
+			if f.Named[v] {
+				f.namedRename[v] = v
+			}
+		}
+	}
+	return f.namedRename
+}
+
+// Program is a set of translated functions.
+type Program struct {
+	Funcs map[string]*Func
+	// NumSites is the number of pointer-store check sites, shared with
+	// the front end's numbering.
+	NumSites int
+}
+
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s params=%v vars=%d\n", f.Name, f.Params, f.NumVars)
+	for i, b := range f.Blocks {
+		fmt.Fprintf(&sb, "  b%d -> %v\n", i, b.Succs)
+		for _, s := range b.Stmts {
+			fmt.Fprintf(&sb, "    %s\n", s)
+		}
+	}
+	return sb.String()
+}
+
+func (s Stmt) String() string {
+	v := func(x Var) string {
+		if x == NoVar {
+			return "_"
+		}
+		return fmt.Sprintf("v%d", x)
+	}
+	switch s.Kind {
+	case SCopy:
+		return fmt.Sprintf("%s = %s", v(s.Dst), v(s.Src))
+	case SNull:
+		return fmt.Sprintf("%s = null", v(s.Dst))
+	case SFresh:
+		return fmt.Sprintf("%s = ?", v(s.Dst))
+	case SMkTrad:
+		return fmt.Sprintf("%s = trad", v(s.Dst))
+	case SFieldRead:
+		return fmt.Sprintf("%s = %s.[%v]", v(s.Dst), v(s.Src), s.Qual)
+	case SFieldWrite:
+		return fmt.Sprintf("%s.[%v] = %s (site %d)", v(s.Src), s.Qual, v(s.Val), s.Site)
+	case SAlloc:
+		return fmt.Sprintf("%s = ralloc(%s)", v(s.Dst), v(s.Src))
+	case SNewRegion:
+		return fmt.Sprintf("%s = newregion()", v(s.Dst))
+	case SNewSub:
+		return fmt.Sprintf("%s = newsubregion(%s)", v(s.Dst), v(s.Src))
+	case SRegionOf:
+		return fmt.Sprintf("%s = regionof(%s)", v(s.Dst), v(s.Src))
+	case SCall:
+		return fmt.Sprintf("%s = %s(%v)", v(s.Dst), s.Callee, s.Args)
+	case SAssume:
+		return "assume " + s.F.String()
+	case SReturn:
+		return "return " + v(s.Src)
+	case SNonNull:
+		return "nonnull " + v(s.Src)
+	case SKillTemps:
+		return "killtemps"
+	}
+	return "?"
+}

@@ -1,0 +1,714 @@
+package rlang
+
+import (
+	"rcgo/internal/rcc"
+)
+
+// Translate lowers a checked RC program into the rlang IR, following the
+// translation of Section 4.3 of the paper:
+//
+//   - every pointer- or region-typed local and parameter gets a distinct
+//     abstract region variable;
+//   - global variables are fields of an (untracked) Global structure in the
+//     traditional region, so global reads produce unknown regions and
+//     global writes are field writes against R_T;
+//   - address-taken locals live on the stack (inside the traditional
+//     region) and are likewise untracked;
+//   - every field write of a pointer is preceded by the chk corresponding
+//     to its qualifier, recorded under the front end's site ID.
+func Translate(cp *rcc.CheckedProgram) *Program {
+	p := &Program{Funcs: make(map[string]*Func), NumSites: cp.NumSites}
+	for _, fn := range cp.Prog.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		p.Funcs[fn.Name] = translateFunc(fn)
+	}
+	return p
+}
+
+// tracked reports whether a variable's region is tracked by the type
+// system: pointer- or region-typed, and not address-taken.
+func tracked(v *rcc.VarInfo) bool {
+	if v == nil || v.AddrTaken || v.Kind == rcc.VarGlobal {
+		return false
+	}
+	switch v.Type.(type) {
+	case *rcc.Pointer:
+		return true
+	}
+	return rcc.IsRegion(v.Type)
+}
+
+// hasRegionType reports whether an expression type carries a region.
+func hasRegionType(t rcc.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*rcc.Pointer); ok {
+		return true
+	}
+	return rcc.IsRegion(t)
+}
+
+type xlate struct {
+	fn     *Func
+	vars   map[*rcc.VarInfo]Var
+	next   Var
+	blocks []*Block
+	cur    int
+	// loop stack for break/continue: (continue target, break target)
+	loops []loopCtx
+}
+
+type loopCtx struct{ cont, brk int }
+
+func translateFunc(fd *rcc.FuncDecl) *Func {
+	x := &xlate{
+		fn:   &Func{Name: fd.Name, Deletes: fd.Deletes},
+		vars: make(map[*rcc.VarInfo]Var),
+		next: FirstVar,
+	}
+	x.newBlock() // entry
+	for i, v := range fd.Vars {
+		if i >= len(fd.Params) {
+			break
+		}
+		if tracked(v) {
+			x.fn.Params = append(x.fn.Params, x.varFor(v))
+		} else {
+			x.fn.Params = append(x.fn.Params, NoVar)
+		}
+	}
+	x.stmt(fd.Body)
+	x.emit(Stmt{Kind: SReturn, Src: NoVar})
+	x.fn.Blocks = x.blocks
+	x.fn.NumVars = int(x.next)
+	x.fn.Named = make([]bool, x.fn.NumVars)
+	for _, v := range x.vars {
+		x.fn.Named[v] = true
+	}
+	return x.fn
+}
+
+func (x *xlate) newBlock() int {
+	x.blocks = append(x.blocks, &Block{})
+	x.cur = len(x.blocks) - 1
+	return x.cur
+}
+
+func (x *xlate) emit(s Stmt) { x.blocks[x.cur].Stmts = append(x.blocks[x.cur].Stmts, s) }
+
+func (x *xlate) link(from, to int) {
+	x.blocks[from].Succs = append(x.blocks[from].Succs, to)
+}
+
+func (x *xlate) fresh() Var {
+	v := x.next
+	x.next++
+	return v
+}
+
+func (x *xlate) varFor(v *rcc.VarInfo) Var {
+	if r, ok := x.vars[v]; ok {
+		return r
+	}
+	r := x.fresh()
+	x.vars[v] = r
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+func (x *xlate) stmt(s rcc.Stmt) {
+	// All expression temporaries of preceding statements are dead here;
+	// dropping their facts keeps the constraint sets small (the paper's
+	// "effectively temporaries" tractability device).
+	if _, isBlock := s.(*rcc.Block); !isBlock {
+		x.emit(Stmt{Kind: SKillTemps})
+	}
+	switch st := s.(type) {
+	case *rcc.Block:
+		for _, sub := range st.Stmts {
+			x.stmt(sub)
+		}
+	case *rcc.DeclStmt:
+		if st.Init == nil {
+			if tracked(st.Var) {
+				// Uninitialized pointer locals start as garbage; the
+				// region is unknown. (C semantics; workloads initialize
+				// before use.)
+				x.emit(Stmt{Kind: SFresh, Dst: x.varFor(st.Var)})
+			}
+			return
+		}
+		iv := x.expr(st.Init)
+		if tracked(st.Var) {
+			x.assignVar(x.varFor(st.Var), iv, st.Init)
+		}
+	case *rcc.ExprStmt:
+		x.expr(st.X)
+	case *rcc.IfStmt:
+		thenB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		elseB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.cond(st.Cond, thenB, elseB)
+		joinB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.cur = thenB
+		x.stmt(st.Then)
+		x.link(x.cur, joinB)
+		x.cur = elseB
+		if st.Else != nil {
+			x.stmt(st.Else)
+		}
+		x.link(x.cur, joinB)
+		x.cur = joinB
+	case *rcc.WhileStmt:
+		headB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.link(x.cur, headB)
+		bodyB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		exitB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.cur = headB
+		x.cond(st.Cond, bodyB, exitB)
+		x.loops = append(x.loops, loopCtx{cont: headB, brk: exitB})
+		x.cur = bodyB
+		x.stmt(st.Body)
+		x.link(x.cur, headB)
+		x.loops = x.loops[:len(x.loops)-1]
+		x.cur = exitB
+	case *rcc.ForStmt:
+		if st.Init != nil {
+			x.expr(st.Init)
+		}
+		headB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.link(x.cur, headB)
+		bodyB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		postB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		exitB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.cur = headB
+		if st.Cond != nil {
+			x.cond(st.Cond, bodyB, exitB)
+		} else {
+			x.link(headB, bodyB)
+		}
+		x.loops = append(x.loops, loopCtx{cont: postB, brk: exitB})
+		x.cur = bodyB
+		x.stmt(st.Body)
+		x.link(x.cur, postB)
+		x.loops = x.loops[:len(x.loops)-1]
+		x.cur = postB
+		if st.Post != nil {
+			x.expr(st.Post)
+		}
+		x.link(x.cur, headB)
+		x.cur = exitB
+	case *rcc.DoWhileStmt:
+		bodyB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.link(x.cur, bodyB)
+		condB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		exitB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.loops = append(x.loops, loopCtx{cont: condB, brk: exitB})
+		x.cur = bodyB
+		x.stmt(st.Body)
+		x.link(x.cur, condB)
+		x.loops = x.loops[:len(x.loops)-1]
+		x.cur = condB
+		x.cond(st.Cond, bodyB, exitB)
+		x.cur = exitB
+	case *rcc.SwitchStmt:
+		x.expr(st.Cond) // numeric: effects only, no branch facts
+		exitB := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		// Continue (if legal here) binds to the enclosing loop.
+		cont := exitB
+		if n := len(x.loops); n > 0 {
+			cont = x.loops[n-1].cont
+		}
+		x.loops = append(x.loops, loopCtx{cont: cont, brk: exitB})
+		dispatch := x.cur
+		hasDefault := false
+		var prevEnd = -1 // fallthrough source
+		for _, cl := range st.Clauses {
+			if cl.IsDefault {
+				hasDefault = true
+			}
+			head := len(x.blocks)
+			x.blocks = append(x.blocks, &Block{})
+			x.link(dispatch, head)
+			if prevEnd >= 0 {
+				x.link(prevEnd, head) // fallthrough from previous clause
+			}
+			x.cur = head
+			for _, s := range cl.Stmts {
+				x.stmt(s)
+			}
+			prevEnd = x.cur
+		}
+		if prevEnd >= 0 {
+			x.link(prevEnd, exitB)
+		}
+		if !hasDefault || len(st.Clauses) == 0 {
+			x.link(dispatch, exitB)
+		}
+		x.loops = x.loops[:len(x.loops)-1]
+		x.cur = exitB
+	case *rcc.ReturnStmt:
+		src := NoVar
+		if st.X != nil {
+			v := x.expr(st.X)
+			if hasRegionType(st.X.Type()) {
+				src = v
+			}
+		}
+		x.emit(Stmt{Kind: SReturn, Src: src})
+		x.newBlock() // dead code after return
+	case *rcc.BreakStmt:
+		if n := len(x.loops); n > 0 {
+			x.link(x.cur, x.loops[n-1].brk)
+		}
+		x.newBlock()
+	case *rcc.ContinueStmt:
+		if n := len(x.loops); n > 0 {
+			x.link(x.cur, x.loops[n-1].cont)
+		}
+		x.newBlock()
+	}
+}
+
+// assignVar models dst = (value of e held in src var).
+func (x *xlate) assignVar(dst, src Var, e rcc.Expr) {
+	if _, isNull := e.(*rcc.NullLit); isNull || src == NoVar {
+		x.emit(Stmt{Kind: SNull, Dst: dst})
+		return
+	}
+	x.emit(Stmt{Kind: SCopy, Dst: dst, Src: src})
+}
+
+// ---------------------------------------------------------------------------
+// Conditions: translated into CFG edges with Assume facts.
+
+// cond translates a condition so control reaches thenB when it is true and
+// elseB when it is false, emitting Assume facts for region-relevant tests.
+func (x *xlate) cond(e rcc.Expr, thenB, elseB int) {
+	switch c := e.(type) {
+	case *rcc.Unary:
+		if c.Op == rcc.OpNot {
+			x.cond(c.X, elseB, thenB)
+			return
+		}
+	case *rcc.Binary:
+		switch c.Op {
+		case rcc.OpAnd:
+			midB := len(x.blocks)
+			x.blocks = append(x.blocks, &Block{})
+			x.cond(c.L, midB, elseB)
+			x.cur = midB
+			x.cond(c.R, thenB, elseB)
+			return
+		case rcc.OpOr:
+			midB := len(x.blocks)
+			x.blocks = append(x.blocks, &Block{})
+			x.cond(c.L, thenB, midB)
+			x.cur = midB
+			x.cond(c.R, thenB, elseB)
+			return
+		case rcc.OpEq, rcc.OpNe:
+			lv := x.exprRegion(c.L)
+			rv := x.exprRegion(c.R)
+			_, lNull := c.L.(*rcc.NullLit)
+			_, rNull := c.R.(*rcc.NullLit)
+			var eqFact, neFact []Fact
+			switch {
+			case lNull && rv != NoVar:
+				eqFact = []Fact{EqTop(rv)}
+				neFact = []Fact{NeTop(rv)}
+			case rNull && lv != NoVar:
+				eqFact = []Fact{EqTop(lv)}
+				neFact = []Fact{NeTop(lv)}
+			case lv != NoVar && rv != NoVar:
+				// x == y (pointers): equal addresses means equal regions
+				// (both null gives ⊤ = ⊤).
+				eqFact = []Fact{Eq(lv, rv)}
+			}
+			if c.Op == rcc.OpNe {
+				eqFact, neFact = neFact, eqFact
+			}
+			x.branch(thenB, elseB, eqFact, neFact)
+			return
+		}
+	}
+	// General condition: a pointer tested for truth is a null test.
+	v := x.exprRegion(e)
+	if v != NoVar {
+		x.branch(thenB, elseB, []Fact{NeTop(v)}, []Fact{EqTop(v)})
+		return
+	}
+	x.link(x.cur, thenB)
+	x.link(x.cur, elseB)
+}
+
+// exprRegion evaluates e and returns its region var (NoVar for scalars).
+func (x *xlate) exprRegion(e rcc.Expr) Var {
+	v := x.expr(e)
+	if !hasRegionType(e.Type()) {
+		return NoVar
+	}
+	return v
+}
+
+// branch splits control into then/else blocks with assumption facts.
+func (x *xlate) branch(thenB, elseB int, thenFacts, elseFacts []Fact) {
+	from := x.cur
+	if len(thenFacts) > 0 {
+		mid := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.link(from, mid)
+		x.cur = mid
+		for _, f := range thenFacts {
+			x.emit(Stmt{Kind: SAssume, F: f})
+		}
+		x.link(mid, thenB)
+	} else {
+		x.link(from, thenB)
+	}
+	if len(elseFacts) > 0 {
+		mid := len(x.blocks)
+		x.blocks = append(x.blocks, &Block{})
+		x.link(from, mid)
+		x.cur = mid
+		for _, f := range elseFacts {
+			x.emit(Stmt{Kind: SAssume, F: f})
+		}
+		x.link(mid, elseB)
+	} else {
+		x.link(from, elseB)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions. Every call returns the region var of the value (NoVar for
+// scalars), emitting IR for region-relevant effects along the way.
+
+func (x *xlate) expr(e rcc.Expr) Var {
+	switch ex := e.(type) {
+	case *rcc.IntLit:
+		return NoVar
+	case *rcc.StrLit:
+		t := x.fresh()
+		x.emit(Stmt{Kind: SMkTrad, Dst: t})
+		return t
+	case *rcc.NullLit:
+		t := x.fresh()
+		x.emit(Stmt{Kind: SNull, Dst: t})
+		return t
+	case *rcc.VarRef:
+		if tracked(ex.Var) {
+			return x.vars[ex.Var] // params pre-bound; locals bound at decl
+		}
+		if ex.Var != nil && ex.Var.ArrayGlobal {
+			// A global array's address is a constant pointer into the
+			// traditional region.
+			t := x.fresh()
+			x.emit(Stmt{Kind: SMkTrad, Dst: t})
+			return t
+		}
+		if hasRegionType(ex.Type()) {
+			// Global or address-taken: the region is untracked.
+			t := x.fresh()
+			x.emit(Stmt{Kind: SFresh, Dst: t})
+			return t
+		}
+		return NoVar
+	case *rcc.Unary:
+		return x.unary(ex)
+	case *rcc.Binary:
+		if ex.Op == rcc.OpAnd || ex.Op == rcc.OpOr {
+			// Value context: evaluate both for effects via cond into a
+			// dead join; the result is scalar.
+			thenB := len(x.blocks)
+			x.blocks = append(x.blocks, &Block{})
+			elseB := len(x.blocks)
+			x.blocks = append(x.blocks, &Block{})
+			x.cond(ex, thenB, elseB)
+			join := len(x.blocks)
+			x.blocks = append(x.blocks, &Block{})
+			x.link(thenB, join)
+			x.link(elseB, join)
+			x.cur = join
+			return NoVar
+		}
+		x.expr(ex.L)
+		x.expr(ex.R)
+		return NoVar
+	case *rcc.Ternary:
+		return x.ternary(ex)
+	case *rcc.Assign:
+		return x.assign(ex)
+	case *rcc.Call:
+		return x.call(ex)
+	case *rcc.RallocExpr:
+		rv := x.expr(ex.Region)
+		if ex.Count != nil {
+			x.expr(ex.Count)
+		}
+		t := x.fresh()
+		x.emit(Stmt{Kind: SAlloc, Dst: t, Src: rv})
+		return t
+	case *rcc.FieldAccess:
+		obj := x.expr(ex.X)
+		t := x.fresh()
+		if hasRegionType(ex.Type()) {
+			x.emit(Stmt{Kind: SFieldRead, Dst: t, Src: obj, Qual: fieldQual(ex)})
+		} else {
+			// Scalar read still asserts the object is non-null.
+			x.emit(Stmt{Kind: SNonNull, Src: obj})
+			return NoVar
+		}
+		return t
+	case *rcc.Index:
+		arr := x.expr(ex.X)
+		x.expr(ex.Idx)
+		if hasRegionType(ex.Type()) {
+			t := x.fresh()
+			x.emit(Stmt{Kind: SFieldRead, Dst: t, Src: arr, Qual: indexQual(ex)})
+			return t
+		}
+		x.emit(Stmt{Kind: SNonNull, Src: arr})
+		return NoVar
+	}
+	return NoVar
+}
+
+// fieldQual returns the qualifier of an accessed field's pointer type.
+func fieldQual(f *rcc.FieldAccess) rcc.Qual {
+	if f.Field != nil {
+		if p, ok := f.Field.Type.(*rcc.Pointer); ok {
+			return p.Qual
+		}
+	}
+	return rcc.QualNone
+}
+
+// indexQual returns the qualifier of an array element's pointer type.
+func indexQual(ix *rcc.Index) rcc.Qual {
+	if p, ok := ix.X.Type().(*rcc.Pointer); ok {
+		if ep, ok := p.Elem.(*rcc.Pointer); ok {
+			return ep.Qual
+		}
+	}
+	return rcc.QualNone
+}
+
+func derefQual(u *rcc.Unary) rcc.Qual {
+	if p, ok := u.X.Type().(*rcc.Pointer); ok {
+		if ep, ok := p.Elem.(*rcc.Pointer); ok {
+			return ep.Qual
+		}
+	}
+	return rcc.QualNone
+}
+
+func (x *xlate) unary(ex *rcc.Unary) Var {
+	switch ex.Op {
+	case rcc.OpNeg, rcc.OpNot:
+		x.expr(ex.X)
+		return NoVar
+	case rcc.OpDeref:
+		p := x.expr(ex.X)
+		if hasRegionType(ex.Type()) {
+			t := x.fresh()
+			x.emit(Stmt{Kind: SFieldRead, Dst: t, Src: p, Qual: derefQual(ex)})
+			return t
+		}
+		x.emit(Stmt{Kind: SNonNull, Src: p})
+		return NoVar
+	case rcc.OpAddr:
+		switch lv := ex.X.(type) {
+		case *rcc.VarRef:
+			// Address of a local or global scalar: a pointer into the
+			// stack or globals area, both in the traditional region.
+			x.expr(ex.X)
+			t := x.fresh()
+			x.emit(Stmt{Kind: SMkTrad, Dst: t})
+			return t
+		case *rcc.FieldAccess:
+			obj := x.expr(lv.X)
+			t := x.fresh()
+			if obj != NoVar {
+				x.emit(Stmt{Kind: SNonNull, Src: obj})
+				x.emit(Stmt{Kind: SCopy, Dst: t, Src: obj})
+				x.emit(Stmt{Kind: SAssume, F: NeTop(t)})
+			} else {
+				x.emit(Stmt{Kind: SFresh, Dst: t})
+			}
+			return t
+		case *rcc.Index:
+			arr := x.expr(lv.X)
+			x.expr(lv.Idx)
+			t := x.fresh()
+			if arr != NoVar {
+				x.emit(Stmt{Kind: SNonNull, Src: arr})
+				x.emit(Stmt{Kind: SCopy, Dst: t, Src: arr})
+				x.emit(Stmt{Kind: SAssume, F: NeTop(t)})
+			} else {
+				x.emit(Stmt{Kind: SFresh, Dst: t})
+			}
+			return t
+		case *rcc.Unary:
+			if lv.Op == rcc.OpDeref {
+				return x.expr(lv.X) // &*p == p
+			}
+		}
+		t := x.fresh()
+		x.emit(Stmt{Kind: SFresh, Dst: t})
+		return t
+	}
+	return NoVar
+}
+
+func (x *xlate) ternary(ex *rcc.Ternary) Var {
+	thenB := len(x.blocks)
+	x.blocks = append(x.blocks, &Block{})
+	elseB := len(x.blocks)
+	x.blocks = append(x.blocks, &Block{})
+	x.cond(ex.Cond, thenB, elseB)
+	join := len(x.blocks)
+	x.blocks = append(x.blocks, &Block{})
+	isRegion := hasRegionType(ex.Type())
+	t := NoVar
+	if isRegion {
+		t = x.fresh()
+	}
+	x.cur = thenB
+	tv := x.expr(ex.Then)
+	if isRegion {
+		x.assignVar(t, tv, ex.Then)
+	}
+	x.link(x.cur, join)
+	x.cur = elseB
+	ev := x.expr(ex.Else)
+	if isRegion {
+		x.assignVar(t, ev, ex.Else)
+	}
+	x.link(x.cur, join)
+	x.cur = join
+	return t
+}
+
+func (x *xlate) assign(ex *rcc.Assign) Var {
+	// Compound assignments are numeric-only.
+	if ex.Op != rcc.TokAssign {
+		x.expr(ex.LHS)
+		x.expr(ex.RHS)
+		return NoVar
+	}
+	switch lv := ex.LHS.(type) {
+	case *rcc.VarRef:
+		rv := x.expr(ex.RHS)
+		if tracked(lv.Var) {
+			x.assignVar(x.vars[lv.Var], rv, ex.RHS)
+			return x.vars[lv.Var]
+		}
+		// Global or address-taken target: a memory write. Pointer-typed
+		// globals and stack slots live in the traditional region.
+		if ex.Info != nil && ex.Info.PtrStore {
+			x.emit(Stmt{Kind: SFieldWrite, Src: RT, Val: rv,
+				Qual: ex.Info.Qual, Site: ex.SiteID})
+		}
+		return rv
+	case *rcc.FieldAccess:
+		obj := x.expr(lv.X)
+		rv := x.expr(ex.RHS)
+		if ex.Info != nil && ex.Info.PtrStore {
+			x.emit(Stmt{Kind: SFieldWrite, Src: obj, Val: rv,
+				Qual: ex.Info.Qual, Site: ex.SiteID})
+		} else {
+			x.emit(Stmt{Kind: SNonNull, Src: obj})
+		}
+		return rv
+	case *rcc.Index:
+		arr := x.expr(lv.X)
+		x.expr(lv.Idx)
+		rv := x.expr(ex.RHS)
+		if ex.Info != nil && ex.Info.PtrStore {
+			x.emit(Stmt{Kind: SFieldWrite, Src: arr, Val: rv,
+				Qual: ex.Info.Qual, Site: ex.SiteID})
+		} else {
+			x.emit(Stmt{Kind: SNonNull, Src: arr})
+		}
+		return rv
+	case *rcc.Unary: // *p = v
+		p := x.expr(lv.X)
+		rv := x.expr(ex.RHS)
+		if ex.Info != nil && ex.Info.PtrStore {
+			x.emit(Stmt{Kind: SFieldWrite, Src: p, Val: rv,
+				Qual: ex.Info.Qual, Site: ex.SiteID})
+		} else {
+			x.emit(Stmt{Kind: SNonNull, Src: p})
+		}
+		return rv
+	}
+	return NoVar
+}
+
+func (x *xlate) call(ex *rcc.Call) Var {
+	switch ex.Builtin {
+	case rcc.BNewRegion:
+		t := x.fresh()
+		x.emit(Stmt{Kind: SNewRegion, Dst: t})
+		return t
+	case rcc.BNewSubregion:
+		pv := x.expr(ex.Args[0])
+		t := x.fresh()
+		x.emit(Stmt{Kind: SNewSub, Dst: t, Src: pv})
+		return t
+	case rcc.BDeleteRegion:
+		x.expr(ex.Args[0])
+		return NoVar
+	case rcc.BRegionOf:
+		pv := x.expr(ex.Args[0])
+		t := x.fresh()
+		x.emit(Stmt{Kind: SRegionOf, Dst: t, Src: pv})
+		return t
+	case rcc.BArrayLen:
+		pv := x.expr(ex.Args[0])
+		if pv != NoVar {
+			x.emit(Stmt{Kind: SNonNull, Src: pv})
+		}
+		return NoVar
+	case rcc.BPrintInt, rcc.BPrintChar, rcc.BPrintStr, rcc.BAssert:
+		for _, a := range ex.Args {
+			x.expr(a)
+		}
+		return NoVar
+	}
+	args := make([]Var, len(ex.Args))
+	for i, a := range ex.Args {
+		v := x.expr(a)
+		if !hasRegionType(a.Type()) {
+			v = NoVar
+		} else if _, isNull := a.(*rcc.NullLit); isNull {
+			// x.expr already made a null temp; keep it.
+		}
+		args[i] = v
+	}
+	dst := NoVar
+	if ex.Func != nil && hasRegionType(ex.Func.Ret) {
+		dst = x.fresh()
+	}
+	x.emit(Stmt{Kind: SCall, Dst: dst, Callee: ex.Name, Args: args})
+	return dst
+}

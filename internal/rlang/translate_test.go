@@ -1,0 +1,132 @@
+package rlang
+
+import (
+	"strings"
+	"testing"
+)
+
+func countStmts(f *Func, kind StmtKind) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == kind {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestTranslateShapes(t *testing.T) {
+	p := translateSrc(t, listDecl+`
+struct rlist *build(region r, int n) {
+	struct rlist *head = null;
+	int i;
+	for (i = 0; i < n; i++) {
+		struct rlist *x = ralloc(r, struct rlist);
+		x->next = head;
+		head = x;
+	}
+	return head;
+}
+void main(void) {
+	region r = newregion();
+	struct rlist *l = build(r, 3);
+	if (l != null) {
+		struct rlist *m = l->next;
+		if (m) l = m;
+	}
+}`)
+	build := p.Funcs["build"]
+	if build == nil {
+		t.Fatal("build not translated")
+	}
+	// The region parameter is tracked, the int parameter is not.
+	if len(build.Params) != 2 || build.Params[0] == NoVar || build.Params[1] != NoVar {
+		t.Errorf("params = %v", build.Params)
+	}
+	if countStmts(build, SAlloc) != 1 {
+		t.Error("ralloc not translated to SAlloc")
+	}
+	if countStmts(build, SFieldWrite) != 1 {
+		t.Error("x->next = head not translated to SFieldWrite")
+	}
+	if countStmts(build, SReturn) < 1 {
+		t.Error("no return")
+	}
+	main := p.Funcs["main"]
+	if countStmts(main, SNewRegion) != 1 || countStmts(main, SCall) != 1 {
+		t.Error("main shape wrong")
+	}
+	// Null-test branches emit assumptions.
+	if countStmts(main, SAssume) < 2 {
+		t.Errorf("expected branch assumptions, got %d", countStmts(main, SAssume))
+	}
+	// Statement boundaries kill temporaries.
+	if countStmts(main, SKillTemps) < 3 {
+		t.Errorf("expected kill-temps at statement boundaries, got %d",
+			countStmts(main, SKillTemps))
+	}
+	// Named variables are exactly the declared ones.
+	named := 0
+	for _, ok := range main.Named {
+		if ok {
+			named++
+		}
+	}
+	if named != 3 { // r, l, m
+		t.Errorf("main named vars = %d, want 3", named)
+	}
+}
+
+func TestTranslateGlobalWrites(t *testing.T) {
+	p := translateSrc(t, listDecl+`
+struct rlist *cache;
+void main(void) {
+	region r = newregion();
+	cache = ralloc(r, struct rlist);
+}`)
+	main := p.Funcs["main"]
+	found := false
+	for _, b := range main.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == SFieldWrite && s.Src == RT {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("global pointer write not translated as a store against R_T")
+	}
+}
+
+func TestTranslateStringAndAddr(t *testing.T) {
+	p := translateSrc(t, `
+char *traditional g;
+void main(void) {
+	int x = 1;
+	int *px = &x;
+	g = "lit";
+	if (px) print_int(*px);
+}`)
+	main := p.Funcs["main"]
+	if countStmts(main, SMkTrad) < 2 {
+		t.Errorf("string literal and address-of-local should both be MkTrad, got %d",
+			countStmts(main, SMkTrad))
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	p := translateSrc(t, listDecl+`
+void main(void) {
+	region r = newregion();
+	struct rlist *x = ralloc(r, struct rlist);
+	x->next = null;
+}`)
+	text := p.Funcs["main"].String()
+	for _, want := range []string{"func main", "newregion", "ralloc", "sameregion"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Func.String missing %q:\n%s", want, text)
+		}
+	}
+}

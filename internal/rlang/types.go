@@ -1,0 +1,327 @@
+package rlang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the paper's Figure 4 type language and the
+// assignability judgment of Figure 6,
+//
+//	δ, L ⊢ τ1 ← τ2 ⇒ δ', L'
+//
+// ("a value of type τ2 is assignable to a location of type τ1, given
+// input property δ and live abstract region set L, producing updated
+// property δ' and live set L'"). Types annotate every pointer with a
+// region expression; existential quantification (∃ρ/δ.τ) represents
+// pointers whose region is partially or totally unknown — the paper's
+// main type-system novelty.
+//
+// The dataflow inference (infer.go) is the paper's *implementation* of
+// this system over constraint sets; the judgment here is the declarative
+// rule set, used by tests to validate the translation's field types and
+// available to clients exploring the type system directly.
+
+// Type is an rlang type (Figure 4: τ ::= region@σ | T[σ1..σm]@σ |
+// ∃ρ/δ.τ).
+type Type interface {
+	typeNode()
+	String() string
+}
+
+// RegionType is region@σ: a region value denoting region σ.
+type RegionType struct {
+	At Var
+}
+
+// NamedType is T[σ1..σm]@σ: a pointer to a T-structure in region σ, with
+// the structure's abstract region parameters instantiated at σ1..σm.
+type NamedType struct {
+	Name string
+	Args []Var
+	At   Var
+}
+
+// ExistsType is ∃ρ/δ.τ: there exists a region ρ satisfying the facts in
+// Prop such that the value has type τ.
+type ExistsType struct {
+	Bound Var
+	Prop  []Fact
+	Inner Type
+}
+
+func (*RegionType) typeNode() {}
+func (*NamedType) typeNode()  {}
+func (*ExistsType) typeNode() {}
+
+func varName(v Var) string {
+	switch v {
+	case Top:
+		return "⊤"
+	case RT:
+		return "R_T"
+	default:
+		return fmt.Sprintf("ρ%d", int(v)-int(FirstVar))
+	}
+}
+
+func (t *RegionType) String() string { return "region@" + varName(t.At) }
+
+func (t *NamedType) String() string {
+	var args []string
+	for _, a := range t.Args {
+		args = append(args, varName(a))
+	}
+	return t.Name + "[" + strings.Join(args, ",") + "]@" + varName(t.At)
+}
+
+func (t *ExistsType) String() string {
+	var props []string
+	for _, f := range t.Prop {
+		props = append(props, f.String())
+	}
+	p := "true"
+	if len(props) > 0 {
+		p = strings.Join(props, "∧")
+	}
+	return "∃" + varName(t.Bound) + "/" + p + "." + t.Inner.String()
+}
+
+// SubstVar replaces free occurrences of from with to in a type (capture
+// is avoided: substitution stops at a binder for from).
+func SubstVar(t Type, from, to Var) Type {
+	switch x := t.(type) {
+	case *RegionType:
+		if x.At == from {
+			return &RegionType{At: to}
+		}
+		return x
+	case *NamedType:
+		changed := false
+		args := make([]Var, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = a
+			if a == from {
+				args[i] = to
+				changed = true
+			}
+		}
+		at := x.At
+		if at == from {
+			at = to
+			changed = true
+		}
+		if !changed {
+			return x
+		}
+		return &NamedType{Name: x.Name, Args: args, At: at}
+	case *ExistsType:
+		if x.Bound == from {
+			return x // shadowed
+		}
+		props := make([]Fact, len(x.Prop))
+		for i, f := range x.Prop {
+			g := f
+			if g.A == from {
+				g.A = to
+			}
+			if (g.Kind == FEq || g.Kind == FLeq || g.Kind == FCondEq) && g.B == from {
+				g.B = to
+			}
+			if g.Kind == FEq {
+				g = Eq(g.A, g.B)
+			}
+			props[i] = g
+		}
+		return &ExistsType{Bound: x.Bound, Prop: props, Inner: SubstVar(x.Inner, from, to)}
+	}
+	return t
+}
+
+// AssignErr reports why an assignment is ill-typed.
+type AssignErr struct {
+	Dst, Src Type
+	Reason   string
+}
+
+func (e *AssignErr) Error() string {
+	return fmt.Sprintf("rlang: cannot assign %s to %s: %s", e.Src, e.Dst, e.Reason)
+}
+
+// Assignable implements the judgment δ, L ⊢ dst ← src ⇒ δ', L'. live is
+// the set of live abstract regions (the paper's L): an abstract region
+// NOT in live may be (re)bound by the assignment, adding its new
+// properties to δ. A successful assignment returns the updated property
+// set and live set (inputs are not mutated).
+func Assignable(delta *Set, live map[Var]bool, dst, src Type) (*Set, map[Var]bool, error) {
+	d := delta.Clone()
+	l := make(map[Var]bool, len(live))
+	for v := range live {
+		l[v] = true
+	}
+	if err := assign(&d, l, dst, src, Var(1_000_000)); err != nil {
+		return nil, nil, err
+	}
+	return d, l, nil
+}
+
+// assign is the recursive judgment; fresh supplies variables for
+// instantiating existentials on the source side.
+func assign(d **Set, l map[Var]bool, dst, src Type, fresh Var) error {
+	switch dt := dst.(type) {
+	case *ExistsType:
+		// (∃gen.): find a witness σ' for the bound variable by matching
+		// the source's structure against the inner type, then require
+		// δ ⊨ prop[σ'/ρ].
+		// First strip source existentials ((∃inst.)): instantiate into a
+		// dead variable.
+		if st, ok := src.(*ExistsType); ok {
+			p := fresh
+			fresh++
+			for _, f := range st.Prop {
+				g := renameFact(f, st.Bound, p)
+				(*d).Add(g)
+			}
+			return assign(d, l, dst, SubstVar(st.Inner, st.Bound, p), fresh)
+		}
+		witness, ok := findWitness(dt, src)
+		if !ok {
+			return &AssignErr{dst, src, "no witness for the existential"}
+		}
+		for _, f := range dt.Prop {
+			need := renameFact(f, dt.Bound, witness)
+			if !(*d).Implies(need) {
+				return &AssignErr{dst, src,
+					fmt.Sprintf("property %v not implied for witness %s", need, varName(witness))}
+			}
+		}
+		return assign(d, l, SubstVar(dt.Inner, dt.Bound, witness), src, fresh)
+	}
+	// Source existential against a non-existential destination:
+	// instantiate ((∃inst.)).
+	if st, ok := src.(*ExistsType); ok {
+		p := fresh
+		fresh++
+		for _, f := range st.Prop {
+			(*d).Add(renameFact(f, st.Bound, p))
+		}
+		return assign(d, l, dst, SubstVar(st.Inner, st.Bound, p), fresh)
+	}
+	switch dt := dst.(type) {
+	case *RegionType:
+		st, ok := src.(*RegionType)
+		if !ok {
+			return &AssignErr{dst, src, "kind mismatch"}
+		}
+		return matchRegion(d, l, dt.At, st.At, dst, src)
+	case *NamedType:
+		st, ok := src.(*NamedType)
+		if !ok || st.Name != dt.Name || len(st.Args) != len(dt.Args) {
+			return &AssignErr{dst, src, "structure mismatch"}
+		}
+		for i := range dt.Args {
+			if err := matchRegion(d, l, dt.Args[i], st.Args[i], dst, src); err != nil {
+				return err
+			}
+		}
+		return matchRegion(d, l, dt.At, st.At, dst, src)
+	}
+	return &AssignErr{dst, src, "unsupported type"}
+}
+
+// matchRegion implements the bottom rules of Figure 6: two region
+// expressions match if δ implies they are equal, or if the destination's
+// abstract region is dead, in which case it is rebound (added to L with
+// the equality recorded in δ).
+func matchRegion(d **Set, l map[Var]bool, dv, sv Var, dst, src Type) error {
+	if dv == sv || (*d).Implies(Eq(dv, sv)) {
+		return nil
+	}
+	if dv != Top && dv != RT && !l[dv] {
+		// Dead destination variable: rebind.
+		*d = (*d).KillVar(dv)
+		(*d).Add(Eq(dv, sv))
+		l[dv] = true
+		return nil
+	}
+	return &AssignErr{dst, src,
+		fmt.Sprintf("regions %s and %s not provably equal and %s is live",
+			varName(dv), varName(sv), varName(dv))}
+}
+
+func renameFact(f Fact, from, to Var) Fact {
+	g := f
+	if g.A == from {
+		g.A = to
+	}
+	if (g.Kind == FEq || g.Kind == FLeq || g.Kind == FCondEq) && g.B == from {
+		g.B = to
+	}
+	if g.Kind == FEq {
+		g = Eq(g.A, g.B)
+	}
+	return g
+}
+
+// findWitness matches the destination existential's inner type against
+// the source type to locate the region expression playing the bound
+// variable's role.
+func findWitness(dt *ExistsType, src Type) (Var, bool) {
+	var walk func(inner, s Type) (Var, bool)
+	walk = func(inner, s Type) (Var, bool) {
+		switch it := inner.(type) {
+		case *RegionType:
+			st, ok := s.(*RegionType)
+			if !ok {
+				return 0, false
+			}
+			if it.At == dt.Bound {
+				return st.At, true
+			}
+		case *NamedType:
+			st, ok := s.(*NamedType)
+			if !ok || len(st.Args) != len(it.Args) {
+				return 0, false
+			}
+			if it.At == dt.Bound {
+				return st.At, true
+			}
+			for i := range it.Args {
+				if it.Args[i] == dt.Bound {
+					return st.Args[i], true
+				}
+			}
+		}
+		return 0, false
+	}
+	if w, ok := walk(dt.Inner, src); ok {
+		return w, ok
+	}
+	// The bound variable does not occur in the inner type: any witness
+	// works; ⊤ satisfies vacuous properties most often.
+	return Top, true
+}
+
+// FieldType builds the translated rlang type of a struct field with the
+// given qualifier, relative to the containing object's region (Section
+// 4.3's table):
+//
+//	unannotated  ∃ρ'.           T[ρ']@ρ'
+//	traditional  ∃ρ'/ρ'=⊤∨ρ'=R_T. T[ρ']@ρ'
+//	sameregion   ∃ρ'/ρ'=⊤∨ρ'=ρ.   T[ρ']@ρ'
+//	parentptr    ∃ρ'/ρ≤ρ'.        T[ρ']@ρ'
+//
+// bound must be a variable unused elsewhere.
+func FieldType(name string, qual string, containing, bound Var) *ExistsType {
+	inner := &NamedType{Name: name, Args: []Var{bound}, At: bound}
+	switch qual {
+	case "traditional":
+		return &ExistsType{Bound: bound, Prop: []Fact{CondEq(bound, RT)}, Inner: inner}
+	case "sameregion":
+		return &ExistsType{Bound: bound, Prop: []Fact{CondEq(bound, containing)}, Inner: inner}
+	case "parentptr":
+		return &ExistsType{Bound: bound, Prop: []Fact{Leq(containing, bound)}, Inner: inner}
+	default:
+		return &ExistsType{Bound: bound, Inner: inner}
+	}
+}

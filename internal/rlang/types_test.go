@@ -1,0 +1,179 @@
+package rlang
+
+import (
+	"strings"
+	"testing"
+)
+
+// Variables for the judgment tests.
+const (
+	tP = FirstVar + 10 + iota // ρ (a containing object's region)
+	tQ                        // another region
+	tX                        // a value's region
+	tB                        // an existential binder
+)
+
+func live(vs ...Var) map[Var]bool {
+	m := map[Var]bool{}
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}
+
+func facts(fs ...Fact) *Set {
+	s := Empty()
+	for _, f := range fs {
+		s.Add(f)
+	}
+	return s
+}
+
+func TestAssignSameRegionField(t *testing.T) {
+	// Storing a value of type L[ρx]@ρx into a sameregion field of an
+	// object in ρp requires δ ⊨ ρx=⊤ ∨ ρx=ρp.
+	field := FieldType("L", "sameregion", tP, tB)
+	val := &NamedType{Name: "L", Args: []Var{tX}, At: tX}
+
+	// Provably same region: accepted.
+	if _, _, err := Assignable(facts(Eq(tX, tP)), live(tP, tX), field, val); err != nil {
+		t.Errorf("same-region store rejected: %v", err)
+	}
+	// Provably null: accepted.
+	if _, _, err := Assignable(facts(EqTop(tX)), live(tP, tX), field, val); err != nil {
+		t.Errorf("null store rejected: %v", err)
+	}
+	// Nothing known: rejected.
+	if _, _, err := Assignable(facts(), live(tP, tX), field, val); err == nil {
+		t.Error("unknown-region store accepted by sameregion field")
+	}
+	// Known different live region, no relation: rejected.
+	if _, _, err := Assignable(facts(Eq(tX, tQ), NeTop(tX)), live(tP, tQ, tX), field, val); err == nil {
+		t.Error("cross-region store accepted by sameregion field")
+	}
+}
+
+func TestAssignParentPtrField(t *testing.T) {
+	field := FieldType("R", "parentptr", tP, tB)
+	val := &NamedType{Name: "R", Args: []Var{tX}, At: tX}
+	// ρp ≤ ρx (value in an ancestor region): accepted.
+	if _, _, err := Assignable(facts(Leq(tP, tX)), live(tP, tX), field, val); err != nil {
+		t.Errorf("upward store rejected: %v", err)
+	}
+	// Null: ρx=⊤ implies ρp ≤ ρx (everything is ≤ ⊤).
+	if _, _, err := Assignable(facts(EqTop(tX)), live(tP, tX), field, val); err != nil {
+		t.Errorf("null parentptr store rejected: %v", err)
+	}
+	// Downward (ρx ≤ ρp only): rejected.
+	if _, _, err := Assignable(facts(Leq(tX, tP), NeTop(tX)), live(tP, tX), field, val); err == nil {
+		t.Error("downward parentptr store accepted")
+	}
+}
+
+func TestAssignTraditionalField(t *testing.T) {
+	field := FieldType("C", "traditional", tP, tB)
+	val := &NamedType{Name: "C", Args: []Var{tX}, At: tX}
+	if _, _, err := Assignable(facts(Eq(tX, RT)), live(tP, tX), field, val); err != nil {
+		t.Errorf("traditional store rejected: %v", err)
+	}
+	if _, _, err := Assignable(facts(Eq(tX, tP), NeTop(tX)), live(tP, tX), field, val); err == nil {
+		t.Error("region value accepted by traditional field")
+	}
+}
+
+func TestAssignUnannotatedFieldAlwaysOK(t *testing.T) {
+	// ∃ρ'.T[ρ']@ρ' accepts any value of the right structure.
+	field := FieldType("L", "", tP, tB)
+	val := &NamedType{Name: "L", Args: []Var{tX}, At: tX}
+	if _, _, err := Assignable(facts(), live(tP, tX), field, val); err != nil {
+		t.Errorf("unannotated field rejected a value: %v", err)
+	}
+	// But not a structurally different value.
+	other := &NamedType{Name: "M", Args: []Var{tX}, At: tX}
+	if _, _, err := Assignable(facts(), live(tP, tX), field, other); err == nil {
+		t.Error("structure mismatch accepted")
+	}
+}
+
+func TestAssignRebindsDeadVariable(t *testing.T) {
+	// Reading into a variable whose abstract region is dead rebinds it:
+	// region@ρq ← region@ρx with ρq ∉ L records ρq = ρx.
+	dst := &RegionType{At: tQ}
+	src := &RegionType{At: tX}
+	d, l, err := Assignable(facts(NeTop(tX)), live(tX), dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Implies(Eq(tQ, tX)) || !d.Implies(NeTop(tQ)) {
+		t.Errorf("rebinding did not record facts: %v", d)
+	}
+	if !l[tQ] {
+		t.Error("rebound variable not added to the live set")
+	}
+	// The same assignment with ρq live and unrelated is rejected.
+	if _, _, err := Assignable(facts(), live(tQ, tX), dst, src); err == nil {
+		t.Error("live unrelated variable rebound")
+	}
+}
+
+func TestAssignExistentialSource(t *testing.T) {
+	// The paper's myregionof signature: result ∃ρ/ρ=ρx.region@ρ. The
+	// result is assignable into a dead variable, and the instantiated
+	// property ρ=ρx transfers.
+	res := &ExistsType{Bound: tB, Prop: []Fact{Eq(tB, tX)}, Inner: &RegionType{At: tB}}
+	dst := &RegionType{At: tQ}
+	d, _, err := Assignable(facts(NeTop(tX)), live(tX), dst, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Implies(Eq(tQ, tX)) {
+		t.Errorf("existential property lost: %v", d)
+	}
+}
+
+func TestAssignExistentialToExistential(t *testing.T) {
+	// The paper's struct L: next : ∃ρ''/ρ''=⊤∨ρ''=ρ.L[ρ'']@ρ''.
+	// Assigning a value of the SAME existential field type read from an
+	// object in the same region is accepted (instantiate, then
+	// generalize with the instantiated variable as witness).
+	field := FieldType("L", "sameregion", tP, tB)
+	src := FieldType("L", "sameregion", tP, tB+100)
+	if _, _, err := Assignable(facts(), live(tP), field, src); err != nil {
+		t.Errorf("same-field-to-same-field store rejected: %v", err)
+	}
+	// But a sameregion field value from a DIFFERENT (unrelated) region's
+	// object is rejected.
+	src2 := FieldType("L", "sameregion", tQ, tB+101)
+	if _, _, err := Assignable(facts(NeTop(tQ), NeTop(tP)), live(tP, tQ), field, src2); err == nil {
+		t.Error("other-region field value accepted")
+	}
+}
+
+func TestSubstAndString(t *testing.T) {
+	lt := FieldType("L", "sameregion", tP, tB)
+	s := lt.String()
+	if !strings.Contains(s, "∃") || !strings.Contains(s, "L[") {
+		t.Errorf("String() = %q", s)
+	}
+	// Substitution respects binders.
+	sub := SubstVar(lt, tB, tX).(*ExistsType)
+	if sub.Bound != tB {
+		t.Error("substitution entered a binder")
+	}
+	sub2 := SubstVar(lt, tP, tQ).(*ExistsType)
+	if sub2.Prop[0] != CondEq(tB, tQ) {
+		t.Errorf("substitution missed the property: %v", sub2.Prop[0])
+	}
+	if (&RegionType{At: Top}).String() != "region@⊤" {
+		t.Error("region type string wrong")
+	}
+}
+
+func TestAssignErrMessage(t *testing.T) {
+	_, _, err := Assignable(facts(), live(tP, tX),
+		FieldType("L", "sameregion", tP, tB),
+		&NamedType{Name: "L", Args: []Var{tX}, At: tX})
+	if err == nil || !strings.Contains(err.Error(), "cannot assign") {
+		t.Errorf("error = %v", err)
+	}
+}

@@ -1,0 +1,418 @@
+package vm
+
+import (
+	"fmt"
+
+	"rcgo/internal/alloc"
+	"rcgo/internal/ir"
+	"rcgo/internal/mem"
+	"rcgo/internal/region"
+)
+
+// Run executes the program's main function. A program abort (failed
+// safety check, null dereference, assertion failure, runaway execution)
+// is returned as an error.
+func (v *VM) Run() (err error) {
+	if v.prog.MainIdx < 0 {
+		return fmt.Errorf("vm: program has no main")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case *region.CheckError:
+				err = v.runtimeErr(e.Error())
+			case *RuntimeError:
+				err = e
+			case mem.SegFault:
+				err = v.runtimeErr(e.Error())
+			default:
+				panic(r)
+			}
+		}
+	}()
+	v.push(v.prog.Funcs[v.prog.MainIdx], nil, -1)
+	v.loop()
+	return nil
+}
+
+func (v *VM) runtimeErr(msg string) *RuntimeError {
+	e := &RuntimeError{Msg: msg}
+	if len(v.frames) > 0 {
+		f := &v.frames[len(v.frames)-1]
+		e.Fn = f.fn.Name
+		e.PC = f.pc
+	}
+	return e
+}
+
+func (v *VM) fail(format string, args ...any) {
+	panic(v.runtimeErr(fmt.Sprintf(format, args...)))
+}
+
+func (v *VM) push(fn *ir.Func, args []uint64, retReg int32) {
+	if v.sp+uint64(fn.StackWords) > v.stackCap {
+		v.fail("stack overflow")
+	}
+	f := frame{
+		fn:        fn,
+		regs:      make([]uint64, fn.NRegs),
+		retReg:    retReg,
+		stackOff:  v.sp,
+		activePin: -1,
+	}
+	copy(f.regs, args)
+	// Zero this frame's stack area (address-taken locals start null).
+	for i := int32(0); i < fn.StackWords; i++ {
+		v.heap.Store(v.stackBase.Add(v.sp+uint64(i)), 0)
+	}
+	v.sp += uint64(fn.StackWords)
+	v.frames = append(v.frames, f)
+	v.Stats.Calls++
+	if len(v.frames) > v.Stats.MaxFrames {
+		v.Stats.MaxFrames = len(v.frames)
+	}
+}
+
+// pop unwinds the top frame, releasing counted references held by its
+// address-taken pointer slots.
+func (v *VM) pop(retVal uint64, hasVal bool) {
+	f := &v.frames[len(v.frames)-1]
+	if v.cfg.Backend == BackendRegion && v.cfg.Counting {
+		for _, slot := range f.fn.Slots {
+			if slot.Barrier == ir.BarrierFull {
+				addr := v.stackBase.Add(f.stackOff + uint64(slot.Off))
+				if v.heap.Load(addr) != 0 {
+					v.RT.StorePtr(addr, mem.Nil)
+				}
+			}
+		}
+	}
+	v.sp = f.stackOff
+	retReg := f.retReg
+	v.frames = v.frames[:len(v.frames)-1]
+	if len(v.frames) > 0 && hasVal && retReg >= 0 {
+		v.frames[len(v.frames)-1].regs[retReg] = retVal
+	}
+}
+
+func (v *VM) loop() {
+	for len(v.frames) > 0 {
+		f := &v.frames[len(v.frames)-1]
+		code := f.fn.Code
+		regs := f.regs
+		pc := f.pc
+		startInstr := v.Stats.Instructions
+	inner:
+		for {
+			if v.cfg.MaxSteps > 0 && v.Stats.Instructions >= v.cfg.MaxSteps {
+				f.pc = pc
+				v.fail("step limit exceeded")
+			}
+			in := code[pc]
+			v.Stats.Instructions++
+			switch in.Op {
+			case ir.OpConst:
+				regs[in.A] = uint64(in.K)
+			case ir.OpMove:
+				regs[in.A] = regs[in.B]
+			case ir.OpAdd:
+				regs[in.A] = uint64(int64(regs[in.B]) + int64(regs[in.C]))
+			case ir.OpSub:
+				regs[in.A] = uint64(int64(regs[in.B]) - int64(regs[in.C]))
+			case ir.OpMul:
+				regs[in.A] = uint64(int64(regs[in.B]) * int64(regs[in.C]))
+			case ir.OpDiv:
+				if regs[in.C] == 0 {
+					f.pc = pc
+					v.fail("division by zero")
+				}
+				regs[in.A] = uint64(int64(regs[in.B]) / int64(regs[in.C]))
+			case ir.OpMod:
+				if regs[in.C] == 0 {
+					f.pc = pc
+					v.fail("modulo by zero")
+				}
+				regs[in.A] = uint64(int64(regs[in.B]) % int64(regs[in.C]))
+			case ir.OpNeg:
+				regs[in.A] = uint64(-int64(regs[in.B]))
+			case ir.OpNot:
+				regs[in.A] = b2u(regs[in.B] == 0)
+			case ir.OpEq:
+				regs[in.A] = b2u(regs[in.B] == regs[in.C])
+			case ir.OpNe:
+				regs[in.A] = b2u(regs[in.B] != regs[in.C])
+			case ir.OpLt:
+				regs[in.A] = b2u(int64(regs[in.B]) < int64(regs[in.C]))
+			case ir.OpLe:
+				regs[in.A] = b2u(int64(regs[in.B]) <= int64(regs[in.C]))
+			case ir.OpGt:
+				regs[in.A] = b2u(int64(regs[in.B]) > int64(regs[in.C]))
+			case ir.OpGe:
+				regs[in.A] = b2u(int64(regs[in.B]) >= int64(regs[in.C]))
+			case ir.OpJmp:
+				pc = int(in.K)
+				continue inner
+			case ir.OpJz:
+				if regs[in.A] == 0 {
+					pc = int(in.K)
+					continue inner
+				}
+			case ir.OpJnz:
+				if regs[in.A] != 0 {
+					pc = int(in.K)
+					continue inner
+				}
+			case ir.OpCall:
+				f.pc = pc + 1
+				callee := v.prog.Funcs[in.K]
+				v.push(callee, regs[in.B:in.B+in.C], in.A)
+				break inner
+			case ir.OpRet:
+				f.pc = pc
+				if in.A >= 0 {
+					v.pop(regs[in.A], true)
+				} else {
+					v.pop(0, false)
+				}
+				break inner
+			case ir.OpLea:
+				if regs[in.B] == 0 {
+					f.pc = pc
+					v.fail("null pointer dereference")
+				}
+				regs[in.A] = regs[in.B] + uint64(in.K)
+			case ir.OpLeaIdx:
+				if regs[in.B] == 0 {
+					f.pc = pc
+					v.fail("null pointer dereference")
+				}
+				regs[in.A] = regs[in.B] + regs[in.C]*uint64(in.K)
+			case ir.OpLoad:
+				regs[in.A] = v.heap.Load(mem.Addr(regs[in.B]))
+			case ir.OpStore:
+				v.heap.Store(mem.Addr(regs[in.A]), regs[in.B])
+			case ir.OpStoreP:
+				f.pc = pc
+				v.storeP(mem.Addr(regs[in.A]), mem.Addr(regs[in.B]), in.K)
+			case ir.OpGlobalAddr:
+				regs[in.A] = uint64(v.globals) + uint64(in.K)
+			case ir.OpStackAddr:
+				regs[in.A] = uint64(v.stackBase) + f.stackOff + uint64(in.K)
+			case ir.OpStrAddr:
+				regs[in.A] = uint64(v.strs[in.K])
+			case ir.OpNewRegion:
+				regs[in.A] = uint64(v.newRegion(0))
+			case ir.OpNewSub:
+				f.pc = pc
+				regs[in.A] = uint64(v.newRegion(int32(regs[in.B])))
+			case ir.OpDelRegion:
+				f.pc = pc
+				v.deleteRegion(int32(regs[in.A]))
+			case ir.OpRegionOf:
+				regs[in.A] = uint64(v.regionOf(mem.Addr(regs[in.B])))
+			case ir.OpAlloc:
+				f.pc = pc
+				regs[in.A] = uint64(v.allocObj(int32(regs[in.B]), int32(in.K), 1))
+			case ir.OpAllocArr:
+				f.pc = pc
+				n := int64(regs[in.C])
+				if n < 0 {
+					v.fail("negative array allocation")
+				}
+				regs[in.A] = uint64(v.allocObj(int32(regs[in.B]), int32(in.K), uint64(n)))
+			case ir.OpArrLen:
+				a := mem.Addr(regs[in.B])
+				if a == mem.Nil {
+					f.pc = pc
+					v.fail("arraylen of null")
+				}
+				regs[in.A] = v.heap.Load(a-1) & 0xffffffff
+			case ir.OpPrintInt:
+				fmt.Fprintf(v.out, "%d", int64(regs[in.A]))
+			case ir.OpPrintChar:
+				fmt.Fprintf(v.out, "%c", rune(regs[in.A]&0xff))
+			case ir.OpPrintStr:
+				v.printStr(mem.Addr(regs[in.A]))
+			case ir.OpAssert:
+				if regs[in.A] == 0 {
+					f.pc = pc
+					v.fail("assertion failed")
+				}
+			case ir.OpPin:
+				f.activePin = int(in.K)
+				if v.cfg.Backend == BackendRegion && v.cfg.Counting &&
+					v.cfg.Locals == LocalsPins {
+					var group []*region.Region
+					for _, r := range f.fn.PinLists[in.K] {
+						val := mem.Addr(regs[r])
+						if val == mem.Nil {
+							continue
+						}
+						reg := v.RT.RegionOf(val)
+						if reg != v.RT.Traditional() {
+							reg.Pin()
+							group = append(group, reg)
+						}
+					}
+					f.pins = append(f.pins, group)
+				}
+			case ir.OpUnpin:
+				f.activePin = -1
+				if v.cfg.Backend == BackendRegion && v.cfg.Counting &&
+					v.cfg.Locals == LocalsPins {
+					n := len(f.pins) - 1
+					for _, reg := range f.pins[n] {
+						reg.Unpin()
+					}
+					f.pins = f.pins[:n]
+				}
+			default:
+				f.pc = pc
+				v.fail("invalid opcode %v", in.Op)
+			}
+			pc++
+		}
+		if v.profile != nil {
+			v.profile[f.fn.Name] += v.Stats.Instructions - startInstr
+		}
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// storeP performs a pointer store with the given barrier.
+func (v *VM) storeP(p, val mem.Addr, barrier int64) {
+	if v.cfg.Backend != BackendRegion {
+		// The emulation backends run the original, unsafe program: no
+		// counting, no checks.
+		v.heap.Store(p, uint64(val))
+		return
+	}
+	if !v.cfg.Counting {
+		v.heap.Store(p, uint64(val))
+		return
+	}
+	switch barrier {
+	case ir.BarrierFull:
+		v.RT.StorePtr(p, val)
+	case ir.BarrierSame:
+		v.RT.StoreSameRegion(p, val)
+	case ir.BarrierTrad:
+		v.RT.StoreTraditional(p, val)
+	case ir.BarrierParent:
+		v.RT.StoreParentPtr(p, val)
+	default:
+		v.RT.StoreUnchecked(p, val)
+	}
+}
+
+func (v *VM) newRegion(parent int32) int32 {
+	if v.cfg.Backend == BackendRegion {
+		var r *region.Region
+		if parent == 0 {
+			r = v.RT.NewRegion()
+		} else {
+			r = v.RT.NewSubregion(v.handle(parent))
+		}
+		return v.addHandle(r)
+	}
+	var p *alloc.EmuRegion
+	if parent != 0 {
+		if parent < 0 || int(parent) >= len(v.emuHandles) {
+			v.fail("newsubregion of invalid handle %d", parent)
+		}
+		p = v.emuHandles[parent]
+	}
+	nr := v.emu.NewSubregion(p)
+	v.emuHandles = append(v.emuHandles, nr)
+	return int32(len(v.emuHandles) - 1)
+}
+
+func (v *VM) handle(h int32) *region.Region {
+	if h < 0 || int(h) >= len(v.handles) || v.handles[h] == nil {
+		v.fail("invalid region handle %d", h)
+	}
+	return v.handles[h]
+}
+
+func (v *VM) deleteRegion(h int32) {
+	if v.cfg.Backend != BackendRegion {
+		if h <= 0 || int(h) >= len(v.emuHandles) {
+			v.fail("deleteregion of invalid handle %d", h)
+		}
+		v.emu.DeleteRegion(v.emuHandles[h])
+		return
+	}
+	if h == 0 {
+		v.fail("deleteregion of the traditional region")
+	}
+	r := v.handle(h)
+	if !v.cfg.Counting {
+		v.RT.DeleteRegionUnsafe(r)
+		return
+	}
+	if v.cfg.Locals == LocalsStackScan {
+		// C@'s protocol: scan live locals of every frame for references
+		// into the dying region.
+		v.Stats.StackScans++
+		for fi := range v.frames {
+			fr := &v.frames[fi]
+			if fr.activePin < 0 || fr.activePin >= len(fr.fn.PinLists) {
+				continue
+			}
+			for _, reg := range fr.fn.PinLists[fr.activePin] {
+				v.Stats.ScanSlots++
+				val := mem.Addr(fr.regs[reg])
+				if val != mem.Nil && v.RT.RegionOf(val) == r {
+					v.fail("deleteregion: region %s referenced from the stack", r.Name())
+				}
+			}
+		}
+	}
+	if err := v.RT.DeleteRegion(r); err != nil {
+		v.fail("%v", err)
+	}
+}
+
+func (v *VM) regionOf(a mem.Addr) int32 {
+	if v.cfg.Backend == BackendRegion {
+		return v.hof[v.RT.RegionOf(a)]
+	}
+	return v.emu.RegionIDOfAny(a)
+}
+
+func (v *VM) allocObj(h, typeIdx int32, count uint64) mem.Addr {
+	if count == 0 {
+		count = 1
+	}
+	if v.cfg.Backend == BackendRegion {
+		return v.handle(h).AllocArray(v.typeIDs[typeIdx], count)
+	}
+	if h <= 0 || int(h) >= len(v.emuHandles) {
+		v.fail("allocation in invalid region handle %d", h)
+	}
+	t := v.prog.Types[typeIdx]
+	hdr := uint64(uint32(typeIdx))<<32 | uint64(uint32(count))
+	return v.emu.Alloc(v.emuHandles[h], t.Size, count, hdr)
+}
+
+func (v *VM) printStr(a mem.Addr) {
+	if a == mem.Nil {
+		return
+	}
+	var buf []byte
+	for {
+		c := v.heap.Load(a)
+		if c == 0 {
+			break
+		}
+		buf = append(buf, byte(c))
+		a++
+	}
+	v.out.Write(buf)
+}

@@ -1,0 +1,325 @@
+// Package vm executes compiled RC programs over one of three memory
+// backends, matching the allocator configurations of the paper's
+// evaluation:
+//
+//	BackendRegion  the RC runtime (reference-counted regions); with
+//	               counting disabled this is the "norc" column
+//	BackendMalloc  the region-emulation library over malloc/free ("lea")
+//	BackendGC      the region-emulation library over the conservative
+//	               mark-sweep collector ("GC")
+//
+// Under BackendRegion the VM also implements the paper's two strategies
+// for local variables: RC's pin/unpin of live locals around deletes-calls,
+// and C@'s scan of the stack at deleteregion.
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"rcgo/internal/alloc"
+	"rcgo/internal/ir"
+	"rcgo/internal/mem"
+	"rcgo/internal/region"
+)
+
+// Backend selects the memory manager.
+type Backend int
+
+const (
+	BackendRegion Backend = iota
+	BackendMalloc
+	BackendGC
+)
+
+// LocalsStrategy selects how local-variable references are protected
+// (BackendRegion only).
+type LocalsStrategy int
+
+const (
+	// LocalsPins is RC's scheme: pin live locals around deletes-calls.
+	LocalsPins LocalsStrategy = iota
+	// LocalsStackScan is C@'s scheme: deleteregion scans the stack.
+	LocalsStackScan
+	// LocalsNone disables protection (used with counting disabled).
+	LocalsNone
+)
+
+// Config configures a VM run.
+type Config struct {
+	Backend Backend
+	// Counting enables reference counting (BackendRegion). When false,
+	// deleteregion reclaims without checks (the "norc" configuration).
+	Counting bool
+	Locals   LocalsStrategy
+	// DeletePolicy applies to the region backend.
+	DeletePolicy region.DeletePolicy
+	// RegionConfig carries ablation switches to the region runtime.
+	ParentCheckByWalk  bool
+	DisablePointerFree bool
+	// StackPages sizes the simulated stack (default 512 pages = 4 MiB).
+	StackPages int
+	// Output receives print_* output (defaults to io.Discard).
+	Output io.Writer
+	// MaxSteps aborts runaway programs (0 = no limit).
+	MaxSteps int64
+	// Profile enables per-function instruction counting (see Profile()).
+	Profile bool
+}
+
+// Stats aggregates execution counters.
+type Stats struct {
+	Instructions int64
+	Calls        int64
+	MaxFrames    int
+	StackScans   int64 // C@ deleteregion stack scans
+	ScanSlots    int64 // slots visited by those scans
+}
+
+// RuntimeError is a program abort (failed check, null dereference, etc.).
+type RuntimeError struct {
+	Msg string
+	PC  int
+	Fn  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("vm: %s (in %s at pc %d)", e.Msg, e.Fn, e.PC)
+}
+
+// VM executes one compiled program.
+type VM struct {
+	prog *ir.Program
+	cfg  Config
+
+	Stats Stats
+
+	// Region backend.
+	RT      *region.Runtime
+	typeIDs []region.TypeID
+	handles []*region.Region
+	hof     map[*region.Region]int32
+
+	// Emulation backends.
+	emu        *alloc.Emu
+	emuHandles []*alloc.EmuRegion
+	heap       *mem.Heap
+
+	globals mem.Addr
+	strs    []mem.Addr
+
+	stackBase mem.Addr
+	stackCap  uint64
+	sp        uint64
+
+	frames  []frame
+	out     io.Writer
+	profile map[string]int64
+}
+
+type frame struct {
+	fn        *ir.Func
+	regs      []uint64
+	pc        int
+	retReg    int32
+	stackOff  uint64 // sp at entry
+	pins      [][]*region.Region
+	activePin int // pin-list index of the in-flight call, -1 otherwise
+}
+
+// New prepares a VM for the program.
+func New(prog *ir.Program, cfg Config) *VM {
+	if cfg.Output == nil {
+		cfg.Output = io.Discard
+	}
+	if cfg.StackPages == 0 {
+		cfg.StackPages = 512
+	}
+	v := &VM{prog: prog, cfg: cfg, out: cfg.Output}
+	if cfg.Profile {
+		v.profile = make(map[string]int64)
+	}
+	switch cfg.Backend {
+	case BackendRegion:
+		v.RT = region.NewRuntime(region.Config{
+			Policy:             cfg.DeletePolicy,
+			ParentCheckByWalk:  cfg.ParentCheckByWalk,
+			DisablePointerFree: cfg.DisablePointerFree,
+		})
+		v.heap = v.RT.Heap
+		v.typeIDs = make([]region.TypeID, len(prog.Types))
+		for i, t := range prog.Types {
+			v.typeIDs[i] = v.RT.RegisterType(region.TypeDesc{
+				Name: t.Name, Size: t.Size,
+				CountedOffsets: countedFor(t, cfg.Counting),
+				AllPtrOffsets:  t.AllPtrOffsets,
+			})
+		}
+		v.hof = make(map[*region.Region]int32)
+		v.addHandle(v.RT.Traditional())
+	case BackendMalloc:
+		h := mem.NewHeap()
+		v.heap = h
+		v.emu = alloc.NewEmuMalloc(h, 1)
+		v.emuHandles = []*alloc.EmuRegion{nil} // handle 0 = traditional
+	case BackendGC:
+		h := mem.NewHeap()
+		v.heap = h
+		v.emu = alloc.NewEmuGC(h, 1)
+		v.emu.G.Roots = v.gcRoots
+		v.emuHandles = []*alloc.EmuRegion{nil}
+	}
+	v.initMemory()
+	return v
+}
+
+// countedFor disables counted offsets entirely when counting is off, so
+// the runtime performs no unscan work in the norc configuration.
+func countedFor(t ir.TypeDesc, counting bool) []uint64 {
+	if !counting {
+		return nil
+	}
+	return t.CountedOffsets
+}
+
+func (v *VM) addHandle(r *region.Region) int32 {
+	id := int32(len(v.handles))
+	v.handles = append(v.handles, r)
+	v.hof[r] = id
+	return id
+}
+
+// initMemory lays out the stack, globals area, global arrays and interned
+// strings.
+func (v *VM) initMemory() {
+	// Stack.
+	if v.cfg.Backend == BackendRegion {
+		v.stackBase = v.RT.MapStack(v.cfg.StackPages)
+	} else {
+		// Reserved owner tag 1000 keeps stack pages distinct from the
+		// allocators' pages (the GC ignores pages it does not own).
+		first := v.heap.MapPages(v.cfg.StackPages, 1000, region.KindStack)
+		v.stackBase = mem.Addr(first << mem.PageShift)
+	}
+	v.stackCap = uint64(v.cfg.StackPages) * mem.PageWords
+
+	// Globals area.
+	gw := uint64(v.prog.GlobalWords)
+	if gw == 0 {
+		gw = 1
+	}
+	if v.cfg.Backend == BackendRegion {
+		v.globals = v.RT.Traditional().Alloc(v.typeIDs[v.prog.GlobalDesc])
+	} else {
+		v.globals = v.emuAllocRaw(gw, uint64(v.prog.GlobalDesc))
+	}
+
+	// Interned strings: NUL-terminated char arrays in the traditional
+	// region (or tag-0 emulated storage).
+	charDesc := ir.TypeDesc{Name: "char", Size: 1}
+	charID := v.findOrRegister(charDesc)
+	v.strs = make([]mem.Addr, len(v.prog.Strings))
+	for i, s := range v.prog.Strings {
+		n := uint64(len(s) + 1)
+		var a mem.Addr
+		if v.cfg.Backend == BackendRegion {
+			a = v.RT.Traditional().AllocArray(v.typeIDs[charID], n)
+		} else {
+			a = v.emuAllocRaw(n, uint64(charID))
+		}
+		for j := 0; j < len(s); j++ {
+			v.heap.Store(a.Add(uint64(j)), uint64(s[j]))
+		}
+		v.strs[i] = a
+	}
+
+	// Global arrays.
+	for _, ga := range v.prog.Arrays {
+		var a mem.Addr
+		if v.cfg.Backend == BackendRegion {
+			a = v.RT.Traditional().AllocArray(v.typeIDs[ga.ElemType], ga.Len)
+		} else {
+			elemSize := v.prog.Types[ga.ElemType].Size
+			a = v.emuAllocRaw(elemSize*ga.Len, uint64(ga.ElemType))
+		}
+		v.heap.Store(v.globals.Add(uint64(ga.Slot)), uint64(a))
+	}
+	// Constant initializers.
+	for _, gi := range v.prog.Inits {
+		var val uint64
+		if gi.Kind == 1 {
+			val = uint64(v.strs[gi.K])
+		} else {
+			val = uint64(gi.K)
+		}
+		v.heap.Store(v.globals.Add(uint64(gi.Slot)), val)
+	}
+}
+
+// findOrRegister registers an auxiliary type descriptor (region backend
+// uses real type IDs; emulation backends pack the descriptor index into
+// the type header).
+func (v *VM) findOrRegister(t ir.TypeDesc) int32 {
+	for i, existing := range v.prog.Types {
+		if existing.Name == t.Name && existing.Size == t.Size &&
+			len(existing.CountedOffsets) == len(t.CountedOffsets) {
+			return int32(i)
+		}
+	}
+	idx := int32(len(v.prog.Types))
+	v.prog.Types = append(v.prog.Types, t)
+	if v.cfg.Backend == BackendRegion {
+		v.typeIDs = append(v.typeIDs, v.RT.RegisterType(region.TypeDesc{
+			Name: t.Name, Size: t.Size,
+			CountedOffsets: countedFor(t, v.cfg.Counting),
+			AllPtrOffsets:  t.AllPtrOffsets,
+		}))
+	}
+	return idx
+}
+
+// emuAllocRaw allocates a raw object via the emulation allocator (tag 0,
+// never freed), returning the body address.
+func (v *VM) emuAllocRaw(words uint64, typeID uint64) mem.Addr {
+	hdr := uint64(uint32(typeID))<<32 | 1
+	var blk mem.Addr
+	if v.emu.M != nil {
+		blk = v.emu.M.Alloc(words+1, 0)
+	} else {
+		blk = v.emu.G.Alloc(words+1, 0)
+	}
+	v.heap.Store(blk.Add(1), hdr)
+	return blk.Add(2)
+}
+
+// Profile returns per-function executed-instruction counts (nil unless
+// Config.Profile was set).
+func (v *VM) Profile() map[string]int64 { return v.profile }
+
+// EmuMallocStats returns the malloc backend's statistics.
+func (v *VM) EmuMallocStats() alloc.MallocStats { return v.emu.M.Stats }
+
+// EmuGCStats returns the GC backend's statistics.
+func (v *VM) EmuGCStats() alloc.GCStats { return v.emu.G.Stats }
+
+// gcRoots conservatively enumerates the VM's roots for the GC backend:
+// all frame registers, the used stack area, the globals area, and the
+// interned strings.
+func (v *VM) gcRoots(emit func(uint64)) {
+	for fi := range v.frames {
+		for _, r := range v.frames[fi].regs {
+			emit(r)
+		}
+	}
+	for off := uint64(0); off < v.sp; off++ {
+		emit(uint64(v.heap.Load(v.stackBase.Add(off))))
+	}
+	emit(uint64(v.globals))
+	gw := uint64(v.prog.GlobalWords)
+	for off := uint64(0); off < gw; off++ {
+		emit(uint64(v.heap.Load(v.globals.Add(off))))
+	}
+	for _, s := range v.strs {
+		emit(uint64(s))
+	}
+}

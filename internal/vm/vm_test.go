@@ -1,0 +1,261 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rcgo/internal/compile"
+	"rcgo/internal/ir"
+	"rcgo/internal/rcc"
+	"rcgo/internal/rlang"
+)
+
+func build(t *testing.T, src string, mode compile.Mode) *ir.Program {
+	t.Helper()
+	prog, err := rcc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cp, err := rcc.Check(prog, true)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	var safe []bool
+	if mode == compile.ModeInf {
+		safe = rlang.Infer(rlang.Translate(cp)).SafeSite
+	}
+	p, err := compile.Compile(cp, mode, safe)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, cfg Config) (string, error) {
+	t.Helper()
+	mode := compile.ModeInf
+	if !cfg.Counting && cfg.Backend == BackendRegion {
+		mode = compile.ModeNoRC
+	}
+	p := build(t, src, mode)
+	var buf bytes.Buffer
+	cfg.Output = &buf
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 10_000_000
+	}
+	v := New(p, cfg)
+	err := v.Run()
+	return buf.String(), err
+}
+
+func regionCfg() Config {
+	return Config{Backend: BackendRegion, Counting: true, Locals: LocalsPins}
+}
+
+func TestStackOverflow(t *testing.T) {
+	// Deep recursion with an address-taken local forces stack growth.
+	src := `
+int deep(int n) {
+	int x = n;
+	int *p = &x;
+	if (n <= 0) return *p;
+	return deep(n - 1) + *p;
+}
+void main(void) { print_int(deep(1000000)); }`
+	cfg := regionCfg()
+	cfg.StackPages = 2
+	_, err := run(t, src, cfg)
+	if err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("expected stack overflow, got %v", err)
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	cfg := regionCfg()
+	cfg.MaxSteps = 1000
+	_, err := run(t, `void main(void) { while (1) {} }`, cfg)
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("expected step limit, got %v", err)
+	}
+}
+
+func TestRuntimeErrorContext(t *testing.T) {
+	_, err := run(t, `
+struct s { int v; };
+int f(struct s *p) { return p->v; }
+void main(void) { print_int(f(null)); }`, regionCfg())
+	re, ok := err.(*RuntimeError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if re.Fn != "f" {
+		t.Errorf("error in %q, want f", re.Fn)
+	}
+}
+
+func TestGCBackendCollectsDuringRun(t *testing.T) {
+	// Allocate far more than the GC threshold with only a window live.
+	src := `
+struct s { struct s *next; int v; };
+void main(void) {
+	region r = newregion();
+	struct s *keep = null;
+	int i;
+	for (i = 0; i < 50000; i++) {
+		struct s *n = ralloc(r, struct s);
+		n->v = i;
+		if (i % 1000 == 0) { n->next = keep; keep = n; }
+	}
+	int sum = 0;
+	while (keep) { sum = sum + keep->v; keep = keep->next; }
+	print_int(sum);
+}`
+	p := build(t, src, compile.ModeNoRC)
+	var buf bytes.Buffer
+	v := New(p, Config{Backend: BackendGC, Output: &buf, MaxSteps: 50_000_000})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.emu.G.Stats.Collections == 0 {
+		t.Error("GC never collected")
+	}
+	if buf.String() != "1225000" {
+		t.Errorf("output = %q", buf.String())
+	}
+	// The heap must stay bounded despite 50k allocations.
+	if v.heap.MappedPages() > 3000 {
+		t.Errorf("GC heap grew to %d pages", v.heap.MappedPages())
+	}
+}
+
+func TestMallocBackendRegionof(t *testing.T) {
+	// regionof must work under the emulation backends, including for
+	// values reached through data structures.
+	src := `
+struct s { int v; };
+void main(void) {
+	region r1 = newregion();
+	region r2 = newregion();
+	struct s *a = ralloc(r1, struct s);
+	struct s *b = ralloc(r2, struct s);
+	assert(regionof(a) == r1);
+	assert(regionof(b) == r2);
+	assert(regionof(a) != regionof(b));
+	print_str("ok");
+}`
+	for _, be := range []Backend{BackendMalloc, BackendGC} {
+		p := build(t, src, compile.ModeNoRC)
+		var buf bytes.Buffer
+		v := New(p, Config{Backend: be, Output: &buf, MaxSteps: 1_000_000})
+		if err := v.Run(); err != nil {
+			t.Fatalf("backend %v: %v", be, err)
+		}
+		if buf.String() != "ok" {
+			t.Errorf("backend %v: output %q", be, buf.String())
+		}
+	}
+}
+
+func TestEmuDeleteFreesUnderMalloc(t *testing.T) {
+	src := `
+struct s { int v; };
+deletes void main(void) {
+	int i;
+	for (i = 0; i < 100; i++) {
+		region r = newregion();
+		int j;
+		for (j = 0; j < 50; j++) { struct s *p = ralloc(r, struct s); p->v = j; }
+		deleteregion(r);
+	}
+	print_str("done");
+}`
+	p := build(t, src, compile.ModeNoRC)
+	var buf bytes.Buffer
+	v := New(p, Config{Backend: BackendMalloc, Output: &buf, MaxSteps: 10_000_000})
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.emu.M.Stats.Frees != 5000 {
+		t.Errorf("Frees = %d, want 5000 (object-by-object)", v.emu.M.Stats.Frees)
+	}
+}
+
+func TestDeferredDeletePolicy(t *testing.T) {
+	// The VM runs with the runtime's deferred policy: deleteregion on a
+	// referenced region succeeds and reclaims later.
+	src := `
+struct s { struct s *other; int v; };
+deletes void main(void) {
+	region r1 = newregion();
+	region r2 = newregion();
+	struct s *a = ralloc(r1, struct s);
+	a->other = ralloc(r2, struct s);
+	a->other->v = 7;
+	deleteregion(r2);        // deferred: still referenced from r1
+	print_int(a->other->v);  // still accessible
+	a->other = null;         // last reference: reclaimed now
+	a = null;
+	deleteregion(r1);
+	print_str(" ok");
+}`
+	p := build(t, src, compile.ModeInf)
+	var buf bytes.Buffer
+	cfg := regionCfg()
+	cfg.DeletePolicy = 2 // region.DeleteDeferred
+	cfg.Output = &buf
+	cfg.MaxSteps = 1_000_000
+	v := New(p, cfg)
+	if err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "7 ok" {
+		t.Errorf("output = %q", buf.String())
+	}
+	if v.RT.LiveRegions() != 0 {
+		t.Errorf("LiveRegions = %d after deferred reclamation", v.RT.LiveRegions())
+	}
+}
+
+func TestInvalidRegionHandle(t *testing.T) {
+	// A region variable used before initialization holds handle 0 (the
+	// traditional region); deleting it must abort.
+	_, err := run(t, `
+deletes void main(void) {
+	region r;
+	deleteregion(r);
+}`, regionCfg())
+	if err == nil || !strings.Contains(err.Error(), "traditional") {
+		t.Errorf("expected traditional-region abort, got %v", err)
+	}
+}
+
+func TestPrintBuiltins(t *testing.T) {
+	out, err := run(t, `
+void main(void) {
+	print_int(-12);
+	print_char('x');
+	print_str("abc");
+	char *nullstr = null;
+	print_str(nullstr);
+}`, regionCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "-12xabc" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestNegativeArrayAlloc(t *testing.T) {
+	_, err := run(t, `
+void main(void) {
+	region r = newregion();
+	int n = 0 - 5;
+	int *a = rarrayalloc(r, n, int);
+	if (a) print_int(1);
+}`, regionCfg())
+	if err == nil || !strings.Contains(err.Error(), "negative array") {
+		t.Errorf("expected negative array abort, got %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+// Grobner mirrors the grobner benchmark: Gröbner-basis-style polynomial
+// arithmetic whose large integers are "a structure with a pointer to an
+// array"; the paper allocated both in the same region so the array pointer
+// could be declared sameregion, and reports that the large integers
+// "follow the pattern" of construction-after-allocation, so virtually all
+// checks are eliminated by the inference. Allocation volume is the
+// highest of the suite with a small live set: each reduction round runs in
+// a region that is deleted afterwards.
+var Grobner = &Workload{
+	Name:          "grobner",
+	Description:   "polynomial reduction with sameregion bignum arrays",
+	DefaultScale:  700,
+	PaperSafePct:  80,
+	PaperKeywords: 22,
+	source: `
+// grobner workload: sparse polynomials over big coefficients.
+struct big {
+	int len;
+	int neg;
+	int *sameregion d;
+};
+
+struct mono {
+	struct mono *sameregion next;
+	struct big *sameregion coef;
+	int deg;
+};
+
+struct big *big_make(region r, int len) {
+	struct big *b = ralloc(r, struct big);
+	b->d = rarrayalloc(regionof(b), len, int);
+	b->len = len;
+	return b;
+}
+
+struct big *big_from_int(region r, int v) {
+	struct big *b = big_make(r, 3);
+	if (v < 0) { b->neg = 1; v = -v; }
+	int i = 0;
+	while (v > 0) { b->d[i] = v %% 32768; v = v / 32768; i++; }
+	b->len = i ? i : 1;
+	return b;
+}
+
+int big_sign(struct big *b) {
+	int i;
+	for (i = 0; i < b->len; i++)
+		if (b->d[i]) return b->neg ? -1 : 1;
+	return 0;
+}
+
+// c = a * b (magnitudes), sign handled by caller.
+struct big *big_mul(region r, struct big *a, struct big *b) {
+	struct big *c = big_make(r, a->len + b->len);
+	int i;
+	for (i = 0; i < a->len; i++) {
+		int carry = 0;
+		int j;
+		for (j = 0; j < b->len; j++) {
+			int cur = c->d[i + j] + a->d[i] * b->d[j] + carry;
+			c->d[i + j] = cur %% 32768;
+			carry = cur / 32768;
+		}
+		c->d[i + b->len] = c->d[i + b->len] + carry;
+	}
+	int len = a->len + b->len;
+	while (len > 1 && c->d[len - 1] == 0) len--;
+	if (len > 12) len = 12;   // working precision cap
+	c->len = len;
+	c->neg = a->neg != b->neg;
+	return c;
+}
+
+// c = a - b assuming |a| >= |b| and both positive (workload invariant).
+struct big *big_sub(region r, struct big *a, struct big *b) {
+	struct big *c = big_make(r, a->len);
+	int borrow = 0;
+	int i;
+	for (i = 0; i < a->len; i++) {
+		int bv = i < b->len ? b->d[i] : 0;
+		int cur = a->d[i] - bv - borrow;
+		if (cur < 0) { cur = cur + 32768; borrow = 1; } else borrow = 0;
+		c->d[i] = cur;
+	}
+	int len = a->len;
+	while (len > 1 && c->d[len - 1] == 0) len--;
+	c->len = len;
+	return c;
+}
+
+struct mono *mono_cons(region r, int deg, struct big *coef, struct mono *rest) {
+	struct mono *m = ralloc(r, struct mono);
+	m->deg = deg;
+	m->coef = coef;
+	m->next = rest;
+	return m;
+}
+
+// Build a deterministic polynomial of n terms in region r.
+struct mono *poly_gen(region r, int n, int seed) {
+	struct mono *p = null;
+	int i;
+	for (i = 0; i < n; i++) {
+		seed = (seed * 1103 + 12345) %% 30011;
+		struct big *c = big_from_int(r, seed + 1);
+		p = mono_cons(r, i * 2 + seed %% 3, c, p);
+	}
+	return p;
+}
+
+// One S-polynomial-style reduction step: combine leading terms of a and b
+// into a new polynomial in region r.
+struct mono *poly_reduce(region r, struct mono *a, struct mono *b) {
+	struct mono *out = null;
+	while (a && b) {
+		struct big *prod = big_mul(r, a->coef, b->coef);
+		struct big *diff;
+		if (a->coef->len >= b->coef->len)
+			diff = big_sub(r, a->coef, b->coef);
+		else
+			diff = big_sub(r, b->coef, a->coef);
+		struct big *keep = big_sign(diff) ? diff : prod;
+		out = mono_cons(r, a->deg + b->deg, keep, out);
+		a = a->next;
+		b = b->next;
+	}
+	return out;
+}
+
+int poly_hash(struct mono *p) {
+	int h = 0;
+	while (p) {
+		h = (h * 31 + p->deg + p->coef->d[0]) %% 1000003;
+		p = p->next;
+	}
+	return h;
+}
+
+deletes void main(void) {
+	int scale = %d;
+	int rounds;
+	int acc = 0;
+	for (rounds = 0; rounds < scale; rounds++) {
+		region r = newregion();
+		struct mono *a = poly_gen(r, 40, rounds + 1);
+		struct mono *b = poly_gen(r, 40, rounds + 7);
+		int step;
+		for (step = 0; step < 4; step++) {
+			struct mono *c = poly_reduce(r, a, b);
+			a = b;
+			b = c;
+		}
+		acc = (acc + poly_hash(b)) %% 1000003;
+		a = null; b = null;
+		deleteregion(r);
+	}
+	print_str("grobner ");
+	print_int(acc);
+	print_char('\n');
+}
+`,
+}

@@ -1,0 +1,146 @@
+package workloads
+
+// Moss mirrors the moss benchmark: text fingerprinting for plagiarism
+// detection. The paper reports that 94% of runtime pointer assignments
+// are traditional pointers "in code produced by the flex lexical analyser
+// generator" (the scanner's buffer cursors), and that moss's hash-table
+// idiom — creating an entry's contents right after the entry itself — is
+// verified by the inference (89% of annotated sites safe).
+var Moss = &Workload{
+	Name:          "moss",
+	Description:   "document fingerprinting with flex-style scanning",
+	DefaultScale:  75,
+	PaperSafePct:  89,
+	PaperKeywords: 75,
+	source: `
+// moss workload: scan generated documents, hash k-grams of tokens into a
+// region-allocated hash table, report collision statistics.
+
+char doc_buf[8192];
+int doc_len;
+
+// Flex-style scanner state: traditional pointers into the buffer.
+char *traditional yy_cp;
+char *traditional yy_start;
+int yy_pos;
+
+struct entry {
+	struct entry *sameregion next;
+	int hash;
+	int pos;
+};
+
+struct table {
+	struct entry *sameregion *sameregion buckets;
+	int nbuckets;
+	int count;
+};
+
+int doc_seed;
+int doc_rand(int n) {
+	doc_seed = (doc_seed * 1103515 + 12345) %% 2147483;
+	return doc_seed %% n;
+}
+
+void gen_doc(int seed) {
+	doc_seed = seed;
+	doc_len = 0;
+	while (doc_len < 7900) {
+		int wordlen = 2 + doc_rand(6);
+		int i;
+		for (i = 0; i < wordlen; i++) {
+			doc_buf[doc_len] = 'a' + doc_rand(26);
+			doc_len++;
+		}
+		doc_buf[doc_len] = ' ';
+		doc_len++;
+	}
+	doc_buf[doc_len] = 0;
+}
+
+// Scan the next token, flex-style: the cursor pointers are traditional
+// and updated per character.
+int next_token(void) {
+	yy_cp = &doc_buf[yy_pos];
+	while (yy_pos < doc_len && *yy_cp == ' ') {
+		yy_pos++;
+		yy_cp = &doc_buf[yy_pos];
+	}
+	if (yy_pos >= doc_len) return -1;
+	yy_start = yy_cp;
+	int h = 0;
+	while (yy_pos < doc_len && *yy_cp != ' ') {
+		h = (h * 131 + *yy_cp) %% 1000003;
+		yy_pos++;
+		yy_cp = &doc_buf[yy_pos];
+	}
+	return h;
+}
+
+struct table *table_new(region r, int nbuckets) {
+	struct table *t = ralloc(r, struct table);
+	t->buckets = rarrayalloc(regionof(t), nbuckets, struct entry *sameregion);
+	t->nbuckets = nbuckets;
+	return t;
+}
+
+// The verified idiom: the entry's storage is created in the table's own
+// region, then linked.
+void table_add(struct table *t, int hash, int pos) {
+	struct entry *e = ralloc(regionof(t), struct entry);
+	e->hash = hash;
+	e->pos = pos;
+	int b = hash %% t->nbuckets;
+	if (b < 0) b = -b;
+	e->next = t->buckets[b];
+	t->buckets[b] = e;
+	t->count++;
+}
+
+int table_lookups(struct table *t, int hash) {
+	int b = hash %% t->nbuckets;
+	if (b < 0) b = -b;
+	struct entry *e = t->buckets[b];
+	int n = 0;
+	while (e) {
+		if (e->hash == hash) n++;
+		e = e->next;
+	}
+	return n;
+}
+
+deletes int fingerprint_doc(int docnum) {
+	gen_doc(docnum * 7919 + 11);
+	region r = newregion();
+	struct table *t = table_new(r, 256);
+	yy_pos = 0;
+	int window0 = 0;
+	int window1 = 0;
+	int tok;
+	int matches = 0;
+	while ((tok = next_token()) >= 0) {
+		// 3-gram fingerprint.
+		int kgram = (window0 * 31 + window1 * 17 + tok) %% 1000003;
+		matches = matches + table_lookups(t, kgram);
+		table_add(t, kgram, yy_pos);
+		window0 = window1;
+		window1 = tok;
+	}
+	int total = matches * 1000 + t->count;
+	t = null;
+	deleteregion(r);
+	return total;
+}
+
+deletes void main(void) {
+	int scale = %d;
+	int acc = 0;
+	int d;
+	for (d = 0; d < scale; d++)
+		acc = (acc + fingerprint_doc(d)) %% 1000003;
+	print_str("moss ");
+	print_int(acc);
+	print_char('\n');
+}
+`,
+}

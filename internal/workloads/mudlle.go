@@ -1,0 +1,180 @@
+package workloads
+
+// Mudlle mirrors the mudlle benchmark: a small-language interpreter whose
+// dominant structure is "an instruction list" with sameregion internal
+// pointers, plus flex-generated scanner code whose buffer pointers are
+// traditional. Each compiled program lives in its own region, deleted
+// after execution.
+var Mudlle = &Workload{
+	Name:          "mudlle",
+	Description:   "expression-language compiler and stack interpreter",
+	DefaultScale:  4000,
+	PaperSafePct:  88,
+	PaperKeywords: 21,
+	source: `
+// mudlle workload: compile arithmetic expressions to a stack machine.
+//
+// Grammar (recursive descent over a generated buffer):
+//   expr   := term (('+'|'-') term)*
+//   term   := factor (('*') factor)*
+//   factor := digit+ | '(' expr ')'
+
+char src_buf[4096];
+int src_len;
+char *traditional yy_cp;   // flex-style scan cursor (traditional region)
+int yy_pos;
+
+struct instr {
+	struct instr *sameregion next;
+	int op;     // 0 push, 1 add, 2 sub, 3 mul
+	int arg;
+};
+
+struct prog {
+	struct instr *sameregion first;
+	struct instr *sameregion last;
+	int count;
+};
+
+// Deterministic expression generator (LCG).
+int gen_seed;
+int gen_rand(int n) {
+	gen_seed = (gen_seed * 1103515 + 12345) %% 2147483;
+	return gen_seed %% n;
+}
+
+void gen_expr(int depth) {
+	if (depth <= 0 || gen_rand(3) == 0) {
+		int digits = 1 + gen_rand(3);
+		int i;
+		for (i = 0; i < digits; i++) {
+			src_buf[src_len] = '0' + gen_rand(10);
+			src_len++;
+		}
+		return;
+	}
+	src_buf[src_len] = '(';
+	src_len++;
+	gen_expr(depth - 1);
+	int op = gen_rand(3);
+	src_buf[src_len] = op == 0 ? '+' : op == 1 ? '-' : '*';
+	src_len++;
+	gen_expr(depth - 1);
+	src_buf[src_len] = ')';
+	src_len++;
+}
+
+char peek(void) {
+	yy_cp = &src_buf[yy_pos];   // traditional pointer update per char
+	if (yy_pos >= src_len) return 0;
+	return *yy_cp;
+}
+
+char advance(void) {
+	char c = peek();
+	yy_pos++;
+	return c;
+}
+
+void emit(region r, struct prog *p, int op, int arg) {
+	struct instr *in = ralloc(regionof(p), struct instr);
+	in->op = op;
+	in->arg = arg;
+	if (p->last)
+		p->last->next = in;
+	else
+		p->first = in;
+	p->last = in;
+	p->count++;
+}
+
+void parse_expr(region r, struct prog *p);
+
+void parse_factor(region r, struct prog *p) {
+	char c = peek();
+	if (c == '(') {
+		advance();
+		parse_expr(r, p);
+		advance(); // ')'
+		return;
+	}
+	int v = 0;
+	while (peek() >= '0' && peek() <= '9')
+		v = v * 10 + (advance() - '0');
+	emit(r, p, 0, v);
+}
+
+void parse_term(region r, struct prog *p) {
+	parse_factor(r, p);
+	while (peek() == '*') {
+		advance();
+		parse_factor(r, p);
+		emit(r, p, 3, 0);
+	}
+}
+
+void parse_expr(region r, struct prog *p) {
+	parse_term(r, p);
+	while (peek() == '+' || peek() == '-') {
+		char c = advance();
+		parse_term(r, p);
+		emit(r, p, c == '+' ? 1 : 2, 0);
+	}
+}
+
+int run(region r, struct prog *p) {
+	int *stack = rarrayalloc(r, 256, int);
+	int sp = 0;
+	struct instr *in = p->first;
+	while (in) {
+		switch (in->op) {
+		case 0:
+			stack[sp] = in->arg;
+			sp++;
+			break;
+		default: {
+			int b = stack[sp - 1];
+			int a = stack[sp - 2];
+			sp = sp - 2;
+			int v;
+			switch (in->op) {
+			case 1: v = a + b; break;
+			case 2: v = a - b; break;
+			default: v = a * b; break;
+			}
+			stack[sp] = v %% 65536;
+			sp++;
+			break;
+		}
+		}
+		in = in->next;
+	}
+	return stack[0];
+}
+
+deletes void main(void) {
+	int scale = %d;
+	int acc = 0;
+	int total_instrs = 0;
+	gen_seed = 42;
+	int round;
+	for (round = 0; round < scale; round++) {
+		src_len = 0;
+		yy_pos = 0;
+		gen_expr(6);
+		region r = newregion();
+		struct prog *p = ralloc(r, struct prog);
+		parse_expr(r, p);
+		int v = run(r, p);
+		acc = (acc + v + p->count) %% 1000003;
+		total_instrs = total_instrs + p->count;
+		deleteregion(r);
+	}
+	print_str("mudlle ");
+	print_int(acc);
+	print_char(' ');
+	print_int(total_instrs);
+	print_char('\n');
+}
+`,
+}

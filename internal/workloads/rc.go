@@ -1,0 +1,105 @@
+package workloads
+
+// RC mirrors the rc benchmark: the RC compiler compiling itself. Its
+// defining trait in the paper is the bison-generated parser whose parse
+// stack "is like the objects array and prevents verification of the
+// construction of parse trees" — sameregion node links built from values
+// popped off an untracked stack array stay runtime-checked (31% of
+// annotated sites safe).
+var RC = &Workload{
+	Name:          "rc",
+	Description:   "compiler with a bison-style parse stack",
+	DefaultScale:  700,
+	PaperSafePct:  31,
+	PaperKeywords: 64,
+	source: `
+// rc workload: shift-reduce parse of generated token streams into trees,
+// then a scan pass over the trees.
+
+struct node {
+	struct node *sameregion left;
+	struct node *sameregion right;
+	int kind;
+	int value;
+};
+
+int tok_seed;
+int tok_rand(int n) {
+	tok_seed = (tok_seed * 1103515 + 12345) %% 2147483;
+	return tok_seed %% n;
+}
+
+struct node *mknode(region r, int kind, int value) {
+	struct node *n = ralloc(r, struct node);
+	n->kind = kind;
+	n->value = value;
+	return n;
+}
+
+// Bison-style parser: a value stack of node pointers in an array. The
+// array is untracked (like bison's), so values popped from it have
+// unknown regions and the sameregion tree links stay runtime-checked.
+deletes int parse_unit(int unit) {
+	region r = newregion();
+	struct node **stack = rarrayalloc(r, 512, struct node *);
+	int sp = 0;
+	tok_seed = unit * 1237 + 7;
+	int steps;
+	for (steps = 0; steps < 400; steps++) {
+		int action = tok_rand(3);
+		if (action < 2 || sp < 2) {
+			// shift: push a leaf
+			stack[sp] = mknode(r, 0, tok_rand(1000));
+			sp++;
+			if (sp >= 511) sp = 511;
+		} else {
+			// reduce: pop two, push an interior node. These stores are
+			// the paper's unverifiable parse-tree construction.
+			struct node *b = stack[sp - 1];
+			struct node *a = stack[sp - 2];
+			sp = sp - 2;
+			struct node *n = mknode(r, 1, 0);
+			n->left = a;
+			n->right = b;
+			stack[sp] = n;
+			sp++;
+		}
+	}
+	// Fold the remaining stack into one tree.
+	while (sp > 1) {
+		struct node *b = stack[sp - 1];
+		struct node *a = stack[sp - 2];
+		sp = sp - 2;
+		struct node *n = mknode(r, 2, 0);
+		n->left = a;
+		n->right = b;
+		stack[sp] = n;
+		sp++;
+	}
+	struct node *root = stack[0];
+	int h = tree_hash(root, 0);
+	root = null;
+	stack = null;
+	deleteregion(r);
+	return h;
+}
+
+int tree_hash(struct node *n, int depth) {
+	if (!n || depth > 60) return 1;
+	return (n->kind * 131 + n->value
+		+ tree_hash(n->left, depth + 1) * 31
+		+ tree_hash(n->right, depth + 1) * 17) %% 1000003;
+}
+
+deletes void main(void) {
+	int scale = %d;
+	int acc = 0;
+	int unit;
+	for (unit = 0; unit < scale; unit++)
+		acc = (acc + parse_unit(unit)) %% 1000003;
+	print_str("rc ");
+	print_int(acc);
+	print_char('\n');
+}
+`,
+}

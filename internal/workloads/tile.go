@@ -1,0 +1,118 @@
+package workloads
+
+// Tile mirrors the tile benchmark: a small text processor (the smallest
+// program of the suite, with the lowest allocation count). Like moss and
+// mudlle it is dominated by flex-style buffer scanning with traditional
+// cursor pointers; its tile list uses sameregion links that the inference
+// verifies (84% of annotated sites safe in the paper).
+var Tile = &Workload{
+	Name:          "tile",
+	Description:   "text tiling with flex-style scanning",
+	DefaultScale:  90,
+	PaperSafePct:  84,
+	PaperKeywords: 20,
+	source: `
+// tile workload: split generated text into fixed-width tiles, merge
+// adjacent tiles with equal checksums.
+
+char text_buf[8192];
+int text_len;
+char *traditional scan_cp;
+int scan_pos;
+
+struct tile {
+	struct tile *sameregion next;
+	int start;
+	int width;
+	int sum;
+};
+
+int tseed;
+int trand(int n) {
+	tseed = (tseed * 1103515 + 12345) %% 2147483;
+	return tseed %% n;
+}
+
+void gen_text(int seed) {
+	tseed = seed;
+	text_len = 0;
+	while (text_len < 8000) {
+		text_buf[text_len] = ' ' + trand(64);
+		text_len++;
+	}
+}
+
+int checksum(int start, int width) {
+	int s = 0;
+	int i;
+	for (i = 0; i < width; i++) {
+		scan_cp = &text_buf[start + i];
+		s = (s * 17 + *scan_cp) %% 65521;
+	}
+	return s;
+}
+
+struct tile *tiles_build(region r, int width) {
+	struct tile *head = null;
+	struct tile *tail = null;
+	scan_pos = 0;
+	while (scan_pos + width <= text_len) {
+		struct tile *t = ralloc(r, struct tile);
+		t->start = scan_pos;
+		t->width = width;
+		t->sum = checksum(scan_pos, width);
+		if (tail)
+			tail->next = t;
+		else
+			head = t;
+		tail = t;
+		scan_pos = scan_pos + width;
+	}
+	return head;
+}
+
+// Merge runs of tiles with equal checksums into wider tiles (in place).
+int tiles_merge(struct tile *head) {
+	int merges = 0;
+	struct tile *t = head;
+	while (t && t->next) {
+		if (t->sum %% 7 == t->next->sum %% 7) {
+			t->width = t->width + t->next->width;
+			t->next = t->next->next;
+			merges++;
+		} else {
+			t = t->next;
+		}
+	}
+	return merges;
+}
+
+int tiles_hash(struct tile *head) {
+	int h = 0;
+	struct tile *t = head;
+	while (t) {
+		h = (h * 31 + t->start + t->width * 7 + t->sum) %% 1000003;
+		t = t->next;
+	}
+	return h;
+}
+
+deletes void main(void) {
+	int scale = %d;
+	int acc = 0;
+	int round;
+	for (round = 0; round < scale; round++) {
+		gen_text(round + 5);
+		region r = newregion();
+		struct tile *ts = tiles_build(r, 8 + round %% 8);
+		int m = tiles_merge(ts);
+		acc = (acc + tiles_hash(ts) + m) %% 1000003;
+		ts = null;
+		deleteregion(r);
+	}
+	print_str("tile ");
+	print_int(acc);
+	print_char('\n');
+}
+`,
+}

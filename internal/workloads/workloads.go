@@ -1,0 +1,59 @@
+// Package workloads contains the eight benchmark programs of the paper's
+// evaluation, rewritten in the RC dialect. The originals (cfrac, grobner,
+// mudlle, lcc, moss, tile, rc, apache) are large C applications that
+// cannot run on this VM; each workload here is a synthetic program
+// modelled on the paper's description of the original's behaviour — its
+// dominant data structures, allocation volume and lifetime profile, and
+// its mix of sameregion / traditional / parentptr / unannotated pointer
+// assignments (Table 1, Table 3 and Figure 9 of the paper, plus the
+// Section 5.2 prose).
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name        string
+	Description string
+	// source is the program template; %d receives the scale.
+	source       string
+	DefaultScale int
+	// Paper-reported numbers used by EXPERIMENTS.md for shape
+	// comparison: percentage of annotated assignment sites proven safe
+	// statically (Table 3) and the annotation keyword count.
+	PaperSafePct  int
+	PaperKeywords int
+}
+
+// Source renders the program at the given scale (0 = default).
+func (w *Workload) Source(scale int) string {
+	if scale <= 0 {
+		scale = w.DefaultScale
+	}
+	return fmt.Sprintf(w.source, scale)
+}
+
+// Lines reports the source line count (the analogue of Table 1's "Lines").
+func (w *Workload) Lines() int {
+	return strings.Count(w.Source(0), "\n")
+}
+
+// All returns the eight workloads in the paper's order.
+func All() []*Workload {
+	return []*Workload{
+		Cfrac, Grobner, Mudlle, Lcc, Moss, Tile, RC, Apache,
+	}
+}
+
+// ByName finds a workload.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

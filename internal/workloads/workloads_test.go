@@ -1,0 +1,127 @@
+package workloads_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rcgo"
+	"rcgo/internal/rcc"
+	"rcgo/internal/workloads"
+)
+
+// Every workload must compile and run in every mode and backend with
+// identical output (small scale).
+func TestWorkloadsDifferential(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			src := w.Source(w.DefaultScale/10 + 1)
+			var ref string
+			configs := []struct {
+				name string
+				mode rcgo.Mode
+				cfg  rcgo.RunConfig
+			}{
+				{"nq", rcgo.ModeNQ, rcgo.RunConfig{}},
+				{"qs", rcgo.ModeQS, rcgo.RunConfig{}},
+				{"inf", rcgo.ModeInf, rcgo.RunConfig{}},
+				{"nc", rcgo.ModeNC, rcgo.RunConfig{}},
+				{"norc", rcgo.ModeNoRC, rcgo.RunConfig{}},
+				{"cat", rcgo.ModeNQ, rcgo.RunConfig{CAtStyle: true}},
+				{"lea", rcgo.ModeInf, rcgo.RunConfig{Backend: rcgo.BackendMalloc}},
+				{"gc", rcgo.ModeInf, rcgo.RunConfig{Backend: rcgo.BackendGC}},
+			}
+			for i, c := range configs {
+				var buf bytes.Buffer
+				c.cfg.Output = &buf
+				c.cfg.MaxSteps = 500_000_000
+				_, err := rcgo.RunSource(src, c.mode, c.cfg)
+				if err != nil {
+					t.Fatalf("%s: %v (output: %s)", c.name, err, buf.String())
+				}
+				out := buf.String()
+				if !strings.HasPrefix(out, w.Name+" ") {
+					t.Fatalf("%s: unexpected output %q", c.name, out)
+				}
+				if i == 0 {
+					ref = out
+				} else if out != ref {
+					t.Errorf("%s: output %q, want %q", c.name, out, ref)
+				}
+			}
+		})
+	}
+}
+
+// The per-workload static verification rates must reproduce the paper's
+// ordering: grobner/moss/tile/mudlle high, lcc/rc low.
+func TestWorkloadsInferenceShape(t *testing.T) {
+	rates := map[string]float64{}
+	for _, w := range workloads.All() {
+		c, err := rcgo.Compile(w.Source(1), rcgo.ModeInf)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		seen, safe := 0, 0
+		for i := range c.Infer.SafeSite {
+			if c.Infer.SiteSeen[i] {
+				seen++
+				if c.Infer.SafeSite[i] {
+					safe++
+				}
+			}
+		}
+		if seen == 0 {
+			t.Errorf("%s: no annotated sites", w.Name)
+			continue
+		}
+		rates[w.Name] = float64(safe) / float64(seen)
+		t.Logf("%s: %d/%d annotated sites proven safe (paper: %d%%)",
+			w.Name, safe, seen, w.PaperSafePct)
+	}
+	for _, high := range []string{"grobner", "moss", "tile", "mudlle"} {
+		for _, low := range []string{"lcc", "rc"} {
+			if rates[high] <= rates[low] {
+				t.Errorf("verification rate of %s (%.2f) should exceed %s (%.2f)",
+					high, rates[high], low, rates[low])
+			}
+		}
+	}
+}
+
+func TestWorkloadLines(t *testing.T) {
+	for _, w := range workloads.All() {
+		if w.Lines() < 30 {
+			t.Errorf("%s suspiciously small: %d lines", w.Name, w.Lines())
+		}
+	}
+	if workloads.ByName("moss") != workloads.Moss || workloads.ByName("nope") != nil {
+		t.Error("ByName broken")
+	}
+}
+
+// Formatting each workload and reparsing must preserve behaviour exactly.
+func TestWorkloadsFormatRoundTrip(t *testing.T) {
+	for _, w := range workloads.All() {
+		src := w.Source(w.DefaultScale/20 + 1)
+		parsed, err := rcc.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		formatted := rcc.Format(parsed)
+		run := func(s string) string {
+			var buf bytes.Buffer
+			_, err := rcgo.RunSource(s, rcgo.ModeInf, rcgo.RunConfig{
+				Output: &buf, MaxSteps: 200_000_000,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			return buf.String()
+		}
+		if orig, rt := run(src), run(formatted); orig != rt {
+			t.Errorf("%s: formatted program output %q, want %q", w.Name, rt, orig)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package rcgo
+
+import (
+	"fmt"
+
+	"rcgo/internal/compile"
+	"rcgo/internal/rcc"
+	"rcgo/internal/rlang"
+)
+
+// File is one RC translation unit.
+type File struct {
+	Name string
+	Src  string
+}
+
+// CompileFiles compiles a multi-file RC program with the paper's
+// separate-compilation semantics: the constraint inference runs per
+// translation unit, so every non-static function is assumed to have empty
+// input/output/result properties ("RC restricts this dataflow analysis to
+// a single source file ... any non-static C function ... has empty input,
+// output and result constraint sets"). Static functions remain private to
+// their file and keep their inferred properties; defining the same static
+// name in two files is an error (a single program namespace keeps the
+// linker simple).
+//
+// Cross-file references work as in C: declare a prototype for anything
+// defined elsewhere.
+func CompileFiles(files []File, mode Mode) (*Compiled, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("rcgo: no input files")
+	}
+	merged := &rcc.Program{}
+	definedIn := make(map[string]string) // function name -> file
+	staticDef := make(map[string]bool)
+	for _, f := range files {
+		prog, err := rcc.Parse(f.Src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		merged.Structs = append(merged.Structs, prog.Structs...)
+		merged.Globals = append(merged.Globals, prog.Globals...)
+		for _, fn := range prog.Funcs {
+			if fn.Body != nil {
+				if prev, dup := definedIn[fn.Name]; dup {
+					return nil, fmt.Errorf("%s: function %s already defined in %s",
+						f.Name, fn.Name, prev)
+				}
+				definedIn[fn.Name] = f.Name
+				staticDef[fn.Name] = fn.Static
+			}
+			merged.Funcs = append(merged.Funcs, fn)
+		}
+	}
+	cp, err := rcc.Check(merged, true)
+	if err != nil {
+		return nil, err
+	}
+	rp := rlang.Translate(cp)
+	inf := rlang.InferExternal(rp, func(name string) bool {
+		// main is the program entry: no other file can call it.
+		return name != "main" && !staticDef[name]
+	})
+	if err := rlang.CheckProgram(rp, inf); err != nil {
+		return nil, err
+	}
+	cmode, err := compileMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := compile.Compile(cp, cmode, inf.SafeSite)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Checked: cp, Rlang: rp, Infer: inf, Prog: bc, Mode: mode}, nil
+}

@@ -1,0 +1,337 @@
+package rcgo
+
+// Random-program differential testing: generate well-typed RC programs
+// with random region structure, annotated and unannotated stores, helper
+// functions and loops, then check the pipeline's core soundness
+// properties:
+//
+//  1. qs ≡ inf exactly (output and abort behaviour): the inference may
+//     only remove checks that can never fail;
+//  2. all configurations agree on non-aborting programs, across all
+//     three memory backends;
+//  3. after a successful region-backend run, the maintained reference
+//     counts match a ground-truth heap scan.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+type progGen struct {
+	rng *rand.Rand
+	sb  strings.Builder
+	// variables in scope, by type: v[i] has type struct T<v[i].ty> *
+	ptrVars []genVar
+	regions []string // region variable names, in creation order (parents first)
+	ntemp   int
+}
+
+type genVar struct {
+	name string
+	ty   int // struct index
+}
+
+const genStructs = 2
+
+var genQuals = []string{"", "sameregion", "traditional", "parentptr"}
+
+func (g *progGen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format, args...)
+}
+
+// genProgram produces a complete RC program.
+type fieldDecl struct {
+	name string
+	ty   int
+	qual string
+}
+
+func genProgram(seed int64) string {
+	g := &progGen{rng: rand.New(rand.NewSource(seed))}
+	// Struct declarations: each struct gets pointer fields to random
+	// struct types with random qualifiers, plus an int field.
+	fields := make([][]fieldDecl, genStructs)
+	for s := 0; s < genStructs; s++ {
+		nf := 2 + g.rng.Intn(2)
+		for f := 0; f < nf; f++ {
+			fields[s] = append(fields[s], fieldDecl{
+				name: fmt.Sprintf("f%d", f),
+				ty:   g.rng.Intn(genStructs),
+				qual: genQuals[g.rng.Intn(len(genQuals))],
+			})
+		}
+	}
+	for s := 0; s < genStructs; s++ {
+		g.pf("struct t%d {\n", s)
+		for _, f := range fields[s] {
+			q := f.qual
+			if q != "" {
+				q = q + " "
+			}
+			g.pf("\tstruct t%d *%s%s;\n", f.ty, q, f.name)
+		}
+		g.pf("\tint val;\n};\n")
+	}
+	g.pf("int checksum;\n")
+
+	// A helper constructor per struct type (the paper's hand-written
+	// constructor idiom; sometimes verifiable, sometimes not).
+	for s := 0; s < genStructs; s++ {
+		g.pf("struct t%d *mk%d(region r, int v) {\n", s, s)
+		g.pf("\tstruct t%d *n = ralloc(r, struct t%d);\n", s, s)
+		g.pf("\tn->val = v;\n\treturn n;\n}\n")
+	}
+
+	// A traversal helper that reads fields (exercises reads and calls).
+	g.pf(`int sum0(struct t0 *p, int depth) {
+	if (!p || depth > 3) return 0;
+	int s = p->val;
+`)
+	for _, f := range fields[0] {
+		if f.ty == 0 {
+			g.pf("\ts = s + sum0(p->%s, depth + 1);\n", f.name)
+		}
+	}
+	g.pf("\treturn s;\n}\n")
+
+	// main: create regions (some nested), populate random structures,
+	// accumulate a checksum, tear down in a safe order.
+	g.pf("deletes void main(void) {\n")
+	nRegions := 2 + g.rng.Intn(2)
+	for r := 0; r < nRegions; r++ {
+		name := fmt.Sprintf("r%d", r)
+		if r > 0 && g.rng.Intn(2) == 0 {
+			parent := g.regions[g.rng.Intn(len(g.regions))]
+			g.pf("\tregion %s = newsubregion(%s);\n", name, parent)
+		} else {
+			g.pf("\tregion %s = newregion();\n", name)
+		}
+		g.regions = append(g.regions, name)
+	}
+	// Seed objects.
+	for i := 0; i < 3+g.rng.Intn(3); i++ {
+		g.newObject(2)
+	}
+	// Random statements.
+	for i := 0; i < 6+g.rng.Intn(10); i++ {
+		g.stmt(fields)
+	}
+	// Checksum output.
+	if len(g.ptrVars) > 0 {
+		for _, v := range g.ptrVars {
+			if v.ty == 0 {
+				g.pf("\tchecksum = checksum + sum0(%s, 0);\n", v.name)
+			} else {
+				g.pf("\tif (%s) checksum = checksum + %s->val;\n", v.name, v.name)
+			}
+		}
+	}
+	g.pf("\tprint_int(checksum);\n")
+	// Teardown: null every pointer local, then delete children before
+	// parents (reverse creation order is a safe approximation since
+	// parents are always created before their subregions).
+	for _, v := range g.ptrVars {
+		g.pf("\t%s = null;\n", v.name)
+	}
+	for i := len(g.regions) - 1; i >= 0; i-- {
+		g.pf("\tdeleteregion(%s);\n", g.regions[i])
+	}
+	g.pf("\tprint_str(\" done\");\n}\n")
+	return g.sb.String()
+}
+
+// newObject declares a fresh pointer local initialized by ralloc or a
+// constructor call.
+func (g *progGen) newObject(indent int) genVar {
+	ty := g.rng.Intn(genStructs)
+	name := fmt.Sprintf("p%d", g.ntemp)
+	g.ntemp++
+	reg := g.regions[g.rng.Intn(len(g.regions))]
+	tabs := strings.Repeat("\t", 1)
+	switch g.rng.Intn(3) {
+	case 0:
+		g.pf("%sstruct t%d *%s = mk%d(%s, %d);\n", tabs, ty, name, ty, reg, g.rng.Intn(100))
+	case 1:
+		g.pf("%sstruct t%d *%s = ralloc(%s, struct t%d);\n", tabs, ty, name, reg, ty)
+	default:
+		// The regionof idiom against an existing object, if any.
+		if src, ok := g.pickVar(-1); ok {
+			g.pf("%sstruct t%d *%s = %s ? ralloc(regionof(%s), struct t%d) : mk%d(%s, 1);\n",
+				tabs, ty, name, src.name, src.name, ty, ty, reg)
+		} else {
+			g.pf("%sstruct t%d *%s = ralloc(%s, struct t%d);\n", tabs, ty, name, reg, ty)
+		}
+	}
+	v := genVar{name: name, ty: ty}
+	g.ptrVars = append(g.ptrVars, v)
+	return v
+}
+
+func (g *progGen) pickVar(ty int) (genVar, bool) {
+	var cands []genVar
+	for _, v := range g.ptrVars {
+		if ty < 0 || v.ty == ty {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return genVar{}, false
+	}
+	return cands[g.rng.Intn(len(cands))], true
+}
+
+// stmt emits one random statement.
+func (g *progGen) stmt(fields [][]fieldDecl) {
+	switch g.rng.Intn(6) {
+	case 0:
+		g.newObject(1)
+	case 1, 2: // field store: obj->f = source
+		obj, ok := g.pickVar(-1)
+		if !ok {
+			g.newObject(1)
+			return
+		}
+		f := fields[obj.ty][g.rng.Intn(len(fields[obj.ty]))]
+		var src string
+		switch g.rng.Intn(4) {
+		case 0:
+			src = "null"
+		case 1:
+			if v, ok := g.pickVar(f.ty); ok {
+				src = v.name
+			} else {
+				src = "null"
+			}
+		case 2:
+			src = fmt.Sprintf("ralloc(regionof(%s), struct t%d)", obj.name, f.ty)
+		default:
+			reg := g.regions[g.rng.Intn(len(g.regions))]
+			src = fmt.Sprintf("mk%d(%s, %d)", f.ty, reg, g.rng.Intn(50))
+		}
+		g.pf("\tif (%s) %s->%s = %s;\n", obj.name, obj.name, f.name, src)
+	case 3: // field read into a fresh local
+		obj, ok := g.pickVar(-1)
+		if !ok {
+			return
+		}
+		f := fields[obj.ty][g.rng.Intn(len(fields[obj.ty]))]
+		name := fmt.Sprintf("p%d", g.ntemp)
+		g.ntemp++
+		g.pf("\tstruct t%d *%s = %s ? %s->%s : null;\n", f.ty, name, obj.name, obj.name, f.name)
+		g.ptrVars = append(g.ptrVars, genVar{name: name, ty: f.ty})
+	case 4: // arithmetic on checksum in a small loop
+		g.pf("\t{ int i; for (i = 0; i < %d; i++) checksum = (checksum * 3 + i) %% 100003; }\n",
+			2+g.rng.Intn(5))
+	default: // conditional val update
+		if obj, ok := g.pickVar(-1); ok {
+			g.pf("\tif (%s && %s->val > %d) %s->val = %s->val - 1;\n",
+				obj.name, obj.name, g.rng.Intn(50), obj.name, obj.name)
+		}
+	}
+}
+
+// runGen executes one generated program under a mode/backend, returning
+// output and error.
+func runGen(t *testing.T, c *Compiled, cfg RunConfig) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Output = &buf
+	cfg.MaxSteps = 50_000_000
+	_, err := Run(c, cfg)
+	return buf.String(), err
+}
+
+func TestRandomProgramsDifferential(t *testing.T) {
+	checkAborts := 0
+	deleteAborts := 0
+	clean := 0
+	seeds := int64(120)
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		src := genProgram(seed)
+		qs, err := Compile(src, ModeQS)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, src)
+		}
+		inf, err := Compile(src, ModeInf)
+		if err != nil {
+			t.Fatalf("seed %d: inf compile: %v", seed, err)
+		}
+		qsOut, qsErr := runGen(t, qs, RunConfig{})
+		infOut, infErr := runGen(t, inf, RunConfig{})
+
+		// Property 1: qs ≡ inf exactly. The inference may only remove
+		// checks that cannot fail, and counting is identical.
+		if qsOut != infOut || (qsErr == nil) != (infErr == nil) {
+			t.Fatalf("seed %d: qs/inf diverge:\n qs : %q err=%v\n inf: %q err=%v\nprogram:\n%s",
+				seed, qsOut, qsErr, infOut, infErr, src)
+		}
+		if qsErr != nil && infErr != nil && qsErr.Error() != infErr.Error() {
+			t.Fatalf("seed %d: qs/inf abort differently:\n qs : %v\n inf: %v\nprogram:\n%s",
+				seed, qsErr, infErr, src)
+		}
+
+		if qsErr != nil {
+			msg := qsErr.Error()
+			switch {
+			case strings.Contains(msg, "check"):
+				checkAborts++
+			case strings.Contains(msg, "deleteregion"):
+				deleteAborts++
+			default:
+				t.Fatalf("seed %d: unexpected abort %v\nprogram:\n%s", seed, qsErr, src)
+			}
+			continue
+		}
+		clean++
+
+		// Property 2: all configurations agree on clean programs.
+		for _, alt := range []struct {
+			name string
+			mode Mode
+			cfg  RunConfig
+		}{
+			{"nq", ModeNQ, RunConfig{}},
+			{"nc", ModeNC, RunConfig{}},
+			{"norc", ModeNoRC, RunConfig{}},
+			{"lea", ModeNoRC, RunConfig{Backend: BackendMalloc}},
+			{"gc", ModeNoRC, RunConfig{Backend: BackendGC}},
+		} {
+			ac, err := Compile(src, alt.mode)
+			if err != nil {
+				t.Fatalf("seed %d: %s compile: %v", seed, alt.name, err)
+			}
+			out, err := runGen(t, ac, alt.cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %s aborted where qs ran: %v\nprogram:\n%s",
+					seed, alt.name, err, src)
+			}
+			if out != qsOut {
+				t.Fatalf("seed %d: %s output %q, want %q\nprogram:\n%s",
+					seed, alt.name, out, qsOut, src)
+			}
+		}
+
+		// Property 3: counts match a ground-truth scan after the run.
+		m := newVMForTest(inf)
+		if err := m.Run(); err != nil {
+			t.Fatalf("seed %d: validation run failed: %v", seed, err)
+		}
+		if err := m.RT.ValidateCounts(); err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, src)
+		}
+	}
+	t.Logf("random programs: %d clean, %d check aborts, %d delete aborts",
+		clean, checkAborts, deleteAborts)
+	if clean == 0 {
+		t.Error("no clean programs generated; differential coverage is empty")
+	}
+	if checkAborts == 0 {
+		t.Error("no check aborts generated; soundness branch never exercised")
+	}
+}

@@ -1,0 +1,306 @@
+package rcgo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the Go-native layer of the library: reference-counted
+// regions for Go programs, with the paper's safety guarantee — deleting a
+// region fails while external references to its objects remain — and the
+// paper's cost-saving reference classes (same-region and parent
+// references are never counted).
+//
+// Objects are allocated into a Region and addressed through Ref values.
+// A Ref stored inside a region object must be written through the holder
+// object's Set* methods so the runtime can maintain counts, mirroring the
+// RC compiler's instrumentation of pointer assignments:
+//
+//	SetRef       unannotated pointer: full reference-count update
+//	SetSame      sameregion pointer: checked, never counted
+//	SetParent    parentptr pointer: checked, never counted
+//
+// References held in plain Go variables (locals) are the analogue of the
+// paper's local variables: they are not counted; Pin/Unpin protects them
+// across code that may delete regions.
+
+// Arena is a reference-counted region heap for Go values.
+type Arena struct {
+	nextID   int64
+	liveObjs int64
+	trad     *Region
+}
+
+// Region is one region: objects allocated into it are freed together by
+// Delete, which fails while external references remain.
+type Region struct {
+	arena    *Arena
+	parent   *Region
+	children int
+	rc       int64
+	pins     int64
+	deleted  bool
+	id       int64
+	objs     int64
+	// counted is the registry of counted (SetRef) slots held by this
+	// region's objects; deletion walks it to release outbound references,
+	// the analogue of the runtime's delete-time unscan.
+	counted []releaser
+}
+
+// releaser lets a region release its objects' outbound counted references
+// at delete time without knowing their element types.
+type releaser interface {
+	release(owner *Region)
+}
+
+// ErrRegionInUse is returned by Delete while external references or
+// subregions remain.
+var ErrRegionInUse = errors.New("rcgo: region has external references or subregions")
+
+// ErrBadRef is returned (or panicked, from Must operations) when a
+// checked store violates its annotation.
+var ErrBadRef = errors.New("rcgo: reference violates its region annotation")
+
+// NewArena creates an empty arena.
+func NewArena() *Arena {
+	a := &Arena{}
+	a.trad = a.NewRegion()
+	return a
+}
+
+// Traditional returns the arena's distinguished traditional region — the
+// analogue of the paper's stack/globals/malloc-heap region. Objects with
+// indefinite lifetime live here; it can never be deleted, and SetTrad
+// verifies that a traditional slot only ever references it.
+func (a *Arena) Traditional() *Region { return a.trad }
+
+// NewRegion creates a new top-level region.
+func (a *Arena) NewRegion() *Region {
+	a.nextID++
+	return &Region{arena: a, id: a.nextID}
+}
+
+// NewSubregion creates a region below r; it must be deleted before r.
+func (r *Region) NewSubregion() *Region {
+	if r.deleted {
+		panic("rcgo: NewSubregion of deleted region")
+	}
+	s := r.arena.NewRegion()
+	s.parent = r
+	r.children++
+	return s
+}
+
+// Obj is a region-allocated object holding a value of type T. The zero
+// Obj is not valid; use Alloc.
+type Obj[T any] struct {
+	Value  T
+	region *Region
+}
+
+// Ref is a counted or annotated slot referencing an Obj. Refs that live
+// inside region objects must be updated through the holder's Set
+// methods. A given slot should be used with one store flavour only
+// (counted SetRef, or checked SetSame/SetParent), like a C field with a
+// fixed annotation.
+type Ref[T any] struct {
+	target     *Obj[T]
+	registered bool
+}
+
+func (r *Ref[T]) release(owner *Region) {
+	if r.target != nil && r.target.region != owner {
+		r.target.region.decRC()
+	}
+	r.target = nil
+	r.registered = false
+}
+
+// Get returns the referenced object (nil if the Ref is null).
+func (r *Ref[T]) Get() *Obj[T] { return r.target }
+
+// Alloc allocates a zero T in region r.
+func Alloc[T any](r *Region) *Obj[T] {
+	if r.deleted {
+		panic("rcgo: allocation in deleted region")
+	}
+	r.objs++
+	r.arena.liveObjs++
+	return &Obj[T]{region: r}
+}
+
+// Region returns the region holding the object.
+func (o *Obj[T]) Region() *Region { return o.region }
+
+// Use returns a checked pointer to the object's value, panicking if the
+// object's region has been deleted. This is the dynamic analogue of the
+// dangling-pointer accesses that region safety prevents: with correct use
+// of the counted/checked stores it can never fire.
+func (o *Obj[T]) Use() *T {
+	if o.region.deleted {
+		panic(fmt.Sprintf("rcgo: use of object in deleted region %d", o.region.id))
+	}
+	return &o.Value
+}
+
+// SetRef performs holder.slot = target with the full reference-count
+// update of the paper's Figure 3(a): counts change only when the store
+// creates or destroys an external reference.
+func SetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
+	oldRegion := refRegion(slot.target)
+	newRegion := refRegion(target)
+	if oldRegion != newRegion {
+		if oldRegion != nil && oldRegion != holder.region {
+			oldRegion.decRC()
+		}
+		if newRegion != nil && newRegion != holder.region {
+			newRegion.rc++
+		}
+	}
+	slot.target = target
+	if !slot.registered {
+		slot.registered = true
+		holder.region.counted = append(holder.region.counted, slot)
+	}
+}
+
+// SetSame performs holder.slot = target for a sameregion slot: the target
+// must be nil or in the holder's region. Never touches a count.
+func SetSame[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	if target != nil && target.region != holder.region {
+		return fmt.Errorf("%w: sameregion store of %v into %v",
+			ErrBadRef, target.region.id, holder.region.id)
+	}
+	slot.target = target
+	return nil
+}
+
+// SetTrad performs holder.slot = target for a traditional slot: the
+// target must be nil or in the arena's traditional region. Never touches
+// a count (the traditional region is immortal).
+func SetTrad[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	if target != nil && target.region != holder.region.arena.trad {
+		return fmt.Errorf("%w: traditional store of %v", ErrBadRef, target.region.id)
+	}
+	slot.target = target
+	return nil
+}
+
+// SetParent performs holder.slot = target for a parentptr slot: the
+// target must be nil or in an ancestor (or the same) region of the
+// holder's. Never touches a count.
+func SetParent[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	if target != nil && !target.region.isAncestorOf(holder.region) {
+		return fmt.Errorf("%w: parentptr store of %v into %v",
+			ErrBadRef, target.region.id, holder.region.id)
+	}
+	slot.target = target
+	return nil
+}
+
+func refRegion[T any](o *Obj[T]) *Region {
+	if o == nil {
+		return nil
+	}
+	return o.region
+}
+
+func (r *Region) isAncestorOf(s *Region) bool {
+	for ; s != nil; s = s.parent {
+		if s == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Region) decRC() {
+	r.rc--
+	if r.deleted && r.rc == 0 && r.pins == 0 && r.children == 0 {
+		r.reclaim()
+	}
+}
+
+// Pin registers a local (Go-variable) reference to an object's region for
+// the duration of code that may delete regions, mirroring the paper's
+// handling of live local variables at deletes-calls. Returns an Unpin
+// function.
+func Pin[T any](o *Obj[T]) (unpin func()) {
+	if o == nil {
+		return func() {}
+	}
+	r := o.region
+	r.rc++
+	r.pins++
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		r.pins--
+		r.decRC()
+	}
+}
+
+// RC returns the current external reference count (including pins).
+func (r *Region) RC() int64 { return r.rc }
+
+// Deleted reports whether the region has been reclaimed.
+func (r *Region) Deleted() bool { return r.deleted }
+
+// Objects returns the number of live objects in the region.
+func (r *Region) Objects() int64 { return r.objs }
+
+// Delete deletes the region and all its objects. It returns
+// ErrRegionInUse while external references or subregions remain.
+func (r *Region) Delete() error {
+	if r == r.arena.trad {
+		return errors.New("rcgo: cannot delete the traditional region")
+	}
+	if r.deleted {
+		return errors.New("rcgo: double delete")
+	}
+	if r.rc != 0 || r.children > 0 {
+		return fmt.Errorf("%w (rc=%d, subregions=%d)", ErrRegionInUse, r.rc, r.children)
+	}
+	r.reclaim()
+	return nil
+}
+
+// DeleteDeferred marks the region for implicit deletion when it becomes
+// unreferenced (the paper's third safety option, with semantics close to
+// garbage collection).
+func (r *Region) DeleteDeferred() {
+	if r.deleted {
+		return
+	}
+	if r.rc == 0 && r.pins == 0 && r.children == 0 {
+		r.reclaim()
+		return
+	}
+	r.deleted = true // zombie: reclaim on last release
+}
+
+func (r *Region) reclaim() {
+	r.deleted = true
+	r.arena.liveObjs -= r.objs
+	r.objs = 0
+	// The delete-time unscan: release outbound counted references so the
+	// targets' counts drop (and deferred deletions may cascade).
+	slots := r.counted
+	r.counted = nil
+	for _, s := range slots {
+		s.release(r)
+	}
+	if r.parent != nil {
+		r.parent.children--
+		if r.parent.deleted && r.parent.rc == 0 && r.parent.pins == 0 && r.parent.children == 0 {
+			r.parent.reclaim()
+		}
+	}
+}
+
+// LiveObjects returns the number of live objects across the arena.
+func (a *Arena) LiveObjects() int64 { return a.liveObjs }

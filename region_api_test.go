@@ -1,0 +1,296 @@
+package rcgo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+type listNode struct {
+	Next Ref[listNode] // same-region link
+	Data int
+}
+
+type crossNode struct {
+	Other Ref[crossNode] // counted link
+	Up    Ref[crossNode] // parent link
+}
+
+func TestArenaBasics(t *testing.T) {
+	a := NewArena()
+	r := a.NewRegion()
+	n := Alloc[listNode](r)
+	n.Value.Data = 42
+	if n.Region() != r {
+		t.Fatal("Region() wrong")
+	}
+	if *&n.Use().Data != 42 {
+		t.Fatal("Use() wrong")
+	}
+	if a.LiveObjects() != 1 || r.Objects() != 1 {
+		t.Fatal("object accounting wrong")
+	}
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if a.LiveObjects() != 0 {
+		t.Fatal("live objects after delete")
+	}
+}
+
+func TestUseAfterDeletePanics(t *testing.T) {
+	a := NewArena()
+	r := a.NewRegion()
+	n := Alloc[listNode](r)
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Use after delete did not panic")
+		}
+	}()
+	n.Use()
+}
+
+func TestSetRefCounts(t *testing.T) {
+	a := NewArena()
+	r1 := a.NewRegion()
+	r2 := a.NewRegion()
+	x := Alloc[crossNode](r1)
+	y := Alloc[crossNode](r2)
+	SetRef(x, &x.Value.Other, y)
+	if r2.RC() != 1 {
+		t.Fatalf("r2.RC = %d, want 1", r2.RC())
+	}
+	if err := r2.Delete(); !errors.Is(err, ErrRegionInUse) {
+		t.Fatalf("Delete of referenced region: %v", err)
+	}
+	SetRef(x, &x.Value.Other, nil)
+	if r2.RC() != 0 {
+		t.Fatalf("r2.RC after clearing = %d", r2.RC())
+	}
+	if err := r2.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Delete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetRefInternalNotCounted(t *testing.T) {
+	a := NewArena()
+	r := a.NewRegion()
+	x := Alloc[crossNode](r)
+	y := Alloc[crossNode](r)
+	SetRef(x, &x.Value.Other, y)
+	SetRef(y, &y.Value.Other, x) // internal cycle: never counted
+	if r.RC() != 0 {
+		t.Fatalf("internal refs counted: RC = %d", r.RC())
+	}
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSame(t *testing.T) {
+	a := NewArena()
+	r1 := a.NewRegion()
+	r2 := a.NewRegion()
+	x := Alloc[listNode](r1)
+	y := Alloc[listNode](r1)
+	z := Alloc[listNode](r2)
+	if err := SetSame(x, &x.Value.Next, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetSame(x, &x.Value.Next, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetSame(x, &x.Value.Next, z); !errors.Is(err, ErrBadRef) {
+		t.Fatalf("cross-region sameregion store: %v", err)
+	}
+	if r1.RC() != 0 && r2.RC() != 0 {
+		t.Error("sameregion stores touched counts")
+	}
+}
+
+func TestSetParent(t *testing.T) {
+	a := NewArena()
+	top := a.NewRegion()
+	sub := top.NewSubregion()
+	sib := a.NewRegion()
+	parent := Alloc[crossNode](top)
+	child := Alloc[crossNode](sub)
+	other := Alloc[crossNode](sib)
+	if err := SetParent(child, &child.Value.Up, parent); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetParent(child, &child.Value.Up, child); err != nil {
+		t.Fatal(err) // same region is an ancestor-or-self
+	}
+	if err := SetParent(child, &child.Value.Up, other); !errors.Is(err, ErrBadRef) {
+		t.Fatalf("sibling parentptr store: %v", err)
+	}
+	if err := SetParent(parent, &parent.Value.Up, child); !errors.Is(err, ErrBadRef) {
+		t.Fatalf("downward parentptr store: %v", err)
+	}
+}
+
+func TestSubregionOrder(t *testing.T) {
+	a := NewArena()
+	top := a.NewRegion()
+	sub := top.NewSubregion()
+	if err := top.Delete(); !errors.Is(err, ErrRegionInUse) {
+		t.Fatalf("parent deleted before child: %v", err)
+	}
+	if err := sub.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Delete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinProtectsLocals(t *testing.T) {
+	a := NewArena()
+	r := a.NewRegion()
+	n := Alloc[listNode](r)
+	unpin := Pin(n)
+	if err := r.Delete(); !errors.Is(err, ErrRegionInUse) {
+		t.Fatalf("pinned region deleted: %v", err)
+	}
+	unpin()
+	unpin() // idempotent
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if Pin[listNode](nil) == nil {
+		t.Error("Pin(nil) should return a no-op unpin")
+	}
+}
+
+func TestDeleteDeferred(t *testing.T) {
+	a := NewArena()
+	r1 := a.NewRegion()
+	r2 := a.NewRegion()
+	x := Alloc[crossNode](r1)
+	y := Alloc[crossNode](r2)
+	SetRef(x, &x.Value.Other, y)
+	r2.DeleteDeferred()
+	if a.LiveObjects() != 2 {
+		t.Fatal("deferred delete reclaimed referenced region")
+	}
+	SetRef(x, &x.Value.Other, nil) // last reference: reclaim
+	if a.LiveObjects() != 1 {
+		t.Fatalf("deferred reclaim did not run: %d live", a.LiveObjects())
+	}
+	if err := r1.Delete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeferredCascade(t *testing.T) {
+	a := NewArena()
+	top := a.NewRegion()
+	sub := top.NewSubregion()
+	Alloc[listNode](top)
+	Alloc[listNode](sub)
+	top.DeleteDeferred()
+	if a.LiveObjects() != 2 {
+		t.Fatal("parent reclaimed before child")
+	}
+	if err := sub.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if a.LiveObjects() != 0 {
+		t.Fatal("cascade did not reclaim deferred parent")
+	}
+}
+
+// Property: the arena's counts match a shadow model under random
+// operation sequences.
+func TestQuickArenaInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewArena()
+	var regions []*Region
+	type slotRec struct {
+		holder *Obj[crossNode]
+	}
+	var objs []*Obj[crossNode]
+	_ = slotRec{}
+	for i := 0; i < 4000; i++ {
+		switch {
+		case len(regions) == 0 || rng.Intn(6) == 0:
+			regions = append(regions, a.NewRegion())
+		case rng.Intn(4) == 0 && len(regions) > 0:
+			r := regions[rng.Intn(len(regions))]
+			if !r.Deleted() {
+				regions = append(regions, r.NewSubregion())
+			}
+		case rng.Intn(3) == 0 && len(objs) > 1:
+			h := objs[rng.Intn(len(objs))]
+			v := objs[rng.Intn(len(objs))]
+			if !h.Region().Deleted() && !v.Region().Deleted() {
+				SetRef(h, &h.Value.Other, v)
+			}
+		case rng.Intn(5) == 0 && len(regions) > 0:
+			r := regions[rng.Intn(len(regions))]
+			if !r.Deleted() {
+				_ = r.Delete() // may legitimately fail
+			}
+		default:
+			r := regions[rng.Intn(len(regions))]
+			if !r.Deleted() {
+				objs = append(objs, Alloc[crossNode](r))
+			}
+		}
+		// Invariant: every live region's rc equals the number of
+		// external references from live holders.
+		want := map[*Region]int64{}
+		for _, o := range objs {
+			if o.Region().Deleted() {
+				continue
+			}
+			if tgt := o.Value.Other.Get(); tgt != nil && tgt.Region() != o.Region() {
+				want[tgt.Region()]++
+			}
+		}
+		for _, r := range regions {
+			if !r.Deleted() && r.RC() != want[r] {
+				t.Fatalf("step %d: region %d rc=%d, shadow=%d", i, r.id, r.RC(), want[r])
+			}
+		}
+	}
+}
+
+func TestTraditionalRegion(t *testing.T) {
+	a := NewArena()
+	trad := a.Traditional()
+	if trad == nil || trad.Deleted() {
+		t.Fatal("no traditional region")
+	}
+	if err := trad.Delete(); err == nil {
+		t.Fatal("traditional region deleted")
+	}
+	r := a.NewRegion()
+	holder := Alloc[crossNode](r)
+	global := Alloc[crossNode](trad)
+	regional := Alloc[crossNode](r)
+	if err := SetTrad(holder, &holder.Value.Other, global); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetTrad(holder, &holder.Value.Other, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetTrad(holder, &holder.Value.Other, regional); !errors.Is(err, ErrBadRef) {
+		t.Fatalf("regional value accepted by traditional slot: %v", err)
+	}
+	// Traditional stores never count, so r deletes freely even while a
+	// slot references the traditional region.
+	if err := SetTrad(holder, &holder.Value.Other, global); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+}
