@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments examples fuzz clean
+.PHONY: all build test test-short vet race check bench experiments examples fuzz clean
 
-all: vet test
+all: check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass: the concurrent Go-native runtime stress tests
+# (region_concurrent_test.go) are only meaningful under -race. -short
+# keeps the VM differential suites at a size where the ~10-20x race
+# overhead stays reasonable.
+race:
+	$(GO) test -race -short ./...
+
+# The default verification gate: build cleanliness, the full test suite,
+# and the race pass over the concurrent API.
+check: vet test race
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # primitive microbenchmarks.

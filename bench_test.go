@@ -303,7 +303,93 @@ func BenchmarkGoNativeAPI(b *testing.B) {
 		vals := [2]*Obj[node]{v1, v2}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			SetRef(h, &h.Value.next, vals[i&1])
+			MustSetRef(h, &h.Value.next, vals[i&1])
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Parallel benchmarks of the concurrent Go-native runtime (run with
+// -cpu 1,2,4,... to see scaling). The paper's key cost claim must
+// survive concurrency: annotated stores are check-only and write no
+// shared cache line, so BenchmarkParallelSetSame scales linearly with
+// GOMAXPROCS, while the counted stores of BenchmarkParallelSetRef all
+// update one target region's reference count and contend.
+
+type parNode struct {
+	next  Ref[parNode] // sameregion link
+	cross Ref[parNode] // counted link
+}
+
+// BenchmarkParallelAlloc allocates from every P into its own region —
+// the webserver pattern of a region per request.
+func BenchmarkParallelAlloc(b *testing.B) {
+	a := NewArena()
+	b.RunParallel(func(pb *testing.PB) {
+		r := a.NewRegion()
+		n := 0
+		for pb.Next() {
+			Alloc[parNode](r)
+			if n++; n == 8192 {
+				if err := r.Delete(); err != nil {
+					b.Error(err)
+					return
+				}
+				r = a.NewRegion()
+				n = 0
+			}
+		}
+		if err := r.Delete(); err != nil {
+			b.Error(err)
+		}
+	})
+}
+
+// BenchmarkParallelSetSame: every P runs annotated stores against its
+// own objects inside one shared region. No shared cache line is written,
+// so ns/op should hold steady (scale linearly) as GOMAXPROCS grows.
+func BenchmarkParallelSetSame(b *testing.B) {
+	a := NewArena()
+	r := a.NewRegion()
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](r)
+		v := Alloc[parNode](r)
+		for pb.Next() {
+			MustSetSame(h, &h.Value.next, v)
+		}
+	})
+}
+
+// BenchmarkParallelSetRef: every P stores counted references to one
+// shared region from its own holder, so all Ps contend on the target's
+// atomic reference count — the cost the annotations exist to avoid.
+func BenchmarkParallelSetRef(b *testing.B) {
+	a := NewArena()
+	shared := a.NewRegion()
+	target := Alloc[parNode](shared)
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](a.NewRegion())
+		clear := false
+		for pb.Next() {
+			if clear {
+				MustSetRef(h, &h.Value.cross, nil)
+			} else {
+				MustSetRef(h, &h.Value.cross, target)
+			}
+			clear = !clear
+		}
+	})
+}
+
+// BenchmarkParallelPin measures the pin/unpin pair against a shared
+// region (contended, like SetRef: pins are counted references).
+func BenchmarkParallelPin(b *testing.B) {
+	a := NewArena()
+	r := a.NewRegion()
+	o := Alloc[parNode](r)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			Pin(o)()
 		}
 	})
 }

@@ -43,9 +43,9 @@ func Example_safety() {
 	holder := rcgo.Alloc[box](r1)
 	target := rcgo.Alloc[box](r2)
 
-	rcgo.SetRef(holder, &holder.Value.payload, target)
+	rcgo.MustSetRef(holder, &holder.Value.payload, target)
 	fmt.Println("while referenced:", r2.Delete() != nil)
-	rcgo.SetRef(holder, &holder.Value.payload, nil)
+	rcgo.MustSetRef(holder, &holder.Value.payload, nil)
 	fmt.Println("after clearing:", r2.Delete() == nil)
 	// Output:
 	// while referenced: true

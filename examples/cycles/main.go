@@ -38,8 +38,8 @@ func main() {
 	r2 := arena.NewRegion()
 	x := rcgo.Alloc[node](r1)
 	y := rcgo.Alloc[node](r2)
-	rcgo.SetRef(x, &x.Value.cross, y)
-	rcgo.SetRef(y, &y.Value.cross, x)
+	rcgo.MustSetRef(x, &x.Value.cross, y)
+	rcgo.MustSetRef(y, &y.Value.cross, x)
 	fmt.Printf("cross cycle: r1 rc=%d, r2 rc=%d\n", r1.RC(), r2.RC())
 	if err := r1.Delete(); err != nil {
 		fmt.Println("delete r1:", err)
@@ -49,7 +49,7 @@ func main() {
 	}
 
 	// ...until the programmer breaks it.
-	rcgo.SetRef(x, &x.Value.cross, nil)
+	rcgo.MustSetRef(x, &x.Value.cross, nil)
 	must(r2.Delete())
 	must(r1.Delete())
 	fmt.Println("cycle broken by hand; both regions deleted")
@@ -60,12 +60,12 @@ func main() {
 	r4 := arena.NewRegion()
 	p := rcgo.Alloc[node](r3)
 	q := rcgo.Alloc[node](r4)
-	rcgo.SetRef(p, &p.Value.cross, q)
-	rcgo.SetRef(q, &q.Value.cross, p)
+	rcgo.MustSetRef(p, &p.Value.cross, q)
+	rcgo.MustSetRef(q, &q.Value.cross, p)
 	r3.DeleteDeferred()
 	r4.DeleteDeferred()
 	fmt.Println("deferred deletes pending; live objects:", arena.LiveObjects())
-	rcgo.SetRef(q, &q.Value.cross, nil) // breaks the cycle: r3 reclaims, then its
+	rcgo.MustSetRef(q, &q.Value.cross, nil) // breaks the cycle: r3 reclaims, then its
 	// unscan releases q, reclaiming r4.
 	fmt.Println("after breaking the link; live objects:", arena.LiveObjects())
 }

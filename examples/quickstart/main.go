@@ -49,11 +49,11 @@ func main() {
 	// Safety demo 1: a counted external reference blocks deletion.
 	outside := arena.NewRegion()
 	holder := rcgo.Alloc[rlist](outside)
-	rcgo.SetRef(holder, &holder.Value.next, last)
+	rcgo.MustSetRef(holder, &holder.Value.next, last)
 	if err := r.Delete(); err != nil {
 		fmt.Println("delete blocked while referenced:", err)
 	}
-	rcgo.SetRef(holder, &holder.Value.next, nil)
+	rcgo.MustSetRef(holder, &holder.Value.next, nil)
 
 	// Safety demo 2: same-region stores are checked.
 	if err := rcgo.SetSame(holder, &holder.Value.next, last); err != nil {

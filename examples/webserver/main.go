@@ -1,62 +1,199 @@
-// Webserver: the paper's Apache pattern — a region per request, a
-// subregion per internal subrequest, parent-pointer references from
-// subrequest data to request data, and everything freed when the request
-// completes. Uses the Go-native safe region API.
+// Webserver: the paper's Apache pattern at production shape, on the
+// concurrent Go-native runtime — a real net/http server where
+//
+//   - every request is handled in its own region by whatever goroutine
+//     the http package runs it on, and freed wholesale when the response
+//     is written;
+//   - internal subrequests (the paper's Apache subrequests) run in
+//     subregions whose data points UP to the request via parentptr
+//     references, which are checked but never counted;
+//   - server configuration lives in the arena's traditional region and
+//     is referenced through SetTrad slots — also never counted;
+//   - a shared cache epoch is a region of its own, referenced from
+//     request data through counted SetRef slots. Rotation retires the
+//     old epoch with DeleteDeferred: it reclaims the instant the last
+//     in-flight request releases its reference (via the request region's
+//     delete-time unscan), and requests that lose the race to a rotation
+//     see ErrRegionDeleted and simply serve uncached — a zombie epoch
+//     can never be resurrected.
 package main
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 
 	"rcgo"
 )
 
+type config struct {
+	name string
+}
+
+type cacheEntry struct {
+	payload string
+}
+
+// request is the per-request record; subrequests reuse the same type one
+// region below.
 type request struct {
-	parent  rcgo.Ref[request] // parentptr: subrequest -> request
-	id      int
-	headers []string
-	status  int
+	conf   rcgo.Ref[config]     // traditional: server config, never counted
+	entry  rcgo.Ref[cacheEntry] // counted: pins the cache epoch until the request dies
+	parent rcgo.Ref[request]    // parentptr: subrequest -> request, never counted
+	id     int64
+	status int
 }
 
-// handle processes a request in its own region; internal redirects spawn
-// subrequests in subregions, which must be (and are) deleted first.
-func handle(arena *rcgo.Arena, r *rcgo.Region, req *rcgo.Obj[request], depth int) {
-	req.Value.headers = append(req.Value.headers,
-		fmt.Sprintf("X-Request-Id: %d", req.Value.id))
+type server struct {
+	arena *rcgo.Arena
+	conf  *rcgo.Obj[config]
 
-	if depth < 2 {
-		sub := r.NewSubregion()
-		sr := rcgo.Alloc[request](sub)
-		sr.Value.id = req.Value.id*10 + 1
-		// Subrequest data may point UP to request data without any
-		// reference-count traffic: the parent always outlives the child.
-		if err := rcgo.SetParent(sr, &sr.Value.parent, req); err != nil {
-			panic(err)
-		}
-		handle(arena, sub, sr, depth+1)
-		// A downward reference would be rejected: the parent could
-		// otherwise outlive its target.
-		if err := rcgo.SetParent(req, &req.Value.parent, sr); err != nil {
-			fmt.Println("  downward parentptr rejected:", err)
-		}
-		if err := sub.Delete(); err != nil {
-			panic(err)
-		}
+	mu      sync.Mutex
+	epoch   *rcgo.Region
+	entry   *rcgo.Obj[cacheEntry]
+	retired []*rcgo.Region
+
+	nextID   atomic.Int64
+	served   atomic.Int64
+	cached   atomic.Int64
+	uncached atomic.Int64
+	subs     atomic.Int64
+}
+
+func newServer() *server {
+	s := &server{arena: rcgo.NewArena()}
+	s.conf = rcgo.Alloc[config](s.arena.Traditional())
+	s.conf.Value.name = "rcgo-demo"
+	s.rotate()
+	return s
+}
+
+// rotate starts a fresh cache epoch and defer-deletes the old one: it
+// stays a zombie while in-flight requests hold counted references and
+// reclaims on the last release.
+func (s *server) rotate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch != nil {
+		s.retired = append(s.retired, s.epoch)
+		s.epoch.DeleteDeferred()
 	}
-	req.Value.status = 200
+	s.epoch = s.arena.NewRegion()
+	s.entry = rcgo.Alloc[cacheEntry](s.epoch)
+	s.entry.Value.payload = "cached-content"
 }
 
-func main() {
-	arena := rcgo.NewArena()
-	for conn := 0; conn < 3; conn++ {
-		r := arena.NewRegion()
-		req := rcgo.Alloc[request](r)
-		req.Value.id = conn + 1
-		handle(arena, r, req, 0)
-		fmt.Printf("request %d -> %d (%d headers)\n",
-			req.Value.id, req.Value.status, len(req.Value.headers))
+func (s *server) lookup() *rcgo.Obj[cacheEntry] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entry
+}
+
+// handleSub is an internal subrequest: a subregion whose data may point
+// up to the enclosing request for free.
+func (s *server) handleSub(r *rcgo.Region, rq *rcgo.Obj[request], depth int) {
+	if depth == 0 {
+		return
+	}
+	sub := r.NewSubregion()
+	sr := rcgo.Alloc[request](sub)
+	sr.Value.id = rq.Value.id*10 + int64(depth)
+	rcgo.MustSetParent(sr, &sr.Value.parent, rq)
+	rcgo.MustSetTrad(sr, &sr.Value.conf, s.conf)
+	s.subs.Add(1)
+	s.handleSub(sub, sr, depth-1)
+	if err := sub.Delete(); err != nil {
+		panic(err) // subregions always die before the request
+	}
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	r := s.arena.NewRegion()
+	// Deleting the request region releases its outbound counted
+	// references (the cache entry) via the delete-time unscan; nothing
+	// references the request from outside, so this cannot fail.
+	defer func() {
 		if err := r.Delete(); err != nil {
 			panic(err)
 		}
+	}()
+
+	rq := rcgo.Alloc[request](r)
+	rq.Value.id = s.nextID.Add(1)
+	rcgo.MustSetTrad(rq, &rq.Value.conf, s.conf)
+
+	body := "generated-content"
+	if ent := s.lookup(); ent != nil {
+		// The epoch can rotate between lookup and store; a counted store
+		// into the retired (zombie) epoch is rejected, never resurrected.
+		if err := rcgo.SetRef(rq, &rq.Value.entry, ent); err == nil {
+			body = rq.Value.entry.Get().Use().payload
+			s.cached.Add(1)
+		} else {
+			s.uncached.Add(1)
+		}
 	}
-	fmt.Println("all requests served; live objects:", arena.LiveObjects())
+
+	s.handleSub(r, rq, 2)
+	rq.Value.status = http.StatusOK
+	w.WriteHeader(rq.Value.status)
+	fmt.Fprintf(w, "%s: %s\n", rq.Value.conf.Get().Use().name, body)
+	s.served.Add(1)
+}
+
+func main() {
+	const clients = 8
+	const perClient = 25
+
+	s := newServer()
+	ts := httptest.NewServer(s)
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Get(ts.URL)
+				if err != nil {
+					panic(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("status %d", resp.StatusCode))
+				}
+				// One client rotates the cache epoch mid-traffic.
+				if c == 0 && i%8 == 4 {
+					s.rotate()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	ts.Close()
+
+	fmt.Printf("served %d requests (%d subrequests) across %d client goroutines\n",
+		s.served.Load(), s.subs.Load(), clients)
+	fmt.Println("cache hits + rotation misses == served:",
+		s.cached.Load()+s.uncached.Load() == s.served.Load())
+
+	// All request regions are gone; retired epochs reclaimed the moment
+	// their last in-flight reference was released.
+	reclaimed := 0
+	for _, ep := range s.retired {
+		if ep.Stats().Reclaimed {
+			reclaimed++
+		}
+	}
+	fmt.Printf("retired cache epochs reclaimed: %d/%d\n", reclaimed, len(s.retired))
+
+	// Tear down the live epoch: config in the traditional region remains.
+	if err := s.epoch.Delete(); err != nil {
+		panic(err)
+	}
+	fmt.Println("live objects after shutdown (config only):", s.arena.LiveObjects())
 }

@@ -13,9 +13,15 @@
 //     configurations (nq / qs / inf / nc / norc), mirroring the paper's
 //     evaluation matrix.
 //
-//   - A Go-native safe region API (NewRuntime, Region, Alloc, Ref): arenas
-//     for Go programs with the paper's dynamic safety guarantee — deleting
-//     a region fails while external references remain.
+//   - A Go-native safe region API (NewArena, Arena, Region, Alloc, Obj,
+//     Ref, the Set*/MustSet* store flavours, Pin): arenas for Go programs
+//     with the paper's dynamic safety guarantee — deleting a region fails
+//     while external references remain. The runtime is safe for
+//     concurrent use: reference counts are atomic, counted slots register
+//     in sharded per-region registries, and the annotated stores
+//     (SetSame, SetTrad, SetParent) stay check-only with no writes to
+//     shared cache lines, so they scale linearly across goroutines. See
+//     region_api.go, region_store.go and region_stats.go.
 package rcgo
 
 import (

@@ -3,63 +3,109 @@ package rcgo
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // This file is the Go-native layer of the library: reference-counted
 // regions for Go programs, with the paper's safety guarantee — deleting a
 // region fails while external references to its objects remain — and the
-// paper's cost-saving reference classes (same-region and parent
-// references are never counted).
+// paper's cost-saving reference classes (same-region, traditional and
+// parent references are never counted).
 //
 // Objects are allocated into a Region and addressed through Ref values.
 // A Ref stored inside a region object must be written through the holder
-// object's Set* methods so the runtime can maintain counts, mirroring the
-// RC compiler's instrumentation of pointer assignments:
+// object's Set* methods (region_store.go) so the runtime can maintain
+// counts, mirroring the RC compiler's instrumentation of pointer
+// assignments. References held in plain Go variables (locals) are the
+// analogue of the paper's local variables: they are not counted;
+// Pin/Unpin protects them across code that may delete regions.
 //
-//	SetRef       unannotated pointer: full reference-count update
-//	SetSame      sameregion pointer: checked, never counted
-//	SetParent    parentptr pointer: checked, never counted
+// The runtime is safe for concurrent use by multiple goroutines. The
+// concurrency design (see DESIGN.md §"Concurrent Go-native runtime"):
 //
-// References held in plain Go variables (locals) are the analogue of the
-// paper's local variables: they are not counted; Pin/Unpin protects them
-// across code that may delete regions.
+//   - Every counter (rc, pins, objs, children, the arena's live-object
+//     total) is an atomic. External-reference creation uses an
+//     increment-then-validate protocol against a per-region state machine
+//     (alive → dying → dead, or alive → zombie → dead), so a reference
+//     can never be created on a region that a concurrent Delete has
+//     reclaimed, and a Delete can never succeed while a reference is
+//     being created.
+//   - Lifecycle decisions (Delete, DeleteDeferred, the zombie drain,
+//     Alloc and NewSubregion admission) serialize on a small per-region
+//     mutex. Store fast paths never take it.
+//   - Counted slots register in a mutex-sharded per-region registry
+//     (region_store.go), keyed by slot address, so concurrent SetRefs
+//     into one region rarely share a lock.
+//   - Annotated stores (SetSame, SetTrad, SetParent) and Obj.Use are
+//     entirely lock-free and write no shared memory: they read immutable
+//     region identity/ancestry plus the region state word, then write
+//     only the holder's own slot. They scale linearly with GOMAXPROCS
+//     (BenchmarkParallelSetSame).
+//
+// Concurrent Set* calls on the *same* slot are linearized by the runtime
+// (the slot value is atomic and counted stores serialize on the slot's
+// registry shard), but as in any Go program, higher-level invariants
+// across multiple slots are the caller's responsibility.
 
-// Arena is a reference-counted region heap for Go values.
+// Region lifecycle states. All transitions happen under Region.mu; reads
+// are lock-free. stateDying is a transient window during which Delete or
+// DeleteDeferred holds mu and is deciding: observers wait it out
+// (settled) rather than treating it as deleted, because the delete may
+// still fail with ErrRegionInUse.
+const (
+	stateAlive  int32 = iota
+	stateDying        // transient: a delete holds mu and is deciding
+	stateZombie       // DeleteDeferred: reclaim when references drain
+	stateDead         // reclaimed
+)
+
+// Arena is a reference-counted region heap for Go values. All methods
+// are safe for concurrent use.
 type Arena struct {
-	nextID   int64
-	liveObjs int64
+	nextID   atomic.Int64
+	liveObjs atomic.Int64
 	trad     *Region
 }
 
 // Region is one region: objects allocated into it are freed together by
-// Delete, which fails while external references remain.
+// Delete, which fails while external references remain. All methods are
+// safe for concurrent use.
 type Region struct {
-	arena    *Arena
-	parent   *Region
-	children int
-	rc       int64
-	pins     int64
-	deleted  bool
-	id       int64
-	objs     int64
-	// counted is the registry of counted (SetRef) slots held by this
-	// region's objects; deletion walks it to release outbound references,
-	// the analogue of the runtime's delete-time unscan.
-	counted []releaser
-}
+	arena  *Arena
+	parent *Region // immutable after creation
+	id     int64
 
-// releaser lets a region release its objects' outbound counted references
-// at delete time without knowing their element types.
-type releaser interface {
-	release(owner *Region)
+	// mu serializes lifecycle decisions. The counters stay atomic so the
+	// reference fast paths (incRC/decRC) and stat reads never block on it.
+	mu       sync.Mutex
+	state    atomic.Int32
+	rc       atomic.Int64 // external counted references, including pins
+	pins     atomic.Int64 // the pin subset of rc, for stats
+	children atomic.Int64
+	objs     atomic.Int64
+
+	// slots is the sharded registry of counted (SetRef) slots held by
+	// this region's objects; deletion drains it to release outbound
+	// references, the analogue of the runtime's delete-time unscan.
+	slots [slotShards]slotShard
 }
 
 // ErrRegionInUse is returned by Delete while external references or
 // subregions remain.
 var ErrRegionInUse = errors.New("rcgo: region has external references or subregions")
 
-// ErrBadRef is returned (or panicked, from Must operations) when a
-// checked store violates its annotation.
+// ErrRegionDeleted is returned when an operation targets a region that
+// has been deleted or marked for deferred deletion: allocation in it,
+// creating a subregion of it, pinning it, deleting it again, or a Set*
+// store whose holder or target lives in it. A deferred-deleted (zombie)
+// region rejects new references instead of silently having its reclaim
+// postponed.
+var ErrRegionDeleted = errors.New("rcgo: region already deleted")
+
+// ErrBadRef is returned (or panicked, from the MustSet* operations) when
+// a checked store violates its annotation.
 var ErrBadRef = errors.New("rcgo: reference violates its region annotation")
 
 // NewArena creates an empty arena.
@@ -77,19 +123,35 @@ func (a *Arena) Traditional() *Region { return a.trad }
 
 // NewRegion creates a new top-level region.
 func (a *Arena) NewRegion() *Region {
-	a.nextID++
-	return &Region{arena: a, id: a.nextID}
+	return &Region{arena: a, id: a.nextID.Add(1)}
 }
 
 // NewSubregion creates a region below r; it must be deleted before r.
+// It panics if r has been deleted; use TryNewSubregion where a
+// concurrent delete may race.
 func (r *Region) NewSubregion() *Region {
-	if r.deleted {
-		panic("rcgo: NewSubregion of deleted region")
+	s, err := r.TryNewSubregion()
+	if err != nil {
+		panic(err)
 	}
+	return s
+}
+
+// TryNewSubregion creates a region below r, or returns ErrRegionDeleted
+// if r has been deleted.
+func (r *Region) TryNewSubregion() (*Region, error) {
+	r.mu.Lock()
+	if r.state.Load() != stateAlive {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: NewSubregion of region %d", ErrRegionDeleted, r.id)
+	}
+	// Registered before mu is released, so a racing Delete of r sees the
+	// child and fails with ErrRegionInUse.
+	r.children.Add(1)
+	r.mu.Unlock()
 	s := r.arena.NewRegion()
 	s.parent = r
-	r.children++
-	return s
+	return s, nil
 }
 
 // Obj is a region-allocated object holding a value of type T. The zero
@@ -99,208 +161,233 @@ type Obj[T any] struct {
 	region *Region
 }
 
-// Ref is a counted or annotated slot referencing an Obj. Refs that live
-// inside region objects must be updated through the holder's Set
-// methods. A given slot should be used with one store flavour only
-// (counted SetRef, or checked SetSame/SetParent), like a C field with a
-// fixed annotation.
-type Ref[T any] struct {
-	target     *Obj[T]
-	registered bool
-}
-
-func (r *Ref[T]) release(owner *Region) {
-	if r.target != nil && r.target.region != owner {
-		r.target.region.decRC()
-	}
-	r.target = nil
-	r.registered = false
-}
-
-// Get returns the referenced object (nil if the Ref is null).
-func (r *Ref[T]) Get() *Obj[T] { return r.target }
-
-// Alloc allocates a zero T in region r.
+// Alloc allocates a zero T in region r. It panics if r has been deleted;
+// use TryAlloc where a concurrent delete may race.
 func Alloc[T any](r *Region) *Obj[T] {
-	if r.deleted {
-		panic("rcgo: allocation in deleted region")
+	o, err := TryAlloc[T](r)
+	if err != nil {
+		panic(err)
 	}
-	r.objs++
-	r.arena.liveObjs++
-	return &Obj[T]{region: r}
+	return o
+}
+
+// TryAlloc allocates a zero T in region r, or returns ErrRegionDeleted
+// if r has been deleted.
+func TryAlloc[T any](r *Region) (*Obj[T], error) {
+	o := &Obj[T]{region: r}
+	r.mu.Lock()
+	if r.state.Load() != stateAlive {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: allocation in region %d", ErrRegionDeleted, r.id)
+	}
+	// Under mu: a racing Delete either admits this object before its
+	// decision (and its reclaim accounts for it) or has already marked
+	// the region and we fail above. Object accounting stays exact.
+	r.objs.Add(1)
+	r.arena.liveObjs.Add(1)
+	r.mu.Unlock()
+	return o, nil
 }
 
 // Region returns the region holding the object.
 func (o *Obj[T]) Region() *Region { return o.region }
 
 // Use returns a checked pointer to the object's value, panicking if the
-// object's region has been deleted. This is the dynamic analogue of the
+// object's region has been reclaimed. This is the dynamic analogue of the
 // dangling-pointer accesses that region safety prevents: with correct use
-// of the counted/checked stores it can never fire.
+// of the counted/checked stores it can never fire. A deferred-deleted
+// region's objects remain usable while existing references keep it from
+// reclaim (the paper's GC-like third deletion policy) — only *new*
+// references to it are rejected.
 func (o *Obj[T]) Use() *T {
-	if o.region.deleted {
+	if o.region.settled() == stateDead {
 		panic(fmt.Sprintf("rcgo: use of object in deleted region %d", o.region.id))
 	}
 	return &o.Value
 }
 
-// SetRef performs holder.slot = target with the full reference-count
-// update of the paper's Figure 3(a): counts change only when the store
-// creates or destroys an external reference.
-func SetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
-	oldRegion := refRegion(slot.target)
-	newRegion := refRegion(target)
-	if oldRegion != newRegion {
-		if oldRegion != nil && oldRegion != holder.region {
-			oldRegion.decRC()
+// settled returns the region's state, waiting out the transient dying
+// window during which a concurrent delete holds mu and is deciding (the
+// delete may still fail, so dying must not be reported as deleted).
+func (r *Region) settled() int32 {
+	for {
+		s := r.state.Load()
+		if s != stateDying {
+			return s
 		}
-		if newRegion != nil && newRegion != holder.region {
-			newRegion.rc++
-		}
-	}
-	slot.target = target
-	if !slot.registered {
-		slot.registered = true
-		holder.region.counted = append(holder.region.counted, slot)
+		runtime.Gosched()
 	}
 }
 
-// SetSame performs holder.slot = target for a sameregion slot: the target
-// must be nil or in the holder's region. Never touches a count.
-func SetSame[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
-	if target != nil && target.region != holder.region {
-		return fmt.Errorf("%w: sameregion store of %v into %v",
-			ErrBadRef, target.region.id, holder.region.id)
-	}
-	slot.target = target
-	return nil
-}
-
-// SetTrad performs holder.slot = target for a traditional slot: the
-// target must be nil or in the arena's traditional region. Never touches
-// a count (the traditional region is immortal).
-func SetTrad[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
-	if target != nil && target.region != holder.region.arena.trad {
-		return fmt.Errorf("%w: traditional store of %v", ErrBadRef, target.region.id)
-	}
-	slot.target = target
-	return nil
-}
-
-// SetParent performs holder.slot = target for a parentptr slot: the
-// target must be nil or in an ancestor (or the same) region of the
-// holder's. Never touches a count.
-func SetParent[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
-	if target != nil && !target.region.isAncestorOf(holder.region) {
-		return fmt.Errorf("%w: parentptr store of %v into %v",
-			ErrBadRef, target.region.id, holder.region.id)
-	}
-	slot.target = target
-	return nil
-}
-
-func refRegion[T any](o *Obj[T]) *Region {
-	if o == nil {
-		return nil
-	}
-	return o.region
-}
-
-func (r *Region) isAncestorOf(s *Region) bool {
-	for ; s != nil; s = s.parent {
-		if s == r {
-			return true
+// incRC creates one external reference to r, failing if r has been
+// deleted or deferred-deleted. The increment-then-validate protocol
+// makes it linearizable against Delete: the increment is published
+// first, then the state is checked — so either a concurrent Delete sees
+// the reference and fails with ErrRegionInUse, or it has already
+// committed and this call observes that and rolls back.
+func (r *Region) incRC() error {
+	for {
+		r.rc.Add(1)
+		switch r.state.Load() {
+		case stateAlive:
+			return nil
+		case stateDying:
+			// A delete is deciding; our increment may have spoiled it
+			// (fine: it fails ErrRegionInUse) or arrived after its rc
+			// read (then it commits). Either way, withdraw and re-decide
+			// once the state settles.
+			r.rc.Add(-1)
+			runtime.Gosched()
+		default: // zombie or dead: no new references
+			r.rc.Add(-1)
+			r.maybeDrain()
+			return fmt.Errorf("%w: new reference to region %d", ErrRegionDeleted, r.id)
 		}
 	}
-	return false
 }
 
+// decRC releases one external reference, reclaiming a drained
+// deferred-deleted region.
 func (r *Region) decRC() {
-	r.rc--
-	if r.deleted && r.rc == 0 && r.pins == 0 && r.children == 0 {
-		r.reclaim()
+	if r.rc.Add(-1) == 0 {
+		r.maybeDrain()
 	}
+}
+
+// maybeDrain reclaims a zombie region whose references and subregions
+// have drained. The zombie→dead transition is made exactly once, under
+// mu, after re-validating the counts.
+func (r *Region) maybeDrain() {
+	if r.state.Load() != stateZombie {
+		return
+	}
+	r.mu.Lock()
+	if r.state.Load() == stateZombie && r.rc.Load() == 0 && r.children.Load() == 0 {
+		r.state.Store(stateDead)
+		r.mu.Unlock()
+		r.reclaim()
+		return
+	}
+	r.mu.Unlock()
 }
 
 // Pin registers a local (Go-variable) reference to an object's region for
 // the duration of code that may delete regions, mirroring the paper's
 // handling of live local variables at deletes-calls. Returns an Unpin
-// function.
+// function (idempotent, safe to call from any goroutine). Pin panics if
+// the region has already been deleted; use TryPin where a concurrent
+// delete may race.
 func Pin[T any](o *Obj[T]) (unpin func()) {
-	if o == nil {
-		return func() {}
+	unpin, err := TryPin(o)
+	if err != nil {
+		panic(err)
 	}
-	r := o.region
-	r.rc++
-	r.pins++
-	done := false
-	return func() {
-		if done {
-			return
-		}
-		done = true
-		r.pins--
-		r.decRC()
-	}
+	return unpin
 }
 
-// RC returns the current external reference count (including pins).
-func (r *Region) RC() int64 { return r.rc }
-
-// Deleted reports whether the region has been reclaimed.
-func (r *Region) Deleted() bool { return r.deleted }
-
-// Objects returns the number of live objects in the region.
-func (r *Region) Objects() int64 { return r.objs }
+// TryPin is Pin returning ErrRegionDeleted instead of panicking when the
+// object's region has been deleted.
+func TryPin[T any](o *Obj[T]) (unpin func(), err error) {
+	if o == nil {
+		return func() {}, nil
+	}
+	r := o.region
+	if err := r.incRC(); err != nil {
+		return nil, err
+	}
+	r.pins.Add(1)
+	var done atomic.Bool
+	return func() {
+		if done.Swap(true) {
+			return
+		}
+		r.pins.Add(-1)
+		r.decRC()
+	}, nil
+}
 
 // Delete deletes the region and all its objects. It returns
-// ErrRegionInUse while external references or subregions remain.
+// ErrRegionInUse while external references or subregions remain, and
+// ErrRegionDeleted if the region was already deleted. Exactly one of any
+// set of concurrent Delete calls can succeed.
 func (r *Region) Delete() error {
 	if r == r.arena.trad {
 		return errors.New("rcgo: cannot delete the traditional region")
 	}
-	if r.deleted {
-		return errors.New("rcgo: double delete")
+	r.mu.Lock()
+	if r.state.Load() != stateAlive {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: double delete of region %d", ErrRegionDeleted, r.id)
 	}
-	if r.rc != 0 || r.children > 0 {
-		return fmt.Errorf("%w (rc=%d, subregions=%d)", ErrRegionInUse, r.rc, r.children)
+	if n := r.children.Load(); n > 0 {
+		r.mu.Unlock()
+		return fmt.Errorf("%w (subregions=%d)", ErrRegionInUse, n)
 	}
+	// Close the gate: once dying is visible, incRC withdraws and waits,
+	// so an rc of zero observed below cannot grow behind our back.
+	r.state.Store(stateDying)
+	if n := r.rc.Load(); n != 0 {
+		r.state.Store(stateAlive)
+		r.mu.Unlock()
+		return fmt.Errorf("%w (rc=%d)", ErrRegionInUse, n)
+	}
+	r.state.Store(stateDead)
+	r.mu.Unlock()
 	r.reclaim()
 	return nil
 }
 
 // DeleteDeferred marks the region for implicit deletion when it becomes
 // unreferenced (the paper's third safety option, with semantics close to
-// garbage collection).
+// garbage collection). A deferred-deleted region immediately rejects new
+// allocations, subregions, pins and inbound references (so its reclaim
+// cannot be postponed indefinitely); clearing its outbound counted slots
+// with nil stores remains allowed, which is how cross-region cycles are
+// broken. No-op on the traditional region or one already deleted.
 func (r *Region) DeleteDeferred() {
-	if r.deleted {
+	if r == r.arena.trad {
 		return
 	}
-	if r.rc == 0 && r.pins == 0 && r.children == 0 {
+	r.mu.Lock()
+	if r.state.Load() != stateAlive {
+		r.mu.Unlock()
+		return
+	}
+	r.state.Store(stateDying)
+	if r.rc.Load() == 0 && r.children.Load() == 0 {
+		r.state.Store(stateDead)
+		r.mu.Unlock()
 		r.reclaim()
 		return
 	}
-	r.deleted = true // zombie: reclaim on last release
+	r.state.Store(stateZombie)
+	r.mu.Unlock()
 }
 
+// reclaim frees the region's bookkeeping. The caller has already made
+// the (exactly-once) transition to stateDead, so no new objects, slots
+// or references can appear; concurrent stores that raced past the state
+// check finished under their shard lock before the drain takes it.
 func (r *Region) reclaim() {
-	r.deleted = true
-	r.arena.liveObjs -= r.objs
-	r.objs = 0
-	// The delete-time unscan: release outbound counted references so the
-	// targets' counts drop (and deferred deletions may cascade).
-	slots := r.counted
-	r.counted = nil
+	r.arena.liveObjs.Add(-r.objs.Swap(0))
+	// The delete-time unscan: collect the registered slots shard by
+	// shard, then release the outbound counted references so the
+	// targets' counts drop (and deferred deletions may cascade). Releases
+	// run outside the shard locks: a release can reclaim its target,
+	// which takes that region's locks in turn.
+	var slots []releaser
+	for i := range r.slots {
+		sh := &r.slots[i]
+		sh.mu.Lock()
+		slots = append(slots, sh.slots...)
+		sh.slots = nil
+		sh.mu.Unlock()
+	}
 	for _, s := range slots {
 		s.release(r)
 	}
-	if r.parent != nil {
-		r.parent.children--
-		if r.parent.deleted && r.parent.rc == 0 && r.parent.pins == 0 && r.parent.children == 0 {
-			r.parent.reclaim()
-		}
+	if p := r.parent; p != nil {
+		p.children.Add(-1)
+		p.maybeDrain()
 	}
 }
-
-// LiveObjects returns the number of live objects across the arena.
-func (a *Arena) LiveObjects() int64 { return a.liveObjs }

@@ -59,14 +59,18 @@ func TestSetRefCounts(t *testing.T) {
 	r2 := a.NewRegion()
 	x := Alloc[crossNode](r1)
 	y := Alloc[crossNode](r2)
-	SetRef(x, &x.Value.Other, y)
+	if err := SetRef(x, &x.Value.Other, y); err != nil {
+		t.Fatal(err)
+	}
 	if r2.RC() != 1 {
 		t.Fatalf("r2.RC = %d, want 1", r2.RC())
 	}
 	if err := r2.Delete(); !errors.Is(err, ErrRegionInUse) {
 		t.Fatalf("Delete of referenced region: %v", err)
 	}
-	SetRef(x, &x.Value.Other, nil)
+	if err := SetRef(x, &x.Value.Other, nil); err != nil {
+		t.Fatal(err)
+	}
 	if r2.RC() != 0 {
 		t.Fatalf("r2.RC after clearing = %d", r2.RC())
 	}
@@ -83,8 +87,8 @@ func TestSetRefInternalNotCounted(t *testing.T) {
 	r := a.NewRegion()
 	x := Alloc[crossNode](r)
 	y := Alloc[crossNode](r)
-	SetRef(x, &x.Value.Other, y)
-	SetRef(y, &y.Value.Other, x) // internal cycle: never counted
+	MustSetRef(x, &x.Value.Other, y)
+	MustSetRef(y, &y.Value.Other, x) // internal cycle: never counted
 	if r.RC() != 0 {
 		t.Fatalf("internal refs counted: RC = %d", r.RC())
 	}
@@ -175,12 +179,12 @@ func TestDeleteDeferred(t *testing.T) {
 	r2 := a.NewRegion()
 	x := Alloc[crossNode](r1)
 	y := Alloc[crossNode](r2)
-	SetRef(x, &x.Value.Other, y)
+	MustSetRef(x, &x.Value.Other, y)
 	r2.DeleteDeferred()
 	if a.LiveObjects() != 2 {
 		t.Fatal("deferred delete reclaimed referenced region")
 	}
-	SetRef(x, &x.Value.Other, nil) // last reference: reclaim
+	MustSetRef(x, &x.Value.Other, nil) // last reference: reclaim
 	if a.LiveObjects() != 1 {
 		t.Fatalf("deferred reclaim did not run: %d live", a.LiveObjects())
 	}
@@ -231,7 +235,7 @@ func TestQuickArenaInvariant(t *testing.T) {
 			h := objs[rng.Intn(len(objs))]
 			v := objs[rng.Intn(len(objs))]
 			if !h.Region().Deleted() && !v.Region().Deleted() {
-				SetRef(h, &h.Value.Other, v)
+				MustSetRef(h, &h.Value.Other, v)
 			}
 		case rng.Intn(5) == 0 && len(regions) > 0:
 			r := regions[rng.Intn(len(regions))]
@@ -260,6 +264,181 @@ func TestQuickArenaInvariant(t *testing.T) {
 				t.Fatalf("step %d: region %d rc=%d, shadow=%d", i, r.id, r.RC(), want[r])
 			}
 		}
+	}
+}
+
+// mustPanicErr runs f, which must panic with an error matching want.
+func mustPanicErr(t *testing.T, want error, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want %v", want)
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, want) {
+			t.Fatalf("panicked with %v, want %v", r, want)
+		}
+	}()
+	f()
+}
+
+func TestDeletedRegionGuards(t *testing.T) {
+	a := NewArena()
+	r := a.NewRegion()
+	live := a.NewRegion()
+	h := Alloc[crossNode](live)
+	x := Alloc[crossNode](r)
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := TryAlloc[crossNode](r); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("TryAlloc in deleted region: %v", err)
+	}
+	if _, err := r.TryNewSubregion(); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("TryNewSubregion of deleted region: %v", err)
+	}
+	if _, err := TryPin(x); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("TryPin into deleted region: %v", err)
+	}
+	// Stores targeting the deleted region are rejected...
+	if err := SetRef(h, &h.Value.Other, x); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("counted store to deleted region: %v", err)
+	}
+	// ...and so are stores held by it.
+	if err := SetRef(x, &x.Value.Other, h); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("counted store from deleted region: %v", err)
+	}
+	if live.RC() != 0 {
+		t.Fatalf("rejected store leaked a count: %d", live.RC())
+	}
+	mustPanicErr(t, ErrRegionDeleted, func() { Alloc[crossNode](r) })
+	mustPanicErr(t, ErrRegionDeleted, func() { r.NewSubregion() })
+	mustPanicErr(t, ErrRegionDeleted, func() { Pin(x) })
+	mustPanicErr(t, ErrRegionDeleted, func() { MustSetRef(h, &h.Value.Other, x) })
+}
+
+// A DeleteDeferred zombie region rejects new inbound references instead
+// of having its reclaim postponed indefinitely (the pre-redesign API
+// silently incremented the zombie's rc).
+func TestZombieRejectsNewReferences(t *testing.T) {
+	a := NewArena()
+	rz := a.NewRegion()
+	live := a.NewRegion()
+	h := Alloc[crossNode](live)
+	z := Alloc[crossNode](rz)
+	MustSetRef(h, &h.Value.Other, z) // keeps rz alive
+	rz.DeleteDeferred()
+	if !rz.Deferred() || rz.Objects() != 1 {
+		t.Fatal("region should be a zombie with its object intact")
+	}
+	h2 := Alloc[crossNode](live)
+	if err := SetRef(h2, &h2.Value.Other, z); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("counted store to zombie region: %v", err)
+	}
+	if _, err := TryPin(z); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("pin of zombie region: %v", err)
+	}
+	if _, err := TryAlloc[crossNode](rz); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("alloc in zombie region: %v", err)
+	}
+	MustSetRef(h, &h.Value.Other, nil) // last reference: reclaim
+	if rz.Objects() != 0 || !rz.Stats().Reclaimed {
+		t.Fatal("zombie did not reclaim after last release")
+	}
+}
+
+// Nil stores from a zombie holder stay allowed: they are how a
+// cross-region cycle between deferred-deleted regions is broken.
+func TestZombieNilStoreBreaksCycle(t *testing.T) {
+	a := NewArena()
+	r1 := a.NewRegion()
+	r2 := a.NewRegion()
+	p := Alloc[crossNode](r1)
+	q := Alloc[crossNode](r2)
+	MustSetRef(p, &p.Value.Other, q)
+	MustSetRef(q, &q.Value.Other, p)
+	r1.DeleteDeferred()
+	r2.DeleteDeferred()
+	if a.LiveObjects() != 2 {
+		t.Fatal("cycle reclaimed early")
+	}
+	// A non-nil store from the zombie is still rejected.
+	if err := SetRef(q, &q.Value.Other, q); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("non-nil store from zombie holder: %v", err)
+	}
+	if err := SetRef(q, &q.Value.Other, nil); err != nil {
+		t.Fatalf("nil store from zombie holder: %v", err)
+	}
+	if a.LiveObjects() != 0 || !r1.Stats().Reclaimed || !r2.Stats().Reclaimed {
+		t.Fatalf("cycle not reclaimed: %d live", a.LiveObjects())
+	}
+}
+
+func TestMustStoreVariants(t *testing.T) {
+	a := NewArena()
+	r1 := a.NewRegion()
+	r2 := a.NewRegion()
+	x := Alloc[listNode](r1)
+	y := Alloc[listNode](r1)
+	z := Alloc[listNode](r2)
+	MustSetSame(x, &x.Value.Next, y)
+	if x.Value.Next.Get() != y {
+		t.Fatal("MustSetSame did not store")
+	}
+	mustPanicErr(t, ErrBadRef, func() { MustSetSame(x, &x.Value.Next, z) })
+
+	top := a.NewRegion()
+	sub := top.NewSubregion()
+	parent := Alloc[crossNode](top)
+	child := Alloc[crossNode](sub)
+	MustSetParent(child, &child.Value.Up, parent)
+	mustPanicErr(t, ErrBadRef, func() { MustSetParent(parent, &parent.Value.Up, child) })
+
+	g := Alloc[crossNode](a.Traditional())
+	h := Alloc[crossNode](r2)
+	MustSetTrad(h, &h.Value.Other, g)
+	mustPanicErr(t, ErrBadRef, func() { MustSetTrad(h, &h.Value.Other, child) })
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	a := NewArena()
+	r := a.NewRegion()
+	sub := r.NewSubregion()
+	o := Alloc[crossNode](r)
+	Alloc[crossNode](r)
+	unpin := Pin(o)
+	h := Alloc[crossNode](a.NewRegion())
+	MustSetRef(h, &h.Value.Other, o)
+	st := r.Stats()
+	if st.Objects != 2 || st.RC != 2 || st.Pins != 1 || st.Subregions != 1 ||
+		st.Deleted || st.Deferred || st.Reclaimed {
+		t.Fatalf("stats snapshot wrong: %+v", st)
+	}
+	unpin()
+	MustSetRef(h, &h.Value.Other, nil)
+	if err := sub.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	r.DeleteDeferred()
+	st = r.Stats()
+	if !st.Deleted || !st.Reclaimed || st.Objects != 0 {
+		t.Fatalf("post-delete stats wrong: %+v", st)
+	}
+	as := a.Stats()
+	if as.LiveObjects != a.LiveObjects() || as.RegionsCreated < 4 {
+		t.Fatalf("arena stats wrong: %+v", as)
+	}
+}
+
+func TestDeferredTraditionalIsNoop(t *testing.T) {
+	a := NewArena()
+	a.Traditional().DeleteDeferred()
+	if a.Traditional().Deleted() {
+		t.Fatal("DeleteDeferred deleted the traditional region")
 	}
 }
 

@@ -1,0 +1,441 @@
+package rcgo
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Concurrency stress tests for the Go-native runtime. All of these are
+// meaningful under -race (make race); without it they still verify the
+// linearizability-visible outcomes: exactly one Delete succeeds, no
+// reference survives a successful delete, and object accounting is
+// exact.
+
+// N goroutines pin/unpin objects in a shared region while another
+// goroutine retries Delete. Every pin that succeeds must have blocked
+// the delete (ErrRegionInUse), every pin after the delete must fail
+// with ErrRegionDeleted, and the live-object accounting ends exact.
+func TestConcurrentPinVsDelete(t *testing.T) {
+	const workers = 8
+	const iters = 300
+	a := NewArena()
+	r := a.NewRegion()
+	objs := make([]*Obj[listNode], workers)
+	for i := range objs {
+		objs[i] = Alloc[listNode](r)
+	}
+	keep := Alloc[listNode](a.NewRegion()) // survives the delete
+
+	var wg sync.WaitGroup
+	var deletedSeen atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(o *Obj[listNode]) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				unpin, err := TryPin(o)
+				if err != nil {
+					if !errors.Is(err, ErrRegionDeleted) {
+						t.Errorf("TryPin: %v", err)
+					}
+					deletedSeen.Store(true)
+					return
+				}
+				// While we hold the pin, Delete must fail ErrRegionInUse:
+				// the pin makes rc nonzero, so no delete can commit.
+				if err := r.Delete(); !errors.Is(err, ErrRegionInUse) {
+					t.Errorf("Delete under pin: %v", err)
+				}
+				unpin()
+			}
+		}(objs[w])
+	}
+
+	wg.Add(1)
+	var deleteOK atomic.Int64
+	go func() {
+		defer wg.Done()
+		for {
+			err := r.Delete()
+			if err == nil {
+				deleteOK.Add(1)
+				return
+			}
+			if errors.Is(err, ErrRegionDeleted) {
+				t.Errorf("region deleted twice: %v", err)
+				return
+			}
+			if !errors.Is(err, ErrRegionInUse) {
+				t.Errorf("Delete: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if deleteOK.Load() != 1 {
+		t.Fatalf("delete successes = %d, want 1", deleteOK.Load())
+	}
+	if !r.Stats().Reclaimed || r.Objects() != 0 {
+		t.Fatal("region not reclaimed after successful delete")
+	}
+	if _, err := TryPin(objs[0]); !errors.Is(err, ErrRegionDeleted) {
+		t.Fatalf("pin after delete: %v", err)
+	}
+	if got := a.LiveObjects(); got != 1 {
+		t.Fatalf("LiveObjects = %d, want 1 (the survivor)", got)
+	}
+	_ = keep
+}
+
+// N goroutines store counted references from private holder regions into
+// a shared target region, racing a deleter. A successful delete can only
+// happen in a window where no slot holds a reference, so afterwards
+// every further store must fail and the target's objects are gone.
+func TestConcurrentSetRefVsDelete(t *testing.T) {
+	const workers = 8
+	const iters = 400
+	const targets = 4
+	a := NewArena()
+	shared := a.NewRegion()
+	tobjs := make([]*Obj[crossNode], targets)
+	for i := range tobjs {
+		tobjs[i] = Alloc[crossNode](shared)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			hr := a.NewRegion()
+			h := Alloc[crossNode](hr)
+			defer func() {
+				if err := hr.Delete(); err != nil {
+					t.Errorf("holder delete: %v", err)
+				}
+			}()
+			for i := 0; i < iters; i++ {
+				err := SetRef(h, &h.Value.Other, tobjs[rng.Intn(targets)])
+				if err != nil {
+					if !errors.Is(err, ErrRegionDeleted) {
+						t.Errorf("SetRef: %v", err)
+					}
+					return // target gone; holder slot is already nil
+				}
+				if err := SetRef(h, &h.Value.Other, nil); err != nil {
+					t.Errorf("clearing store failed: %v", err)
+				}
+			}
+			// Finished without seeing the delete: clear so it can land.
+			MustSetRef(h, &h.Value.Other, nil)
+		}(int64(w + 1))
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			err := shared.Delete()
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, ErrRegionInUse) {
+				t.Errorf("Delete: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if !shared.Stats().Reclaimed {
+		t.Fatal("shared region not reclaimed")
+	}
+	if got := a.LiveObjects(); got != 0 {
+		t.Fatalf("LiveObjects = %d, want 0", got)
+	}
+}
+
+// Goroutines allocate into private regions and a shared region while a
+// deleter repeatedly tries to take the shared region down; whichever way
+// the races resolve, the arena-wide object accounting must end exact.
+func TestConcurrentAllocAccounting(t *testing.T) {
+	const workers = 8
+	const iters = 500
+	a := NewArena()
+	shared := a.NewRegion()
+	var surviving atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := a.NewRegion()
+			n := 0
+			for i := 0; i < iters; i++ {
+				Alloc[listNode](mine)
+				n++
+				if _, err := TryAlloc[listNode](shared); err != nil && !errors.Is(err, ErrRegionDeleted) {
+					t.Errorf("TryAlloc: %v", err)
+				}
+			}
+			if n%2 == 0 {
+				if err := mine.Delete(); err != nil {
+					t.Errorf("delete private region: %v", err)
+				}
+			} else {
+				surviving.Add(int64(n))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for shared.Delete() != nil {
+		}
+	}()
+	wg.Wait()
+
+	if got := a.LiveObjects(); got != surviving.Load() {
+		t.Fatalf("LiveObjects = %d, want %d", got, surviving.Load())
+	}
+}
+
+// Many goroutines race Delete on the same region: exactly one wins, the
+// rest observe ErrRegionDeleted (or ErrRegionInUse if they overlapped an
+// in-flight pin — none exist here).
+func TestConcurrentDeleteOnce(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		a := NewArena()
+		r := a.NewRegion()
+		Alloc[listNode](r)
+		var wg sync.WaitGroup
+		var wins atomic.Int64
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				switch err := r.Delete(); {
+				case err == nil:
+					wins.Add(1)
+				case !errors.Is(err, ErrRegionDeleted):
+					t.Errorf("concurrent delete: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+		if wins.Load() != 1 {
+			t.Fatalf("round %d: %d successful deletes", round, wins.Load())
+		}
+		if a.LiveObjects() != 0 {
+			t.Fatalf("round %d: %d live objects", round, a.LiveObjects())
+		}
+	}
+}
+
+// Mixed stress over a shared region tree: allocators, pinners, counted
+// and annotated stores, subregion churn, and a deleter retrying the
+// root. Mainly a -race exerciser; the invariants checked are exact
+// accounting and post-reclaim store rejection.
+func TestConcurrentTreeStress(t *testing.T) {
+	const workers = 8
+	const iters = 300
+	a := NewArena()
+	root := a.NewRegion()
+	mids := make([]*Region, 4)
+	midObjs := make([]*Obj[crossNode], len(mids))
+	rootObj := Alloc[crossNode](root)
+	for i := range mids {
+		mids[i] = root.NewSubregion()
+		midObjs[i] = Alloc[crossNode](mids[i])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				mid := mids[rng.Intn(len(mids))]
+				mo := midObjs[rng.Intn(len(midObjs))]
+				switch rng.Intn(5) {
+				case 0:
+					// Subregion churn with an up-link; the random target
+					// may be a sibling (ErrBadRef) or already deleted.
+					if sub, err := mid.TryNewSubregion(); err == nil {
+						o := Alloc[crossNode](sub)
+						if err := SetParent(o, &o.Value.Up, mo); err != nil &&
+							!errors.Is(err, ErrBadRef) && !errors.Is(err, ErrRegionDeleted) {
+							t.Errorf("SetParent in sub: %v", err)
+						}
+						if err := sub.Delete(); err != nil {
+							t.Errorf("sub delete: %v", err)
+						}
+					}
+				case 1:
+					if unpin, err := TryPin(mo); err == nil {
+						unpin()
+					}
+				case 2:
+					if o, err := TryAlloc[crossNode](mid); err == nil {
+						if err := SetSame(o, &o.Value.Other, mo); err != nil &&
+							!errors.Is(err, ErrBadRef) && !errors.Is(err, ErrRegionDeleted) {
+							t.Errorf("SetSame: %v", err)
+						}
+					}
+				case 3:
+					if o, err := TryAlloc[crossNode](mid); err == nil {
+						if err := SetParent(o, &o.Value.Up, rootObj); err != nil &&
+							!errors.Is(err, ErrRegionDeleted) {
+							t.Errorf("SetParent: %v", err)
+						}
+					}
+				case 4:
+					// Transient counted ref from the root into a mid:
+					// stored, then cleared, so mids eventually drain.
+					if o, err := TryAlloc[crossNode](root); err == nil {
+						switch err := SetRef(o, &o.Value.Other, mo); {
+						case err == nil:
+							if err := SetRef(o, &o.Value.Other, nil); err != nil {
+								t.Errorf("clearing SetRef: %v", err)
+							}
+						case !errors.Is(err, ErrRegionDeleted):
+							t.Errorf("SetRef: %v", err)
+						}
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	// Deleter: keep trying to take the tree down, children first, while
+	// the workers hammer it. Termination: workers run bounded loops and
+	// every reference they create is transient.
+	for {
+		allMidsDown := true
+		for _, m := range mids {
+			if !m.Deleted() {
+				if err := m.Delete(); err != nil && !errors.Is(err, ErrRegionInUse) {
+					t.Fatalf("mid delete: %v", err)
+				}
+			}
+			if !m.Deleted() {
+				allMidsDown = false
+			}
+		}
+		if allMidsDown {
+			if err := root.Delete(); err == nil {
+				break
+			} else if !errors.Is(err, ErrRegionInUse) {
+				t.Fatalf("root delete: %v", err)
+			}
+		}
+	}
+	wg.Wait()
+	if a.LiveObjects() != 0 {
+		t.Fatalf("LiveObjects = %d, want 0", a.LiveObjects())
+	}
+}
+
+// Property: deferred deletion of a random region tree with random
+// counted cross-references fully reclaims everything once the references
+// are cleared, regardless of the order of deferrals and clears.
+func TestDeferredCascadeProperty(t *testing.T) {
+	for round := int64(0); round < 30; round++ {
+		rng := rand.New(rand.NewSource(round))
+		a := NewArena()
+		regions := []*Region{a.NewRegion()}
+		for len(regions) < 2+rng.Intn(20) {
+			parent := regions[rng.Intn(len(regions))]
+			if sub, err := parent.TryNewSubregion(); err == nil {
+				regions = append(regions, sub)
+			}
+		}
+		var objs []*Obj[crossNode]
+		for _, r := range regions {
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				objs = append(objs, Alloc[crossNode](r))
+			}
+		}
+		for i := 0; i < len(objs)*2; i++ {
+			h := objs[rng.Intn(len(objs))]
+			v := objs[rng.Intn(len(objs))]
+			MustSetRef(h, &h.Value.Other, v)
+		}
+		// Defer-delete every region in random order; nothing with
+		// children or inbound refs reclaims yet.
+		for _, i := range rng.Perm(len(regions)) {
+			regions[i].DeleteDeferred()
+		}
+		// Clear every slot in random order. Slots whose holder region
+		// already cascaded are drained (ErrRegionDeleted): skip them.
+		for _, i := range rng.Perm(len(objs)) {
+			h := objs[i]
+			if err := SetRef(h, &h.Value.Other, nil); err != nil && !errors.Is(err, ErrRegionDeleted) {
+				t.Fatalf("round %d: clear: %v", round, err)
+			}
+		}
+		if a.LiveObjects() != 0 {
+			t.Fatalf("round %d: %d live objects after full drain", round, a.LiveObjects())
+		}
+		for _, r := range regions {
+			if !r.Stats().Reclaimed {
+				t.Fatalf("round %d: region %d not reclaimed (%+v)", round, r.id, r.Stats())
+			}
+		}
+	}
+}
+
+// The same property under concurrency: deferrals and clears race from
+// many goroutines; the tree must still fully reclaim.
+func TestDeferredCascadeConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewArena()
+	regions := []*Region{a.NewRegion()}
+	for len(regions) < 16 {
+		parent := regions[rng.Intn(len(regions))]
+		regions = append(regions, parent.NewSubregion())
+	}
+	var objs []*Obj[crossNode]
+	for _, r := range regions {
+		for i := 0; i < 3; i++ {
+			objs = append(objs, Alloc[crossNode](r))
+		}
+	}
+	for i := 0; i < len(objs)*2; i++ {
+		h := objs[rng.Intn(len(objs))]
+		MustSetRef(h, &h.Value.Other, objs[rng.Intn(len(objs))])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for _, i := range rng.Perm(len(regions)) {
+				regions[i].DeleteDeferred()
+			}
+			for _, i := range rng.Perm(len(objs)) {
+				h := objs[i]
+				if err := SetRef(h, &h.Value.Other, nil); err != nil && !errors.Is(err, ErrRegionDeleted) {
+					t.Errorf("clear: %v", err)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if a.LiveObjects() != 0 {
+		t.Fatalf("%d live objects after concurrent drain", a.LiveObjects())
+	}
+	for _, r := range regions {
+		if !r.Stats().Reclaimed {
+			t.Fatalf("region %d not reclaimed", r.id)
+		}
+	}
+}

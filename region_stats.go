@@ -1,0 +1,89 @@
+package rcgo
+
+// Snapshot-consistent statistics for the concurrent Go-native runtime.
+// The scalar accessors (RC, Objects, …) are single atomic loads; the
+// Stats methods take the lifecycle lock so the state word cannot change
+// mid-snapshot and re-read the reference count until it is stable, so a
+// snapshot never pairs a pre-delete count with a post-delete state.
+
+// RegionStats is a consistent snapshot of one region's counters.
+type RegionStats struct {
+	// ID is the region's arena-unique id.
+	ID int64
+	// RC is the external reference count, including pins.
+	RC int64
+	// Pins is the pin subset of RC.
+	Pins int64
+	// Objects is the number of live objects in the region.
+	Objects int64
+	// Subregions is the number of live child regions.
+	Subregions int64
+	// Deferred reports a DeleteDeferred region awaiting reclaim.
+	Deferred bool
+	// Deleted reports a region that is deleted (deferred or reclaimed).
+	Deleted bool
+	// Reclaimed reports that the region's storage has been released.
+	Reclaimed bool
+}
+
+// Stats returns a consistent snapshot of the region's counters.
+func (r *Region) Stats() RegionStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		rc := r.rc.Load()
+		st := RegionStats{
+			ID:         r.id,
+			RC:         rc,
+			Pins:       r.pins.Load(),
+			Objects:    r.objs.Load(),
+			Subregions: r.children.Load(),
+		}
+		switch r.state.Load() { // stable: transitions hold mu
+		case stateZombie:
+			st.Deferred, st.Deleted = true, true
+		case stateDead:
+			st.Deleted, st.Reclaimed = true, true
+		}
+		if r.rc.Load() == rc {
+			return st
+		}
+	}
+}
+
+// RC returns the current external reference count (including pins).
+func (r *Region) RC() int64 { return r.rc.Load() }
+
+// Pins returns the number of live pins on the region.
+func (r *Region) Pins() int64 { return r.pins.Load() }
+
+// Objects returns the number of live objects in the region.
+func (r *Region) Objects() int64 { return r.objs.Load() }
+
+// Deleted reports whether the region has been deleted (explicitly, or
+// deferred and awaiting reclaim).
+func (r *Region) Deleted() bool { return r.settled() != stateAlive }
+
+// Deferred reports whether the region is deferred-deleted and awaiting
+// reclaim.
+func (r *Region) Deferred() bool { return r.settled() == stateZombie }
+
+// ArenaStats is a snapshot of arena-wide counters.
+type ArenaStats struct {
+	// LiveObjects is the number of live objects across all regions.
+	LiveObjects int64
+	// RegionsCreated is the total number of regions ever created
+	// (including the traditional region).
+	RegionsCreated int64
+}
+
+// Stats returns a snapshot of the arena-wide counters.
+func (a *Arena) Stats() ArenaStats {
+	return ArenaStats{
+		LiveObjects:    a.liveObjs.Load(),
+		RegionsCreated: a.nextID.Load(),
+	}
+}
+
+// LiveObjects returns the number of live objects across the arena.
+func (a *Arena) LiveObjects() int64 { return a.liveObjs.Load() }

@@ -1,0 +1,212 @@
+package rcgo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// The four store flavours of the paper's pointer-assignment classes, in
+// one API shape: every Set* returns an error (ErrBadRef for an
+// annotation violation, ErrRegionDeleted for a store into a deleted
+// holder or target region), and every flavour has a MustSet* variant
+// that panics instead.
+//
+//	SetRef     unannotated pointer: full reference-count update
+//	SetSame    sameregion pointer: checked, never counted
+//	SetTrad    traditional pointer: checked, never counted
+//	SetParent  parentptr pointer: checked, never counted
+//
+// The annotated stores write no shared memory: they read immutable
+// region identity/ancestry and the region state word, then write the
+// holder's own slot. SetRef updates the target region's atomic count and
+// serializes on the holder's registry shard for the slot.
+
+// slotShards is the number of registry shards per region. Counted slots
+// hash to a shard by address, so concurrent SetRefs into one region
+// rarely contend on the same lock.
+const slotShards = 8
+
+type slotShard struct {
+	mu    sync.Mutex
+	slots []releaser
+}
+
+// releaser lets a region release its objects' outbound counted references
+// at delete time without knowing their element types.
+type releaser interface {
+	release(owner *Region)
+}
+
+func (r *Region) shardOf(p unsafe.Pointer) *slotShard {
+	// Fibonacci hash of the slot address; slots are word-aligned so the
+	// low bits carry no information.
+	h := uintptr(p) * 0x9E3779B97F4A7C15 >> 32
+	return &r.slots[h%slotShards]
+}
+
+// Ref is a counted or annotated slot referencing an Obj. Refs that live
+// inside region objects must be updated through the holder's Set
+// methods. A given slot should be used with one store flavour only
+// (counted SetRef, or checked SetSame/SetTrad/SetParent), like a C field
+// with a fixed annotation. The zero Ref is a valid null slot.
+type Ref[T any] struct {
+	target atomic.Pointer[Obj[T]]
+	// registered marks the slot as present in its holder region's
+	// registry; guarded by that slot's registry shard lock.
+	registered bool
+}
+
+func (r *Ref[T]) release(owner *Region) {
+	if t := r.target.Swap(nil); t != nil && t.region != owner {
+		t.region.decRC()
+	}
+}
+
+// Get returns the referenced object (nil if the Ref is null).
+func (r *Ref[T]) Get() *Obj[T] { return r.target.Load() }
+
+// SetRef performs holder.slot = target with the full reference-count
+// update of the paper's Figure 3(a): counts change only when the store
+// creates or destroys an external reference. It returns ErrRegionDeleted
+// if the holder's or the target's region has been deleted or
+// deferred-deleted — a counted store can never resurrect a zombie region
+// or postpone its reclaim. Exception: a nil store from a
+// deferred-deleted holder is allowed, so cross-region cycles among
+// zombie regions can still be broken by hand.
+func SetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	hr := holder.region
+	// Count the new external reference before publishing it, so the
+	// holder region's delete-time unscan — which may run the instant the
+	// slot is visible in the registry — never releases an uncounted
+	// reference.
+	external := target != nil && target.region != hr
+	if external {
+		if err := target.region.incRC(); err != nil {
+			return fmt.Errorf("%w: counted store targets deleted region %d",
+				ErrRegionDeleted, target.region.id)
+		}
+	}
+	sh := hr.shardOf(unsafe.Pointer(slot))
+	sh.mu.Lock()
+	hs := hr.settled()
+	if hs != stateAlive && !(hs == stateZombie && target == nil) {
+		sh.mu.Unlock()
+		if external {
+			target.region.decRC()
+		}
+		return fmt.Errorf("%w: counted store into deleted region %d", ErrRegionDeleted, hr.id)
+	}
+	old := slot.target.Swap(target)
+	if target != nil && !slot.registered {
+		slot.registered = true
+		sh.slots = append(sh.slots, slot)
+	}
+	sh.mu.Unlock()
+	// Release the displaced reference outside the shard lock: the drop
+	// can reclaim a deferred-deleted region, which takes its own locks.
+	if old != nil && old.region != hr {
+		old.region.decRC()
+	}
+	return nil
+}
+
+// MustSetRef is SetRef panicking on error.
+func MustSetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
+	if err := SetRef(holder, slot, target); err != nil {
+		panic(err)
+	}
+}
+
+// SetSame performs holder.slot = target for a sameregion slot: the target
+// must be nil or in the holder's (live) region. Never touches a count or
+// any shared cache line.
+func SetSame[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	hr := holder.region
+	if target != nil {
+		if target.region != hr {
+			return fmt.Errorf("%w: sameregion store of %v into %v",
+				ErrBadRef, target.region.id, hr.id)
+		}
+		if hr.settled() != stateAlive {
+			return fmt.Errorf("%w: sameregion store into deleted region %d",
+				ErrRegionDeleted, hr.id)
+		}
+	}
+	slot.target.Store(target)
+	return nil
+}
+
+// MustSetSame is SetSame panicking on error.
+func MustSetSame[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
+	if err := SetSame(holder, slot, target); err != nil {
+		panic(err)
+	}
+}
+
+// SetTrad performs holder.slot = target for a traditional slot: the
+// target must be nil or in the arena's traditional region. Never touches
+// a count (the traditional region is immortal) or any shared cache line.
+func SetTrad[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	hr := holder.region
+	if target != nil {
+		if target.region != hr.arena.trad {
+			return fmt.Errorf("%w: traditional store of %v", ErrBadRef, target.region.id)
+		}
+		if hr.settled() != stateAlive {
+			return fmt.Errorf("%w: traditional store into deleted region %d",
+				ErrRegionDeleted, hr.id)
+		}
+	}
+	slot.target.Store(target)
+	return nil
+}
+
+// MustSetTrad is SetTrad panicking on error.
+func MustSetTrad[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
+	if err := SetTrad(holder, slot, target); err != nil {
+		panic(err)
+	}
+}
+
+// SetParent performs holder.slot = target for a parentptr slot: the
+// target must be nil or in an ancestor (or the same) region of the
+// holder's. Never touches a count (an ancestor always outlives the
+// holder) or any shared cache line.
+func SetParent[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	hr := holder.region
+	if target != nil {
+		if !target.region.isAncestorOf(hr) {
+			return fmt.Errorf("%w: parentptr store of %v into %v",
+				ErrBadRef, target.region.id, hr.id)
+		}
+		if hr.settled() != stateAlive {
+			return fmt.Errorf("%w: parentptr store into deleted region %d",
+				ErrRegionDeleted, hr.id)
+		}
+		if ts := target.region.settled(); ts != stateAlive {
+			return fmt.Errorf("%w: parentptr store targets deleted region %d",
+				ErrRegionDeleted, target.region.id)
+		}
+	}
+	slot.target.Store(target)
+	return nil
+}
+
+// MustSetParent is SetParent panicking on error.
+func MustSetParent[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
+	if err := SetParent(holder, slot, target); err != nil {
+		panic(err)
+	}
+}
+
+// isAncestorOf walks the (immutable) parent chain.
+func (r *Region) isAncestorOf(s *Region) bool {
+	for ; s != nil; s = s.parent {
+		if s == r {
+			return true
+		}
+	}
+	return false
+}
