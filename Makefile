@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet race check bench experiments examples fuzz clean
+.PHONY: all build test test-short vet staticcheck race check bench bench-smoke experiments examples fuzz clean
 
 all: check
 
@@ -11,6 +11,18 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet, when the tool is available. The gate must
+# work in hermetic containers that cannot install tools, so a missing
+# staticcheck binary is a skip, not a failure; findings fail the build
+# when it is present.
+STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
+staticcheck:
+ifdef STATICCHECK
+	$(STATICCHECK) ./...
+else
+	@echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+endif
 
 test:
 	$(GO) test ./...
@@ -25,14 +37,20 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
-# The default verification gate: build cleanliness, the full test suite,
-# and the race pass over the concurrent API.
-check: vet test race
+# The default verification gate: build cleanliness, static analysis,
+# the full test suite, and the race pass over the concurrent API.
+check: vet staticcheck test race
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # primitive microbenchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Tiny end-to-end sanity pass over the machine-readable benchmark path:
+# a reduced-scale rcbench -json run piped through the benchlint
+# validator. Catches schema drift and broken workloads in seconds.
+bench-smoke:
+	$(GO) run rcgo/cmd/rcbench -json -reps 1 -scale 2 -workloads moss,tile | $(GO) run rcgo/cmd/benchlint
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

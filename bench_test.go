@@ -319,6 +319,8 @@ func BenchmarkGoNativeAPI(b *testing.B) {
 type parNode struct {
 	next  Ref[parNode] // sameregion link
 	cross Ref[parNode] // counted link
+	conf  Ref[parNode] // traditional link
+	up    Ref[parNode] // parentptr link
 }
 
 // BenchmarkParallelAlloc allocates from every P into its own region —
@@ -356,6 +358,85 @@ func BenchmarkParallelSetSame(b *testing.B) {
 		v := Alloc[parNode](r)
 		for pb.Next() {
 			MustSetSame(h, &h.Value.next, v)
+		}
+	})
+}
+
+// BenchmarkParallelSetSameMetrics is BenchmarkParallelSetSame with the
+// cumulative arena counters enabled (EnableMetrics): the annotated
+// store additionally bumps one per-shard atomic counter. Compare the two
+// at -cpu 1,2,4,8 to measure the metrics overhead; with metrics left
+// disabled (the default) the instrumentation is a single pointer load
+// and never-taken branch, which is what keeps SetSame within the noise
+// of the uninstrumented baseline.
+func BenchmarkParallelSetSameMetrics(b *testing.B) {
+	a := NewArena()
+	a.EnableMetrics()
+	r := a.NewRegion()
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](r)
+		v := Alloc[parNode](r)
+		for pb.Next() {
+			MustSetSame(h, &h.Value.next, v)
+		}
+	})
+}
+
+// BenchmarkParallelSetTrad: annotated traditional stores from every P
+// into the arena's traditional region. Check-only, like SetSame.
+func BenchmarkParallelSetTrad(b *testing.B) {
+	a := NewArena()
+	r := a.NewRegion()
+	conf := Alloc[parNode](a.Traditional())
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](r)
+		for pb.Next() {
+			MustSetTrad(h, &h.Value.conf, conf)
+		}
+	})
+}
+
+// BenchmarkParallelSetTradMetrics is the counters-enabled variant.
+func BenchmarkParallelSetTradMetrics(b *testing.B) {
+	a := NewArena()
+	a.EnableMetrics()
+	r := a.NewRegion()
+	conf := Alloc[parNode](a.Traditional())
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](r)
+		for pb.Next() {
+			MustSetTrad(h, &h.Value.conf, conf)
+		}
+	})
+}
+
+// BenchmarkParallelSetParent: annotated parentptr stores from objects in
+// a shared subregion up to an object in the parent. Check-only; the
+// ancestry walk is over immutable parent pointers.
+func BenchmarkParallelSetParent(b *testing.B) {
+	a := NewArena()
+	parent := a.NewRegion()
+	up := Alloc[parNode](parent)
+	sub := parent.NewSubregion()
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](sub)
+		for pb.Next() {
+			MustSetParent(h, &h.Value.up, up)
+		}
+	})
+}
+
+// BenchmarkParallelSetParentMetrics is the counters-enabled variant.
+func BenchmarkParallelSetParentMetrics(b *testing.B) {
+	a := NewArena()
+	a.EnableMetrics()
+	parent := a.NewRegion()
+	up := Alloc[parNode](parent)
+	sub := parent.NewSubregion()
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](sub)
+		for pb.Next() {
+			MustSetParent(h, &h.Value.up, up)
 		}
 	})
 }

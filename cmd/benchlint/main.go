@@ -1,0 +1,87 @@
+// Command benchlint validates an rcbench -json report read from stdin:
+//
+//	go run rcgo/cmd/rcbench -json | go run rcgo/cmd/benchlint
+//
+// It checks the invariants every rcgo.bench/1 document must satisfy —
+// the schema tag, at least one workload, positive times, non-negative
+// counters, and a non-zero store total — and exits non-zero with a
+// message naming the first violation. `make bench-smoke` runs a tiny
+// report through it as a sanity gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rcgo/internal/exp"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchlint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var report exp.BenchReport
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&report); err != nil {
+		fail("invalid JSON: %v", err)
+	}
+	if report.Schema != exp.BenchSchema {
+		fail("schema %q, want %q", report.Schema, exp.BenchSchema)
+	}
+	if len(report.Workloads) == 0 {
+		fail("no workloads in report")
+	}
+	if report.Options.Reps <= 0 {
+		fail("options.reps = %d, want > 0", report.Options.Reps)
+	}
+	seen := make(map[string]bool)
+	for i, w := range report.Workloads {
+		if w.Name == "" {
+			fail("workload %d has no name", i)
+		}
+		if seen[w.Name] {
+			fail("workload %q appears twice", w.Name)
+		}
+		seen[w.Name] = true
+		if w.SimNanos <= 0 {
+			fail("%s: sim_ns = %d, want > 0", w.Name, w.SimNanos)
+		}
+		if w.WallNanos <= 0 {
+			fail("%s: wall_ns = %d, want > 0", w.Name, w.WallNanos)
+		}
+		if w.BaselineSimNanos <= 0 {
+			fail("%s: baseline_sim_ns = %d, want > 0", w.Name, w.BaselineSimNanos)
+		}
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"allocs", w.Allocs},
+			{"rc_increments", w.RCIncrements},
+			{"rc_decrements", w.RCDecrements},
+			{"full_updates", w.FullUpdates},
+			{"same_checks", w.SameChecks},
+			{"trad_checks", w.TradChecks},
+			{"parent_checks", w.ParentChecks},
+			{"unchecked_stores", w.UncheckedStores},
+			{"pin_ops", w.PinOps},
+			{"unscan_words", w.UnscanWords},
+			{"unscan_ns", w.UnscanNanos},
+		} {
+			if c.v < 0 {
+				fail("%s: %s = %d, want >= 0", w.Name, c.name, c.v)
+			}
+		}
+		if w.Allocs == 0 {
+			fail("%s: allocs = 0 — the workload did not run", w.Name)
+		}
+		if w.Stores() == 0 {
+			fail("%s: no pointer stores recorded", w.Name)
+		}
+	}
+	fmt.Printf("benchlint: ok (%d workloads)\n", len(report.Workloads))
+}

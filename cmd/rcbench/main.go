@@ -8,9 +8,16 @@
 //	rcbench -table 2         # one table (1, 2 or 3)
 //	rcbench -figure 8        # one figure (7, 8 or 9)
 //	rcbench -scale 50 -reps 5 -workloads moss,tile
+//	rcbench -json            # machine-readable report on stdout
+//
+// With -json the human tables are skipped (-table/-figure/-space/-bars
+// are ignored) and a single exp.BenchReport document — schema
+// "rcgo.bench/1", see internal/exp/json.go — is written to stdout, for
+// recording BENCH_*.json trajectory files and for cmd/benchlint.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +34,7 @@ func main() {
 	reps := flag.Int("reps", 3, "timed repetitions per cell (best is reported)")
 	names := flag.String("workloads", "", "comma-separated workload subset")
 	bars := flag.Bool("bars", false, "also render figures as bar charts")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable report (rcgo.bench/1) instead of tables")
 	flag.Parse()
 
 	o := exp.Options{Scale: *scale, Reps: *reps}
@@ -38,6 +46,19 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "rcbench:", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		report, err := exp.BenchJSON(o)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if all || *table == 1 {

@@ -16,13 +16,24 @@
 //     delete-time unscan), and requests that lose the race to a rotation
 //     see ErrRegionDeleted and simply serve uncached — a zombie epoch
 //     can never be resurrected.
+//
+// The server also mounts the arena's live debug inspector under
+// /debug/regions/ (hierarchy as JSON and Graphviz dot, cumulative op
+// counters, and the blocked-deleters report), publishes the same
+// counters on /debug/vars via expvar, and records region lifecycle
+// events in a lock-free ring tracer — the observability layer a real
+// deployment would curl to answer "why is that retired epoch still
+// alive, and who is pinning it?".
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +60,7 @@ type request struct {
 
 type server struct {
 	arena *rcgo.Arena
+	trace *rcgo.RingTracer
 	conf  *rcgo.Obj[config]
 
 	mu      sync.Mutex
@@ -64,7 +76,10 @@ type server struct {
 }
 
 func newServer() *server {
-	s := &server{arena: rcgo.NewArena()}
+	s := &server{arena: rcgo.NewArena(), trace: rcgo.NewRingTracer(1 << 16)}
+	// Attach the tracer before the first region exists, so every epoch,
+	// request and subrequest lifecycle event lands in the ring.
+	s.arena.SetTracer(s.trace)
 	s.conf = rcgo.Alloc[config](s.arena.Traditional())
 	s.conf.Value.name = "rcgo-demo"
 	s.rotate()
@@ -149,7 +164,18 @@ func main() {
 	const perClient = 25
 
 	s := newServer()
-	ts := httptest.NewServer(s)
+
+	// The production mux: the application at /, the region inspector at
+	// /debug/regions/ and the expvar counters at /debug/vars — all three
+	// plain GET endpoints (curl $URL/debug/regions/blocked).
+	if err := s.arena.PublishExpvar("rcgo.webserver.arena"); err != nil {
+		panic(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", s)
+	mux.Handle("/debug/regions/", http.StripPrefix("/debug/regions", s.arena.DebugHandler()))
+	mux.Handle("/debug/vars", expvar.Handler())
+	ts := httptest.NewServer(mux)
 
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -174,7 +200,6 @@ func main() {
 		}(c)
 	}
 	wg.Wait()
-	ts.Close()
 
 	fmt.Printf("served %d requests (%d subrequests) across %d client goroutines\n",
 		s.served.Load(), s.subs.Load(), clients)
@@ -191,9 +216,83 @@ func main() {
 	}
 	fmt.Printf("retired cache epochs reclaimed: %d/%d\n", reclaimed, len(s.retired))
 
-	// Tear down the live epoch: config in the traditional region remains.
+	// --- The debug inspector, over plain HTTP. A session region holds a
+	// counted reference into the current epoch across a rotation: the
+	// retired epoch becomes a zombie the blocked-deleters report can
+	// explain, naming the session region as the holder.
+	session := s.arena.NewRegion()
+	sess := rcgo.Alloc[request](session)
+	rcgo.MustSetRef(sess, &sess.Value.entry, s.lookup())
+	s.rotate()
+
+	getJSON := func(path string, v any) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			panic(fmt.Sprintf("GET %s: %v", path, err))
+		}
+	}
+
+	var hier struct {
+		Stats   rcgo.ArenaStats    `json:"stats"`
+		Regions []*rcgo.RegionInfo `json:"regions"`
+	}
+	getJSON("/debug/regions/hierarchy", &hier)
+	fmt.Printf("inspector hierarchy: %d roots, %d live regions, %d deferred\n",
+		len(hier.Regions), hier.Stats.LiveRegions, hier.Stats.DeferredRegions)
+
+	resp, err := http.Get(ts.URL + "/debug/regions/hierarchy.dot")
+	if err != nil {
+		panic(err)
+	}
+	dot, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("inspector dot: graphviz output served:",
+		strings.HasPrefix(string(dot), "digraph regions"))
+
+	var blocked struct {
+		Blocked []rcgo.BlockedRegion `json:"blocked"`
+	}
+	getJSON("/debug/regions/blocked", &blocked)
+	for _, br := range blocked.Blocked {
+		fmt.Printf("blocked epoch: rc=%d pins=%d, pinned by %d holder region(s) via %d counted slot(s)\n",
+			br.RC, br.Pins, len(br.Holders), br.Holders[0].Slots)
+	}
+
+	// Releasing the session's reference reclaims the zombie on the spot.
+	rcgo.MustSetRef(sess, &sess.Value.entry, nil)
+	getJSON("/debug/regions/blocked", &blocked)
+	fmt.Println("blocked report empty after release:", len(blocked.Blocked) == 0)
+
+	var vars map[string]json.RawMessage
+	getJSON("/debug/vars", &vars)
+	_, ok := vars["rcgo.webserver.arena"]
+	fmt.Println("expvar rcgo.webserver.arena published:", ok)
+
+	ts.Close()
+
+	// Tear down the session and the live epoch: config in the
+	// traditional region remains.
+	if err := session.Delete(); err != nil {
+		panic(err)
+	}
 	if err := s.epoch.Delete(); err != nil {
 		panic(err)
 	}
 	fmt.Println("live objects after shutdown (config only):", s.arena.LiveObjects())
+
+	// Every region lifecycle event of the run is in the ring tracer:
+	// creations and reclaims must balance once the arena quiesces.
+	tally := make(map[rcgo.TraceKind]int)
+	evs := s.trace.Events()
+	for _, ev := range evs {
+		tally[ev.Kind]++
+	}
+	fmt.Printf("tracer: %d events (%d dropped), created=%d reclaimed=%d balanced=%v\n",
+		len(evs), s.trace.Total()-uint64(len(evs)),
+		tally[rcgo.TraceRegionCreated], tally[rcgo.TraceRegionReclaimed],
+		tally[rcgo.TraceRegionCreated] == tally[rcgo.TraceRegionReclaimed])
 }

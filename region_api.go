@@ -66,7 +66,79 @@ const (
 type Arena struct {
 	nextID   atomic.Int64
 	liveObjs atomic.Int64
-	trad     *Region
+
+	// liveRegions / deferredRegions track the region population by
+	// lifecycle state for ArenaStats. Every transition updates them at
+	// the same program point that stores the new state (under the
+	// region's mu, except creation, whose publication is its own
+	// linearization point), so the counts can never drift from the
+	// delete state machine.
+	liveRegions     atomic.Int64
+	deferredRegions atomic.Int64
+
+	// metrics gates the cumulative op counters (region_metrics.go);
+	// tracer delivers lifecycle events (region_trace.go). Both are nil
+	// until enabled and cost the fast paths one load + branch.
+	metrics atomic.Pointer[arenaMetrics]
+	tracer  atomic.Pointer[tracerBox]
+
+	// registry is the sharded id->region index behind the debug
+	// inspector (region_debug.go): regions register at creation and
+	// unregister at reclaim, so it holds exactly the live and zombie
+	// regions.
+	registry [regionShards]regionShard
+
+	trad *Region
+}
+
+// regionShards is the number of registry shards; regions hash to a
+// shard by id so concurrent create/reclaim rarely share a lock.
+const regionShards = 16
+
+type regionShard struct {
+	mu sync.Mutex
+	m  map[int64]*Region
+}
+
+func (a *Arena) registryShard(id int64) *regionShard {
+	return &a.registry[uint64(id)%regionShards]
+}
+
+func (a *Arena) register(r *Region) {
+	sh := a.registryShard(r.id)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[int64]*Region)
+	}
+	sh.m[r.id] = r
+	sh.mu.Unlock()
+}
+
+func (a *Arena) unregister(id int64) {
+	sh := a.registryShard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// EachRegion calls f for every region that is live or awaiting deferred
+// reclaim (zombie), including the traditional region. The snapshot is
+// taken shard by shard: regions created or reclaimed while the walk
+// runs may or may not be visited, but f is never called with a region
+// whose storage was released before the walk began.
+func (a *Arena) EachRegion(f func(r *Region)) {
+	for i := range a.registry {
+		sh := &a.registry[i]
+		sh.mu.Lock()
+		regions := make([]*Region, 0, len(sh.m))
+		for _, r := range sh.m {
+			regions = append(regions, r)
+		}
+		sh.mu.Unlock()
+		for _, r := range regions {
+			f(r)
+		}
+	}
 }
 
 // Region is one region: objects allocated into it are freed together by
@@ -76,6 +148,11 @@ type Region struct {
 	arena  *Arena
 	parent *Region // immutable after creation
 	id     int64
+	// metrics caches arena.metrics so the store fast paths gate their
+	// counting on a load from this (already hot, effectively read-only)
+	// cache line instead of a dependent load through the arena. Set at
+	// creation and by EnableMetrics' registry walk; nil = not counting.
+	metrics atomic.Pointer[arenaMetrics]
 
 	// mu serializes lifecycle decisions. The counters stay atomic so the
 	// reference fast paths (incRC/decRC) and stat reads never block on it.
@@ -122,8 +199,28 @@ func NewArena() *Arena {
 func (a *Arena) Traditional() *Region { return a.trad }
 
 // NewRegion creates a new top-level region.
-func (a *Arena) NewRegion() *Region {
-	return &Region{arena: a, id: a.nextID.Add(1)}
+func (a *Arena) NewRegion() *Region { return a.newRegion(nil) }
+
+// ID returns the region's arena-unique id — the same id the tracer,
+// the hierarchy inspector and the blocked-deleters report use, so a
+// region found in a debug report can be correlated with the handle.
+func (r *Region) ID() int64 { return r.id }
+
+// newRegion creates and publishes a region below parent (nil for
+// top-level). Registration happens after the parent pointer is set so
+// the debug inspector never observes a half-built region.
+func (a *Arena) newRegion(parent *Region) *Region {
+	r := &Region{arena: a, parent: parent, id: a.nextID.Add(1)}
+	a.liveRegions.Add(1)
+	a.register(r)
+	// Arm the per-region metrics gate after registering: either this load
+	// sees the enabled pointer, or EnableMetrics' registry walk (which
+	// CASes a.metrics first) sees the registered region. Never both miss.
+	if m := a.metrics.Load(); m != nil {
+		r.metrics.Store(m)
+	}
+	a.traceEvent(TraceRegionCreated, r)
+	return r
 }
 
 // NewSubregion creates a region below r; it must be deleted before r.
@@ -149,9 +246,7 @@ func (r *Region) TryNewSubregion() (*Region, error) {
 	// child and fails with ErrRegionInUse.
 	r.children.Add(1)
 	r.mu.Unlock()
-	s := r.arena.NewRegion()
-	s.parent = r
-	return s, nil
+	return r.arena.newRegion(r), nil
 }
 
 // Obj is a region-allocated object holding a value of type T. The zero
@@ -186,6 +281,9 @@ func TryAlloc[T any](r *Region) (*Obj[T], error) {
 	r.objs.Add(1)
 	r.arena.liveObjs.Add(1)
 	r.mu.Unlock()
+	if c := r.counters(); c != nil {
+		c.allocs.Add(1)
+	}
 	return o, nil
 }
 
@@ -230,6 +328,9 @@ func (r *Region) incRC() error {
 		r.rc.Add(1)
 		switch r.state.Load() {
 		case stateAlive:
+			if c := r.counters(); c != nil {
+				c.rcIncrements.Add(1)
+			}
 			return nil
 		case stateDying:
 			// A delete is deciding; our increment may have spoiled it
@@ -247,8 +348,12 @@ func (r *Region) incRC() error {
 }
 
 // decRC releases one external reference, reclaiming a drained
-// deferred-deleted region.
+// deferred-deleted region. Every decRC pairs a committed incRC, so the
+// increment/decrement counters converge once references drain.
 func (r *Region) decRC() {
+	if c := r.counters(); c != nil {
+		c.rcDecrements.Add(1)
+	}
 	if r.rc.Add(-1) == 0 {
 		r.maybeDrain()
 	}
@@ -264,6 +369,7 @@ func (r *Region) maybeDrain() {
 	r.mu.Lock()
 	if r.state.Load() == stateZombie && r.rc.Load() == 0 && r.children.Load() == 0 {
 		r.state.Store(stateDead)
+		r.arena.deferredRegions.Add(-1)
 		r.mu.Unlock()
 		r.reclaim()
 		return
@@ -296,6 +402,9 @@ func TryPin[T any](o *Obj[T]) (unpin func(), err error) {
 		return nil, err
 	}
 	r.pins.Add(1)
+	if c := r.counters(); c != nil {
+		c.pinOps.Add(1)
+	}
 	var done atomic.Bool
 	return func() {
 		if done.Swap(true) {
@@ -321,6 +430,7 @@ func (r *Region) Delete() error {
 	}
 	if n := r.children.Load(); n > 0 {
 		r.mu.Unlock()
+		r.noteDeleteBlocked()
 		return fmt.Errorf("%w (subregions=%d)", ErrRegionInUse, n)
 	}
 	// Close the gate: once dying is visible, incRC withdraws and waits,
@@ -329,12 +439,28 @@ func (r *Region) Delete() error {
 	if n := r.rc.Load(); n != 0 {
 		r.state.Store(stateAlive)
 		r.mu.Unlock()
+		r.noteDeleteBlocked()
 		return fmt.Errorf("%w (rc=%d)", ErrRegionInUse, n)
 	}
 	r.state.Store(stateDead)
+	r.arena.liveRegions.Add(-1)
 	r.mu.Unlock()
+	if c := r.counters(); c != nil {
+		c.deletes.Add(1)
+	}
+	r.arena.traceEvent(TraceRegionDeleted, r)
 	r.reclaim()
 	return nil
+}
+
+// noteDeleteBlocked records an explicit Delete that failed with
+// ErrRegionInUse; the debug inspector's blocked-deleters report names
+// the slots responsible.
+func (r *Region) noteDeleteBlocked() {
+	if c := r.counters(); c != nil {
+		c.deletesBlocked.Add(1)
+	}
+	r.arena.traceEvent(TraceDeleteBlocked, r)
 }
 
 // DeleteDeferred marks the region for implicit deletion when it becomes
@@ -356,12 +482,23 @@ func (r *Region) DeleteDeferred() {
 	r.state.Store(stateDying)
 	if r.rc.Load() == 0 && r.children.Load() == 0 {
 		r.state.Store(stateDead)
+		r.arena.liveRegions.Add(-1)
 		r.mu.Unlock()
+		if c := r.counters(); c != nil {
+			c.deferredDeletes.Add(1)
+		}
+		r.arena.traceEvent(TraceRegionDeleted, r)
 		r.reclaim()
 		return
 	}
 	r.state.Store(stateZombie)
+	r.arena.liveRegions.Add(-1)
+	r.arena.deferredRegions.Add(1)
 	r.mu.Unlock()
+	if c := r.counters(); c != nil {
+		c.deferredDeletes.Add(1)
+	}
+	r.arena.traceEvent(TraceRegionDeferred, r)
 }
 
 // reclaim frees the region's bookkeeping. The caller has already made
@@ -386,6 +523,11 @@ func (r *Region) reclaim() {
 	for _, s := range slots {
 		s.release(r)
 	}
+	r.arena.unregister(r.id)
+	if c := r.counters(); c != nil {
+		c.reclaims.Add(1)
+	}
+	r.arena.traceEvent(TraceRegionReclaimed, r)
 	if p := r.parent; p != nil {
 		p.children.Add(-1)
 		p.maybeDrain()

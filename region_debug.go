@@ -1,0 +1,289 @@
+package rcgo
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Live debug inspector for the concurrent Go-native runtime: the region
+// hierarchy as JSON and Graphviz dot, the cumulative op counters, and a
+// blocked-deleters report that names which counted slots pin a zombie
+// region. Everything here reads the arena's sharded registries with at
+// most one shard lock held at a time, so the inspector can run against
+// a fully loaded arena without stalling the store or delete paths.
+
+// RegionInfo is one node of the live hierarchy report.
+type RegionInfo struct {
+	ID int64 `json:"id"`
+	// Parent is the parent region's id, 0 for top-level regions.
+	Parent int64 `json:"parent,omitempty"`
+	// Traditional marks the arena's distinguished traditional region.
+	Traditional bool `json:"traditional,omitempty"`
+	// State is "alive" or "deferred" (reclaimed regions leave the
+	// registry and never appear).
+	State      string        `json:"state"`
+	RC         int64         `json:"rc"`
+	Pins       int64         `json:"pins"`
+	Objects    int64         `json:"objects"`
+	Subregions int64         `json:"subregions"`
+	Children   []*RegionInfo `json:"children,omitempty"`
+}
+
+// Hierarchy returns the live region forest: the traditional region and
+// every top-level region as roots, children nested below their parents,
+// all sorted by id. Zombie (deferred-deleted) regions are included with
+// State "deferred" — they are exactly the regions the blocked-deleters
+// report diagnoses. The snapshot is taken shard by shard; under
+// concurrent churn a region created or reclaimed mid-walk may be
+// missing, and a child observed without its parent is promoted to a
+// root rather than dropped.
+func (a *Arena) Hierarchy() []*RegionInfo {
+	nodes := make(map[int64]*RegionInfo)
+	a.EachRegion(func(r *Region) {
+		st := r.Stats()
+		state := "alive"
+		if st.Deferred {
+			state = "deferred"
+		}
+		var parent int64
+		if r.parent != nil {
+			parent = r.parent.id
+		}
+		nodes[r.id] = &RegionInfo{
+			ID:          r.id,
+			Parent:      parent,
+			Traditional: r == a.trad,
+			State:       state,
+			RC:          st.RC,
+			Pins:        st.Pins,
+			Objects:     st.Objects,
+			Subregions:  st.Subregions,
+		}
+	})
+	var roots []*RegionInfo
+	for _, n := range nodes {
+		if p := nodes[n.Parent]; n.Parent != 0 && p != nil {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortRec func([]*RegionInfo)
+	sortRec = func(ns []*RegionInfo) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+		for _, n := range ns {
+			sortRec(n.Children)
+		}
+	}
+	sortRec(roots)
+	return roots
+}
+
+// HierarchyDot renders the live region forest as a Graphviz digraph:
+// one box per region labelled with its id, state and counters, edges
+// from parent to child, zombies dashed and red.
+func (a *Arena) HierarchyDot() string {
+	var b strings.Builder
+	b.WriteString("digraph regions {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	var emit func(n *RegionInfo)
+	emit = func(n *RegionInfo) {
+		attrs := ""
+		if n.State == "deferred" {
+			attrs = ", style=dashed, color=red"
+		}
+		name := fmt.Sprintf("r%d", n.ID)
+		if n.Traditional {
+			name += " (traditional)"
+		}
+		fmt.Fprintf(&b, "  r%d [label=\"%s\\n%s rc=%d pins=%d objs=%d\"%s];\n",
+			n.ID, name, n.State, n.RC, n.Pins, n.Objects, attrs)
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "  r%d -> r%d;\n", n.ID, c.ID)
+			emit(c)
+		}
+	}
+	for _, root := range a.Hierarchy() {
+		emit(root)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// BlockedHolder names one region whose counted slots pin a blocked
+// region.
+type BlockedHolder struct {
+	// HolderRegion is the id of the region whose objects hold the slots.
+	HolderRegion int64 `json:"holder_region"`
+	// Slots is the number of registered counted slots in that region
+	// currently pointing into the blocked region.
+	Slots int `json:"slots"`
+}
+
+// BlockedRegion is one entry of the blocked-deleters report: a zombie
+// (deferred-deleted) region that has not reclaimed, with the references
+// that pin it broken down by where they come from.
+type BlockedRegion struct {
+	ID   int64 `json:"id"`
+	RC   int64 `json:"rc"`
+	Pins int64 `json:"pins"`
+	// Subregions counts live children; a zombie cannot reclaim while
+	// any remain, even at rc 0.
+	Subregions int64 `json:"subregions,omitempty"`
+	// Holders lists the regions whose registered counted slots point
+	// into this region, sorted by slot count descending.
+	Holders []BlockedHolder `json:"holders,omitempty"`
+	// Unaccounted is RC - Pins - slot references: references that exist
+	// but are not registered slots, i.e. in-flight stores or counted
+	// references about to be withdrawn. Transient by construction.
+	Unaccounted int64 `json:"unaccounted,omitempty"`
+}
+
+// BlockedDeleters reports every zombie region and what pins it, by
+// scanning the sharded slot registries of all live and zombie regions.
+// A region appears with empty Holders and zero Pins when only its live
+// subregions (or in-flight references) block the reclaim. Shard locks
+// are taken one at a time, so the scan never blocks the runtime.
+func (a *Arena) BlockedDeleters() []BlockedRegion {
+	var zombies []*Region
+	var all []*Region
+	a.EachRegion(func(r *Region) {
+		all = append(all, r)
+		if r.state.Load() == stateZombie {
+			zombies = append(zombies, r)
+		}
+	})
+	if len(zombies) == 0 {
+		return nil
+	}
+	// holders[zombie][holder region id] = pinning slot count.
+	holders := make(map[*Region]map[int64]int, len(zombies))
+	for _, z := range zombies {
+		holders[z] = make(map[int64]int)
+	}
+	for _, holder := range all {
+		for i := range holder.slots {
+			sh := &holder.slots[i]
+			sh.mu.Lock()
+			slots := append([]releaser(nil), sh.slots...)
+			sh.mu.Unlock()
+			for _, s := range slots {
+				if t := s.targetRegion(); t != nil && t != holder {
+					if h, ok := holders[t]; ok {
+						h[holder.id]++
+					}
+				}
+			}
+		}
+	}
+	report := make([]BlockedRegion, 0, len(zombies))
+	for _, z := range zombies {
+		st := z.Stats()
+		if st.Reclaimed {
+			continue // drained while we were scanning
+		}
+		br := BlockedRegion{ID: z.id, RC: st.RC, Pins: st.Pins, Subregions: st.Subregions}
+		var slotRefs int64
+		for id, n := range holders[z] {
+			br.Holders = append(br.Holders, BlockedHolder{HolderRegion: id, Slots: n})
+			slotRefs += int64(n)
+		}
+		sort.Slice(br.Holders, func(i, j int) bool {
+			if br.Holders[i].Slots != br.Holders[j].Slots {
+				return br.Holders[i].Slots > br.Holders[j].Slots
+			}
+			return br.Holders[i].HolderRegion < br.Holders[j].HolderRegion
+		})
+		if u := st.RC - st.Pins - slotRefs; u > 0 {
+			br.Unaccounted = u
+		}
+		report = append(report, br)
+	}
+	sort.Slice(report, func(i, j int) bool { return report[i].ID < report[j].ID })
+	return report
+}
+
+// DebugHandler returns an http.Handler exposing the arena's live state,
+// meant to be mounted on an internal/debug mux:
+//
+//	/           index of the endpoints, with an arena summary
+//	/hierarchy  live region forest as JSON ({"stats": ..., "regions": ...})
+//	/hierarchy.dot  the same forest as Graphviz dot
+//	/counters   ArenaStats + cumulative ArenaCounters as JSON
+//	/blocked    blocked-deleters report as JSON
+//
+// Creating the handler enables the cumulative counters (EnableMetrics).
+func (a *Arena) DebugHandler() http.Handler {
+	a.EnableMetrics()
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, req *http.Request) {
+		st := a.Stats()
+		fmt.Fprintf(w, "rcgo arena debug\n\n")
+		fmt.Fprintf(w, "live_regions=%d deferred_regions=%d live_objects=%d regions_created=%d\n\n",
+			st.LiveRegions, st.DeferredRegions, st.LiveObjects, st.RegionsCreated)
+		fmt.Fprintf(w, "endpoints: /hierarchy /hierarchy.dot /counters /blocked\n")
+	})
+	mux.HandleFunc("/hierarchy", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, struct {
+			Stats   ArenaStats    `json:"stats"`
+			Regions []*RegionInfo `json:"regions"`
+		}{a.Stats(), a.Hierarchy()})
+	})
+	mux.HandleFunc("/hierarchy.dot", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+		fmt.Fprint(w, a.HierarchyDot())
+	})
+	mux.HandleFunc("/counters", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, struct {
+			Stats    ArenaStats    `json:"stats"`
+			Counters ArenaCounters `json:"counters"`
+		}{a.Stats(), a.Counters()})
+	})
+	mux.HandleFunc("/blocked", func(w http.ResponseWriter, req *http.Request) {
+		blocked := a.BlockedDeleters()
+		if blocked == nil {
+			blocked = []BlockedRegion{}
+		}
+		writeJSON(w, struct {
+			Blocked []BlockedRegion `json:"blocked"`
+		}{blocked})
+	})
+	return mux
+}
+
+// expvarMu serializes the exists-check against Publish, which panics on
+// duplicate names.
+var expvarMu sync.Mutex
+
+// PublishExpvar publishes the arena's stats and cumulative counters as
+// one expvar.Func under the given name (served by the standard
+// /debug/vars endpoint), enabling metrics as a side effect. expvar names
+// are process-global and cannot be unpublished, so publishing two
+// arenas under one name is an error.
+func (a *Arena) PublishExpvar(name string) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("rcgo: expvar %q already published", name)
+	}
+	a.EnableMetrics()
+	expvar.Publish(name, expvar.Func(func() any {
+		return struct {
+			Stats    ArenaStats    `json:"stats"`
+			Counters ArenaCounters `json:"counters"`
+		}{a.Stats(), a.Counters()}
+	}))
+	return nil
+}

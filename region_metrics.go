@@ -1,0 +1,182 @@
+package rcgo
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Arena-wide cumulative operation counters for the concurrent Go-native
+// runtime, mirroring internal/region.Stats — the dynamic counts the
+// paper's Table 2 reports (reference-count updates versus cheap
+// annotated checks), kept online instead of per offline run.
+//
+// Design (DESIGN.md §"Observability"):
+//
+//   - Counters are sharded atomics: each op picks a shard by hashing a
+//     pointer it already holds (the slot address on store paths, the
+//     region on lifecycle paths), so concurrent goroutines working on
+//     different slots rarely share a counter cache line and the shards
+//     scale like the slot registry does.
+//   - Counting is gated by a single atomic pointer, cached on every
+//     Region (first cache line, next to the identity fields the store
+//     paths read anyway) and owned by the arena. The annotated-store
+//     fast paths (SetSame/SetTrad/SetParent) are the paper's whole cost
+//     argument — check-only, no shared-memory writes — and on modern
+//     x86 even an uncontended LOCK-prefixed add costs a store-buffer
+//     drain comparable to the entire store; an extra dependent load
+//     through the arena is measurable too, which is why the gate lives
+//     on the region. Disabled (the default), instrumentation is one
+//     already-hot pointer load and a never-taken branch, measured
+//     within noise of the uninstrumented runtime (EXPERIMENTS.md
+//     §"Observability overhead"); enabled, the full sharded-atomic cost
+//     is paid and documented there.
+//   - EnableMetrics is one-way and idempotent: counters are cumulative
+//     from the moment of enabling and never reset, so deltas taken by a
+//     monitoring scraper are always non-negative.
+//
+// Counters are exact, not sampled: every counted operation increments
+// exactly one shard exactly once (verified under -race by
+// region_trace_test.go).
+
+// metricShards is the number of counter shards. Shards are padded to
+// cache-line multiples so two shards never share a line.
+const metricShards = 64
+
+// counterShard is one shard of every counter. 13 counters * 8 bytes =
+// 104 bytes, padded to 128 so shards start on separate cache lines.
+type counterShard struct {
+	allocs          atomic.Int64
+	countedStores   atomic.Int64
+	rcIncrements    atomic.Int64
+	rcDecrements    atomic.Int64
+	sameChecks      atomic.Int64
+	tradChecks      atomic.Int64
+	parentChecks    atomic.Int64
+	checkFailures   atomic.Int64
+	deletes         atomic.Int64
+	deletesBlocked  atomic.Int64
+	deferredDeletes atomic.Int64
+	reclaims        atomic.Int64
+	pinOps          atomic.Int64
+	_               [24]byte
+}
+
+// arenaMetrics is the sharded counter block, allocated when metrics are
+// enabled (64 shards * 128 B = 8 KiB per arena).
+type arenaMetrics struct {
+	shards [metricShards]counterShard
+}
+
+// shard picks the counter shard for a pointer the caller already holds,
+// with the same Fibonacci hash the slot registry uses.
+func (m *arenaMetrics) shard(p unsafe.Pointer) *counterShard {
+	h := uintptr(p) * 0x9E3779B97F4A7C15 >> 32
+	return &m.shards[h%metricShards]
+}
+
+// EnableMetrics turns on the arena's cumulative operation counters.
+// Idempotent; counters accumulate from the first call and are never
+// reset. DebugHandler and PublishExpvar enable metrics implicitly.
+//
+// The gate each operation reads is the per-region cached pointer, so
+// enabling walks the registry to arm every existing region; regions
+// created concurrently with the first EnableMetrics arm themselves
+// (newRegion registers before it reads a.metrics, so either the walk
+// sees the region or the region sees the pointer). Operations already
+// in flight when metrics come up may go uncounted — deltas are exact
+// only between two snapshots taken while metrics are on.
+func (a *Arena) EnableMetrics() {
+	if a.metrics.CompareAndSwap(nil, &arenaMetrics{}) {
+		m := a.metrics.Load()
+		a.EachRegion(func(r *Region) { r.metrics.Store(m) })
+	}
+}
+
+// MetricsEnabled reports whether the cumulative counters are active.
+func (a *Arena) MetricsEnabled() bool { return a.metrics.Load() != nil }
+
+// slotCounters returns the counter shard for a store against the given
+// slot held by an object of region r, or nil when metrics are disabled.
+// Small enough to inline into the store fast paths, and reads only the
+// region's own first cache line until metrics are on.
+func (r *Region) slotCounters(p unsafe.Pointer) *counterShard {
+	if m := r.metrics.Load(); m != nil {
+		return m.shard(p)
+	}
+	return nil
+}
+
+// counters returns the counter shard for a lifecycle operation on r, or
+// nil when metrics are disabled.
+func (r *Region) counters() *counterShard {
+	if m := r.metrics.Load(); m != nil {
+		return m.shard(unsafe.Pointer(r))
+	}
+	return nil
+}
+
+// ArenaCounters is a snapshot of the arena's cumulative operation
+// counters (zero while metrics are disabled). It is the online analogue
+// of internal/region.Stats: the paper's Table 2 compares RCIncrements +
+// RCDecrements (the expensive protocol) against SameChecks + TradChecks
+// + ParentChecks (the cheap annotated checks).
+type ArenaCounters struct {
+	// Allocs counts successful object allocations across all regions.
+	Allocs int64 `json:"allocs"`
+	// CountedStores counts completed SetRef stores (the paper's
+	// Figure 3(a) full-update protocol).
+	CountedStores int64 `json:"counted_stores"`
+	// RCIncrements / RCDecrements count committed reference-count
+	// updates, from counted stores, pins, and delete-time unscans.
+	RCIncrements int64 `json:"rc_increments"`
+	RCDecrements int64 `json:"rc_decrements"`
+	// SameChecks / TradChecks / ParentChecks count annotated stores by
+	// flavour (each SetSame/SetTrad/SetParent call runs one check).
+	SameChecks   int64 `json:"same_checks"`
+	TradChecks   int64 `json:"trad_checks"`
+	ParentChecks int64 `json:"parent_checks"`
+	// CheckFailures counts annotated stores rejected with ErrBadRef.
+	CheckFailures int64 `json:"check_failures"`
+	// Deletes counts successful explicit Deletes.
+	Deletes int64 `json:"deletes"`
+	// DeletesBlocked counts explicit Deletes that failed with
+	// ErrRegionInUse (live references or subregions).
+	DeletesBlocked int64 `json:"deletes_blocked"`
+	// DeferredDeletes counts DeleteDeferred calls that marked a live
+	// region (whether it reclaimed immediately or became a zombie).
+	DeferredDeletes int64 `json:"deferred_deletes"`
+	// Reclaims counts regions whose storage was released; every dead
+	// region is reclaimed exactly once.
+	Reclaims int64 `json:"reclaims"`
+	// PinOps counts successful Pin/TryPin calls.
+	PinOps int64 `json:"pin_ops"`
+}
+
+// Counters returns a snapshot of the cumulative counters by summing the
+// shards. Each shard is read atomically; the sum is a consistent total
+// once the arena quiesces and a monotonic approximation while ops are in
+// flight.
+func (a *Arena) Counters() ArenaCounters {
+	m := a.metrics.Load()
+	if m == nil {
+		return ArenaCounters{}
+	}
+	var c ArenaCounters
+	for i := range m.shards {
+		s := &m.shards[i]
+		c.Allocs += s.allocs.Load()
+		c.CountedStores += s.countedStores.Load()
+		c.RCIncrements += s.rcIncrements.Load()
+		c.RCDecrements += s.rcDecrements.Load()
+		c.SameChecks += s.sameChecks.Load()
+		c.TradChecks += s.tradChecks.Load()
+		c.ParentChecks += s.parentChecks.Load()
+		c.CheckFailures += s.checkFailures.Load()
+		c.Deletes += s.deletes.Load()
+		c.DeletesBlocked += s.deletesBlocked.Load()
+		c.DeferredDeletes += s.deferredDeletes.Load()
+		c.Reclaims += s.reclaims.Load()
+		c.PinOps += s.pinOps.Load()
+	}
+	return c
+}

@@ -26,11 +26,23 @@ type RegionStats struct {
 	Reclaimed bool
 }
 
-// Stats returns a consistent snapshot of the region's counters.
+// statsRCRetries bounds the Stats re-read loop. Holding mu freezes the
+// state word, so the retries only chase a stable rc reading for a nicer
+// point-in-time pairing of rc with the other counters; on an alive
+// region rc is inherently concurrent and any single read is a valid
+// linearized value. An unbounded loop would let a hot mutator (a tight
+// pin/unpin or counted-store loop) livelock a stats reader — the bound
+// guarantees Stats returns after at most a handful of reads
+// (TestStatsNoLivelockUnderHotRC).
+const statsRCRetries = 3
+
+// Stats returns a consistent snapshot of the region's counters: the
+// state flags can never be paired with a reference count from the other
+// side of a delete, because all state transitions hold mu.
 func (r *Region) Stats() RegionStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for {
+	for attempt := 0; ; attempt++ {
 		rc := r.rc.Load()
 		st := RegionStats{
 			ID:         r.id,
@@ -45,7 +57,7 @@ func (r *Region) Stats() RegionStats {
 		case stateDead:
 			st.Deleted, st.Reclaimed = true, true
 		}
-		if r.rc.Load() == rc {
+		if r.rc.Load() == rc || attempt >= statsRCRetries {
 			return st
 		}
 	}
@@ -71,19 +83,37 @@ func (r *Region) Deferred() bool { return r.settled() == stateZombie }
 // ArenaStats is a snapshot of arena-wide counters.
 type ArenaStats struct {
 	// LiveObjects is the number of live objects across all regions.
-	LiveObjects int64
+	LiveObjects int64 `json:"live_objects"`
 	// RegionsCreated is the total number of regions ever created
 	// (including the traditional region).
-	RegionsCreated int64
+	RegionsCreated int64 `json:"regions_created"`
+	// LiveRegions is the number of regions currently alive (including
+	// the traditional region). Updated at the same point as every
+	// lifecycle state transition, so once the arena quiesces
+	// LiveRegions + DeferredRegions + reclaimed == RegionsCreated.
+	LiveRegions int64 `json:"live_regions"`
+	// DeferredRegions is the number of deferred-deleted (zombie)
+	// regions still awaiting reclaim.
+	DeferredRegions int64 `json:"deferred_regions"`
 }
 
 // Stats returns a snapshot of the arena-wide counters.
 func (a *Arena) Stats() ArenaStats {
 	return ArenaStats{
-		LiveObjects:    a.liveObjs.Load(),
-		RegionsCreated: a.nextID.Load(),
+		LiveObjects:     a.liveObjs.Load(),
+		RegionsCreated:  a.nextID.Load(),
+		LiveRegions:     a.liveRegions.Load(),
+		DeferredRegions: a.deferredRegions.Load(),
 	}
 }
+
+// LiveRegions returns the number of regions currently alive, including
+// the traditional region.
+func (a *Arena) LiveRegions() int64 { return a.liveRegions.Load() }
+
+// DeferredRegions returns the number of zombie regions awaiting
+// deferred reclaim.
+func (a *Arena) DeferredRegions() int64 { return a.deferredRegions.Load() }
 
 // LiveObjects returns the number of live objects across the arena.
 func (a *Arena) LiveObjects() int64 { return a.liveObjs.Load() }

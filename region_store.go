@@ -21,7 +21,10 @@ import (
 // The annotated stores write no shared memory: they read immutable
 // region identity/ancestry and the region state word, then write the
 // holder's own slot. SetRef updates the target region's atomic count and
-// serializes on the holder's registry shard for the slot.
+// serializes on the holder's registry shard for the slot. (With arena
+// metrics enabled — see region_metrics.go — every flavour additionally
+// bumps one sharded counter; disabled, the instrumentation is a single
+// pointer load and branch.)
 
 // slotShards is the number of registry shards per region. Counted slots
 // hash to a shard by address, so concurrent SetRefs into one region
@@ -34,9 +37,13 @@ type slotShard struct {
 }
 
 // releaser lets a region release its objects' outbound counted references
-// at delete time without knowing their element types.
+// at delete time without knowing their element types. targetRegion is
+// the debug inspector's read-only view of the same slot: the
+// blocked-deleters report (region_debug.go) scans the registries to name
+// which slots pin a zombie region.
 type releaser interface {
 	release(owner *Region)
+	targetRegion() *Region
 }
 
 func (r *Region) shardOf(p unsafe.Pointer) *slotShard {
@@ -62,6 +69,15 @@ func (r *Ref[T]) release(owner *Region) {
 	if t := r.target.Swap(nil); t != nil && t.region != owner {
 		t.region.decRC()
 	}
+}
+
+// targetRegion reports the region the slot currently points into (nil
+// for a null slot), for the debug inspector's blocked-deleters scan.
+func (r *Ref[T]) targetRegion() *Region {
+	if t := r.target.Load(); t != nil {
+		return t.region
+	}
+	return nil
 }
 
 // Get returns the referenced object (nil if the Ref is null).
@@ -104,6 +120,9 @@ func SetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 		sh.slots = append(sh.slots, slot)
 	}
 	sh.mu.Unlock()
+	if c := hr.slotCounters(unsafe.Pointer(slot)); c != nil {
+		c.countedStores.Add(1)
+	}
 	// Release the displaced reference outside the shard lock: the drop
 	// can reclaim a deferred-deleted region, which takes its own locks.
 	if old != nil && old.region != hr {
@@ -124,8 +143,15 @@ func MustSetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
 // any shared cache line.
 func SetSame[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 	hr := holder.region
+	c := hr.slotCounters(unsafe.Pointer(slot))
+	if c != nil {
+		c.sameChecks.Add(1)
+	}
 	if target != nil {
 		if target.region != hr {
+			if c != nil {
+				c.checkFailures.Add(1)
+			}
 			return fmt.Errorf("%w: sameregion store of %v into %v",
 				ErrBadRef, target.region.id, hr.id)
 		}
@@ -150,8 +176,15 @@ func MustSetSame[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
 // a count (the traditional region is immortal) or any shared cache line.
 func SetTrad[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 	hr := holder.region
+	c := hr.slotCounters(unsafe.Pointer(slot))
+	if c != nil {
+		c.tradChecks.Add(1)
+	}
 	if target != nil {
 		if target.region != hr.arena.trad {
+			if c != nil {
+				c.checkFailures.Add(1)
+			}
 			return fmt.Errorf("%w: traditional store of %v", ErrBadRef, target.region.id)
 		}
 		if hr.settled() != stateAlive {
@@ -176,8 +209,15 @@ func MustSetTrad[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) {
 // holder) or any shared cache line.
 func SetParent[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 	hr := holder.region
+	c := hr.slotCounters(unsafe.Pointer(slot))
+	if c != nil {
+		c.parentChecks.Add(1)
+	}
 	if target != nil {
 		if !target.region.isAncestorOf(hr) {
+			if c != nil {
+				c.checkFailures.Add(1)
+			}
 			return fmt.Errorf("%w: parentptr store of %v into %v",
 				ErrBadRef, target.region.id, hr.id)
 		}

@@ -1,0 +1,187 @@
+package rcgo
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Region lifecycle event tracing for the concurrent Go-native runtime.
+//
+// A Tracer observes the region lifecycle — the paper's dynamic behaviour
+// that Table 2 measures offline — as it happens: every region creation,
+// explicit delete, deferred delete, reclaim, and blocked delete is
+// reported with the region's identity, its parent, and the reference
+// count at the instant of the event. The per-store counters live in
+// region_metrics.go; tracing covers only lifecycle transitions, which
+// already serialize on the region's lifecycle mutex, so a tracer adds no
+// cost to the store fast paths and only a nil-check when disabled.
+//
+// Events are emitted after the region's lifecycle mutex is released, so
+// a Tracer implementation may safely call back into the runtime (Stats,
+// Hierarchy, ...). The ordering of events from concurrent goroutines is
+// the runtime's linearization order per region, but events of different
+// regions may be observed interleaved in any order consistent with it.
+
+// TraceKind identifies a region lifecycle event.
+type TraceKind int32
+
+const (
+	// TraceRegionCreated: a region was created (NewRegion/NewSubregion).
+	TraceRegionCreated TraceKind = iota
+	// TraceRegionDeleted: an explicit Delete succeeded, or a
+	// DeleteDeferred found the region already unreferenced and deleted
+	// it on the spot. A TraceRegionReclaimed event always follows.
+	TraceRegionDeleted
+	// TraceRegionDeferred: DeleteDeferred marked a still-referenced
+	// region as a zombie; it reclaims when its references drain.
+	TraceRegionDeferred
+	// TraceRegionReclaimed: the region's storage was released. Emitted
+	// exactly once per dead region, whether it died explicitly or by
+	// zombie drain.
+	TraceRegionReclaimed
+	// TraceDeleteBlocked: an explicit Delete failed with ErrRegionInUse;
+	// the event's RC names the count that blocked it (0 when subregions
+	// blocked it instead).
+	TraceDeleteBlocked
+)
+
+// String names the event kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRegionCreated:
+		return "created"
+	case TraceRegionDeleted:
+		return "deleted"
+	case TraceRegionDeferred:
+		return "deferred"
+	case TraceRegionReclaimed:
+		return "reclaimed"
+	case TraceDeleteBlocked:
+		return "delete-blocked"
+	}
+	return fmt.Sprintf("TraceKind(%d)", int32(k))
+}
+
+// MarshalText renders the kind as its name in JSON output.
+func (k TraceKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// TraceEvent is one region lifecycle event.
+type TraceEvent struct {
+	// Seq is a tracer-assigned sequence number (RingTracer fills it;
+	// other implementations may leave it zero).
+	Seq uint64 `json:"seq"`
+	// Kind is the lifecycle transition.
+	Kind TraceKind `json:"kind"`
+	// Region is the id of the region the event is about.
+	Region int64 `json:"region"`
+	// Parent is the id of the region's parent, 0 for top-level regions.
+	Parent int64 `json:"parent,omitempty"`
+	// RC is the region's external reference count at event time.
+	RC int64 `json:"rc"`
+	// Subregions is the region's live child count at event time.
+	Subregions int64 `json:"subregions,omitempty"`
+}
+
+// Tracer observes region lifecycle events. Implementations must be safe
+// for concurrent use: events are delivered from whatever goroutine
+// performed the transition, with no ordering guarantee across regions.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// NopTracer discards every event. It is the behaviour of an arena with
+// no tracer set; the type exists so a tracer can be explicitly disabled
+// in configuration tables.
+type NopTracer struct{}
+
+// Trace implements Tracer by doing nothing.
+func (NopTracer) Trace(TraceEvent) {}
+
+// SetTracer installs t as the arena's tracer (nil removes it). Safe to
+// call concurrently with running work; events already in flight may
+// still be delivered to the previous tracer.
+func (a *Arena) SetTracer(t Tracer) {
+	if t == nil {
+		a.tracer.Store(nil)
+		return
+	}
+	a.tracer.Store(&tracerBox{t: t})
+}
+
+// tracerBox boxes the Tracer interface so the arena can hold it in an
+// atomic.Pointer (interfaces cannot be stored atomically themselves).
+type tracerBox struct{ t Tracer }
+
+// traceEvent delivers a lifecycle event for r to the arena's tracer, if
+// one is set. Callers must not hold r.mu: tracers may call back into the
+// runtime.
+func (a *Arena) traceEvent(kind TraceKind, r *Region) {
+	b := a.tracer.Load()
+	if b == nil {
+		return
+	}
+	var parent int64
+	if r.parent != nil {
+		parent = r.parent.id
+	}
+	b.t.Trace(TraceEvent{
+		Kind:       kind,
+		Region:     r.id,
+		Parent:     parent,
+		RC:         r.rc.Load(),
+		Subregions: r.children.Load(),
+	})
+}
+
+// RingTracer is a lock-free, fixed-capacity ring buffer of the most
+// recent lifecycle events. Writers never block and never take a lock: a
+// single atomic fetch-add claims a slot, and the event is published with
+// an atomic pointer store, so the tracer is safe on the delete path of
+// any number of goroutines. When the ring wraps, the oldest events are
+// overwritten.
+//
+// Total counts every event ever traced (monotonic, never wraps), so a
+// reader can detect overwrites: Total() - len(Events()) events have been
+// dropped from the window.
+type RingTracer struct {
+	mask  uint64
+	pos   atomic.Uint64
+	slots []atomic.Pointer[TraceEvent]
+}
+
+// NewRingTracer creates a ring holding the last capacity events
+// (rounded up to a power of two, minimum 16).
+func NewRingTracer(capacity int) *RingTracer {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &RingTracer{mask: uint64(n - 1), slots: make([]atomic.Pointer[TraceEvent], n)}
+}
+
+// Trace implements Tracer.
+func (t *RingTracer) Trace(ev TraceEvent) {
+	i := t.pos.Add(1) - 1
+	ev.Seq = i
+	t.slots[i&t.mask].Store(&ev)
+}
+
+// Total returns the number of events ever traced, including any that
+// have been overwritten.
+func (t *RingTracer) Total() uint64 { return t.pos.Load() }
+
+// Events returns the buffered events in sequence order, oldest first.
+// The snapshot is taken without stopping writers: under concurrent
+// tracing it is a consistent set of recently published events, not an
+// atomic cut; once tracing quiesces it is exact.
+func (t *RingTracer) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.slots))
+	for i := range t.slots {
+		if ev := t.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
