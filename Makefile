@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet staticcheck race check bench bench-smoke experiments examples fuzz clean
+.PHONY: all build test test-short vet staticcheck race check benchlint-files chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
 
 all: check
 
@@ -38,8 +38,37 @@ race:
 	$(GO) test -race -short ./...
 
 # The default verification gate: build cleanliness, static analysis,
-# the full test suite, and the race pass over the concurrent API.
-check: vet staticcheck test race
+# the full test suite, the race pass over the concurrent API, and the
+# checked-in benchmark reports revalidated against the current schema.
+check: vet staticcheck test race benchlint-files
+
+# Every committed rcbench report must still satisfy the benchlint
+# invariants — catches schema drift against historical BENCH_*.json.
+benchlint-files:
+	@for f in BENCH_*.json; do \
+		[ -e "$$f" ] || { echo "benchlint-files: no BENCH_*.json files"; break; }; \
+		echo "benchlint < $$f"; \
+		$(GO) run rcgo/cmd/benchlint < $$f || exit 1; \
+	done
+
+# Chaos harness under the race detector: a seeded sequential phase
+# checked op-by-op against the reference model of the delete state
+# machine, then concurrent scheduler-perturbation and error-injection
+# phases with failpoints armed, a zombie watchdog patrolling, and
+# Arena.Audit required clean at every quiesce point. Override the knobs:
+#
+#	make chaos CHAOS_SEED=7 CHAOS_SEQ_OPS=50000 CHAOS_WORKERS=16 CHAOS_CONC_OPS=5000
+CHAOS_SEED     ?= 1
+CHAOS_SEQ_OPS  ?= 20000
+CHAOS_WORKERS  ?= 8
+CHAOS_CONC_OPS ?= 3000
+chaos:
+	$(GO) run -race rcgo/cmd/rcchaos -seed $(CHAOS_SEED) -seq-ops $(CHAOS_SEQ_OPS) \
+		-workers $(CHAOS_WORKERS) -conc-ops $(CHAOS_CONC_OPS)
+
+# Short-budget chaos pass for CI: same gates, reduced scale.
+chaos-smoke:
+	$(GO) run -race rcgo/cmd/rcchaos -seed 1 -seq-ops 4000 -workers 4 -conc-ops 300 -q
 
 # One testing.B benchmark per paper table/figure, plus ablations and
 # primitive microbenchmarks.
@@ -65,6 +94,13 @@ examples:
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/rcc/
+
+# Fuzz the delete state machine against the sequential reference model.
+# Minimization is bounded because nearly every early input grows
+# coverage in this stateful target; the default 60s-per-input budget
+# makes the fuzzer appear hung.
+fuzz-delete:
+	$(GO) test -fuzz FuzzDeleteStateMachine -fuzztime 30s -fuzzminimizetime 20x -run '^$$' .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,366 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rcgo"
+	"rcgo/internal/failpoint"
+)
+
+// Concurrent chaos phase: workers hammer a shared region tree while
+// failpoints perturb and fail every instrumented lifecycle edge, a
+// ZombieWatchdog (chained over a RingTracer) patrols for stuck
+// zombies, and an audit sampler exercises Arena.Audit against the live
+// arena. There is no reference model here — interleavings are not
+// reproducible — so correctness is judged by the invariants that
+// survive any interleaving: tolerated error classes only, exact
+// accounting after quiesce, and a clean audit.
+
+// ConcRules arms the sites with an interleaving-perturbation mix when
+// perturb is true (yields and delays inside the race windows), or an
+// error-injection mix otherwise (every unwind path under concurrency).
+func ConcRules(seed uint64, perturb bool) map[string]failpoint.Rule {
+	if perturb {
+		return map[string]failpoint.Rule{
+			"rcgo/alloc.admission": {Action: failpoint.ActionYield, Num: 1, Den: 5, Seed: seed},
+			"rcgo/incrc.validate":  {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed, Yields: 2},
+			"rcgo/delete.dying":    {Action: failpoint.ActionDelay, Num: 1, Den: 7, Seed: seed, Delay: 50 * time.Microsecond},
+			"rcgo/zombie.drain":    {Action: failpoint.ActionYield, Num: 1, Den: 4, Seed: seed},
+			"rcgo/slot.insert":     {Action: failpoint.ActionYield, Num: 1, Den: 4, Seed: seed},
+		}
+	}
+	return map[string]failpoint.Rule{
+		"rcgo/alloc.admission": {Action: failpoint.ActionError, Num: 1, Den: 17, Seed: seed},
+		"rcgo/incrc.validate":  {Action: failpoint.ActionError, Num: 1, Den: 19, Seed: seed},
+		"rcgo/delete.dying":    {Action: failpoint.ActionError, Num: 1, Den: 11, Seed: seed},
+		"rcgo/zombie.drain":    {Action: failpoint.ActionError, Num: 1, Den: 3, Seed: seed},
+		"rcgo/slot.insert":     {Action: failpoint.ActionError, Num: 1, Den: 13, Seed: seed},
+	}
+}
+
+// ConcConfig sizes one concurrent phase.
+type ConcConfig struct {
+	Seed    int64
+	Workers int
+	// Ops is the per-worker op count.
+	Ops int
+	// Rules arms the failpoints for the duration of the phase.
+	Rules map[string]failpoint.Rule
+}
+
+// ConcResult reports one concurrent phase.
+type ConcResult struct {
+	Ops              int
+	WatchdogFlagged  int64
+	WatchdogHealed   int64
+	SweptAtQuiesce   int
+	TraceStats       rcgo.TraceStats
+	Audit            rcgo.AuditReport
+	DeferredObserved int64
+}
+
+// tolerable reports whether err is an error class any op may see under
+// concurrent churn with failpoints armed.
+func tolerable(err error) bool {
+	return err == nil ||
+		errors.Is(err, rcgo.ErrRegionDeleted) ||
+		errors.Is(err, rcgo.ErrRegionInUse) ||
+		errors.Is(err, rcgo.ErrBadRef) ||
+		errors.Is(err, rcgo.ErrInjected)
+}
+
+// clearRef retries a nil-store until it lands: an injected failure
+// leaves the slot holding its counted reference, and a worker that
+// gives up on the clear would leak that reference into the quiesce.
+func clearRef(holder *rcgo.Obj[node]) error {
+	for {
+		err := rcgo.SetRef(holder, &holder.Value.Other, nil)
+		if err == nil || !errors.Is(err, rcgo.ErrInjected) {
+			return err
+		}
+	}
+}
+
+// RunConc runs one concurrent phase and the quiesce that judges it:
+// workers stop, failpoints disarm, the tree is torn down with
+// DeleteWithRetry, lost drains are swept, and the audit must be clean
+// with nothing left alive.
+func RunConc(cfg ConcConfig) (ConcResult, error) {
+	var res ConcResult
+	a := rcgo.NewArena()
+	a.EnableMetrics()
+	ring := rcgo.NewRingTracer(1 << 14)
+	wd := rcgo.NewZombieWatchdog(a, 2*time.Millisecond, ring)
+	a.SetTracer(wd)
+	wd.Start(5 * time.Millisecond)
+	defer wd.Stop()
+
+	const mids = 4
+	root := a.NewRegion()
+	midRegions := make([]*rcgo.Region, mids)
+	midObjs := make([]*rcgo.Obj[node], mids)
+	for i := range midRegions {
+		midRegions[i] = root.NewSubregion()
+		midObjs[i] = rcgo.Alloc[node](midRegions[i])
+	}
+	rootObj := rcgo.Alloc[node](root)
+
+	for name, r := range cfg.Rules {
+		if err := failpoint.Enable(name, r); err != nil {
+			return res, err
+		}
+	}
+	defer failpoint.DisableAll()
+
+	// Audit sampler: the auditor must be safe against a fully loaded
+	// arena (its report is advisory here; only the quiesced audit
+	// judges).
+	samplerStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			default:
+				a.Audit()
+				a.BlockedDeleters()
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers*3)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			// Private holder region for counted cross-references into the
+			// shared tree; torn down (with retry, failpoints may inject)
+			// on the way out.
+			holderRegion := a.NewRegion()
+			holder, err := rcgo.TryAlloc[node](holderRegion)
+			for err != nil {
+				holder, err = rcgo.TryAlloc[node](holderRegion)
+			}
+			defer func() {
+				if err := clearRef(holder); err != nil && !tolerable(err) {
+					errs <- fmt.Errorf("worker cleanup clear: %w", err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := holderRegion.DeleteWithRetry(ctx, rcgo.Backoff{Initial: 50 * time.Microsecond}); err != nil {
+					errs <- fmt.Errorf("worker cleanup delete: %w", err)
+				}
+			}()
+			for i := 0; i < cfg.Ops; i++ {
+				mid := midRegions[rng.Intn(mids)]
+				mo := midObjs[rng.Intn(mids)]
+				var err error
+				switch rng.Intn(6) {
+				case 0: // alloc into the shared tree
+					_, err = rcgo.TryAlloc[node](mid)
+				case 1: // transient pin
+					if unpin, perr := rcgo.TryPin(mo); perr == nil {
+						unpin()
+					} else {
+						err = perr
+					}
+				case 2: // counted ref in, then out
+					if serr := rcgo.SetRef(holder, &holder.Value.Other, mo); serr == nil {
+						err = clearRef(holder)
+					} else {
+						err = serr
+					}
+				case 3: // subregion churn with delete retry
+					if sub, serr := mid.TryNewSubregion(); serr == nil {
+						_, _ = rcgo.TryAlloc[node](sub)
+						ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+						err = sub.DeleteWithRetry(ctx, rcgo.Backoff{Initial: 20 * time.Microsecond})
+						cancel()
+					} else {
+						err = serr
+					}
+				case 4: // deferred-delete a subregion pinned across the deferral
+					if sub, serr := mid.TryNewSubregion(); serr == nil {
+						if o, aerr := rcgo.TryAlloc[node](sub); aerr == nil {
+							if unpin, perr := rcgo.TryPin(o); perr == nil {
+								sub.DeleteDeferred()
+								unpin() // the last reference: the zombie drains (or the watchdog heals it)
+							} else {
+								sub.DeleteDeferred()
+							}
+						} else {
+							sub.DeleteDeferred()
+						}
+					} else {
+						err = serr
+					}
+				case 5: // annotated stores on the shared objects
+					if o, aerr := rcgo.TryAlloc[node](mid); aerr == nil {
+						err = rcgo.SetSame(o, &o.Value.Same, mo)
+						if err == nil || tolerable(err) {
+							err = rcgo.SetParent(o, &o.Value.Up, rootObj)
+						}
+					} else {
+						err = aerr
+					}
+				}
+				if !tolerable(err) {
+					errs <- fmt.Errorf("worker op: %w", err)
+					return
+				}
+			}
+		}(cfg.Seed + int64(w)*7919)
+	}
+	wg.Wait()
+	close(samplerStop)
+	samplerWG.Wait()
+	res.Ops = cfg.Workers * cfg.Ops
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	// Quiesce: disarm, tear the shared tree down children-first with
+	// bounded retry, heal any failpoint-lost drains, then judge.
+	failpoint.DisableAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, mid := range midRegions {
+		if err := mid.DeleteWithRetry(ctx, rcgo.Backoff{}); err != nil {
+			return res, fmt.Errorf("quiesce: delete mid region %d: %w", mid.ID(), err)
+		}
+	}
+	if err := root.DeleteWithRetry(ctx, rcgo.Backoff{}); err != nil {
+		return res, fmt.Errorf("quiesce: delete root region: %w", err)
+	}
+	res.SweptAtQuiesce = a.SweepZombies()
+	wd.Stop()
+
+	res.WatchdogFlagged = wd.Flagged()
+	res.WatchdogHealed = wd.Healed()
+	res.TraceStats = ring.TraceStats()
+	res.Audit = a.Audit()
+	if !res.Audit.OK {
+		return res, fmt.Errorf("quiesced audit failed:\n%s", res.Audit)
+	}
+	if got := a.LiveObjects(); got != 0 {
+		return res, fmt.Errorf("quiesce: LiveObjects = %d, want 0", got)
+	}
+	if got := a.LiveRegions(); got != 1 {
+		return res, fmt.Errorf("quiesce: LiveRegions = %d, want 1 (traditional)", got)
+	}
+	if got := a.DeferredRegions(); got != 0 {
+		return res, fmt.Errorf("quiesce: DeferredRegions = %d, want 0", got)
+	}
+	return res, nil
+}
+
+// Config sizes a full chaos run: one sequential model-checked phase,
+// then a perturbation-mix and an error-mix concurrent phase.
+type Config struct {
+	Seed    int64
+	SeqOps  int
+	Workers int
+	// ConcOps is the per-worker op count of each concurrent phase.
+	ConcOps int
+	// Log receives progress lines (nil discards them).
+	Log func(format string, args ...any)
+}
+
+// Report is the outcome of a full chaos run.
+type Report struct {
+	SeqOps      int
+	SeqOutcomes map[string]int
+	Perturb     ConcResult
+	Errors      ConcResult
+	// Coverage is the post-run failpoint counter snapshot; every
+	// instrumented site must show Fires > 0 for the run to count.
+	Coverage []failpoint.Stats
+}
+
+// Uncovered returns the names of instrumented sites that never fired.
+func (r *Report) Uncovered() []string {
+	var out []string
+	for _, st := range r.Coverage {
+		if st.Fires == 0 {
+			out = append(out, st.Name)
+		}
+	}
+	return out
+}
+
+// Run executes a full chaos run. A nil error means: zero reference-
+// model divergences, zero audit violations at every quiesce point, and
+// failpoints fired on every instrumented site.
+func Run(cfg Config) (*Report, error) {
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{SeqOps: cfg.SeqOps}
+
+	logf("phase 1: sequential, %d ops against the reference model, error failpoints armed", cfg.SeqOps)
+	h := NewHarness()
+	ops := RandomOps(cfg.Seed, cfg.SeqOps)
+	if err := RunSeq(h, ops, SeqRules(uint64(cfg.Seed)), 100); err != nil {
+		return rep, fmt.Errorf("sequential phase: %w", err)
+	}
+	rep.SeqOutcomes = h.Outcomes()
+	logf("phase 1: ok, outcomes %v", rep.SeqOutcomes)
+
+	logf("phase 2: concurrent, %d workers x %d ops, perturbation failpoints (yield/delay)", cfg.Workers, cfg.ConcOps)
+	res, err := RunConc(ConcConfig{
+		Seed: cfg.Seed + 1, Workers: cfg.Workers, Ops: cfg.ConcOps,
+		Rules: ConcRules(uint64(cfg.Seed)+1, true),
+	})
+	rep.Perturb = res
+	if err != nil {
+		return rep, fmt.Errorf("concurrent perturbation phase: %w", err)
+	}
+	logf("phase 2: ok, %d ops, watchdog flagged=%d healed=%d, swept=%d, trace total=%d dropped=%d",
+		res.Ops, res.WatchdogFlagged, res.WatchdogHealed, res.SweptAtQuiesce,
+		res.TraceStats.Total, res.TraceStats.Dropped)
+
+	logf("phase 3: concurrent, %d workers x %d ops, error failpoints on every site", cfg.Workers, cfg.ConcOps)
+	res, err = RunConc(ConcConfig{
+		Seed: cfg.Seed + 2, Workers: cfg.Workers, Ops: cfg.ConcOps,
+		Rules: ConcRules(uint64(cfg.Seed)+2, false),
+	})
+	rep.Errors = res
+	if err != nil {
+		return rep, fmt.Errorf("concurrent error-injection phase: %w", err)
+	}
+	logf("phase 3: ok, %d ops, watchdog flagged=%d healed=%d, swept=%d, trace total=%d dropped=%d",
+		res.Ops, res.WatchdogFlagged, res.WatchdogHealed, res.SweptAtQuiesce,
+		res.TraceStats.Total, res.TraceStats.Dropped)
+
+	rep.Coverage = siteCoverage()
+	if un := rep.Uncovered(); len(un) > 0 {
+		return rep, fmt.Errorf("failpoint sites never fired: %v", un)
+	}
+	return rep, nil
+}
+
+// siteCoverage returns the counter snapshot of the rcgo/* sites only
+// (other packages may register sites of their own).
+func siteCoverage() []failpoint.Stats {
+	var out []failpoint.Stats
+	for _, st := range failpoint.Snapshot() {
+		if len(st.Name) >= 5 && st.Name[:5] == "rcgo/" {
+			out = append(out, st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Go-fuzz-style mutations of the fuzz seed corpus (byte flips,
+// truncations, span duplications, inserts, swaps), each run under a
+// per-case watchdog: no decoded schedule may diverge from the model or
+// wedge the engine. Guards the FuzzDeleteStateMachine target against
+// inputs that would hang a fuzz worker (the Go fuzzer has no per-exec
+// timeout, so a hang reads as a silent stall).
+func TestMutatedSchedulesTerminate(t *testing.T) {
+	var seeds [][]byte
+	for _, s := range []int64{1, 2, 3} {
+		var data []byte
+		for _, op := range RandomOps(s, 200) {
+			data = append(data, byte(op.Kind), byte(op.A), byte(op.B))
+		}
+		seeds = append(seeds, data)
+	}
+	rng := rand.New(rand.NewSource(7))
+	mutate := func(in []byte) []byte {
+		out := append([]byte(nil), in...)
+		for k := 0; k <= rng.Intn(4); k++ {
+			if len(out) == 0 {
+				out = append(out, byte(rng.Intn(256)))
+				continue
+			}
+			switch rng.Intn(5) {
+			case 0: // flip byte
+				out[rng.Intn(len(out))] = byte(rng.Intn(256))
+			case 1: // truncate
+				out = out[:rng.Intn(len(out))]
+			case 2: // duplicate a span
+				i := rng.Intn(len(out))
+				j := i + rng.Intn(len(out)-i)
+				out = append(out[:j], append(append([]byte(nil), out[i:j]...), out[j:]...)...)
+			case 3: // insert random byte
+				i := rng.Intn(len(out))
+				out = append(out[:i], append([]byte{byte(rng.Intn(256))}, out[i:]...)...)
+			case 4: // swap two bytes
+				i, j := rng.Intn(len(out)), rng.Intn(len(out))
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+		if len(out) > 4096 {
+			out = out[:4096]
+		}
+		return out
+	}
+	cases := 5000
+	if testing.Short() {
+		cases = 1000
+	}
+	for i := 0; i < cases; i++ {
+		data := mutate(seeds[rng.Intn(len(seeds))])
+		done := make(chan error, 1)
+		go func() {
+			h := NewHarness()
+			done <- RunSeq(h, DecodeOps(data), nil, 500)
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("case %d diverged: %v\ninput: %s", i, err, hex.EncodeToString(data))
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("case %d wedged the engine\ninput: %s", i, hex.EncodeToString(data))
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledSiteIsSilent(t *testing.T) {
+	s := New("test/disabled")
+	for i := 0; i < 1000; i++ {
+		if err := s.Eval(); err != nil {
+			t.Fatalf("disarmed Eval returned %v", err)
+		}
+	}
+	if got := s.evals.Load(); got != 0 {
+		t.Fatalf("disarmed evals counted: %d", got)
+	}
+}
+
+func TestErrorActionFiresAndWraps(t *testing.T) {
+	s := New("test/error")
+	defer s.Disable()
+	base := errors.New("boom")
+	s.Enable(Rule{Action: ActionError, Err: base})
+	err := s.Eval()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wrapped %v", err, base)
+	}
+	st := snapshotOf(t, "test/error")
+	if st.Evals != 1 || st.Fires != 1 {
+		t.Fatalf("stats = %+v, want 1 eval, 1 fire", st)
+	}
+}
+
+func TestDeterministicFiringPattern(t *testing.T) {
+	s := New("test/deterministic")
+	defer s.Disable()
+	pattern := func(seed uint64) []bool {
+		s.Enable(Rule{Action: ActionError, Num: 1, Den: 4, Seed: seed})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, s.Eval() != nil)
+		}
+		return out
+	}
+	// The pattern is a pure function of (seed, evaluation index within
+	// one arming): re-arming with the same seed replays it exactly.
+	a := pattern(42)
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("1/4 rule fired %d/%d times", fires, len(a))
+	}
+	b := pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("re-armed pattern diverged at evaluation %d", i)
+		}
+	}
+	if c := pattern(43); equalBools(a, c) {
+		t.Fatal("different seeds produced identical patterns")
+	}
+	// Different sites decorrelate: identical rules on two sites must
+	// not produce the identical decision stream.
+	sa, sb := New("test/decor-a"), New("test/decor-b")
+	defer sa.Disable()
+	defer sb.Disable()
+	sa.Enable(Rule{Action: ActionError, Num: 1, Den: 2, Seed: 1})
+	sb.Enable(Rule{Action: ActionError, Num: 1, Den: 2, Seed: 1})
+	same := 0
+	const rounds = 256
+	for i := 0; i < rounds; i++ {
+		if (sa.Eval() != nil) == (sb.Eval() != nil) {
+			same++
+		}
+	}
+	if same == rounds {
+		t.Fatal("two sites with the same seed produced identical streams")
+	}
+}
+
+func TestHookAndYieldReturnNil(t *testing.T) {
+	s := New("test/hook")
+	defer s.Disable()
+	ran := 0
+	s.Enable(Rule{Action: ActionHook, Hook: func() { ran++ }})
+	if err := s.Eval(); err != nil {
+		t.Fatalf("hook Eval = %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("hook ran %d times", ran)
+	}
+	s.Enable(Rule{Action: ActionYield, Yields: 3})
+	if err := s.Eval(); err != nil {
+		t.Fatalf("yield Eval = %v", err)
+	}
+}
+
+func TestDelayActionSleeps(t *testing.T) {
+	s := New("test/delay")
+	defer s.Disable()
+	s.Enable(Rule{Action: ActionDelay, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := s.Eval(); err != nil {
+		t.Fatalf("delay Eval = %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("delay slept %v, want >= 5ms", d)
+	}
+}
+
+func TestPerturbNeverErrors(t *testing.T) {
+	s := New("test/perturb")
+	defer s.Disable()
+	s.Enable(Rule{Action: ActionError})
+	s.Perturb()
+	st := snapshotOf(t, "test/perturb")
+	if st.Fires != 1 {
+		t.Fatalf("Perturb did not count a fire: %+v", st)
+	}
+}
+
+func TestEnableByNameAndUnknownSite(t *testing.T) {
+	New("test/byname")
+	defer Disable("test/byname")
+	if err := Enable("test/byname", Rule{Action: ActionError}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	if err := Lookup("test/byname").Eval(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eval = %v, want ErrInjected", err)
+	}
+	if err := Enable("test/no-such-site", Rule{}); err == nil {
+		t.Fatal("Enable of unknown site succeeded")
+	}
+	Disable("test/no-such-site") // no-op, must not panic
+}
+
+func TestNewIsIdempotent(t *testing.T) {
+	a := New("test/idempotent")
+	b := New("test/idempotent")
+	if a != b {
+		t.Fatal("New returned distinct sites for one name")
+	}
+}
+
+func TestConcurrentEvalAndArm(t *testing.T) {
+	s := New("test/concurrent")
+	defer s.Disable()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				err := s.Eval()
+				if err != nil && !errors.Is(err, ErrInjected) {
+					t.Errorf("Eval = %v", err)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s.Enable(Rule{Action: ActionError, Num: 1, Den: 3, Seed: uint64(i)})
+			s.Disable()
+		}
+	}()
+	wg.Wait()
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func snapshotOf(t *testing.T, name string) Stats {
+	t.Helper()
+	for _, st := range Snapshot() {
+		if st.Name == name {
+			return st
+		}
+	}
+	t.Fatalf("site %q not in snapshot", name)
+	return Stats{}
+}

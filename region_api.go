@@ -269,6 +269,9 @@ func Alloc[T any](r *Region) *Obj[T] {
 // TryAlloc allocates a zero T in region r, or returns ErrRegionDeleted
 // if r has been deleted.
 func TryAlloc[T any](r *Region) (*Obj[T], error) {
+	if err := fpAllocAdmission.Eval(); err != nil {
+		return nil, fmt.Errorf("%w: allocation in region %d", err, r.id)
+	}
 	o := &Obj[T]{region: r}
 	r.mu.Lock()
 	if r.state.Load() != stateAlive {
@@ -326,6 +329,15 @@ func (r *Region) settled() int32 {
 func (r *Region) incRC() error {
 	for {
 		r.rc.Add(1)
+		// Failpoint inside the increment-then-validate window: an
+		// injected error is a reference creation failing mid-protocol and
+		// must withdraw its increment (and re-offer a drain the transient
+		// increment may have suppressed), exactly like the zombie path.
+		if err := fpIncRCValidate.Eval(); err != nil {
+			r.rc.Add(-1)
+			r.maybeDrain()
+			return fmt.Errorf("%w: new reference to region %d", err, r.id)
+		}
 		switch r.state.Load() {
 		case stateAlive:
 			if c := r.counters(); c != nil {
@@ -362,9 +374,23 @@ func (r *Region) decRC() {
 // maybeDrain reclaims a zombie region whose references and subregions
 // have drained. The zombie→dead transition is made exactly once, under
 // mu, after re-validating the counts.
-func (r *Region) maybeDrain() {
+func (r *Region) maybeDrain() { r.drain(false) }
+
+// drain is maybeDrain's implementation; it reports whether this call
+// made the zombie→dead transition. force bypasses the zombie.drain
+// failpoint: the recovery paths (Arena.SweepZombies, the watchdog) must
+// be able to heal a drain the failpoint itself suppressed.
+func (r *Region) drain(force bool) bool {
 	if r.state.Load() != stateZombie {
-		return
+		return false
+	}
+	// Failpoint on the drain edge: an injected error drops this drain
+	// attempt on the floor — a lost wakeup, the stuck-zombie condition
+	// the watchdog exists to detect and heal.
+	if !force {
+		if err := fpZombieDrain.Eval(); err != nil {
+			return false
+		}
 	}
 	r.mu.Lock()
 	if r.state.Load() == stateZombie && r.rc.Load() == 0 && r.children.Load() == 0 {
@@ -372,9 +398,10 @@ func (r *Region) maybeDrain() {
 		r.arena.deferredRegions.Add(-1)
 		r.mu.Unlock()
 		r.reclaim()
-		return
+		return true
 	}
 	r.mu.Unlock()
+	return false
 }
 
 // Pin registers a local (Go-variable) reference to an object's region for
@@ -436,6 +463,14 @@ func (r *Region) Delete() error {
 	// Close the gate: once dying is visible, incRC withdraws and waits,
 	// so an rc of zero observed below cannot grow behind our back.
 	r.state.Store(stateDying)
+	// Failpoint inside the dying window: an injected error aborts the
+	// delete with the gate restored (no decision was made); a delay or
+	// yield holds the window open against racing incRCs.
+	if err := fpDeleteDying.Eval(); err != nil {
+		r.state.Store(stateAlive)
+		r.mu.Unlock()
+		return fmt.Errorf("%w: delete of region %d", err, r.id)
+	}
 	if n := r.rc.Load(); n != 0 {
 		r.state.Store(stateAlive)
 		r.mu.Unlock()
@@ -480,6 +515,9 @@ func (r *Region) DeleteDeferred() {
 		return
 	}
 	r.state.Store(stateDying)
+	// Same dying-window failpoint as Delete, but DeleteDeferred has no
+	// error return: only the perturbing actions (delay/yield/hook) apply.
+	fpDeleteDying.Perturb()
 	if r.rc.Load() == 0 && r.children.Load() == 0 {
 		r.state.Store(stateDead)
 		r.arena.liveRegions.Add(-1)

@@ -215,8 +215,12 @@ func (a *Arena) BlockedDeleters() []BlockedRegion {
 //	/           index of the endpoints, with an arena summary
 //	/hierarchy  live region forest as JSON ({"stats": ..., "regions": ...})
 //	/hierarchy.dot  the same forest as Graphviz dot
-//	/counters   ArenaStats + cumulative ArenaCounters as JSON
+//	/counters   ArenaStats + cumulative ArenaCounters (+ ring-tracer
+//	            occupancy and drop counts, when a RingTracer is
+//	            installed) as JSON
 //	/blocked    blocked-deleters report as JSON
+//	/audit      whole-arena invariant audit (region_audit.go) as JSON;
+//	            exact when the arena is quiesced, advisory under load
 //
 // Creating the handler enables the cumulative counters (EnableMetrics).
 func (a *Arena) DebugHandler() http.Handler {
@@ -231,9 +235,13 @@ func (a *Arena) DebugHandler() http.Handler {
 	mux.HandleFunc("/{$}", func(w http.ResponseWriter, req *http.Request) {
 		st := a.Stats()
 		fmt.Fprintf(w, "rcgo arena debug\n\n")
-		fmt.Fprintf(w, "live_regions=%d deferred_regions=%d live_objects=%d regions_created=%d\n\n",
+		fmt.Fprintf(w, "live_regions=%d deferred_regions=%d live_objects=%d regions_created=%d\n",
 			st.LiveRegions, st.DeferredRegions, st.LiveObjects, st.RegionsCreated)
-		fmt.Fprintf(w, "endpoints: /hierarchy /hierarchy.dot /counters /blocked\n")
+		if ts, ok := a.traceStats(); ok {
+			fmt.Fprintf(w, "trace_events=%d trace_buffered=%d trace_dropped=%d\n",
+				ts.Total, ts.Buffered, ts.Dropped)
+		}
+		fmt.Fprintf(w, "\nendpoints: /hierarchy /hierarchy.dot /counters /blocked /audit\n")
 	})
 	mux.HandleFunc("/hierarchy", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, struct {
@@ -246,10 +254,7 @@ func (a *Arena) DebugHandler() http.Handler {
 		fmt.Fprint(w, a.HierarchyDot())
 	})
 	mux.HandleFunc("/counters", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, struct {
-			Stats    ArenaStats    `json:"stats"`
-			Counters ArenaCounters `json:"counters"`
-		}{a.Stats(), a.Counters()})
+		writeJSON(w, a.countersDoc())
 	})
 	mux.HandleFunc("/blocked", func(w http.ResponseWriter, req *http.Request) {
 		blocked := a.BlockedDeleters()
@@ -260,7 +265,31 @@ func (a *Arena) DebugHandler() http.Handler {
 			Blocked []BlockedRegion `json:"blocked"`
 		}{blocked})
 	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, req *http.Request) {
+		rep := a.Audit()
+		if rep.Violations == nil {
+			rep.Violations = []AuditViolation{}
+		}
+		writeJSON(w, rep)
+	})
 	return mux
+}
+
+// countersDoc is the shared JSON document of the /counters endpoint and
+// PublishExpvar: arena stats, cumulative counters, and — when the
+// installed tracer chain ends in a RingTracer — the ring's occupancy
+// and drop counts, so monitoring (and chaos runs) can detect lost
+// lifecycle events.
+func (a *Arena) countersDoc() any {
+	doc := struct {
+		Stats    ArenaStats    `json:"stats"`
+		Counters ArenaCounters `json:"counters"`
+		Trace    *TraceStats   `json:"trace,omitempty"`
+	}{Stats: a.Stats(), Counters: a.Counters()}
+	if ts, ok := a.traceStats(); ok {
+		doc.Trace = &ts
+	}
+	return doc
 }
 
 // expvarMu serializes the exists-check against Publish, which panics on
@@ -279,11 +308,6 @@ func (a *Arena) PublishExpvar(name string) error {
 		return fmt.Errorf("rcgo: expvar %q already published", name)
 	}
 	a.EnableMetrics()
-	expvar.Publish(name, expvar.Func(func() any {
-		return struct {
-			Stats    ArenaStats    `json:"stats"`
-			Counters ArenaCounters `json:"counters"`
-		}{a.Stats(), a.Counters()}
-	}))
+	expvar.Publish(name, expvar.Func(func() any { return a.countersDoc() }))
 	return nil
 }

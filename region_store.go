@@ -99,10 +99,21 @@ func SetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 	// reference.
 	external := target != nil && target.region != hr
 	if external {
+		// Propagate incRC's error as-is: it carries ErrRegionDeleted for
+		// a dead/zombie target, or ErrInjected under fault injection, and
+		// callers distinguish the two with errors.Is.
 		if err := target.region.incRC(); err != nil {
-			return fmt.Errorf("%w: counted store targets deleted region %d",
-				ErrRegionDeleted, target.region.id)
+			return fmt.Errorf("counted store: %w", err)
 		}
+	}
+	// Failpoint in the count-vs-registry window: the reference is
+	// counted but the slot not yet registered; an injected error unwinds
+	// the store exactly like a holder-state rejection below.
+	if err := fpSlotInsert.Eval(); err != nil {
+		if external {
+			target.region.decRC()
+		}
+		return fmt.Errorf("%w: counted store into region %d", err, hr.id)
 	}
 	sh := hr.shardOf(unsafe.Pointer(slot))
 	sh.mu.Lock()

@@ -171,6 +171,68 @@ func (t *RingTracer) Trace(ev TraceEvent) {
 // have been overwritten.
 func (t *RingTracer) Total() uint64 { return t.pos.Load() }
 
+// Dropped returns the number of events overwritten by ring wrap-around
+// — events traced but no longer in the window. A chaos or audit run
+// that needs every lifecycle event checks Dropped() == 0 (or sizes the
+// ring up) before trusting Events() to be complete.
+func (t *RingTracer) Dropped() uint64 {
+	total := t.pos.Load()
+	if c := uint64(len(t.slots)); total > c {
+		return total - c
+	}
+	return 0
+}
+
+// TraceStats is a snapshot of a RingTracer's occupancy: how many events
+// were ever traced, how many the window can hold, and how many have
+// been dropped to wrap-around. Exposed by the DebugHandler and
+// PublishExpvar JSON so monitoring can detect lost lifecycle events.
+type TraceStats struct {
+	// Capacity is the ring size (power of two).
+	Capacity int `json:"capacity"`
+	// Total counts every event ever traced (monotonic).
+	Total uint64 `json:"total"`
+	// Buffered is the number of events currently in the window.
+	Buffered int `json:"buffered"`
+	// Dropped is Total minus Buffered: events lost to wrap-around.
+	Dropped uint64 `json:"dropped"`
+}
+
+// TraceStats returns the ring's occupancy snapshot.
+func (t *RingTracer) TraceStats() TraceStats {
+	total := t.pos.Load()
+	buffered := total
+	if c := uint64(len(t.slots)); buffered > c {
+		buffered = c
+	}
+	return TraceStats{
+		Capacity: len(t.slots),
+		Total:    total,
+		Buffered: int(buffered),
+		Dropped:  total - buffered,
+	}
+}
+
+// traceStats walks the installed tracer chain (unwrapping wrappers like
+// ZombieWatchdog) to the first tracer that exposes ring statistics.
+func (a *Arena) traceStats() (TraceStats, bool) {
+	b := a.tracer.Load()
+	if b == nil {
+		return TraceStats{}, false
+	}
+	for t := b.t; t != nil; {
+		if ts, ok := t.(interface{ TraceStats() TraceStats }); ok {
+			return ts.TraceStats(), true
+		}
+		u, ok := t.(interface{ Unwrap() Tracer })
+		if !ok {
+			break
+		}
+		t = u.Unwrap()
+	}
+	return TraceStats{}, false
+}
+
 // Events returns the buffered events in sequence order, oldest first.
 // The snapshot is taken without stopping writers: under concurrent
 // tracing it is a consistent set of recently published events, not an

@@ -1,0 +1,336 @@
+package rcgo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Graceful degradation for deletes that stay blocked. Delete is
+// non-blocking by design — it fails with ErrRegionInUse rather than
+// waiting for references to drain — so a caller that *wants* the region
+// gone needs a retry policy, and an operator needs to know when a
+// deferred-deleted region is never going to drain. This file provides
+// both: DeleteWithRetry (bounded, jittered exponential backoff under a
+// context) and ZombieWatchdog (tracer-driven detection of zombies older
+// than a threshold, named with the holders that pin them, healing lost
+// drain wakeups along the way).
+
+// Backoff configures DeleteWithRetry's jittered exponential backoff.
+// The zero value is usable: 1ms initial, 100ms cap, doubling, half the
+// interval jittered.
+type Backoff struct {
+	// Initial is the first sleep (default 1ms).
+	Initial time.Duration
+	// Max caps the sleep (default 100ms).
+	Max time.Duration
+	// Multiplier grows the sleep after each failed attempt (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each sleep drawn uniformly at random
+	// (default 0.5): the actual sleep is d*(1-Jitter) + rand*d*Jitter,
+	// decorrelating retry storms from concurrent deleters.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 100 * time.Millisecond
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// sleep returns the jittered duration for attempt n (0-based).
+func (b Backoff) sleep(n int) time.Duration {
+	d := float64(b.Initial)
+	for i := 0; i < n; i++ {
+		d *= b.Multiplier
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d = d*(1-b.Jitter) + rand.Float64()*d*b.Jitter
+	}
+	return time.Duration(d)
+}
+
+// DeleteWithRetry calls Delete until it succeeds, retrying with
+// jittered exponential backoff while the failure is transient — the
+// region is in use (ErrRegionInUse) or a failpoint injected the failure
+// (ErrInjected). It stops early on a terminal outcome (the region was
+// already deleted, or it is the traditional region) and returns that
+// error unchanged. When ctx expires first, the returned error wraps
+// both the context error and the last Delete error, so callers can
+// test either with errors.Is.
+func (r *Region) DeleteWithRetry(ctx context.Context, b Backoff) error {
+	b = b.withDefaults()
+	for attempt := 0; ; attempt++ {
+		err := r.Delete()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrRegionInUse) && !errors.Is(err, ErrInjected) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("rcgo: delete retry on region %d gave up: %w", r.id,
+				errors.Join(ctx.Err(), err))
+		case <-time.After(b.sleep(attempt)):
+		}
+	}
+}
+
+// SweepZombies force-drains every zombie region whose references and
+// subregions have already drained, returning the number of regions
+// reclaimed. A healthy arena reclaims zombies inline (the last decRC or
+// child reclaim drains them) and a sweep finds nothing; the sweep
+// exists as the recovery path for lost drain wakeups — the condition
+// the zombie.drain failpoint induces and AuditZombieReclaimable
+// reports. It loops to a fixpoint so cascades (a drained child
+// unblocking a zombie parent) complete in one call. Safe to run
+// concurrently with anything.
+func (a *Arena) SweepZombies() int {
+	total := 0
+	for {
+		n := 0
+		a.EachRegion(func(r *Region) {
+			if r.drain(true) {
+				n++
+			}
+		})
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// StuckZombie describes one deferred-deleted region that has stayed
+// unreclaimed longer than the watchdog's threshold, with the evidence
+// an operator needs: how long it has been a zombie, its current counts,
+// and which regions' counted slots pin it (from the blocked-deleters
+// scan).
+type StuckZombie struct {
+	ID int64 `json:"id"`
+	// Age is how long the region has been a zombie when flagged.
+	Age time.Duration `json:"age_ns"`
+	RC  int64         `json:"rc"`
+	// Pins is the pin subset of RC.
+	Pins int64 `json:"pins"`
+	// Subregions counts live children; a zombie cannot reclaim while
+	// any remain, even at rc 0.
+	Subregions int64 `json:"subregions,omitempty"`
+	// Holders names the regions whose registered counted slots point
+	// into this region, sorted by slot count descending.
+	Holders []BlockedHolder `json:"holders,omitempty"`
+}
+
+// ZombieWatchdog flags deferred-deleted regions that fail to reclaim
+// within a threshold. It is a Tracer: install it with Arena.SetTracer
+// (chaining any previous tracer through next) and it learns zombie
+// birth and reclaim times from the TraceRegionDeferred /
+// TraceRegionReclaimed events. Each Check (called directly, or
+// periodically after Start):
+//
+//  1. heals lost drain wakeups — a zombie past the threshold that is
+//     already drained (rc 0, no subregions) is reclaimed on the spot,
+//     not flagged;
+//  2. flags every zombie past the threshold that is genuinely pinned,
+//     naming the pinning holder regions via the blocked-deleters scan,
+//     and delivers each report to the OnStuck callback (if set).
+type ZombieWatchdog struct {
+	arena     *Arena
+	next      Tracer
+	threshold time.Duration
+
+	// OnStuck, if non-nil, receives every flagged zombie, once per
+	// Check that finds it still stuck. Set before installing the
+	// watchdog as a tracer.
+	OnStuck func(StuckZombie)
+
+	// now is the clock, injectable in tests.
+	now func() time.Time
+
+	mu      sync.Mutex
+	pending map[int64]time.Time // zombie id -> when it was deferred
+
+	flagged atomic.Int64
+	healed  atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewZombieWatchdog creates a watchdog for a with the given age
+// threshold. next, if non-nil, receives every trace event after the
+// watchdog has seen it, so a RingTracer keeps working underneath:
+//
+//	ring := rcgo.NewRingTracer(1024)
+//	w := rcgo.NewZombieWatchdog(arena, time.Second, ring)
+//	arena.SetTracer(w)
+func NewZombieWatchdog(a *Arena, threshold time.Duration, next Tracer) *ZombieWatchdog {
+	return &ZombieWatchdog{
+		arena:     a,
+		next:      next,
+		threshold: threshold,
+		now:       time.Now,
+		pending:   make(map[int64]time.Time),
+	}
+}
+
+// Trace implements Tracer: zombie births and reclaims update the
+// pending set; every event is forwarded to the chained tracer.
+func (w *ZombieWatchdog) Trace(ev TraceEvent) {
+	switch ev.Kind {
+	case TraceRegionDeferred:
+		w.mu.Lock()
+		w.pending[ev.Region] = w.now()
+		w.mu.Unlock()
+	case TraceRegionReclaimed:
+		w.mu.Lock()
+		delete(w.pending, ev.Region)
+		w.mu.Unlock()
+	}
+	if w.next != nil {
+		w.next.Trace(ev)
+	}
+}
+
+// Unwrap returns the chained tracer, so inspectors (DebugHandler's
+// trace stats) can reach a RingTracer underneath the watchdog.
+func (w *ZombieWatchdog) Unwrap() Tracer { return w.next }
+
+// Check runs one watchdog pass and returns the zombies flagged as
+// stuck, sorted by id. See the type comment for what one pass does.
+func (w *ZombieWatchdog) Check() []StuckZombie {
+	now := w.now()
+	w.mu.Lock()
+	var due []int64
+	for id, since := range w.pending {
+		if now.Sub(since) >= w.threshold {
+			due = append(due, id)
+		}
+	}
+	w.mu.Unlock()
+	if len(due) == 0 {
+		return nil
+	}
+
+	// The blocked-deleters scan names the holders; index it by zombie.
+	blocked := make(map[int64]BlockedRegion)
+	for _, br := range w.arena.BlockedDeleters() {
+		blocked[br.ID] = br
+	}
+
+	var stuck []StuckZombie
+	for _, id := range due {
+		r := w.arena.findRegion(id)
+		if r == nil {
+			// Reclaimed between the event and this pass; the reclaim
+			// event will (or did) clear pending.
+			w.forget(id)
+			continue
+		}
+		st := r.Stats()
+		if !st.Deferred {
+			w.forget(id)
+			continue
+		}
+		if st.RC == 0 && st.Subregions == 0 {
+			// Drained but unreclaimed: a lost wakeup. Heal, don't flag.
+			if r.drain(true) {
+				w.healed.Add(1)
+				w.forget(id)
+				continue
+			}
+			// Lost the race with a pin/drain; re-read below.
+			st = r.Stats()
+			if !st.Deferred {
+				w.forget(id)
+				continue
+			}
+		}
+		sz := StuckZombie{
+			ID:         id,
+			Age:        now.Sub(w.since(id)),
+			RC:         st.RC,
+			Pins:       st.Pins,
+			Subregions: st.Subregions,
+			Holders:    blocked[id].Holders,
+		}
+		stuck = append(stuck, sz)
+		w.flagged.Add(1)
+		if w.OnStuck != nil {
+			w.OnStuck(sz)
+		}
+	}
+	return stuck
+}
+
+func (w *ZombieWatchdog) forget(id int64) {
+	w.mu.Lock()
+	delete(w.pending, id)
+	w.mu.Unlock()
+}
+
+func (w *ZombieWatchdog) since(id int64) time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pending[id]
+}
+
+// Flagged returns the cumulative number of stuck-zombie reports made.
+func (w *ZombieWatchdog) Flagged() int64 { return w.flagged.Load() }
+
+// Healed returns the cumulative number of lost drain wakeups the
+// watchdog repaired (zombies it reclaimed itself).
+func (w *ZombieWatchdog) Healed() int64 { return w.healed.Load() }
+
+// Start runs Check every interval on a background goroutine until
+// Stop. Start may be called at most once.
+func (w *ZombieWatchdog) Start(interval time.Duration) {
+	if w.stop != nil {
+		panic("rcgo: ZombieWatchdog.Start called twice")
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Check()
+			}
+		}
+	}()
+}
+
+// Stop halts the background checker and waits for it to exit. No-op if
+// Start was never called; safe to call more than once.
+func (w *ZombieWatchdog) Stop() {
+	if w.stop == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
