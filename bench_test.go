@@ -323,16 +323,29 @@ type parNode struct {
 	up    Ref[parNode] // parentptr link
 }
 
-// BenchmarkParallelAlloc allocates from every P into its own region —
-// the webserver pattern of a region per request.
-func BenchmarkParallelAlloc(b *testing.B) {
+// benchParallelAlloc is the shared body of the parallel allocation
+// benchmarks: every P allocates into its own region (the webserver
+// pattern of a region per request), optionally linking each object to
+// the previous one with an annotated sameregion store, recycling the
+// region every 8192 allocations. cache selects the allocation fast path
+// (region_alloccache.go) or the pre-cache slow path — compare the pairs
+// at -cpu 8 for the ablation (cmd/rcbench -alloc-ab runs the same A/B
+// interleaved).
+func benchParallelAlloc(b *testing.B, cache, link bool) {
 	a := NewArena()
+	a.SetAllocCache(cache)
 	b.RunParallel(func(pb *testing.PB) {
 		r := a.NewRegion()
+		var prev *Obj[parNode]
 		n := 0
 		for pb.Next() {
-			Alloc[parNode](r)
+			o := Alloc[parNode](r)
+			if link {
+				MustSetSame(o, &o.Value.next, prev)
+				prev = o
+			}
 			if n++; n == 8192 {
+				prev = nil
 				if err := r.Delete(); err != nil {
 					b.Error(err)
 					return
@@ -346,6 +359,24 @@ func BenchmarkParallelAlloc(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkParallelAlloc allocates from every P into its own region —
+// the webserver pattern of a region per request.
+func BenchmarkParallelAlloc(b *testing.B) { benchParallelAlloc(b, true, false) }
+
+// BenchmarkParallelAllocNoCache is BenchmarkParallelAlloc down the
+// pre-cache slow path (per-object lifecycle mutex + direct shared
+// counter updates), the allocation fast path's ablation baseline.
+func BenchmarkParallelAllocNoCache(b *testing.B) { benchParallelAlloc(b, false, false) }
+
+// BenchmarkParallelAllocSetSame interleaves each allocation with an
+// annotated sameregion store — the paper's cheap-pointer pattern riding
+// on the allocation fast path.
+func BenchmarkParallelAllocSetSame(b *testing.B) { benchParallelAlloc(b, true, true) }
+
+// BenchmarkParallelAllocSetSameNoCache is the slow-path ablation of
+// BenchmarkParallelAllocSetSame.
+func BenchmarkParallelAllocSetSameNoCache(b *testing.B) { benchParallelAlloc(b, false, true) }
 
 // BenchmarkParallelSetSame: every P runs annotated stores against its
 // own objects inside one shared region. No shared cache line is written,

@@ -32,8 +32,8 @@ func TestChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Coverage) != 5 {
-		t.Fatalf("expected 5 instrumented sites, got %d: %+v", len(rep.Coverage), rep.Coverage)
+	if len(rep.Coverage) != 6 {
+		t.Fatalf("expected 6 instrumented sites, got %d: %+v", len(rep.Coverage), rep.Coverage)
 	}
 	for _, st := range rep.Coverage {
 		if st.Fires == 0 {
@@ -47,6 +47,13 @@ func TestChaos(t *testing.T) {
 		if res.TraceStats.Total == 0 {
 			t.Error("no lifecycle events traced")
 		}
+	}
+	if !rep.AllocChurn.Audit.OK {
+		t.Errorf("alloc-churn quiesced audit not clean: %s", rep.AllocChurn.Audit)
+	}
+	if rep.AllocChurn.AllocSuccesses == 0 || rep.AllocChurn.AllocFlushes == 0 {
+		t.Errorf("alloc-churn phase inert: allocs=%d flushes=%d",
+			rep.AllocChurn.AllocSuccesses, rep.AllocChurn.AllocFlushes)
 	}
 }
 

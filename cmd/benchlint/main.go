@@ -4,9 +4,10 @@
 //
 // It checks the invariants every rcgo.bench/1 document must satisfy —
 // the schema tag, at least one workload, positive times, non-negative
-// counters, and a non-zero store total — and exits non-zero with a
-// message naming the first violation. `make bench-smoke` runs a tiny
-// report through it as a sanity gate.
+// counters, a non-zero store total, and (when the optional parallel
+// section is present) positive A/B timings per cell — and exits
+// non-zero with a message naming the first violation. `make
+// bench-smoke` runs a tiny report through it as a sanity gate.
 package main
 
 import (
@@ -82,6 +83,33 @@ func main() {
 		if w.Stores() == 0 {
 			fail("%s: no pointer stores recorded", w.Name)
 		}
+	}
+	seenPar := make(map[string]bool)
+	for i, p := range report.Parallel {
+		if p.Name == "" {
+			fail("parallel cell %d has no name", i)
+		}
+		if seenPar[p.Name] {
+			fail("parallel cell %q appears twice", p.Name)
+		}
+		seenPar[p.Name] = true
+		if p.CPU <= 0 {
+			fail("%s: cpu = %d, want > 0", p.Name, p.CPU)
+		}
+		if p.BestOf <= 0 {
+			fail("%s: best_of = %d, want > 0", p.Name, p.BestOf)
+		}
+		if p.NsPerOp <= 0 {
+			fail("%s: ns_op = %g, want > 0", p.Name, p.NsPerOp)
+		}
+		if p.BaselineNs <= 0 {
+			fail("%s: baseline_ns_op = %g, want > 0", p.Name, p.BaselineNs)
+		}
+	}
+	if len(report.Parallel) > 0 {
+		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells)\n",
+			len(report.Workloads), len(report.Parallel))
+		return
 	}
 	fmt.Printf("benchlint: ok (%d workloads)\n", len(report.Workloads))
 }

@@ -9,6 +9,8 @@
 //	rcbench -figure 8        # one figure (7, 8 or 9)
 //	rcbench -scale 50 -reps 5 -workloads moss,tile
 //	rcbench -json            # machine-readable report on stdout
+//	rcbench -alloc-ab 10 -ab-cpu 8   # Go-native allocation fast-path A/B
+//	rcbench -json -workloads grobner -alloc-ab 10   # record a parallel section
 //
 // With -json the human tables are skipped (-table/-figure/-space/-bars
 // are ignored) and a single exp.BenchReport document — schema
@@ -35,6 +37,8 @@ func main() {
 	names := flag.String("workloads", "", "comma-separated workload subset")
 	bars := flag.Bool("bars", false, "also render figures as bar charts")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable report (rcgo.bench/1) instead of tables")
+	allocAB := flag.Int("alloc-ab", 0, "run the Go-native allocation fast-path A/B benchmarks, best of N interleaved runs per side (0 = skip)")
+	abCPU := flag.Int("ab-cpu", 8, "GOMAXPROCS for the -alloc-ab benchmarks")
 	flag.Parse()
 
 	o := exp.Options{Scale: *scale, Reps: *reps}
@@ -53,12 +57,30 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if *allocAB > 0 {
+			report.Parallel, err = exp.AllocAB(*abCPU, *allocAB)
+			if err != nil {
+				fail(err)
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
 			fail(err)
 		}
 		return
+	}
+
+	if *allocAB > 0 {
+		cells, err := exp.AllocAB(*abCPU, *allocAB)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintAllocAB(os.Stdout, cells)
+		if *table == 0 && *figure == 0 {
+			return
+		}
+		fmt.Println()
 	}
 
 	if all || *table == 1 {

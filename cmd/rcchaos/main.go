@@ -1,11 +1,12 @@
 // Command rcchaos runs the chaos harness for the concurrent region
 // runtime (internal/chaos): a seeded sequential phase checked op-by-op
-// against a reference model of the delete state machine, then two
-// concurrent phases — scheduler perturbation and error injection — with
-// failpoints armed on every instrumented lifecycle edge, a zombie
-// watchdog patrolling, and Arena.Audit required clean at every quiesce
-// point. Failpoint site coverage is reported at exit; the run fails if
-// any site never fired.
+// against a reference model of the delete state machine, then three
+// concurrent phases — scheduler perturbation, error injection, and
+// allocation churn through the fast path's caches — with failpoints
+// armed on every instrumented lifecycle edge, a zombie watchdog
+// patrolling, and Arena.Audit required clean at every quiesce point.
+// Failpoint site coverage is reported at exit; the run fails if any
+// site never fired.
 //
 // Meant to run under the race detector (make chaos):
 //
@@ -54,6 +55,9 @@ func main() {
 			phase.res.SweptAtQuiesce, len(phase.res.Audit.Violations),
 			phase.res.TraceStats.Total, phase.res.TraceStats.Dropped)
 	}
+	fmt.Printf("rcchaos: concurrent/alloc-churn: %d ops, allocs=%d flushes=%d, audit violations=%d\n",
+		rep.AllocChurn.Ops, rep.AllocChurn.AllocSuccesses, rep.AllocChurn.AllocFlushes,
+		len(rep.AllocChurn.Audit.Violations))
 	fmt.Println("rcchaos: failpoint site coverage:")
 	for _, st := range rep.Coverage {
 		fmt.Printf("rcchaos:   %-24s evals=%-8d fires=%d\n", st.Name, st.Evals, st.Fires)

@@ -84,14 +84,40 @@ func TestConcurrentPhases(t *testing.T) {
 	}
 }
 
+// The alloc-churn phase must keep exact allocation accounting (arena
+// Allocs == worker-observed successes, LiveObjects 0, audit clean)
+// while refills are refused and regions are deleted mid-allocation.
+func TestAllocChurnPhase(t *testing.T) {
+	ops := 2000
+	if testing.Short() {
+		ops = 500
+	}
+	res, err := RunAllocChurn(ConcConfig{
+		Seed: 5, Workers: 4, Ops: ops,
+		Rules: AllocChurnRules(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audit.OK {
+		t.Fatalf("audit: %s", res.Audit)
+	}
+	if res.AllocSuccesses == 0 {
+		t.Fatal("no successful allocations — churn phase exercised nothing")
+	}
+	if res.AllocFlushes == 0 {
+		t.Fatal("no delta flushes — the batched counter path never engaged")
+	}
+}
+
 func fires(t *testing.T) map[string]uint64 {
 	t.Helper()
 	out := make(map[string]uint64)
 	for _, st := range siteCoverage() {
 		out[st.Name] = st.Fires
 	}
-	if len(out) != 5 {
-		t.Fatalf("expected 5 rcgo sites, got %v", out)
+	if len(out) != 6 {
+		t.Fatalf("expected 6 rcgo sites, got %v", out)
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcgo"
@@ -32,6 +33,7 @@ func ConcRules(seed uint64, perturb bool) map[string]failpoint.Rule {
 			"rcgo/delete.dying":    {Action: failpoint.ActionDelay, Num: 1, Den: 7, Seed: seed, Delay: 50 * time.Microsecond},
 			"rcgo/zombie.drain":    {Action: failpoint.ActionYield, Num: 1, Den: 4, Seed: seed},
 			"rcgo/slot.insert":     {Action: failpoint.ActionYield, Num: 1, Den: 4, Seed: seed},
+			"rcgo/alloc.refill":    {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed, Yields: 2},
 		}
 	}
 	return map[string]failpoint.Rule{
@@ -40,6 +42,21 @@ func ConcRules(seed uint64, perturb bool) map[string]failpoint.Rule {
 		"rcgo/delete.dying":    {Action: failpoint.ActionError, Num: 1, Den: 11, Seed: seed},
 		"rcgo/zombie.drain":    {Action: failpoint.ActionError, Num: 1, Den: 3, Seed: seed},
 		"rcgo/slot.insert":     {Action: failpoint.ActionError, Num: 1, Den: 13, Seed: seed},
+		"rcgo/alloc.refill":    {Action: failpoint.ActionError, Num: 1, Den: 5, Seed: seed},
+	}
+}
+
+// AllocChurnRules arms the allocation-path sites for the alloc-churn
+// phase: refused chunk refills at a high rate (the error path SeqRules
+// cannot arm deterministically), transient admission failures, and
+// yields inside the delete windows so reclaim's delta drain races the
+// fast path's increment-then-validate loop as often as possible.
+func AllocChurnRules(seed uint64) map[string]failpoint.Rule {
+	return map[string]failpoint.Rule{
+		"rcgo/alloc.admission": {Action: failpoint.ActionError, Num: 1, Den: 29, Seed: seed},
+		"rcgo/alloc.refill":    {Action: failpoint.ActionError, Num: 1, Den: 3, Seed: seed},
+		"rcgo/delete.dying":    {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed, Yields: 2},
+		"rcgo/zombie.drain":    {Action: failpoint.ActionYield, Num: 1, Den: 4, Seed: seed},
 	}
 }
 
@@ -62,6 +79,12 @@ type ConcResult struct {
 	TraceStats       rcgo.TraceStats
 	Audit            rcgo.AuditReport
 	DeferredObserved int64
+	// AllocSuccesses / AllocFlushes are set by the alloc-churn phase
+	// only: successful TryAlloc calls counted by the workers themselves,
+	// and the arena's batched-delta flush count. At quiesce the arena's
+	// Allocs counter must equal AllocSuccesses exactly.
+	AllocSuccesses int64
+	AllocFlushes   int64
 }
 
 // tolerable reports whether err is an error class any op may see under
@@ -267,8 +290,122 @@ func RunConc(cfg ConcConfig) (ConcResult, error) {
 	return res, nil
 }
 
+// RunAllocChurn runs the allocation-churn phase: workers drive tight
+// TryAlloc loops through the fast path's chunk pools and batched
+// counter deltas (region_alloccache.go) while the regions being
+// allocated into are concurrently deleted out from under them — private
+// regions replaced mid-loop, and a small set of shared regions that any
+// worker may swap out and deferred-delete while the others still hold
+// the old pointer. Failpoints (AllocChurnRules) refuse chunk refills
+// and stretch the delete windows, so reclaim's delta drain races the
+// increment-then-validate admission loop constantly.
+//
+// The judge is exactness, not survival: every worker counts its own
+// successful TryAlloc calls, and at quiesce the arena's cumulative
+// Allocs counter must equal that total — any batched delta lost (or
+// double-counted) across a racing delete shows up as drift there, as a
+// nonzero LiveObjects, or as an audit violation.
+func RunAllocChurn(cfg ConcConfig) (ConcResult, error) {
+	var res ConcResult
+	a := rcgo.NewArena()
+	a.EnableMetrics()
+
+	const sharedN = 4
+	var shared [sharedN]atomic.Pointer[rcgo.Region]
+	for i := range shared {
+		shared[i].Store(a.NewRegion())
+	}
+
+	for name, r := range cfg.Rules {
+		if err := failpoint.Enable(name, r); err != nil {
+			return res, err
+		}
+	}
+	defer failpoint.DisableAll()
+
+	var successes atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			private := a.NewRegion()
+			defer func() {
+				private.DeleteDeferred()
+			}()
+			for i := 0; i < cfg.Ops; i++ {
+				target := private
+				if rng.Intn(3) == 0 {
+					target = shared[rng.Intn(sharedN)].Load()
+				}
+				if _, err := rcgo.TryAlloc[node](target); err == nil {
+					successes.Add(1)
+				} else if !tolerable(err) {
+					errs <- fmt.Errorf("alloc churn: %w", err)
+					return
+				}
+				switch {
+				case rng.Intn(61) == 0:
+					// Replace the private region mid-loop: its parked deltas
+					// must drain through the deferred-delete flush.
+					private.DeleteDeferred()
+					private = a.NewRegion()
+				case rng.Intn(127) == 0:
+					// Swap a shared region while other workers still allocate
+					// into the old one — the alloc-vs-reclaim race proper.
+					old := shared[rng.Intn(sharedN)].Swap(a.NewRegion())
+					old.DeleteDeferred()
+				case rng.Intn(89) == 0:
+					// Lock-free read that folds the pending deltas in.
+					_ = target.Objects()
+				case rng.Intn(149) == 0:
+					_ = target.Stats() // flush point under mu
+				}
+			}
+		}(cfg.Seed + int64(w)*104729)
+	}
+	wg.Wait()
+	res.Ops = cfg.Workers * cfg.Ops
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	// Quiesce: disarm, delete what the swaps left behind, then judge.
+	failpoint.DisableAll()
+	for i := range shared {
+		shared[i].Load().DeleteDeferred()
+	}
+	res.SweptAtQuiesce = a.SweepZombies()
+	res.Audit = a.Audit()
+	counters := a.Counters()
+	res.AllocSuccesses = successes.Load()
+	res.AllocFlushes = counters.AllocFlushes
+	if !res.Audit.OK {
+		return res, fmt.Errorf("quiesced audit failed:\n%s", res.Audit)
+	}
+	if counters.Allocs != res.AllocSuccesses {
+		return res, fmt.Errorf("alloc drift: arena counted %d allocs, workers observed %d successes",
+			counters.Allocs, res.AllocSuccesses)
+	}
+	if got := a.LiveObjects(); got != 0 {
+		return res, fmt.Errorf("quiesce: LiveObjects = %d, want 0", got)
+	}
+	if got := a.LiveRegions(); got != 1 {
+		return res, fmt.Errorf("quiesce: LiveRegions = %d, want 1 (traditional)", got)
+	}
+	if got := a.DeferredRegions(); got != 0 {
+		return res, fmt.Errorf("quiesce: DeferredRegions = %d, want 0", got)
+	}
+	return res, nil
+}
+
 // Config sizes a full chaos run: one sequential model-checked phase,
-// then a perturbation-mix and an error-mix concurrent phase.
+// then a perturbation-mix and an error-mix concurrent phase, then the
+// allocation-churn phase.
 type Config struct {
 	Seed    int64
 	SeqOps  int
@@ -285,6 +422,7 @@ type Report struct {
 	SeqOutcomes map[string]int
 	Perturb     ConcResult
 	Errors      ConcResult
+	AllocChurn  ConcResult
 	// Coverage is the post-run failpoint counter snapshot; every
 	// instrumented site must show Fires > 0 for the run to count.
 	Coverage []failpoint.Stats
@@ -345,6 +483,18 @@ func Run(cfg Config) (*Report, error) {
 	logf("phase 3: ok, %d ops, watchdog flagged=%d healed=%d, swept=%d, trace total=%d dropped=%d",
 		res.Ops, res.WatchdogFlagged, res.WatchdogHealed, res.SweptAtQuiesce,
 		res.TraceStats.Total, res.TraceStats.Dropped)
+
+	logf("phase 4: alloc churn, %d workers x %d ops, refused refills + stretched delete windows", cfg.Workers, cfg.ConcOps)
+	res, err = RunAllocChurn(ConcConfig{
+		Seed: cfg.Seed + 3, Workers: cfg.Workers, Ops: cfg.ConcOps,
+		Rules: AllocChurnRules(uint64(cfg.Seed) + 3),
+	})
+	rep.AllocChurn = res
+	if err != nil {
+		return rep, fmt.Errorf("alloc-churn phase: %w", err)
+	}
+	logf("phase 4: ok, %d ops, %d allocs over %d delta flushes, zero drift",
+		res.Ops, res.AllocSuccesses, res.AllocFlushes)
 
 	rep.Coverage = siteCoverage()
 	if un := rep.Uncovered(); len(un) > 0 {

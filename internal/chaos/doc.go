@@ -1,0 +1,35 @@
+// Package chaos is the randomized robustness harness for the
+// concurrent region runtime: seeded workloads driven against the real
+// Arena with failpoints (internal/failpoint) armed on every
+// instrumented lifecycle edge, and Arena.Audit required clean at every
+// quiesce point.
+//
+// A full run (Run) is four phases, each with a derived seed so a
+// single top-level seed reproduces everything:
+//
+//  1. Sequential, model-checked: a single goroutine performs random
+//     lifecycle operations while every outcome — success or specific
+//     error — is checked op-by-op against a pure reference model of
+//     the delete state machine (model.go). Failpoints here are
+//     restricted to rules whose evaluation streams are deterministic
+//     for a fixed seed, so two runs with the same seed must produce
+//     identical traces (TestSequentialDeterminism).
+//  2. Concurrent perturbation: workers race allocations, stores,
+//     pins and deletes while yield/delay rules widen the runtime's
+//     race windows. No errors are injected; the phase must quiesce
+//     with an exact audit.
+//  3. Concurrent error injection: the same workload with error rules
+//     armed, checking that injected failures surface as wrapped
+//     ErrInjected returns and never corrupt counters or leak regions.
+//  4. Allocation churn: workers hammer TryAlloc through the
+//     allocation fast path (region_alloccache.go) against region
+//     recycling, with the rcgo/alloc.refill site armed for both
+//     errors and yields; at quiesce, worker-counted successes must
+//     equal the arena's metrics exactly and the audit must be clean —
+//     the end-to-end proof that batched counter deltas never drift.
+//
+// Coverage is part of the gate: a run fails if any rcgo/* failpoint
+// site never fired. cmd/rcchaos is the command-line front end;
+// chaos_test.go and the FuzzDeleteStateMachine target run the same
+// engine in-process.
+package chaos

@@ -1,19 +1,3 @@
-// Package compile lowers checked RC programs to bytecode (internal/ir),
-// selecting a pointer-store barrier for every assignment according to the
-// configuration under evaluation:
-//
-//	NQ   annotations ignored: every pointer store runs the full
-//	     reference-count update (the paper's "nq" bars and the C@ system)
-//	QS   annotations used, checked at runtime ("qs")
-//	Inf  annotations used; checks proven safe by the constraint inference
-//	     are removed ("inf")
-//	NC   all annotation checks (unsafely) removed ("nc")
-//	NoRC reference counting disabled entirely ("norc")
-//
-// The compiler also implements the paper's local-variable protocol: calls
-// to deletes-qualified functions are bracketed by pin/unpin of the
-// pointer-typed registers live across the call, computed by a backward
-// liveness analysis over the bytecode.
 package compile
 
 import (

@@ -1,0 +1,24 @@
+// Package compile lowers checked RC programs (internal/rcc) to
+// bytecode (internal/ir), selecting a pointer-store barrier for every
+// assignment according to the configuration under evaluation:
+//
+//	NQ   annotations ignored: every pointer store runs the full
+//	     reference-count update (the paper's "nq" bars and the C@ system)
+//	QS   annotations used, checked at runtime ("qs")
+//	Inf  annotations used; checks proven safe by the constraint
+//	     inference (internal/rlang) are removed ("inf")
+//	NC   all annotation checks (unsafely) removed ("nc")
+//	NoRC reference counting disabled entirely ("norc")
+//
+// Compile is the single entry point: it takes the checked program, the
+// mode, and the per-site safety verdicts from inference, and emits one
+// ir.Program. The barrier op chosen per store is what the VM's cost
+// model charges, so the five configurations reproduce the paper's
+// bars purely by what the compiler emits.
+//
+// The compiler also implements the paper's local-variable protocol:
+// calls to deletes-qualified functions are bracketed by pin/unpin of
+// the pointer-typed registers live across the call, computed by a
+// backward liveness analysis over the bytecode — so Figure 1's dead
+// locals do not block deleteregion, exactly as in Section 3.
+package compile

@@ -69,6 +69,11 @@ type BenchReport struct {
 	Schema    string           `json:"schema"`
 	Options   BenchOptions     `json:"options"`
 	Workloads []WorkloadReport `json:"workloads"`
+	// Parallel is the optional interleaved A/B section over the
+	// Go-native allocation fast path (rcbench -alloc-ab, parallel.go);
+	// absent from workload-only reports, so older recorded files stay
+	// valid under the same schema.
+	Parallel []ParallelReport `json:"parallel,omitempty"`
 }
 
 // BenchJSON runs every selected workload under the RC and norc

@@ -1,0 +1,31 @@
+// Package failpoint is a deterministic fault-injection registry for the
+// concurrent region runtime. A Site is a named point in the runtime
+// where a controlled failure can be provoked: an injected error return,
+// an injected delay, or a scheduling perturbation (runtime.Gosched),
+// plus a test-only hook for deterministic interleaving control.
+//
+// The design mirrors the metrics gate of region_metrics.go: a disabled
+// site costs its caller exactly one atomic pointer load and a
+// never-taken branch — no map lookup, no mutex, no time read — so the
+// sites can live permanently on the runtime's hot lifecycle edges
+// (EXPERIMENTS.md records the overhead as within benchmark noise).
+//
+// Triggering is deterministic given a seed: each site numbers its
+// evaluations with an atomic counter and fires evaluation n iff
+// splitmix64(seed ^ hash(site name), n) mod Den < Num. Two runs with
+// the same seed and the same per-site evaluation sequence provoke the
+// same failures; under concurrency the interleaving of evaluations may
+// differ between runs, but the decision for "the n-th evaluation of
+// site S" never does.
+//
+// A site exposes two call shapes. Site.Eval is for error-capable
+// edges: it returns the injected error (callers wrap it, and tests
+// match with errors.Is(err, ErrInjected)). Site.Perturb is for edges
+// that cannot fail: it applies delay/yield/hook actions and counts a
+// fire for ActionError rules without injecting anything, so one rule
+// set can drive both shapes and coverage accounting stays uniform.
+//
+// The runtime's sites are declared in region_failpoint.go (the rcgo/*
+// namespace); internal/chaos arms them in anger and requires every one
+// to fire.
+package failpoint

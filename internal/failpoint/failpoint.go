@@ -1,21 +1,3 @@
-// Package failpoint is a deterministic fault-injection registry for the
-// concurrent region runtime. A Site is a named point in the runtime
-// where a controlled failure can be provoked: an injected error return,
-// an injected delay, or a scheduling perturbation (runtime.Gosched),
-// plus a test-only hook for deterministic interleaving control.
-//
-// The design mirrors the metrics gate of region_metrics.go: a disabled
-// site costs its caller exactly one atomic pointer load and a
-// never-taken branch — no map lookup, no mutex, no time read — so the
-// sites can live permanently on the runtime's hot lifecycle edges.
-//
-// Triggering is deterministic given a seed: each site numbers its
-// evaluations with an atomic counter and fires evaluation n iff
-// splitmix64(seed ^ hash(site name), n) mod Den < Num. Two runs with
-// the same seed and the same per-site evaluation sequence provoke the
-// same failures; under concurrency the interleaving of evaluations may
-// differ between runs, but the decision for "the n-th evaluation of
-// site S" never does.
 package failpoint
 
 import (

@@ -1,0 +1,19 @@
+// Package workloads contains the eight benchmark programs of the
+// paper's evaluation, rewritten in the RC dialect. The originals
+// (cfrac, grobner, mudlle, lcc, moss, tile, rc, apache) are large C
+// applications that cannot run on this VM; each workload here is a
+// synthetic program modelled on the paper's description of the
+// original's behaviour — its dominant data structures, allocation
+// volume and lifetime profile, and its mix of sameregion /
+// traditional / parentptr / unannotated pointer assignments (Table 1,
+// Table 3 and Figure 9 of the paper, plus the Section 5.2 prose).
+//
+// Each Workload carries its RC source as a function of a scale knob
+// (so tests can shrink runs and benchmarks can grow them), its default
+// scale, and the expected shape of its inference results. All returns
+// the fixed eight in paper order; ByName looks one up. The programs
+// are consumed by internal/exp for the tables and figures, by
+// cmd/rcc -workload for ad-hoc runs, and by the differential tests,
+// which execute every workload under all five compiler configurations
+// and three memory backends and require identical program output.
+package workloads

@@ -1,12 +1,3 @@
-// Package workloads contains the eight benchmark programs of the paper's
-// evaluation, rewritten in the RC dialect. The originals (cfrac, grobner,
-// mudlle, lcc, moss, tile, rc, apache) are large C applications that
-// cannot run on this VM; each workload here is a synthetic program
-// modelled on the paper's description of the original's behaviour — its
-// dominant data structures, allocation volume and lifetime profile, and
-// its mix of sameregion / traditional / parentptr / unannotated pointer
-// assignments (Table 1, Table 3 and Figure 9 of the paper, plus the
-// Section 5.2 prose).
 package workloads
 
 import (

@@ -1,0 +1,323 @@
+package rcgo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Allocation fast path for the concurrent arena (DESIGN.md §11).
+//
+// The paper's whole cost argument is that region allocation is a pointer
+// bump: `ralloc` touches only region-local state, and safety is paid for
+// at pointer *assignments*, not allocations. The original TryAlloc
+// betrayed that: every object took the region's lifecycle mutex and
+// updated two arena-shared atomics (objs, liveObjs), so a tight Alloc
+// loop serialized on one lock and bounced two contended cache lines.
+// This file replaces that with two cooperating caches:
+//
+//   - Batched counter deltas. Each region lazily owns a small block of
+//     cache-line-padded shards (allocCache); an admitted allocation adds
+//     +1 to one shard chosen by hashing the object address — the same
+//     Fibonacci scheme the slot registry uses, and goroutine-correlated
+//     because the Go allocator hands a goroutine addresses from its P's
+//     spans. Deltas drain into the real objs/liveObjs counters on a
+//     threshold, on Region.Stats / Arena.Stats, at DeleteDeferred's
+//     zombie transition, and at reclaim — so the counters are exact at
+//     every quiesce point (the Arena.Audit contract) while the hot loop
+//     touches one shard-local line.
+//   - Pooled object chunks. Obj headers are handed out of per-type
+//     chunks, so a chunk's worth of allocations costs one heap
+//     allocation. A partially-used chunk parks in a per-arena slot and
+//     is shared in place: allocators claim indices off its atomic
+//     cursor, so steady state is one load plus one fetch-add and the
+//     slot word is written only at refill or exhaustion. Parked chunks
+//     are strong references, so unlike a bare sync.Pool the cache
+//     survives GC cycles under allocation churn. The sync.Pool is the
+//     second level, touched only on slot misses. Oversized types bypass
+//     chunking.
+//
+// Why exact-at-quiesce still holds (the increment-then-validate
+// argument, same shape as incRC): an allocation publishes its +1 delta
+// *before* loading the region state. Go atomics are sequentially
+// consistent, so if the load observed stateAlive, the +1 preceded any
+// later dying/dead store and therefore preceded reclaim's drain — an
+// admitted object's delta can never be missed by the reclaim that frees
+// it. An allocation that observes a deleted state withdraws its +1; if
+// a drain or flush captured the +1 before the withdrawal landed, both
+// halves of the pair eventually reach objs (every flush credits objs
+// AND liveObjs, and reclaim's final objs.Swap removes whatever objs
+// accumulated), so the pair nets to zero everywhere it can be seen.
+// Residual deltas parked on a reclaimed region's shards are exactly
+// such half-pairs and are never read again.
+//
+// The cache-refill edge carries the rcgo/alloc.refill failpoint: an
+// injected error is a transient allocator failure (surfaced before any
+// counting, so nothing unwinds), and its perturbations fire inside the
+// flush window, widening the interval during which deltas are in flight
+// between a shard and the real counters.
+
+// allocShards is the number of delta shards per region. Allocations
+// hash to a shard by object address, so concurrent allocators rarely
+// share a shard cache line.
+const allocShards = 8
+
+// allocFlushThreshold is the per-shard delta at which an allocation
+// attempts a best-effort flush. Worth at most threshold*shards of lag
+// on the scalar accessors between flush points; exactness never depends
+// on it.
+const allocFlushThreshold = 64
+
+// allocShard is one padded delta accumulator: pending admitted-object
+// count not yet credited to objs/liveObjs (transiently negative on a
+// deleted region while a failed allocation's withdraw is in flight).
+type allocShard struct {
+	pending atomic.Int64
+	_       [56]byte
+}
+
+// allocCache is a region's delta shard block, allocated lazily on the
+// first fast-path allocation (512 B; regions that never allocate pay a
+// nil pointer).
+type allocCache struct {
+	shards [allocShards]allocShard
+}
+
+func (c *allocCache) shard(p unsafe.Pointer) *allocShard {
+	h := uintptr(p) * 0x9E3779B97F4A7C15 >> 32
+	return &c.shards[h%allocShards]
+}
+
+// sum reads the shards without clearing them (the Objects accessor).
+func (c *allocCache) sum() int64 {
+	var d int64
+	for i := range c.shards {
+		d += c.shards[i].pending.Load()
+	}
+	return d
+}
+
+// drain atomically claims every shard's delta.
+func (c *allocCache) drain() int64 {
+	var d int64
+	for i := range c.shards {
+		d += c.shards[i].pending.Swap(0)
+	}
+	return d
+}
+
+// allocCache returns the region's delta block, creating it on first
+// use. The CAS race on creation is benign: the loser's empty block is
+// discarded before any delta lands in it.
+func (r *Region) allocCache() *allocCache {
+	if c := r.acache.Load(); c != nil {
+		return c
+	}
+	c := &allocCache{}
+	if r.acache.CompareAndSwap(nil, c) {
+		return c
+	}
+	return r.acache.Load()
+}
+
+// flushAllocPendingLocked drains the delta shards into objs and the
+// arena's liveObjs. Caller holds r.mu; the state word is therefore
+// stable and never stateDying. On a dead region the flush is skipped —
+// reclaim owns (or already performed) the final drain, and crediting
+// counters after reclaim's objs.Swap would leak into the arena total.
+func (r *Region) flushAllocPendingLocked() {
+	c := r.acache.Load()
+	if c == nil || r.state.Load() == stateDead {
+		return
+	}
+	// Perturbation point inside the flush window: deltas claimed from the
+	// shards are in flight to the real counters while mu is held.
+	fpAllocRefill.Perturb()
+	if d := c.drain(); d != 0 {
+		r.objs.Add(d)
+		r.arena.liveObjs.Add(d)
+		if m := r.counters(); m != nil {
+			m.allocFlushes.Add(1)
+		}
+	}
+}
+
+// tryFlushAllocPending is the threshold flush: best-effort, because the
+// fast path must never block behind a slow lifecycle operation. A
+// skipped flush retries on the next threshold crossing, and Stats,
+// delete and reclaim flush unconditionally.
+func (r *Region) tryFlushAllocPending() {
+	if !r.mu.TryLock() {
+		return
+	}
+	r.flushAllocPendingLocked()
+	r.mu.Unlock()
+}
+
+// drainAllocPendingReclaim is reclaim's drain (state already stateDead,
+// made exactly once): credit whatever deltas remain so the final
+// objs.Swap removes exactly this region's contribution from liveObjs.
+// Deltas that race in after this drain are failed-admission half-pairs
+// and net to zero unobserved (see the file comment).
+func (r *Region) drainAllocPendingReclaim() {
+	if c := r.acache.Load(); c != nil {
+		if d := c.drain(); d != 0 {
+			r.objs.Add(d)
+			r.arena.liveObjs.Add(d)
+		}
+	}
+}
+
+// flushAllocPending drains every registered region's delta shards, so
+// arena-wide totals are exact at quiesce. Regions are locked one at a
+// time, like every other whole-arena walk.
+func (a *Arena) flushAllocPending() {
+	a.EachRegion(func(r *Region) {
+		r.mu.Lock()
+		r.flushAllocPendingLocked()
+		r.mu.Unlock()
+	})
+}
+
+// SetAllocCache enables (the default) or disables the allocation fast
+// path for regions created after the call: disabled, TryAlloc takes the
+// pre-cache slow path — lifecycle mutex plus direct atomic counter
+// updates per object. The knob exists for A/B benchmarking and ablation
+// (BenchmarkParallelAllocNoCache, cmd/rcbench -alloc-ab); both paths
+// maintain the same exact-at-quiesce accounting and may coexist freely
+// within one arena.
+func (a *Arena) SetAllocCache(enabled bool) { a.allocSlow.Store(!enabled) }
+
+// ---------------------------------------------------------------------------
+// Pooled object chunks.
+
+// maxChunkObjBytes: objects larger than this are allocated individually
+// (chunking big objects would amplify the memory retained while any one
+// chunk-mate is still referenced).
+const maxChunkObjBytes = 1 << 10
+
+// chunkTargetBytes sizes a chunk: smaller objects share larger chunks.
+const chunkTargetBytes = 8 << 10
+
+// objChunk is a batch of headers for one Obj instantiation. A parked
+// chunk is shared by every allocator that loads it from the slot: next
+// is an atomic cursor, so each index is claimed exactly once no matter
+// how many goroutines hold the chunk — the zero-value guarantee reduces
+// to fetch-add uniqueness. A cursor past len(buf) just means the chunk
+// is exhausted; the claimer retires it and refills.
+type objChunk[T any] struct {
+	buf  []Obj[T]
+	next atomic.Int64
+	// box is this chunk's type-erased parking wrapper, built once at
+	// creation so parking allocates nothing.
+	box chunkBox
+}
+
+// release returns a displaced or type-mismatched chunk to its pool.
+func (ch *objChunk[T]) release() { chunkPool[T]().Put(ch) }
+
+// chunkBox type-erases a parked chunk: arena slots hold *chunkBox (one
+// concrete type for every Obj instantiation), and the claimer
+// type-asserts the payload, releasing chunks of other types back to
+// their own pools.
+type chunkBox struct{ c chunkRef }
+
+type chunkRef interface{ release() }
+
+// chunkSlot picks the arena parking slot for a region's allocations by
+// hashing the region pointer — concurrent allocators in different
+// regions park in different slots, and the paper's common case (one
+// goroutine per region) reclaims its own chunk with no pool traffic.
+func chunkSlot(r *Region) int {
+	h := uintptr(unsafe.Pointer(r)) * 0x9E3779B97F4A7C15 >> 32
+	return int(h % allocShards)
+}
+
+// chunkPools maps an Obj instantiation (keyed by a nil *T, which boxes
+// the type descriptor without allocating) to its chunk pool.
+var chunkPools sync.Map
+
+func chunkPool[T any]() *sync.Pool {
+	key := any((*T)(nil))
+	if p, ok := chunkPools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := chunkPools.LoadOrStore(key, new(sync.Pool))
+	return p.(*sync.Pool)
+}
+
+// newChunkedObj hands out one object header. Steady state is one
+// atomic load (the parked chunk) plus one fetch-add (the cursor): the
+// chunk stays parked while allocators share it, so the slot word is
+// written only on refill, exhaustion or a type mismatch. A slot miss
+// falls through to the sync.Pool, and only a pool miss allocates a
+// fresh chunk. That refill edge is the rcgo/alloc.refill failpoint: an
+// injected error surfaces before the object is counted, so a refused
+// refill unwinds nothing.
+//
+// Memory trade-off, documented here because it is deliberate: a chunk
+// is garbage only when every object in it is, so one long-lived object
+// can retain up to chunkTargetBytes of chunk-mates — the same batching
+// trade the paper's regions themselves make.
+func newChunkedObj[T any](r *Region) (*Obj[T], error) {
+	var probe Obj[T]
+	if unsafe.Sizeof(probe) > maxChunkObjBytes {
+		return &Obj[T]{region: r}, nil
+	}
+	slot := &r.arena.chunkSlots[chunkSlot(r)]
+	for {
+		b := slot.Load()
+		if b == nil {
+			break
+		}
+		c, ok := b.c.(*objChunk[T])
+		if !ok {
+			// Another instantiation is parked here: displace it to its
+			// own pool (never dropped) and refill.
+			if slot.CompareAndSwap(b, nil) {
+				b.c.release()
+			}
+			break
+		}
+		if i := c.next.Add(1) - 1; i < int64(len(c.buf)) {
+			o := &c.buf[i]
+			o.region = r
+			return o, nil
+		}
+		// Exhausted: retire it so the next allocator refills. The chunk
+		// itself becomes garbage once its objects are.
+		slot.CompareAndSwap(b, nil)
+	}
+	// Slot miss. Pooled chunks may arrive partially consumed (handoff
+	// races below put them back with slots remaining) or, rarely,
+	// exhausted by a racer that still held them — the cursor check
+	// covers both.
+	ch, _ := chunkPool[T]().Get().(*objChunk[T])
+	for {
+		if ch != nil {
+			if i := ch.next.Add(1) - 1; i < int64(len(ch.buf)) {
+				if i+1 < int64(len(ch.buf)) {
+					// Offer the remainder to the slot; if a racer parked
+					// first, the chunk goes back to the pool instead.
+					if !slot.CompareAndSwap(nil, &ch.box) {
+						ch.release()
+					}
+				}
+				o := &ch.buf[i]
+				o.region = r
+				return o, nil
+			}
+			ch = nil
+		}
+		if err := fpAllocRefill.Eval(); err != nil {
+			return nil, fmt.Errorf("%w: allocation in region %d", err, r.id)
+		}
+		n := chunkTargetBytes / int(unsafe.Sizeof(probe))
+		if n < 4 {
+			n = 4
+		}
+		ch = &objChunk[T]{buf: make([]Obj[T], n)}
+		ch.box.c = ch
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // This file is the Go-native layer of the library: reference-counted
@@ -82,6 +83,18 @@ type Arena struct {
 	metrics atomic.Pointer[arenaMetrics]
 	tracer  atomic.Pointer[tracerBox]
 
+	// allocSlow disables the allocation fast path (region_alloccache.go)
+	// for regions created after SetAllocCache(false) — the A/B ablation
+	// knob. Snapshotted per region at creation so the hot path never
+	// chases a pointer through the arena.
+	allocSlow atomic.Bool
+
+	// chunkSlots parks partially-used object chunks between allocations
+	// (region_alloccache.go): a strong-reference level-one cache in
+	// front of the per-type sync.Pools, shared in place through each
+	// chunk's atomic cursor. Holds at most allocShards chunks per arena.
+	chunkSlots [allocShards]atomic.Pointer[chunkBox]
+
 	// registry is the sharded id->region index behind the debug
 	// inspector (region_debug.go): regions register at creation and
 	// unregister at reclaim, so it holds exactly the live and zombie
@@ -154,6 +167,12 @@ type Region struct {
 	// creation and by EnableMetrics' registry walk; nil = not counting.
 	metrics atomic.Pointer[arenaMetrics]
 
+	// acache is the lazily-created allocation delta cache
+	// (region_alloccache.go); allocSlow (immutable after creation)
+	// routes TryAlloc to the pre-cache slow path instead.
+	acache    atomic.Pointer[allocCache]
+	allocSlow bool
+
 	// mu serializes lifecycle decisions. The counters stay atomic so the
 	// reference fast paths (incRC/decRC) and stat reads never block on it.
 	mu       sync.Mutex
@@ -210,7 +229,7 @@ func (r *Region) ID() int64 { return r.id }
 // top-level). Registration happens after the parent pointer is set so
 // the debug inspector never observes a half-built region.
 func (a *Arena) newRegion(parent *Region) *Region {
-	r := &Region{arena: a, parent: parent, id: a.nextID.Add(1)}
+	r := &Region{arena: a, parent: parent, id: a.nextID.Add(1), allocSlow: a.allocSlow.Load()}
 	a.liveRegions.Add(1)
 	a.register(r)
 	// Arm the per-region metrics gate after registering: either this load
@@ -268,10 +287,55 @@ func Alloc[T any](r *Region) *Obj[T] {
 
 // TryAlloc allocates a zero T in region r, or returns ErrRegionDeleted
 // if r has been deleted.
+//
+// Fast path (region_alloccache.go): the object comes out of a pooled
+// per-type chunk, and admission is the same increment-then-validate
+// protocol incRC uses — publish a +1 delta on a shard-local cache line,
+// then check the region state. If the check observes stateAlive the
+// allocation is admitted (that load is its linearization point: a delete
+// committing afterwards simply owns the object, exactly as if it had
+// raced the old mutex-admitted path); any other settled state withdraws
+// the delta and fails. No lock is taken and no arena-shared cache line
+// is touched except by the occasional batched flush.
 func TryAlloc[T any](r *Region) (*Obj[T], error) {
 	if err := fpAllocAdmission.Eval(); err != nil {
 		return nil, fmt.Errorf("%w: allocation in region %d", err, r.id)
 	}
+	if r.allocSlow {
+		return tryAllocSlow[T](r)
+	}
+	o, err := newChunkedObj[T](r)
+	if err != nil {
+		return nil, err
+	}
+	sh := r.allocCache().shard(unsafe.Pointer(o))
+	for {
+		n := sh.pending.Add(1)
+		switch r.state.Load() {
+		case stateAlive:
+			if n >= allocFlushThreshold {
+				r.tryFlushAllocPending()
+			}
+			if c := r.counters(); c != nil {
+				c.allocs.Add(1)
+			}
+			return o, nil
+		case stateDying:
+			// A delete holds mu and is deciding; it may still fail, so
+			// withdraw the provisional delta and re-decide once settled.
+			sh.pending.Add(-1)
+			runtime.Gosched()
+		default:
+			sh.pending.Add(-1)
+			return nil, fmt.Errorf("%w: allocation in region %d", ErrRegionDeleted, r.id)
+		}
+	}
+}
+
+// tryAllocSlow is the pre-cache allocation path, kept as the
+// SetAllocCache(false) ablation baseline: per-object lifecycle mutex
+// plus direct updates of the shared counters.
+func tryAllocSlow[T any](r *Region) (*Obj[T], error) {
 	o := &Obj[T]{region: r}
 	r.mu.Lock()
 	if r.state.Load() != stateAlive {
@@ -518,6 +582,11 @@ func (r *Region) DeleteDeferred() {
 	// Same dying-window failpoint as Delete, but DeleteDeferred has no
 	// error return: only the perturbing actions (delay/yield/hook) apply.
 	fpDeleteDying.Perturb()
+	// Flush the batched allocation deltas at the deferral point: a
+	// zombie keeps its objects live until reclaim, so its objs count
+	// must be settled for Stats readers and the auditor. (The
+	// immediate-reclaim branch below relies on reclaim's own drain.)
+	r.flushAllocPendingLocked()
 	if r.rc.Load() == 0 && r.children.Load() == 0 {
 		r.state.Store(stateDead)
 		r.arena.liveRegions.Add(-1)
@@ -544,6 +613,13 @@ func (r *Region) DeleteDeferred() {
 // or references can appear; concurrent stores that raced past the state
 // check finished under their shard lock before the drain takes it.
 func (r *Region) reclaim() {
+	// Drain the batched allocation deltas before the final swap: every
+	// admitted object's delta landed before the dead state was stored
+	// (the admission check saw stateAlive first — see the seq-cst
+	// argument in region_alloccache.go), so crediting the remainder here
+	// and then swapping objs removes exactly this region's contribution
+	// from the arena total.
+	r.drainAllocPendingReclaim()
 	r.arena.liveObjs.Add(-r.objs.Swap(0))
 	// The delete-time unscan: collect the registered slots shard by
 	// shard, then release the outbound counted references so the

@@ -60,6 +60,13 @@ const (
 	AuditLiveRegionsTotal     = "live-regions-total"
 	AuditDeferredRegionsTotal = "deferred-regions-total"
 	AuditLiveObjectsTotal     = "live-objects-total"
+	// AuditAllocPending: a non-reclaimed region still holds batched
+	// allocation deltas (region_alloccache.go) immediately after the
+	// Stats flush the auditor just performed. On a quiesced arena every
+	// delta must have drained — a residue means a flush point was missed;
+	// on a live arena in-flight allocations make this advisory, like
+	// rc-accounting.
+	AuditAllocPending = "alloc-pending"
 )
 
 // AuditViolation is one detected invariant breach.
@@ -199,6 +206,14 @@ func (a *Arena) Audit() AuditReport {
 		if want := st.Pins + inbound[r]; st.RC != want {
 			add(AuditRCAccounting, r.id, st.RC, want,
 				"rc %d != pins %d + inbound slots %d", st.RC, st.Pins, inbound[r])
+		}
+		// st came from Stats, which drained the region's delta shards;
+		// anything parked now arrived after that flush.
+		if c := r.acache.Load(); c != nil {
+			if d := c.sum(); d != 0 {
+				add(AuditAllocPending, r.id, d, 0,
+					"%d batched allocation deltas parked after a Stats flush", d)
+			}
 		}
 		if st.Deferred && st.RC == 0 && st.Subregions == 0 {
 			add(AuditZombieReclaimable, r.id, st.RC, 0,

@@ -33,6 +33,15 @@ import "rcgo/internal/failpoint"
 //	                      unwinds the store (decRC rollback), a yield
 //	                      widens the count-vs-registry window the
 //	                      delete-time unscan depends on.
+//	rcgo/alloc.refill     the allocation fast path's cache edges
+//	                      (region_alloccache.go): an injected error is
+//	                      a refused chunk refill (a transient allocator
+//	                      failure surfaced before the object is
+//	                      counted, so nothing unwinds); perturbations
+//	                      fire inside the delta-flush window, widening
+//	                      the interval during which batched counter
+//	                      deltas are in flight between a shard and the
+//	                      real objs/liveObjs counters.
 //
 // Disarmed (the steady state), each site costs its edge one atomic
 // pointer load and a never-taken branch — the same budget as the
@@ -45,6 +54,7 @@ var (
 	fpDeleteDying    = failpoint.New("rcgo/delete.dying")
 	fpZombieDrain    = failpoint.New("rcgo/zombie.drain")
 	fpSlotInsert     = failpoint.New("rcgo/slot.insert")
+	fpAllocRefill    = failpoint.New("rcgo/alloc.refill")
 )
 
 // ErrInjected is failpoint.ErrInjected re-exported: every error a

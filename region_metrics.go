@@ -42,8 +42,8 @@ import (
 // cache-line multiples so two shards never share a line.
 const metricShards = 64
 
-// counterShard is one shard of every counter. 13 counters * 8 bytes =
-// 104 bytes, padded to 128 so shards start on separate cache lines.
+// counterShard is one shard of every counter. 14 counters * 8 bytes =
+// 112 bytes, padded to 128 so shards start on separate cache lines.
 type counterShard struct {
 	allocs          atomic.Int64
 	countedStores   atomic.Int64
@@ -58,7 +58,8 @@ type counterShard struct {
 	deferredDeletes atomic.Int64
 	reclaims        atomic.Int64
 	pinOps          atomic.Int64
-	_               [24]byte
+	allocFlushes    atomic.Int64
+	_               [16]byte
 }
 
 // arenaMetrics is the sharded counter block, allocated when metrics are
@@ -150,6 +151,11 @@ type ArenaCounters struct {
 	Reclaims int64 `json:"reclaims"`
 	// PinOps counts successful Pin/TryPin calls.
 	PinOps int64 `json:"pin_ops"`
+	// AllocFlushes counts non-empty drains of the allocation fast
+	// path's batched counter deltas (region_alloccache.go) — flush
+	// batching efficiency, not an object count: Allocs/AllocFlushes
+	// approximates objects credited per flush.
+	AllocFlushes int64 `json:"alloc_flushes"`
 }
 
 // Counters returns a snapshot of the cumulative counters by summing the
@@ -177,6 +183,7 @@ func (a *Arena) Counters() ArenaCounters {
 		c.DeferredDeletes += s.deferredDeletes.Load()
 		c.Reclaims += s.reclaims.Load()
 		c.PinOps += s.pinOps.Load()
+		c.AllocFlushes += s.allocFlushes.Load()
 	}
 	return c
 }

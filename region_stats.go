@@ -1,10 +1,12 @@
 package rcgo
 
 // Snapshot-consistent statistics for the concurrent Go-native runtime.
-// The scalar accessors (RC, Objects, …) are single atomic loads; the
-// Stats methods take the lifecycle lock so the state word cannot change
-// mid-snapshot and re-read the reference count until it is stable, so a
-// snapshot never pairs a pre-delete count with a post-delete state.
+// The scalar accessors (RC, Pins, …) are lock-free (Objects and the
+// arena-wide readers additionally fold in or drain the allocation
+// fast path's batched deltas, region_alloccache.go); the Stats methods
+// take the lifecycle lock so the state word cannot change mid-snapshot
+// and re-read the reference count until it is stable, so a snapshot
+// never pairs a pre-delete count with a post-delete state.
 
 // RegionStats is a consistent snapshot of one region's counters.
 type RegionStats struct {
@@ -38,10 +40,14 @@ const statsRCRetries = 3
 
 // Stats returns a consistent snapshot of the region's counters: the
 // state flags can never be paired with a reference count from the other
-// side of a delete, because all state transitions hold mu.
+// side of a delete, because all state transitions hold mu. Stats is a
+// flush point for the allocation fast path (region_alloccache.go): the
+// batched per-shard deltas drain into objs under mu first, so the
+// Objects field is exact whenever the region is quiescent.
 func (r *Region) Stats() RegionStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.flushAllocPendingLocked()
 	for attempt := 0; ; attempt++ {
 		rc := r.rc.Load()
 		st := RegionStats{
@@ -69,8 +75,20 @@ func (r *Region) RC() int64 { return r.rc.Load() }
 // Pins returns the number of live pins on the region.
 func (r *Region) Pins() int64 { return r.pins.Load() }
 
-// Objects returns the number of live objects in the region.
-func (r *Region) Objects() int64 { return r.objs.Load() }
+// Objects returns the number of live objects in the region: the flushed
+// counter plus the allocation deltas still parked in the region's shard
+// cache. Lock-free; concurrent allocations make it a momentary
+// approximation, quiescence makes it exact (like every other counter).
+func (r *Region) Objects() int64 {
+	n := r.objs.Load()
+	// A deleted region's shards hold at most failed-admission residue
+	// (which nets to zero against already-drained halves), never objects,
+	// so only an alive region adds its pending deltas.
+	if c := r.acache.Load(); c != nil && r.settled() == stateAlive {
+		n += c.sum()
+	}
+	return n
+}
 
 // Deleted reports whether the region has been deleted (explicitly, or
 // deferred and awaiting reclaim).
@@ -97,8 +115,12 @@ type ArenaStats struct {
 	DeferredRegions int64 `json:"deferred_regions"`
 }
 
-// Stats returns a snapshot of the arena-wide counters.
+// Stats returns a snapshot of the arena-wide counters. It first drains
+// every region's batched allocation deltas (region_alloccache.go) so
+// LiveObjects is exact on a quiesced arena; the sweep locks regions one
+// at a time, like the debug inspector's walks.
 func (a *Arena) Stats() ArenaStats {
+	a.flushAllocPending()
 	return ArenaStats{
 		LiveObjects:     a.liveObjs.Load(),
 		RegionsCreated:  a.nextID.Load(),
@@ -115,5 +137,10 @@ func (a *Arena) LiveRegions() int64 { return a.liveRegions.Load() }
 // deferred reclaim.
 func (a *Arena) DeferredRegions() int64 { return a.deferredRegions.Load() }
 
-// LiveObjects returns the number of live objects across the arena.
-func (a *Arena) LiveObjects() int64 { return a.liveObjs.Load() }
+// LiveObjects returns the number of live objects across the arena,
+// draining the batched allocation deltas first (exact at quiesce, like
+// Stats).
+func (a *Arena) LiveObjects() int64 {
+	a.flushAllocPending()
+	return a.liveObjs.Load()
+}
