@@ -332,8 +332,7 @@ type parNode struct {
 // at -cpu 8 for the ablation (cmd/rcbench -alloc-ab runs the same A/B
 // interleaved).
 func benchParallelAlloc(b *testing.B, cache, link bool) {
-	a := NewArena()
-	a.SetAllocCache(cache)
+	a := NewArena(WithAllocCache(cache))
 	b.RunParallel(func(pb *testing.PB) {
 		r := a.NewRegion()
 		var prev *Obj[parNode]
@@ -401,8 +400,7 @@ func BenchmarkParallelSetSame(b *testing.B) {
 // and never-taken branch, which is what keeps SetSame within the noise
 // of the uninstrumented baseline.
 func BenchmarkParallelSetSameMetrics(b *testing.B) {
-	a := NewArena()
-	a.EnableMetrics()
+	a := NewArena(WithMetrics())
 	r := a.NewRegion()
 	b.RunParallel(func(pb *testing.PB) {
 		h := Alloc[parNode](r)
@@ -429,8 +427,7 @@ func BenchmarkParallelSetTrad(b *testing.B) {
 
 // BenchmarkParallelSetTradMetrics is the counters-enabled variant.
 func BenchmarkParallelSetTradMetrics(b *testing.B) {
-	a := NewArena()
-	a.EnableMetrics()
+	a := NewArena(WithMetrics())
 	r := a.NewRegion()
 	conf := Alloc[parNode](a.Traditional())
 	b.RunParallel(func(pb *testing.PB) {
@@ -459,8 +456,7 @@ func BenchmarkParallelSetParent(b *testing.B) {
 
 // BenchmarkParallelSetParentMetrics is the counters-enabled variant.
 func BenchmarkParallelSetParentMetrics(b *testing.B) {
-	a := NewArena()
-	a.EnableMetrics()
+	a := NewArena(WithMetrics())
 	parent := a.NewRegion()
 	up := Alloc[parNode](parent)
 	sub := parent.NewSubregion()

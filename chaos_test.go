@@ -55,6 +55,20 @@ func TestChaos(t *testing.T) {
 		t.Errorf("alloc-churn phase inert: allocs=%d flushes=%d",
 			rep.AllocChurn.AllocSuccesses, rep.AllocChurn.AllocFlushes)
 	}
+	if !rep.Fabric.Audit.OK {
+		t.Errorf("fabric quiesced audit not clean: %s", rep.Fabric.Audit)
+	}
+	if rep.Fabric.AllocSuccesses == 0 {
+		t.Error("fabric phase allocated nothing")
+	}
+	if rep.Fabric.ShardsPopulated < 2 {
+		t.Errorf("fabric phase populated %d shard(s), want >= 2", rep.Fabric.ShardsPopulated)
+	}
+	wantLive := int64(cfg.Workers * 32) // each worker's ring, still live at quiesce entry
+	if rep.Fabric.LiveBeforeQuiesce < wantLive {
+		t.Errorf("fabric phase had %d regions live before quiesce, want >= %d",
+			rep.Fabric.LiveBeforeQuiesce, wantLive)
+	}
 }
 
 // FuzzDeleteStateMachine fuzzes the delete state machine: arbitrary

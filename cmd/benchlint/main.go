@@ -4,8 +4,9 @@
 //
 // It checks the invariants every rcgo.bench/1 document must satisfy —
 // the schema tag, at least one workload, positive times, non-negative
-// counters, a non-zero store total, and (when the optional parallel
-// section is present) positive A/B timings per cell — and exits
+// counters, a non-zero store total, and (when the optional parallel or
+// fabric sections are present) positive A/B timings per cell, plus a
+// sane shard/backdrop geometry on fabric cells — and exits
 // non-zero with a message naming the first violation. `make
 // bench-smoke` runs a tiny report through it as a sanity gate.
 package main
@@ -106,9 +107,37 @@ func main() {
 			fail("%s: baseline_ns_op = %g, want > 0", p.Name, p.BaselineNs)
 		}
 	}
-	if len(report.Parallel) > 0 {
-		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells)\n",
-			len(report.Workloads), len(report.Parallel))
+	seenFab := make(map[string]bool)
+	for i, f := range report.Fabric {
+		if f.Name == "" {
+			fail("fabric cell %d has no name", i)
+		}
+		if seenFab[f.Name] {
+			fail("fabric cell %q appears twice", f.Name)
+		}
+		seenFab[f.Name] = true
+		if f.CPU <= 0 {
+			fail("%s: cpu = %d, want > 0", f.Name, f.CPU)
+		}
+		if f.BestOf <= 0 {
+			fail("%s: best_of = %d, want > 0", f.Name, f.BestOf)
+		}
+		if f.LiveRegions <= 0 {
+			fail("%s: live_regions = %d, want > 0", f.Name, f.LiveRegions)
+		}
+		if f.Shards < 2 {
+			fail("%s: shards = %d, want >= 2 (the baseline side is always 1 shard)", f.Name, f.Shards)
+		}
+		if f.NsPerOp <= 0 {
+			fail("%s: ns_op = %g, want > 0", f.Name, f.NsPerOp)
+		}
+		if f.BaselineNs <= 0 {
+			fail("%s: baseline_ns_op = %g, want > 0", f.Name, f.BaselineNs)
+		}
+	}
+	if len(report.Parallel) > 0 || len(report.Fabric) > 0 {
+		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells)\n",
+			len(report.Workloads), len(report.Parallel), len(report.Fabric))
 		return
 	}
 	fmt.Printf("benchlint: ok (%d workloads)\n", len(report.Workloads))

@@ -10,6 +10,7 @@
 //	rcbench -scale 50 -reps 5 -workloads moss,tile
 //	rcbench -json            # machine-readable report on stdout
 //	rcbench -alloc-ab 10 -ab-cpu 8   # Go-native allocation fast-path A/B
+//	rcbench -fabric-ab 10 -fabric-cpu 8 -fabric-live 256   # arena fabric A/B
 //	rcbench -json -workloads grobner -alloc-ab 10   # record a parallel section
 //
 // With -json the human tables are skipped (-table/-figure/-space/-bars
@@ -39,6 +40,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable report (rcgo.bench/1) instead of tables")
 	allocAB := flag.Int("alloc-ab", 0, "run the Go-native allocation fast-path A/B benchmarks, best of N interleaved runs per side (0 = skip)")
 	abCPU := flag.Int("ab-cpu", 8, "GOMAXPROCS for the -alloc-ab benchmarks")
+	fabricAB := flag.Int("fabric-ab", 0, "run the arena fabric A/B benchmarks (1 shard vs GOMAXPROCS-wide), best of N interleaved runs per side (0 = skip)")
+	fabricCPU := flag.Int("fabric-cpu", 8, "GOMAXPROCS for the -fabric-ab benchmarks")
+	fabricLive := flag.Int("fabric-live", 256, "live-region backdrop population for the -fabric-ab benchmarks")
 	flag.Parse()
 
 	o := exp.Options{Scale: *scale, Reps: *reps}
@@ -63,6 +67,12 @@ func main() {
 				fail(err)
 			}
 		}
+		if *fabricAB > 0 {
+			report.Fabric, err = exp.FabricAB(*fabricCPU, *fabricAB, *fabricLive)
+			if err != nil {
+				fail(err)
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -77,6 +87,18 @@ func main() {
 			fail(err)
 		}
 		exp.PrintAllocAB(os.Stdout, cells)
+		if *fabricAB == 0 && *table == 0 && *figure == 0 {
+			return
+		}
+		fmt.Println()
+	}
+
+	if *fabricAB > 0 {
+		cells, err := exp.FabricAB(*fabricCPU, *fabricAB, *fabricLive)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintFabricAB(os.Stdout, cells)
 		if *table == 0 && *figure == 0 {
 			return
 		}

@@ -1,8 +1,9 @@
 // Command rcchaos runs the chaos harness for the concurrent region
 // runtime (internal/chaos): a seeded sequential phase checked op-by-op
-// against a reference model of the delete state machine, then three
-// concurrent phases — scheduler perturbation, error injection, and
-// allocation churn through the fast path's caches — with failpoints
+// against a reference model of the delete state machine, then four
+// concurrent phases — scheduler perturbation, error injection,
+// allocation churn through the fast path's caches, and multi-shard
+// fabric churn with hundreds of live regions — with failpoints
 // armed on every instrumented lifecycle edge, a zombie watchdog
 // patrolling, and Arena.Audit required clean at every quiesce point.
 // Failpoint site coverage is reported at exit; the run fails if any
@@ -58,6 +59,9 @@ func main() {
 	fmt.Printf("rcchaos: concurrent/alloc-churn: %d ops, allocs=%d flushes=%d, audit violations=%d\n",
 		rep.AllocChurn.Ops, rep.AllocChurn.AllocSuccesses, rep.AllocChurn.AllocFlushes,
 		len(rep.AllocChurn.Audit.Violations))
+	fmt.Printf("rcchaos: concurrent/fabric: %d ops, live-before-quiesce=%d shards-populated=%d allocs=%d, audit violations=%d\n",
+		rep.Fabric.Ops, rep.Fabric.LiveBeforeQuiesce, rep.Fabric.ShardsPopulated,
+		rep.Fabric.AllocSuccesses, len(rep.Fabric.Audit.Violations))
 	fmt.Println("rcchaos: failpoint site coverage:")
 	for _, st := range rep.Coverage {
 		fmt.Printf("rcchaos:   %-24s evals=%-8d fires=%d\n", st.Name, st.Evals, st.Fires)

@@ -60,6 +60,21 @@ func AllocChurnRules(seed uint64) map[string]failpoint.Rule {
 	}
 }
 
+// FabricRules arms the sites for the fabric phase: transient admission
+// failures plus yields inside every window where a fabric shard's
+// counters are mid-update, so cross-shard accounting races as often as
+// the scheduler allows.
+func FabricRules(seed uint64) map[string]failpoint.Rule {
+	return map[string]failpoint.Rule{
+		"rcgo/alloc.admission": {Action: failpoint.ActionError, Num: 1, Den: 31, Seed: seed},
+		"rcgo/alloc.refill":    {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed, Yields: 2},
+		"rcgo/delete.dying":    {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed, Yields: 2},
+		"rcgo/zombie.drain":    {Action: failpoint.ActionYield, Num: 1, Den: 4, Seed: seed},
+		"rcgo/slot.insert":     {Action: failpoint.ActionYield, Num: 1, Den: 5, Seed: seed},
+		"rcgo/incrc.validate":  {Action: failpoint.ActionYield, Num: 1, Den: 5, Seed: seed},
+	}
+}
+
 // ConcConfig sizes one concurrent phase.
 type ConcConfig struct {
 	Seed    int64
@@ -79,12 +94,20 @@ type ConcResult struct {
 	TraceStats       rcgo.TraceStats
 	Audit            rcgo.AuditReport
 	DeferredObserved int64
-	// AllocSuccesses / AllocFlushes are set by the alloc-churn phase
-	// only: successful TryAlloc calls counted by the workers themselves,
-	// and the arena's batched-delta flush count. At quiesce the arena's
-	// Allocs counter must equal AllocSuccesses exactly.
+	// AllocSuccesses / AllocFlushes are set by the alloc-churn and
+	// fabric phases only: successful TryAlloc calls counted by the
+	// workers themselves, and the arena's batched-delta flush count. At
+	// quiesce the arena's Allocs counter must equal AllocSuccesses
+	// exactly.
 	AllocSuccesses int64
 	AllocFlushes   int64
+	// ShardsPopulated / LiveBeforeQuiesce are set by the fabric phase
+	// only: how many distinct fabric shards hosted regions, and how many
+	// regions were alive, both sampled after the workers stopped but
+	// before teardown — the evidence that the aggregation contract was
+	// judged against a genuinely multi-shard population.
+	ShardsPopulated   int
+	LiveBeforeQuiesce int64
 }
 
 // tolerable reports whether err is an error class any op may see under
@@ -403,9 +426,157 @@ func RunAllocChurn(cfg ConcConfig) (ConcResult, error) {
 	return res, nil
 }
 
+// RunFabric runs the multi-shard fabric phase: a WithShards(8) arena
+// carrying hundreds of concurrently live regions spread across the
+// fabric, with every worker churning its own ring of regions —
+// allocation + SetSame bursts, cross-shard subregion trees, and both
+// delete flavours replacing ring slots mid-run — while failpoints
+// (FabricRules) inject admission failures and stretch every window
+// where a shard's slice of the arena totals is mid-update.
+//
+// The judge is the fabric aggregation contract (ISSUE 6): at quiesce
+// the fabric-wide audit must be clean (each shard's counters checked
+// against exactly the regions whose ids encode that shard), the
+// cumulative Allocs counter must equal the workers' own success count,
+// and nothing may be left alive — any region accounted on the wrong
+// shard, or any delta flushed to the wrong shard's liveObjs, surfaces
+// as an audit violation or counter drift here.
+func RunFabric(cfg ConcConfig) (ConcResult, error) {
+	var res ConcResult
+	a := rcgo.NewArena(rcgo.WithShards(8), rcgo.WithMetrics())
+
+	// Each worker owns a ring of regions it continually replaces; the
+	// rings together keep workers*ringSize regions live for the whole
+	// phase (256 at the default chaos sizing of 8 workers).
+	const ringSize = 32
+	rings := make([][]*rcgo.Region, cfg.Workers)
+	for w := range rings {
+		rings[w] = make([]*rcgo.Region, ringSize)
+		for i := range rings[w] {
+			rings[w][i] = a.NewRegion()
+		}
+	}
+
+	for name, r := range cfg.Rules {
+		if err := failpoint.Enable(name, r); err != nil {
+			return res, err
+		}
+	}
+	defer failpoint.DisableAll()
+
+	var successes atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(ring []*rcgo.Region, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < cfg.Ops; i++ {
+				r := ring[rng.Intn(ringSize)]
+				var err error
+				switch rng.Intn(5) {
+				case 0, 1: // alloc + same-region annotated store
+					if o, aerr := rcgo.TryAlloc[node](r); aerr == nil {
+						successes.Add(1)
+						err = rcgo.SetSame(o, &o.Value.Same, o)
+					} else {
+						err = aerr
+					}
+				case 2: // cross-shard subregion churn under the live parent
+					if sub, serr := r.TryNewSubregion(); serr == nil {
+						if _, aerr := rcgo.TryAlloc[node](sub); aerr == nil {
+							successes.Add(1)
+						}
+						ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+						err = sub.DeleteWithRetry(ctx, rcgo.Backoff{Initial: 20 * time.Microsecond})
+						cancel()
+					} else {
+						err = serr
+					}
+				case 3: // replace a ring slot through the explicit delete path
+					j := rng.Intn(ringSize)
+					old := ring[j]
+					ring[j] = a.NewRegion()
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err = old.DeleteWithRetry(ctx, rcgo.Backoff{Initial: 20 * time.Microsecond})
+					cancel()
+				case 4: // replace a ring slot through the zombie path, pinned
+					j := rng.Intn(ringSize)
+					old := ring[j]
+					ring[j] = a.NewRegion()
+					if o, aerr := rcgo.TryAlloc[node](old); aerr == nil {
+						successes.Add(1)
+						if unpin, perr := rcgo.TryPin(o); perr == nil {
+							old.DeleteDeferred()
+							unpin() // last reference: the zombie drains
+						} else {
+							old.DeleteDeferred()
+						}
+					} else {
+						old.DeleteDeferred()
+					}
+				}
+				if !tolerable(err) {
+					errs <- fmt.Errorf("fabric op: %w", err)
+					return
+				}
+			}
+		}(rings[w], cfg.Seed+int64(w)*31337)
+	}
+	wg.Wait()
+	res.Ops = cfg.Workers * cfg.Ops
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	// Sample the fabric population while the rings are still live: the
+	// audit below must have judged a genuinely multi-shard arena.
+	res.LiveBeforeQuiesce = a.LiveRegions()
+	populated := map[int]bool{}
+	a.EachRegion(func(r *rcgo.Region) { populated[a.RegionShard(r.ID())] = true })
+	res.ShardsPopulated = len(populated)
+
+	// Quiesce: disarm, tear the rings down, heal lost drains, judge.
+	failpoint.DisableAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, ring := range rings {
+		for _, r := range ring {
+			if err := r.DeleteWithRetry(ctx, rcgo.Backoff{}); err != nil {
+				return res, fmt.Errorf("quiesce: delete ring region %d: %w", r.ID(), err)
+			}
+		}
+	}
+	res.SweptAtQuiesce = a.SweepZombies()
+	res.Audit = a.Audit()
+	counters := a.Counters()
+	res.AllocSuccesses = successes.Load()
+	res.AllocFlushes = counters.AllocFlushes
+	if !res.Audit.OK {
+		return res, fmt.Errorf("quiesced fabric audit failed:\n%s", res.Audit)
+	}
+	if counters.Allocs != res.AllocSuccesses {
+		return res, fmt.Errorf("fabric alloc drift: arena counted %d allocs, workers observed %d successes",
+			counters.Allocs, res.AllocSuccesses)
+	}
+	if got := a.LiveObjects(); got != 0 {
+		return res, fmt.Errorf("quiesce: LiveObjects = %d, want 0", got)
+	}
+	if got := a.LiveRegions(); got != 1 {
+		return res, fmt.Errorf("quiesce: LiveRegions = %d, want 1 (traditional)", got)
+	}
+	if got := a.DeferredRegions(); got != 0 {
+		return res, fmt.Errorf("quiesce: DeferredRegions = %d, want 0", got)
+	}
+	return res, nil
+}
+
 // Config sizes a full chaos run: one sequential model-checked phase,
 // then a perturbation-mix and an error-mix concurrent phase, then the
-// allocation-churn phase.
+// allocation-churn phase, then the multi-shard fabric phase.
 type Config struct {
 	Seed    int64
 	SeqOps  int
@@ -423,6 +594,7 @@ type Report struct {
 	Perturb     ConcResult
 	Errors      ConcResult
 	AllocChurn  ConcResult
+	Fabric      ConcResult
 	// Coverage is the post-run failpoint counter snapshot; every
 	// instrumented site must show Fires > 0 for the run to count.
 	Coverage []failpoint.Stats
@@ -495,6 +667,18 @@ func Run(cfg Config) (*Report, error) {
 	}
 	logf("phase 4: ok, %d ops, %d allocs over %d delta flushes, zero drift",
 		res.Ops, res.AllocSuccesses, res.AllocFlushes)
+
+	logf("phase 5: multi-shard fabric, %d workers x %d ops across 8 shards", cfg.Workers, cfg.ConcOps)
+	res, err = RunFabric(ConcConfig{
+		Seed: cfg.Seed + 4, Workers: cfg.Workers, Ops: cfg.ConcOps,
+		Rules: FabricRules(uint64(cfg.Seed) + 4),
+	})
+	rep.Fabric = res
+	if err != nil {
+		return rep, fmt.Errorf("fabric phase: %w", err)
+	}
+	logf("phase 5: ok, %d ops, %d regions live on %d shards at quiesce entry, %d allocs, zero drift",
+		res.Ops, res.LiveBeforeQuiesce, res.ShardsPopulated, res.AllocSuccesses)
 
 	rep.Coverage = siteCoverage()
 	if un := rep.Uncovered(); len(un) > 0 {

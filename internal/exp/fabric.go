@@ -1,0 +1,252 @@
+package exp
+
+// Interleaved A/B benchmarking of the arena's sharding fabric
+// (region_fabric.go). Each scenario is measured on a single-shard arena
+// (WithShards(1), the pre-fabric behaviour: every region on one id
+// sequence, one set of population counters, one registry segment) and
+// on a multi-shard fabric. Every run carries a backdrop of hundreds of
+// live regions, each holding an object, so the id registry and
+// population counters are loaded the way a region-per-request server
+// would load them; the timed loops then churn regions and allocations
+// through the shared structures the fabric shards.
+//
+// Methodology. The harness is fixed-work rather than testing.Benchmark:
+// every run spins up `cpu` workers that each execute a fixed number of
+// operations, and ns/op is wall time over total operations. That keeps
+// the A and B runs of a round adjacent in time (testing.Benchmark's
+// b.N calibration runs would otherwise separate them by seconds on a
+// loaded machine) and makes both sides execute identical work. The GC
+// is quiesced (runtime.GC, then GOGC off) for the timed window so GC
+// pacing differences between rounds do not masquerade as fabric
+// effects. Rounds alternate ABBA order, BaselineNs/NsPerOp are the
+// per-side minima across rounds, and DeltaPct is the *median of the
+// per-round paired deltas* — pairing cancels machine-load drift that
+// per-side minima cannot (the two runs of a pair see the same machine
+// state; two minima taken seconds apart need not).
+//
+// cmd/rcbench exposes this as -fabric-ab and records the cells in the
+// rcgo.bench/1 "fabric" section (BENCH_pr6_fabric.json).
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"rcgo"
+)
+
+// FabricReport is one interleaved A/B fabric benchmark cell: the
+// scenario timed at the given GOMAXPROCS with a backdrop of
+// live_regions live regions, on a single-shard arena (baseline_ns_op)
+// and on a shards-wide fabric (ns_op), over best_of ABBA-ordered
+// rounds.
+type FabricReport struct {
+	Name   string `json:"name"`
+	CPU    int    `json:"cpu"`
+	BestOf int    `json:"best_of"`
+	// LiveRegions is the backdrop population held live (each with one
+	// object) for the whole measurement, on both sides.
+	LiveRegions int `json:"live_regions"`
+	// Shards is the fabric width of the fast side; the baseline side is
+	// always WithShards(1).
+	Shards int `json:"shards"`
+	// BaselineNs is the minimum ns/op on the single-shard arena across
+	// rounds; NsPerOp is the same for the multi-shard fabric.
+	BaselineNs float64 `json:"baseline_ns_op"`
+	NsPerOp    float64 `json:"ns_op"`
+	// DeltaPct is the median across rounds of the per-round paired
+	// improvement, (baseline - fabric) / baseline * 100. The paired
+	// median, not the delta of the minima: the two runs of a round are
+	// adjacent in time, so pairing cancels machine-load drift.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// fabricBody is one worker's share of a scenario: iters operations
+// against the arena.
+type fabricBody func(a *rcgo.Arena, iters int) error
+
+// churnBody is the region-lifecycle scenario: every operation creates
+// a region and deletes it. Create/delete is exactly the traffic that
+// funnels through the population counters and registry locks a
+// single-shard arena shares — the paper's region-per-phase pattern at
+// server request rates.
+func churnBody(a *rcgo.Arena, iters int) error {
+	for i := 0; i < iters; i++ {
+		r := a.NewRegion()
+		if err := r.Delete(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocBatchBody is the region-per-request scenario: allocate batch
+// objects into a region (with storesPerAlloc same-region stores each),
+// then delete it and start the next. Operations are allocations, so
+// ns/op is comparable with the parallel alloc A/B (parallel.go), but
+// unlike that A/B's long-lived regions, every batch boundary crosses
+// the shard structures.
+func allocBatchBody(storesPerAlloc, batch int) fabricBody {
+	return func(a *rcgo.Arena, iters int) error {
+		r := a.NewRegion()
+		var prev *rcgo.Obj[abNode]
+		n := 0
+		for i := 0; i < iters; i++ {
+			o := rcgo.Alloc[abNode](r)
+			for s := 0; s < storesPerAlloc; s++ {
+				rcgo.MustSetSame(o, &o.Value.next, prev)
+			}
+			prev = o
+			if n++; n == batch {
+				prev = nil
+				if err := r.Delete(); err != nil {
+					return err
+				}
+				r = a.NewRegion()
+				n = 0
+			}
+		}
+		return r.Delete()
+	}
+}
+
+// measureFabric times one side of one scenario once: an arena of the
+// given width with a live backdrop, then workers goroutines each
+// running iters operations, wall-clocked with the GC quiesced.
+func measureFabric(shards, liveRegions, workers, iters int, body fabricBody) (float64, error) {
+	a := rcgo.NewArena(rcgo.WithShards(shards))
+	backdrop := make([]*rcgo.Region, liveRegions)
+	for i := range backdrop {
+		backdrop[i] = a.NewRegion()
+		rcgo.Alloc[abNode](backdrop[i])
+	}
+	runtime.GC()
+	oldGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(oldGC)
+	errs := make(chan error, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := body(a, iters); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	select {
+	case err := <-errs:
+		return 0, fmt.Errorf("shards=%d: %w", shards, err)
+	default:
+	}
+	return float64(elapsed.Nanoseconds()) / float64(workers*iters), nil
+}
+
+// FabricAB runs the interleaved A/B fabric benchmarks at the given
+// GOMAXPROCS with a backdrop of liveRegions live regions, over bestOf
+// rounds per scenario: parallel allocation and allocation+SetSame in
+// region-per-request batches, and the region create/delete churn loop.
+// The fast side's shard count is the next power of two at or above cpu
+// (capped like WithShards).
+func FabricAB(cpu, bestOf, liveRegions int) ([]FabricReport, error) {
+	if bestOf <= 0 {
+		bestOf = 10
+	}
+	if cpu <= 0 {
+		cpu = 8
+	}
+	if liveRegions <= 0 {
+		liveRegions = 256
+	}
+	shards := 1
+	for shards < cpu && shards < 256 {
+		shards <<= 1
+	}
+	scenarios := []struct {
+		name string
+		// iters is per-worker operation count, sized so one run lasts
+		// roughly 100-200ms: long enough to average scheduler jitter,
+		// short enough that a round's A and B runs share machine state.
+		iters int
+		body  fabricBody
+	}{
+		{"fabric-parallel-alloc", 120000, allocBatchBody(0, 8)},
+		{"fabric-parallel-alloc-setsame", 100000, allocBatchBody(1, 8)},
+		{"fabric-parallel-delete", 20000, churnBody},
+	}
+	prev := runtime.GOMAXPROCS(cpu)
+	defer runtime.GOMAXPROCS(prev)
+	var out []FabricReport
+	for _, sc := range scenarios {
+		rep := FabricReport{
+			Name: sc.name, CPU: cpu, BestOf: bestOf,
+			LiveRegions: liveRegions, Shards: shards,
+		}
+		// Unrecorded warmup of each side: the first run after a scenario
+		// switch pays one-time costs (code paging, heap regrowth after
+		// the previous scenario's teardown) that would skew round 0.
+		if _, err := measureFabric(1, liveRegions, cpu, sc.iters/4, sc.body); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		if _, err := measureFabric(shards, liveRegions, cpu, sc.iters/4, sc.body); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		var deltas []float64
+		for i := 0; i < bestOf; i++ {
+			var slow, fast float64
+			var err error
+			run := func(s int) (float64, error) {
+				return measureFabric(s, liveRegions, cpu, sc.iters, sc.body)
+			}
+			// ABBA: alternate which side runs first so a systematic
+			// first-runner advantage (or penalty) cancels across rounds.
+			if i%2 == 0 {
+				if slow, err = run(1); err == nil {
+					fast, err = run(shards)
+				}
+			} else {
+				if fast, err = run(shards); err == nil {
+					slow, err = run(1)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sc.name, err)
+			}
+			if rep.BaselineNs == 0 || slow < rep.BaselineNs {
+				rep.BaselineNs = slow
+			}
+			if rep.NsPerOp == 0 || fast < rep.NsPerOp {
+				rep.NsPerOp = fast
+			}
+			deltas = append(deltas, 100*(slow-fast)/slow)
+		}
+		sort.Float64s(deltas)
+		if n := len(deltas); n%2 == 1 {
+			rep.DeltaPct = deltas[n/2]
+		} else {
+			rep.DeltaPct = (deltas[n/2-1] + deltas[n/2]) / 2
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// PrintFabricAB renders the fabric A/B cells as a small table.
+func PrintFabricAB(w io.Writer, reps []FabricReport) {
+	fmt.Fprintf(w, "%-30s %4s %7s %6s %6s %12s %12s %8s\n",
+		"scenario", "cpu", "best-of", "live", "shards", "1-shard ns", "fabric ns", "delta")
+	for _, r := range reps {
+		fmt.Fprintf(w, "%-30s %4d %7d %6d %6d %12.1f %12.1f %+7.1f%%\n",
+			r.Name, r.CPU, r.BestOf, r.LiveRegions, r.Shards, r.BaselineNs, r.NsPerOp, r.DeltaPct)
+	}
+}

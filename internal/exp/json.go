@@ -74,6 +74,11 @@ type BenchReport struct {
 	// absent from workload-only reports, so older recorded files stay
 	// valid under the same schema.
 	Parallel []ParallelReport `json:"parallel,omitempty"`
+	// Fabric is the optional interleaved A/B section over the arena's
+	// sharding fabric (rcbench -fabric-ab, fabric.go): single-shard
+	// baseline against a multi-shard fabric under a live multi-region
+	// population. Optional for the same reason as Parallel.
+	Fabric []FabricReport `json:"fabric,omitempty"`
 }
 
 // BenchJSON runs every selected workload under the RC and norc

@@ -2,7 +2,7 @@ package exp
 
 // Interleaved A/B benchmarking of the Go-native allocation fast path
 // (region_alloccache.go). Each scenario is measured with the fast path
-// enabled and disabled (Arena.SetAllocCache) in strict alternation —
+// enabled and disabled (rcgo.WithAllocCache) in strict alternation —
 // A, B, A, B, … — so thermal drift, background load and GC phase hit
 // both sides equally, and the best of N is reported per side, following
 // the paper's best-of-five convention. cmd/rcbench exposes this as
@@ -27,7 +27,7 @@ type ParallelReport struct {
 	CPU    int    `json:"cpu"`
 	BestOf int    `json:"best_of"`
 	// BaselineNs is ns/op down the pre-cache slow path
-	// (SetAllocCache(false)); NsPerOp is the fast path.
+	// (WithAllocCache(false)); NsPerOp is the fast path.
 	BaselineNs float64 `json:"baseline_ns_op"`
 	NsPerOp    float64 `json:"ns_op"`
 	// DeltaPct is the improvement, (baseline - fast) / baseline * 100.
@@ -68,8 +68,7 @@ func allocLoop(b *testing.B, a *rcgo.Arena, pb *testing.PB, storesPerAlloc int) 
 // measureAlloc times one side of one scenario under testing.Benchmark.
 func measureAlloc(cache bool, storesPerAlloc int) (float64, error) {
 	res := testing.Benchmark(func(b *testing.B) {
-		a := rcgo.NewArena()
-		a.SetAllocCache(cache)
+		a := rcgo.NewArena(rcgo.WithAllocCache(cache))
 		b.RunParallel(func(pb *testing.PB) { allocLoop(b, a, pb, storesPerAlloc) })
 	})
 	if res.N == 0 {

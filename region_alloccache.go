@@ -29,14 +29,19 @@ import (
 //     touches one shard-local line.
 //   - Pooled object chunks. Obj headers are handed out of per-type
 //     chunks, so a chunk's worth of allocations costs one heap
-//     allocation. A partially-used chunk parks in a per-arena slot and
-//     is shared in place: allocators claim indices off its atomic
-//     cursor, so steady state is one load plus one fetch-add and the
-//     slot word is written only at refill or exhaustion. Parked chunks
-//     are strong references, so unlike a bare sync.Pool the cache
-//     survives GC cycles under allocation churn. The sync.Pool is the
-//     second level, touched only on slot misses. Oversized types bypass
-//     chunking.
+//     allocation. A partially-used chunk parks in a per-region slot
+//     (Region.chunkPark — it used to be an arena-wide slot array, which
+//     made concurrent single-type regions displace each other's chunks
+//     and bounce the shared slot words; see DESIGN.md §12) and is
+//     shared in place: allocators claim indices off its atomic cursor,
+//     so steady state is one load plus one fetch-add and the slot word
+//     is written only at refill or exhaustion. Parked chunks are strong
+//     references, so unlike a bare sync.Pool the cache survives GC
+//     cycles under allocation churn. The sync.Pool, shared per type
+//     across the whole process, is the second level, touched only on
+//     slot misses; reclaim returns a region's parked chunks to their
+//     pools so the chunk capacity outlives the region. Oversized types
+//     bypass chunking.
 //
 // Why exact-at-quiesce still holds (the increment-then-validate
 // argument, same shape as incRC): an allocation publishes its +1 delta
@@ -136,7 +141,7 @@ func (r *Region) flushAllocPendingLocked() {
 	fpAllocRefill.Perturb()
 	if d := c.drain(); d != 0 {
 		r.objs.Add(d)
-		r.arena.liveObjs.Add(d)
+		r.shard.liveObjs.Add(d)
 		if m := r.counters(); m != nil {
 			m.allocFlushes.Add(1)
 		}
@@ -164,7 +169,7 @@ func (r *Region) drainAllocPendingReclaim() {
 	if c := r.acache.Load(); c != nil {
 		if d := c.drain(); d != 0 {
 			r.objs.Add(d)
-			r.arena.liveObjs.Add(d)
+			r.shard.liveObjs.Add(d)
 		}
 	}
 }
@@ -187,6 +192,10 @@ func (a *Arena) flushAllocPending() {
 // (BenchmarkParallelAllocNoCache, cmd/rcbench -alloc-ab); both paths
 // maintain the same exact-at-quiesce accounting and may coexist freely
 // within one arena.
+//
+// Deprecated: pass WithAllocCache to NewArena instead, which configures
+// the knob before any region (including the traditional region) exists.
+// SetAllocCache remains for mid-life A/B flips.
 func (a *Arena) SetAllocCache(enabled bool) { a.allocSlow.Store(!enabled) }
 
 // ---------------------------------------------------------------------------
@@ -217,7 +226,7 @@ type objChunk[T any] struct {
 // release returns a displaced or type-mismatched chunk to its pool.
 func (ch *objChunk[T]) release() { chunkPool[T]().Put(ch) }
 
-// chunkBox type-erases a parked chunk: arena slots hold *chunkBox (one
+// chunkBox type-erases a parked chunk: park slots hold *chunkBox (one
 // concrete type for every Obj instantiation), and the claimer
 // type-asserts the payload, releasing chunks of other types back to
 // their own pools.
@@ -225,13 +234,19 @@ type chunkBox struct{ c chunkRef }
 
 type chunkRef interface{ release() }
 
-// chunkSlot picks the arena parking slot for a region's allocations by
-// hashing the region pointer — concurrent allocators in different
-// regions park in different slots, and the paper's common case (one
-// goroutine per region) reclaims its own chunk with no pool traffic.
-func chunkSlot(r *Region) int {
-	h := uintptr(unsafe.Pointer(r)) * 0x9E3779B97F4A7C15 >> 32
-	return int(h % allocShards)
+// chunkParkSlots is the number of parking slots per region
+// (Region.chunkPark). Slots are picked by object size, so a region
+// allocating a handful of distinct types keeps a chunk of each parked
+// simultaneously instead of thrashing one slot; the paper's common case
+// (one goroutine, one type per region) uses exactly one slot and
+// reclaims its own chunk with no pool traffic.
+const chunkParkSlots = 4
+
+// chunkParkSlot picks the region parking slot for an object size by the
+// same Fibonacci hash the delta shards use.
+func chunkParkSlot(size uintptr) int {
+	h := size * 0x9E3779B97F4A7C15 >> 32
+	return int(h % chunkParkSlots)
 }
 
 // chunkPools maps an Obj instantiation (keyed by a nil *T, which boxes
@@ -265,7 +280,7 @@ func newChunkedObj[T any](r *Region) (*Obj[T], error) {
 	if unsafe.Sizeof(probe) > maxChunkObjBytes {
 		return &Obj[T]{region: r}, nil
 	}
-	slot := &r.arena.chunkSlots[chunkSlot(r)]
+	slot := &r.chunkPark[chunkParkSlot(unsafe.Sizeof(probe))]
 	for {
 		b := slot.Load()
 		if b == nil {

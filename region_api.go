@@ -62,20 +62,19 @@ const (
 	stateDead         // reclaimed
 )
 
-// Arena is a reference-counted region heap for Go values. All methods
-// are safe for concurrent use.
+// Arena is a reference-counted region heap for Go values, created by
+// NewArena (region_fabric.go) and internally sharded: regions hash
+// across the fabric's shards, each of which owns an id-sequence
+// segment, a registry segment, and its slice of every arena-wide
+// total. All methods are safe for concurrent use, and every reader
+// (Stats, Audit, EachRegion, the debug inspector) aggregates across
+// shards so the fabric is invisible to callers.
 type Arena struct {
-	nextID   atomic.Int64
-	liveObjs atomic.Int64
-
-	// liveRegions / deferredRegions track the region population by
-	// lifecycle state for ArenaStats. Every transition updates them at
-	// the same program point that stores the new state (under the
-	// region's mu, except creation, whose publication is its own
-	// linearization point), so the counts can never drift from the
-	// delete state machine.
-	liveRegions     atomic.Int64
-	deferredRegions atomic.Int64
+	// shards is the fabric (region_fabric.go); immutable after
+	// construction. shardMask = len(shards)-1 (the count is a power of
+	// two).
+	shards    []arenaShard
+	shardMask uint64
 
 	// metrics gates the cumulative op counters (region_metrics.go);
 	// tracer delivers lifecycle events (region_trace.go). Both are nil
@@ -84,81 +83,24 @@ type Arena struct {
 	tracer  atomic.Pointer[tracerBox]
 
 	// allocSlow disables the allocation fast path (region_alloccache.go)
-	// for regions created after SetAllocCache(false) — the A/B ablation
-	// knob. Snapshotted per region at creation so the hot path never
-	// chases a pointer through the arena.
+	// for regions created after WithAllocCache(false) / the deprecated
+	// SetAllocCache(false) — the A/B ablation knob. Snapshotted per
+	// region at creation so the hot path never chases a pointer through
+	// the arena.
 	allocSlow atomic.Bool
 
-	// chunkSlots parks partially-used object chunks between allocations
-	// (region_alloccache.go): a strong-reference level-one cache in
-	// front of the per-type sync.Pools, shared in place through each
-	// chunk's atomic cursor. Holds at most allocShards chunks per arena.
-	chunkSlots [allocShards]atomic.Pointer[chunkBox]
-
-	// registry is the sharded id->region index behind the debug
-	// inspector (region_debug.go): regions register at creation and
-	// unregister at reclaim, so it holds exactly the live and zombie
-	// regions.
-	registry [regionShards]regionShard
-
 	trad *Region
-}
-
-// regionShards is the number of registry shards; regions hash to a
-// shard by id so concurrent create/reclaim rarely share a lock.
-const regionShards = 16
-
-type regionShard struct {
-	mu sync.Mutex
-	m  map[int64]*Region
-}
-
-func (a *Arena) registryShard(id int64) *regionShard {
-	return &a.registry[uint64(id)%regionShards]
-}
-
-func (a *Arena) register(r *Region) {
-	sh := a.registryShard(r.id)
-	sh.mu.Lock()
-	if sh.m == nil {
-		sh.m = make(map[int64]*Region)
-	}
-	sh.m[r.id] = r
-	sh.mu.Unlock()
-}
-
-func (a *Arena) unregister(id int64) {
-	sh := a.registryShard(id)
-	sh.mu.Lock()
-	delete(sh.m, id)
-	sh.mu.Unlock()
-}
-
-// EachRegion calls f for every region that is live or awaiting deferred
-// reclaim (zombie), including the traditional region. The snapshot is
-// taken shard by shard: regions created or reclaimed while the walk
-// runs may or may not be visited, but f is never called with a region
-// whose storage was released before the walk began.
-func (a *Arena) EachRegion(f func(r *Region)) {
-	for i := range a.registry {
-		sh := &a.registry[i]
-		sh.mu.Lock()
-		regions := make([]*Region, 0, len(sh.m))
-		for _, r := range sh.m {
-			regions = append(regions, r)
-		}
-		sh.mu.Unlock()
-		for _, r := range regions {
-			f(r)
-		}
-	}
 }
 
 // Region is one region: objects allocated into it are freed together by
 // Delete, which fails while external references remain. All methods are
 // safe for concurrent use.
 type Region struct {
-	arena  *Arena
+	arena *Arena
+	// shard is the fabric shard the region was assigned to at creation
+	// (immutable): the shard whose id sequence minted r.id and whose
+	// counters carry this region's share of the arena totals.
+	shard  *arenaShard
 	parent *Region // immutable after creation
 	id     int64
 	// metrics caches arena.metrics so the store fast paths gate their
@@ -186,6 +128,14 @@ type Region struct {
 	// this region's objects; deletion drains it to release outbound
 	// references, the analogue of the runtime's delete-time unscan.
 	slots [slotShards]slotShard
+
+	// chunkPark parks this region's partially-used allocation chunks
+	// between allocations (region_alloccache.go): a strong-reference
+	// level-one cache in front of the per-type sync.Pools, shared in
+	// place through each chunk's atomic cursor. Per-region (it used to
+	// be arena-wide) so concurrent single-type regions never displace
+	// each other's chunks; reclaim returns parked chunks to their pools.
+	chunkPark [chunkParkSlots]atomic.Pointer[chunkBox]
 }
 
 // ErrRegionInUse is returned by Delete while external references or
@@ -204,13 +154,6 @@ var ErrRegionDeleted = errors.New("rcgo: region already deleted")
 // a checked store violates its annotation.
 var ErrBadRef = errors.New("rcgo: reference violates its region annotation")
 
-// NewArena creates an empty arena.
-func NewArena() *Arena {
-	a := &Arena{}
-	a.trad = a.NewRegion()
-	return a
-}
-
 // Traditional returns the arena's distinguished traditional region — the
 // analogue of the paper's stack/globals/malloc-heap region. Objects with
 // indefinite lifetime live here; it can never be deleted, and SetTrad
@@ -223,14 +166,29 @@ func (a *Arena) NewRegion() *Region { return a.newRegion(nil) }
 // ID returns the region's arena-unique id — the same id the tracer,
 // the hierarchy inspector and the blocked-deleters report use, so a
 // region found in a debug report can be correlated with the handle.
+//
+// Ids are shard-encoded: the low bits carry the fabric shard the region
+// was assigned to at creation (recoverable with Arena.RegionShard), the
+// high bits a per-shard sequence. The encoding makes an id globally
+// unique within its arena and stable for the region's whole life —
+// regions never migrate between shards — but ids are NOT dense or
+// globally creation-ordered: two regions created back to back on
+// different shards can have ids far apart, in either order.
 func (r *Region) ID() int64 { return r.id }
 
 // newRegion creates and publishes a region below parent (nil for
-// top-level). Registration happens after the parent pointer is set so
-// the debug inspector never observes a half-built region.
+// top-level). The region is assigned to a fabric shard by hashing its
+// own address (region_fabric.go), takes its id from that shard's
+// sequence, and counts toward that shard's totals for life.
+// Registration happens after the parent pointer is set so the debug
+// inspector never observes a half-built region.
 func (a *Arena) newRegion(parent *Region) *Region {
-	r := &Region{arena: a, parent: parent, id: a.nextID.Add(1), allocSlow: a.allocSlow.Load()}
-	a.liveRegions.Add(1)
+	r := &Region{arena: a, parent: parent, allocSlow: a.allocSlow.Load()}
+	idx := a.shardIndexFor(unsafe.Pointer(r))
+	sh := &a.shards[idx]
+	r.shard = sh
+	r.id = sh.nextSeq.Add(1)<<shardIDBits | int64(idx)
+	sh.liveRegions.Add(1)
 	a.register(r)
 	// Arm the per-region metrics gate after registering: either this load
 	// sees the enabled pointer, or EnableMetrics' registry walk (which
@@ -346,7 +304,7 @@ func tryAllocSlow[T any](r *Region) (*Obj[T], error) {
 	// decision (and its reclaim accounts for it) or has already marked
 	// the region and we fail above. Object accounting stays exact.
 	r.objs.Add(1)
-	r.arena.liveObjs.Add(1)
+	r.shard.liveObjs.Add(1)
 	r.mu.Unlock()
 	if c := r.counters(); c != nil {
 		c.allocs.Add(1)
@@ -459,7 +417,7 @@ func (r *Region) drain(force bool) bool {
 	r.mu.Lock()
 	if r.state.Load() == stateZombie && r.rc.Load() == 0 && r.children.Load() == 0 {
 		r.state.Store(stateDead)
-		r.arena.deferredRegions.Add(-1)
+		r.shard.deferredRegions.Add(-1)
 		r.mu.Unlock()
 		r.reclaim()
 		return true
@@ -542,7 +500,7 @@ func (r *Region) Delete() error {
 		return fmt.Errorf("%w (rc=%d)", ErrRegionInUse, n)
 	}
 	r.state.Store(stateDead)
-	r.arena.liveRegions.Add(-1)
+	r.shard.liveRegions.Add(-1)
 	r.mu.Unlock()
 	if c := r.counters(); c != nil {
 		c.deletes.Add(1)
@@ -589,7 +547,7 @@ func (r *Region) DeleteDeferred() {
 	r.flushAllocPendingLocked()
 	if r.rc.Load() == 0 && r.children.Load() == 0 {
 		r.state.Store(stateDead)
-		r.arena.liveRegions.Add(-1)
+		r.shard.liveRegions.Add(-1)
 		r.mu.Unlock()
 		if c := r.counters(); c != nil {
 			c.deferredDeletes.Add(1)
@@ -599,8 +557,8 @@ func (r *Region) DeleteDeferred() {
 		return
 	}
 	r.state.Store(stateZombie)
-	r.arena.liveRegions.Add(-1)
-	r.arena.deferredRegions.Add(1)
+	r.shard.liveRegions.Add(-1)
+	r.shard.deferredRegions.Add(1)
 	r.mu.Unlock()
 	if c := r.counters(); c != nil {
 		c.deferredDeletes.Add(1)
@@ -620,7 +578,16 @@ func (r *Region) reclaim() {
 	// and then swapping objs removes exactly this region's contribution
 	// from the arena total.
 	r.drainAllocPendingReclaim()
-	r.arena.liveObjs.Add(-r.objs.Swap(0))
+	r.shard.liveObjs.Add(-r.objs.Swap(0))
+	// Return parked allocation chunks to their per-type pools: the park
+	// is a strong reference, and a dead region must not retain chunk
+	// capacity other regions could reuse. A chunk an allocator raced out
+	// of the park is already on its way back to the pool or exhausted.
+	for i := range r.chunkPark {
+		if b := r.chunkPark[i].Swap(nil); b != nil {
+			b.c.release()
+		}
+	}
 	// The delete-time unscan: collect the registered slots shard by
 	// shard, then release the outbound counted references so the
 	// targets' counts drop (and deferred deletions may cascade). Releases

@@ -55,8 +55,11 @@ const (
 	// zombie.drain failpoint induces this; SweepZombies heals it).
 	AuditZombieReclaimable = "zombie-reclaimable"
 	// AuditLiveRegionsTotal / AuditDeferredRegionsTotal /
-	// AuditLiveObjectsTotal: an arena-wide total disagrees with the sum
-	// over the registry.
+	// AuditLiveObjectsTotal: a fabric shard's slice of an arena-wide
+	// total disagrees with the sum over the regions assigned to that
+	// shard (region_fabric.go). Checked per shard, so a region accounted
+	// on the wrong shard is a violation even when the arena-wide sum
+	// happens to balance.
 	AuditLiveRegionsTotal     = "live-regions-total"
 	AuditDeferredRegionsTotal = "deferred-regions-total"
 	AuditLiveObjectsTotal     = "live-objects-total"
@@ -120,15 +123,6 @@ func (rep AuditReport) String() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
-// findRegion returns the registered region with the given id, or nil.
-func (a *Arena) findRegion(id int64) *Region {
-	sh := a.registryShard(id)
-	sh.mu.Lock()
-	r := sh.m[id]
-	sh.mu.Unlock()
-	return r
-}
-
 // Audit scans the whole arena and cross-checks its redundant
 // bookkeeping (see the file comment for the exactness contract). The
 // scan never blocks the runtime: it takes registry and slot shard locks
@@ -174,9 +168,13 @@ func (a *Arena) Audit() AuditReport {
 	}
 
 	// Pass 2: per-region counters and state legality, plus the
-	// parent/child population.
+	// parent/child population. The per-region sums are indexed by the
+	// fabric shard each region is assigned to (decoded from its id), so
+	// pass 3 can hold every shard to its own slice of the totals.
 	childCount := make(map[*Region]int64, len(regions))
-	var liveTotal, deferredTotal, objTotal int64
+	liveByShard := make([]int64, len(a.shards))
+	deferredByShard := make([]int64, len(a.shards))
+	objByShard := make([]int64, len(a.shards))
 	for _, r := range regions {
 		st := r.Stats()
 		if st.Reclaimed {
@@ -187,12 +185,13 @@ func (a *Arena) Audit() AuditReport {
 			// this read — not part of the population being audited.
 			continue
 		}
+		shard := int(uint64(r.id) & a.shardMask)
 		if st.Deferred {
-			deferredTotal++
+			deferredByShard[shard]++
 		} else {
-			liveTotal++
+			liveByShard[shard]++
 		}
-		objTotal += st.Objects
+		objByShard[shard] += st.Objects
 		for name, v := range map[string]int64{
 			"rc": st.RC, "pins": st.Pins, "objects": st.Objects, "subregions": st.Subregions,
 		} {
@@ -238,19 +237,25 @@ func (a *Arena) Audit() AuditReport {
 		}
 	}
 
-	// Pass 3: arena-wide totals against the per-region sums.
-	ast := a.Stats()
-	if ast.LiveRegions != liveTotal {
-		add(AuditLiveRegionsTotal, 0, ast.LiveRegions, liveTotal,
-			"arena LiveRegions %d != %d alive registered regions", ast.LiveRegions, liveTotal)
-	}
-	if ast.DeferredRegions != deferredTotal {
-		add(AuditDeferredRegionsTotal, 0, ast.DeferredRegions, deferredTotal,
-			"arena DeferredRegions %d != %d zombie registered regions", ast.DeferredRegions, deferredTotal)
-	}
-	if ast.LiveObjects != objTotal {
-		add(AuditLiveObjectsTotal, 0, ast.LiveObjects, objTotal,
-			"arena LiveObjects %d != %d summed over regions", ast.LiveObjects, objTotal)
+	// Pass 3: fabric totals against the per-region sums, shard by
+	// shard. Each fabric shard's counters must cover exactly the regions
+	// whose ids encode that shard — a region accounted on the wrong
+	// shard shows up as a paired mismatch here, not as silent drift that
+	// happens to cancel in an arena-wide sum.
+	for i := range a.shards {
+		sh := &a.shards[i]
+		if got, want := sh.liveRegions.Load(), liveByShard[i]; got != want {
+			add(AuditLiveRegionsTotal, 0, got, want,
+				"shard %d LiveRegions %d != %d alive registered regions", i, got, want)
+		}
+		if got, want := sh.deferredRegions.Load(), deferredByShard[i]; got != want {
+			add(AuditDeferredRegionsTotal, 0, got, want,
+				"shard %d DeferredRegions %d != %d zombie registered regions", i, got, want)
+		}
+		if got, want := sh.liveObjs.Load(), objByShard[i]; got != want {
+			add(AuditLiveObjectsTotal, 0, got, want,
+				"shard %d LiveObjects %d != %d summed over regions", i, got, want)
+		}
 	}
 
 	sort.Slice(rep.Violations, func(i, j int) bool {

@@ -125,17 +125,17 @@ func TestAuditDetectsCorruption(t *testing.T) {
 	})
 	t.Run(AuditLiveRegionsTotal, func(t *testing.T) {
 		a := NewArena()
-		a.liveRegions.Add(1)
+		a.shards[0].liveRegions.Add(1)
 		violated(t, a, AuditLiveRegionsTotal)
 	})
 	t.Run(AuditDeferredRegionsTotal, func(t *testing.T) {
 		a := NewArena()
-		a.deferredRegions.Add(1)
+		a.shards[0].deferredRegions.Add(1)
 		violated(t, a, AuditDeferredRegionsTotal)
 	})
 	t.Run(AuditLiveObjectsTotal, func(t *testing.T) {
 		a := NewArena()
-		a.liveObjs.Add(1)
+		a.shards[0].liveObjs.Add(1)
 		violated(t, a, AuditLiveObjectsTotal)
 	})
 }

@@ -235,8 +235,8 @@ func (a *Arena) DebugHandler() http.Handler {
 	mux.HandleFunc("/{$}", func(w http.ResponseWriter, req *http.Request) {
 		st := a.Stats()
 		fmt.Fprintf(w, "rcgo arena debug\n\n")
-		fmt.Fprintf(w, "live_regions=%d deferred_regions=%d live_objects=%d regions_created=%d\n",
-			st.LiveRegions, st.DeferredRegions, st.LiveObjects, st.RegionsCreated)
+		fmt.Fprintf(w, "live_regions=%d deferred_regions=%d live_objects=%d regions_created=%d shards=%d\n",
+			st.LiveRegions, st.DeferredRegions, st.LiveObjects, st.RegionsCreated, st.Shards)
 		if ts, ok := a.traceStats(); ok {
 			fmt.Fprintf(w, "trace_events=%d trace_buffered=%d trace_dropped=%d\n",
 				ts.Total, ts.Buffered, ts.Dropped)

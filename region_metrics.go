@@ -86,6 +86,11 @@ func (m *arenaMetrics) shard(p unsafe.Pointer) *counterShard {
 // sees the region or the region sees the pointer). Operations already
 // in flight when metrics come up may go uncounted — deltas are exact
 // only between two snapshots taken while metrics are on.
+//
+// Deprecated: pass WithMetrics to NewArena instead, which arms the gate
+// before any operation can run, so counters cover the arena's whole
+// life. EnableMetrics remains for turning counters on mid-life
+// (DebugHandler and PublishExpvar still use it).
 func (a *Arena) EnableMetrics() {
 	if a.metrics.CompareAndSwap(nil, &arenaMetrics{}) {
 		m := a.metrics.Load()

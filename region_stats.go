@@ -98,12 +98,18 @@ func (r *Region) Deleted() bool { return r.settled() != stateAlive }
 // reclaim.
 func (r *Region) Deferred() bool { return r.settled() == stateZombie }
 
-// ArenaStats is a snapshot of arena-wide counters.
+// ArenaStats is a snapshot of arena-wide counters, aggregated across
+// the fabric shards (region_fabric.go). Each field is the sum of the
+// per-shard slices, each of which is maintained at the same program
+// points the pre-fabric arena-wide counter was — so the aggregate keeps
+// the exact-at-quiesce contract, while a concurrent snapshot reads the
+// shards at slightly different instants (like every other live read).
 type ArenaStats struct {
 	// LiveObjects is the number of live objects across all regions.
 	LiveObjects int64 `json:"live_objects"`
 	// RegionsCreated is the total number of regions ever created
-	// (including the traditional region).
+	// (including the traditional region), summed over the shards' id
+	// sequences.
 	RegionsCreated int64 `json:"regions_created"`
 	// LiveRegions is the number of regions currently alive (including
 	// the traditional region). Updated at the same point as every
@@ -113,6 +119,9 @@ type ArenaStats struct {
 	// DeferredRegions is the number of deferred-deleted (zombie)
 	// regions still awaiting reclaim.
 	DeferredRegions int64 `json:"deferred_regions"`
+	// Shards is the arena's fabric width (Arena.Shards): a constant,
+	// carried here so monitoring snapshots are self-describing.
+	Shards int `json:"shards"`
 }
 
 // Stats returns a snapshot of the arena-wide counters. It first drains
@@ -121,26 +130,45 @@ type ArenaStats struct {
 // at a time, like the debug inspector's walks.
 func (a *Arena) Stats() ArenaStats {
 	a.flushAllocPending()
-	return ArenaStats{
-		LiveObjects:     a.liveObjs.Load(),
-		RegionsCreated:  a.nextID.Load(),
-		LiveRegions:     a.liveRegions.Load(),
-		DeferredRegions: a.deferredRegions.Load(),
+	st := ArenaStats{Shards: len(a.shards)}
+	for i := range a.shards {
+		sh := &a.shards[i]
+		st.LiveObjects += sh.liveObjs.Load()
+		st.RegionsCreated += sh.nextSeq.Load()
+		st.LiveRegions += sh.liveRegions.Load()
+		st.DeferredRegions += sh.deferredRegions.Load()
 	}
+	return st
 }
 
 // LiveRegions returns the number of regions currently alive, including
 // the traditional region.
-func (a *Arena) LiveRegions() int64 { return a.liveRegions.Load() }
+func (a *Arena) LiveRegions() int64 {
+	var n int64
+	for i := range a.shards {
+		n += a.shards[i].liveRegions.Load()
+	}
+	return n
+}
 
 // DeferredRegions returns the number of zombie regions awaiting
 // deferred reclaim.
-func (a *Arena) DeferredRegions() int64 { return a.deferredRegions.Load() }
+func (a *Arena) DeferredRegions() int64 {
+	var n int64
+	for i := range a.shards {
+		n += a.shards[i].deferredRegions.Load()
+	}
+	return n
+}
 
 // LiveObjects returns the number of live objects across the arena,
 // draining the batched allocation deltas first (exact at quiesce, like
 // Stats).
 func (a *Arena) LiveObjects() int64 {
 	a.flushAllocPending()
-	return a.liveObjs.Load()
+	var n int64
+	for i := range a.shards {
+		n += a.shards[i].liveObjs.Load()
+	}
+	return n
 }

@@ -101,6 +101,12 @@ func (NopTracer) Trace(TraceEvent) {}
 // SetTracer installs t as the arena's tracer (nil removes it). Safe to
 // call concurrently with running work; events already in flight may
 // still be delivered to the previous tracer.
+//
+// Prefer WithTracer at construction when the tracer exists before the
+// arena does — it then sees every event from the traditional region's
+// creation on. SetTracer remains fully supported (not deprecated) for
+// tracers that need the arena handle to construct, such as a
+// ZombieWatchdog chain, and for swapping tracers mid-life.
 func (a *Arena) SetTracer(t Tracer) {
 	if t == nil {
 		a.tracer.Store(nil)
