@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet staticcheck race check benchlint-files chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
+.PHONY: all build test test-short vet staticcheck race check benchlint-files advise-smoke chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
 
 all: check
 
@@ -40,7 +40,7 @@ race:
 # The default verification gate: build cleanliness, static analysis,
 # the full test suite, the race pass over the concurrent API, and the
 # checked-in benchmark reports revalidated against the current schema.
-check: vet staticcheck test race benchlint-files
+check: vet staticcheck test race benchlint-files advise-smoke
 
 # Every committed rcbench report must still satisfy the benchlint
 # invariants — catches schema drift against historical BENCH_*.json.
@@ -50,6 +50,14 @@ benchlint-files:
 		echo "benchlint < $$f"; \
 		$(GO) run rcgo/cmd/benchlint < $$f || exit 1; \
 	done
+
+# Annotation-advisor end-to-end gate: replay a reduced grobner-mix
+# workload with the advisor armed and print the upgrade table. rcbench
+# -advise exits non-zero when the profile reports zero upgrade
+# candidates — the replay plants deliberately under-annotated stores, so
+# an empty report means the advisor lost the flavour lattice.
+advise-smoke:
+	$(GO) run rcgo/cmd/rcbench -advise -advise-allocs 2000
 
 # Chaos harness under the race detector: a seeded sequential phase
 # checked op-by-op against the reference model of the delete state

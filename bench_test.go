@@ -411,6 +411,24 @@ func BenchmarkParallelSetSameMetrics(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelSetSameAdvisor is BenchmarkParallelSetSame with the
+// annotation advisor armed (WithAdvisor): every store additionally pays
+// runtime.Callers plus a sharded table hit. Compare against
+// BenchmarkParallelSetSame for the armed cost; the disarmed cost is the
+// baseline itself (one pointer load and never-taken branch on the same
+// cached gate the metrics use).
+func BenchmarkParallelSetSameAdvisor(b *testing.B) {
+	a := NewArena(WithAdvisor())
+	r := a.NewRegion()
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](r)
+		v := Alloc[parNode](r)
+		for pb.Next() {
+			MustSetSame(h, &h.Value.next, v)
+		}
+	})
+}
+
 // BenchmarkParallelSetTrad: annotated traditional stores from every P
 // into the arena's traditional region. Check-only, like SetSame.
 func BenchmarkParallelSetTrad(b *testing.B) {
@@ -473,6 +491,29 @@ func BenchmarkParallelSetParentMetrics(b *testing.B) {
 // atomic reference count — the cost the annotations exist to avoid.
 func BenchmarkParallelSetRef(b *testing.B) {
 	a := NewArena()
+	shared := a.NewRegion()
+	target := Alloc[parNode](shared)
+	b.RunParallel(func(pb *testing.PB) {
+		h := Alloc[parNode](a.NewRegion())
+		clear := false
+		for pb.Next() {
+			if clear {
+				MustSetRef(h, &h.Value.cross, nil)
+			} else {
+				MustSetRef(h, &h.Value.cross, target)
+			}
+			clear = !clear
+		}
+	})
+}
+
+// BenchmarkParallelSetRefAdvisor is BenchmarkParallelSetRef with the
+// annotation advisor armed. Every P's holder lives in its own region
+// and the target is shared, so the advisor classifies the site as a
+// keeper (no cheaper flavour is legal) while still paying the full
+// profiling cost — the worst case for an armed contended store.
+func BenchmarkParallelSetRefAdvisor(b *testing.B) {
+	a := NewArena(WithAdvisor())
 	shared := a.NewRegion()
 	target := Alloc[parNode](shared)
 	b.RunParallel(func(pb *testing.PB) {

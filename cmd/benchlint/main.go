@@ -4,9 +4,9 @@
 //
 // It checks the invariants every rcgo.bench/1 document must satisfy —
 // the schema tag, at least one workload, positive times, non-negative
-// counters, a non-zero store total, and (when the optional parallel or
-// fabric sections are present) positive A/B timings per cell, plus a
-// sane shard/backdrop geometry on fabric cells — and exits
+// counters, a non-zero store total, and (when the optional parallel,
+// fabric or advisor sections are present) positive A/B timings per
+// cell, plus a sane shard/backdrop geometry on fabric cells — and exits
 // non-zero with a message naming the first violation. `make
 // bench-smoke` runs a tiny report through it as a sanity gate.
 package main
@@ -135,9 +135,31 @@ func main() {
 			fail("%s: baseline_ns_op = %g, want > 0", f.Name, f.BaselineNs)
 		}
 	}
-	if len(report.Parallel) > 0 || len(report.Fabric) > 0 {
-		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells)\n",
-			len(report.Workloads), len(report.Parallel), len(report.Fabric))
+	seenAdv := make(map[string]bool)
+	for i, ab := range report.Advisor {
+		if ab.Name == "" {
+			fail("advisor cell %d has no name", i)
+		}
+		if seenAdv[ab.Name] {
+			fail("advisor cell %q appears twice", ab.Name)
+		}
+		seenAdv[ab.Name] = true
+		if ab.CPU <= 0 {
+			fail("%s: cpu = %d, want > 0", ab.Name, ab.CPU)
+		}
+		if ab.BestOf <= 0 {
+			fail("%s: best_of = %d, want > 0", ab.Name, ab.BestOf)
+		}
+		if ab.NsPerOp <= 0 {
+			fail("%s: ns_op = %g, want > 0", ab.Name, ab.NsPerOp)
+		}
+		if ab.BaselineNs <= 0 {
+			fail("%s: baseline_ns_op = %g, want > 0", ab.Name, ab.BaselineNs)
+		}
+	}
+	if len(report.Parallel) > 0 || len(report.Fabric) > 0 || len(report.Advisor) > 0 {
+		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells, %d advisor cells)\n",
+			len(report.Workloads), len(report.Parallel), len(report.Fabric), len(report.Advisor))
 		return
 	}
 	fmt.Printf("benchlint: ok (%d workloads)\n", len(report.Workloads))

@@ -11,6 +11,11 @@
 //	rcbench -json            # machine-readable report on stdout
 //	rcbench -alloc-ab 10 -ab-cpu 8   # Go-native allocation fast-path A/B
 //	rcbench -fabric-ab 10 -fabric-cpu 8 -fabric-live 256   # arena fabric A/B
+//	rcbench -advisor-ab 10 -advisor-cpu 8   # annotation-advisor gate A/B
+//	rcbench -advise              # profile a deliberately un-annotated
+//	                             # grobner-mix replay and print the
+//	                             # advisor's upgrade table; exits non-zero
+//	                             # if no upgrade candidate is found
 //	rcbench -json -workloads grobner -alloc-ab 10   # record a parallel section
 //
 // With -json the human tables are skipped (-table/-figure/-space/-bars
@@ -43,6 +48,10 @@ func main() {
 	fabricAB := flag.Int("fabric-ab", 0, "run the arena fabric A/B benchmarks (1 shard vs GOMAXPROCS-wide), best of N interleaved runs per side (0 = skip)")
 	fabricCPU := flag.Int("fabric-cpu", 8, "GOMAXPROCS for the -fabric-ab benchmarks")
 	fabricLive := flag.Int("fabric-live", 256, "live-region backdrop population for the -fabric-ab benchmarks")
+	advisorAB := flag.Int("advisor-ab", 0, "run the annotation-advisor gate A/B benchmarks (disarmed vs armed), best of N interleaved runs per side (0 = skip)")
+	advisorCPU := flag.Int("advisor-cpu", 8, "GOMAXPROCS for the -advisor-ab benchmarks")
+	advise := flag.Bool("advise", false, "replay the grobner op mix un-annotated through an advisor-armed arena and print the upgrade table; exit non-zero if no upgrade candidate is found")
+	adviseAllocs := flag.Int("advise-allocs", 0, "allocation count for the -advise replay (0 = default)")
 	flag.Parse()
 
 	o := exp.Options{Scale: *scale, Reps: *reps}
@@ -73,6 +82,12 @@ func main() {
 				fail(err)
 			}
 		}
+		if *advisorAB > 0 {
+			report.Advisor, err = exp.AdvisorAB(*advisorCPU, *advisorAB)
+			if err != nil {
+				fail(err)
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -81,13 +96,28 @@ func main() {
 		return
 	}
 
+	if *advise {
+		rep, err := exp.AdviseReplay(*adviseAllocs)
+		if err != nil {
+			fail(err)
+		}
+		rep.WriteTable(os.Stdout)
+		if rep.UpgradeCandidates == 0 {
+			fail(fmt.Errorf("advise replay found no upgrade candidates — the advisor lost the flavour lattice"))
+		}
+		if *allocAB == 0 && *fabricAB == 0 && *advisorAB == 0 && *table == 0 && *figure == 0 {
+			return
+		}
+		fmt.Println()
+	}
+
 	if *allocAB > 0 {
 		cells, err := exp.AllocAB(*abCPU, *allocAB)
 		if err != nil {
 			fail(err)
 		}
 		exp.PrintAllocAB(os.Stdout, cells)
-		if *fabricAB == 0 && *table == 0 && *figure == 0 {
+		if *fabricAB == 0 && *advisorAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -99,6 +129,18 @@ func main() {
 			fail(err)
 		}
 		exp.PrintFabricAB(os.Stdout, cells)
+		if *advisorAB == 0 && *table == 0 && *figure == 0 {
+			return
+		}
+		fmt.Println()
+	}
+
+	if *advisorAB > 0 {
+		cells, err := exp.AdvisorAB(*advisorCPU, *advisorAB)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintAdvisorAB(os.Stdout, cells)
 		if *table == 0 && *figure == 0 {
 			return
 		}

@@ -19,11 +19,20 @@
 //
 // The server also mounts the arena's live debug inspector under
 // /debug/regions/ (hierarchy as JSON and Graphviz dot, cumulative op
-// counters, and the blocked-deleters report), publishes the same
-// counters on /debug/vars via expvar, and records region lifecycle
-// events in a lock-free ring tracer — the observability layer a real
-// deployment would curl to answer "why is that retired epoch still
-// alive, and who is pinning it?".
+// counters, the blocked-deleters report, the annotation-advisor
+// profile, and the trace ring), publishes the same counters on
+// /debug/vars via expvar, and records region lifecycle events in a
+// lock-free ring tracer — the observability layer a real deployment
+// would curl to answer "why is that retired epoch still alive, and who
+// is pinning it?".
+//
+// Two of the request path's stores are left deliberately un-annotated
+// (plain SetRef), the way freshly ported code usually is: a same-region
+// self-link and a subrequest-to-request uplink. The arena runs with
+// the annotation advisor armed (rcgo.WithAdvisor), and the run ends by
+// curling /debug/regions/advisor to show the advisor naming both call
+// sites, with the cheaper flavour each one could use and the rc
+// updates the uplink wasted.
 package main
 
 import (
@@ -54,6 +63,13 @@ type request struct {
 	conf   rcgo.Ref[config]     // traditional: server config, never counted
 	entry  rcgo.Ref[cacheEntry] // counted: pins the cache epoch until the request dies
 	parent rcgo.Ref[request]    // parentptr: subrequest -> request, never counted
+	// self and owner are stored through plain SetRef — the conservative
+	// ported-code choice the annotation advisor exists to flag: self is
+	// always same-region (upgradeable to SetSame, free), owner always
+	// points up to the enclosing request (upgradeable to SetParent,
+	// currently paying two rc updates per subrequest).
+	self   rcgo.Ref[request]
+	owner  rcgo.Ref[request]
 	id     int64
 	status int
 }
@@ -80,7 +96,7 @@ func newServer() *server {
 	// Pass the tracer at construction, so every epoch, request and
 	// subrequest lifecycle event — including the arena's own traditional
 	// region — lands in the ring.
-	s := &server{arena: rcgo.NewArena(rcgo.WithTracer(trace)), trace: trace}
+	s := &server{arena: rcgo.NewArena(rcgo.WithTracer(trace), rcgo.WithAdvisor()), trace: trace}
 	s.conf = rcgo.Alloc[config](s.arena.Traditional())
 	s.conf.Value.name = "rcgo-demo"
 	s.rotate()
@@ -119,6 +135,9 @@ func (s *server) handleSub(r *rcgo.Region, rq *rcgo.Obj[request], depth int) {
 	sr.Value.id = rq.Value.id*10 + int64(depth)
 	rcgo.MustSetParent(sr, &sr.Value.parent, rq)
 	rcgo.MustSetTrad(sr, &sr.Value.conf, s.conf)
+	// The un-annotated uplink: counted today, parentptr-upgradeable —
+	// the advisor tallies the wasted rc update pair per subrequest.
+	rcgo.MustSetRef(sr, &sr.Value.owner, rq)
 	s.subs.Add(1)
 	s.handleSub(sub, sr, depth-1)
 	if err := sub.Delete(); err != nil {
@@ -140,6 +159,9 @@ func (s *server) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	rq := rcgo.Alloc[request](r)
 	rq.Value.id = s.nextID.Add(1)
 	rcgo.MustSetTrad(rq, &rq.Value.conf, s.conf)
+	// The un-annotated self-link: same-region, so the counted protocol
+	// never actually counts — but every store still pays its checks.
+	rcgo.MustSetRef(rq, &rq.Value.self, rq)
 
 	body := "generated-content"
 	if ent := s.lookup(); ent != nil {
@@ -272,6 +294,33 @@ func main() {
 	getJSON("/debug/vars", &vars)
 	_, ok := vars["rcgo.webserver.arena"]
 	fmt.Println("expvar rcgo.webserver.arena published:", ok)
+
+	// --- The annotation advisor, over the same inspector. The two
+	// deliberately un-annotated request-path stores surface as upgrade
+	// candidates: the subrequest uplink as a SetParent that has been
+	// paying two rc updates per subrequest, the self-link as a free
+	// SetSame.
+	var advRep rcgo.AdvisorReport
+	getJSON("/debug/regions/advisor", &advRep)
+	fmt.Printf("advisor: %d observations over %d call sites, upgrade candidates found: %v\n",
+		advRep.Observations, len(advRep.Sites), advRep.UpgradeCandidates > 0)
+	for _, site := range advRep.Sites {
+		if site.Upgrade {
+			fmt.Printf("advisor candidate: %s -> %s (%d stores, %d wasted rc updates)\n",
+				site.Used, site.Recommended, site.Count, site.WastedRCUpdates)
+		}
+	}
+
+	// --- The trace ring over the same inspector: /trace serves the
+	// ring's occupancy and its most recent lifecycle events.
+	var tr struct {
+		Attached bool              `json:"attached"`
+		Stats    *rcgo.TraceStats  `json:"stats"`
+		Events   []rcgo.TraceEvent `json:"events"`
+	}
+	getJSON("/debug/regions/trace?n=4", &tr)
+	fmt.Printf("trace endpoint: attached=%v, %d events traced, last %d served\n",
+		tr.Attached, tr.Stats.Total, len(tr.Events))
 
 	ts.Close()
 

@@ -108,6 +108,45 @@ type ConcResult struct {
 	// judged against a genuinely multi-shard population.
 	ShardsPopulated   int
 	LiveBeforeQuiesce int64
+	// AdvisorObservations / AdvisorSites are set by phases that arm the
+	// annotation advisor (rcgo.WithAdvisor): the advisor table's total
+	// observation count and distinct call sites at quiesce. The phases
+	// judge the table per flavour against the workers' own success
+	// counts — the advisor's exact-at-quiesce contract under churn.
+	AdvisorObservations int64
+	AdvisorSites        int
+}
+
+// advisorCounts is the workers' own tally of successful non-nil stores,
+// per flavour — what the advisor's quiesced table must match exactly.
+type advisorCounts struct {
+	same, trad, parent, ref atomic.Int64
+}
+
+// judge compares the advisor's quiesced table against the workers'
+// counts and returns the table's site and observation totals.
+func (ac *advisorCounts) judge(a *rcgo.Arena) (sites int, observations int64, err error) {
+	rep := a.AdvisorReport()
+	if !rep.Enabled {
+		return 0, 0, fmt.Errorf("advisor judge: advisor not armed")
+	}
+	var got [4]int64
+	for _, s := range rep.Sites {
+		got[s.Used] += s.Count
+	}
+	want := [4]int64{
+		rcgo.FlavourSame:   ac.same.Load(),
+		rcgo.FlavourTrad:   ac.trad.Load(),
+		rcgo.FlavourParent: ac.parent.Load(),
+		rcgo.FlavourRef:    ac.ref.Load(),
+	}
+	if got != want {
+		return len(rep.Sites), rep.Observations, fmt.Errorf(
+			"advisor drift: table counted same=%d trad=%d parent=%d ref=%d, workers observed same=%d trad=%d parent=%d ref=%d",
+			got[rcgo.FlavourSame], got[rcgo.FlavourTrad], got[rcgo.FlavourParent], got[rcgo.FlavourRef],
+			want[rcgo.FlavourSame], want[rcgo.FlavourTrad], want[rcgo.FlavourParent], want[rcgo.FlavourRef])
+	}
+	return len(rep.Sites), rep.Observations, nil
 }
 
 // tolerable reports whether err is an error class any op may see under
@@ -135,11 +174,15 @@ func clearRef(holder *rcgo.Obj[node]) error {
 // RunConc runs one concurrent phase and the quiesce that judges it:
 // workers stop, failpoints disarm, the tree is torn down with
 // DeleteWithRetry, lost drains are swept, and the audit must be clean
-// with nothing left alive.
+// with nothing left alive. The annotation advisor is armed for the
+// whole phase, and judged like the counters: every successful non-nil
+// store a worker performed must appear in the quiesced advisor table,
+// exactly once.
 func RunConc(cfg ConcConfig) (ConcResult, error) {
 	var res ConcResult
-	a := rcgo.NewArena()
+	a := rcgo.NewArena(rcgo.WithAdvisor())
 	a.EnableMetrics()
+	var adv advisorCounts
 	ring := rcgo.NewRingTracer(1 << 14)
 	wd := rcgo.NewZombieWatchdog(a, 2*time.Millisecond, ring)
 	a.SetTracer(wd)
@@ -223,6 +266,7 @@ func RunConc(cfg ConcConfig) (ConcResult, error) {
 					}
 				case 2: // counted ref in, then out
 					if serr := rcgo.SetRef(holder, &holder.Value.Other, mo); serr == nil {
+						adv.ref.Add(1)
 						err = clearRef(holder)
 					} else {
 						err = serr
@@ -254,8 +298,14 @@ func RunConc(cfg ConcConfig) (ConcResult, error) {
 				case 5: // annotated stores on the shared objects
 					if o, aerr := rcgo.TryAlloc[node](mid); aerr == nil {
 						err = rcgo.SetSame(o, &o.Value.Same, mo)
+						if err == nil {
+							adv.same.Add(1)
+						}
 						if err == nil || tolerable(err) {
 							err = rcgo.SetParent(o, &o.Value.Up, rootObj)
+							if err == nil {
+								adv.parent.Add(1)
+							}
 						}
 					} else {
 						err = aerr
@@ -310,6 +360,10 @@ func RunConc(cfg ConcConfig) (ConcResult, error) {
 	if got := a.DeferredRegions(); got != 0 {
 		return res, fmt.Errorf("quiesce: DeferredRegions = %d, want 0", got)
 	}
+	var err error
+	if res.AdvisorSites, res.AdvisorObservations, err = adv.judge(a); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -327,11 +381,15 @@ func RunConc(cfg ConcConfig) (ConcResult, error) {
 // successful TryAlloc calls, and at quiesce the arena's cumulative
 // Allocs counter must equal that total — any batched delta lost (or
 // double-counted) across a racing delete shows up as drift there, as a
-// nonzero LiveObjects, or as an audit violation.
+// nonzero LiveObjects, or as an audit violation. The annotation advisor
+// rides along under the same contract: each fresh object gets a
+// sameregion self-link, often into a region mid-deletion, and the
+// quiesced advisor table must count exactly the links that succeeded.
 func RunAllocChurn(cfg ConcConfig) (ConcResult, error) {
 	var res ConcResult
-	a := rcgo.NewArena()
+	a := rcgo.NewArena(rcgo.WithAdvisor())
 	a.EnableMetrics()
+	var adv advisorCounts
 
 	const sharedN = 4
 	var shared [sharedN]atomic.Pointer[rcgo.Region]
@@ -363,8 +421,17 @@ func RunAllocChurn(cfg ConcConfig) (ConcResult, error) {
 				if rng.Intn(3) == 0 {
 					target = shared[rng.Intn(sharedN)].Load()
 				}
-				if _, err := rcgo.TryAlloc[node](target); err == nil {
+				if o, err := rcgo.TryAlloc[node](target); err == nil {
 					successes.Add(1)
+					// Sameregion self-link on the fresh object, racing the
+					// region's deletion: the advisor must count exactly the
+					// links that land.
+					if serr := rcgo.SetSame(o, &o.Value.Same, o); serr == nil {
+						adv.same.Add(1)
+					} else if !tolerable(serr) {
+						errs <- fmt.Errorf("alloc churn store: %w", serr)
+						return
+					}
 				} else if !tolerable(err) {
 					errs <- fmt.Errorf("alloc churn: %w", err)
 					return
@@ -422,6 +489,10 @@ func RunAllocChurn(cfg ConcConfig) (ConcResult, error) {
 	}
 	if got := a.DeferredRegions(); got != 0 {
 		return res, fmt.Errorf("quiesce: DeferredRegions = %d, want 0", got)
+	}
+	var jerr error
+	if res.AdvisorSites, res.AdvisorObservations, jerr = adv.judge(a); jerr != nil {
+		return res, jerr
 	}
 	return res, nil
 }
@@ -639,9 +710,9 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return rep, fmt.Errorf("concurrent perturbation phase: %w", err)
 	}
-	logf("phase 2: ok, %d ops, watchdog flagged=%d healed=%d, swept=%d, trace total=%d dropped=%d",
+	logf("phase 2: ok, %d ops, watchdog flagged=%d healed=%d, swept=%d, trace total=%d dropped=%d, advisor %d stores over %d sites, zero drift",
 		res.Ops, res.WatchdogFlagged, res.WatchdogHealed, res.SweptAtQuiesce,
-		res.TraceStats.Total, res.TraceStats.Dropped)
+		res.TraceStats.Total, res.TraceStats.Dropped, res.AdvisorObservations, res.AdvisorSites)
 
 	logf("phase 3: concurrent, %d workers x %d ops, error failpoints on every site", cfg.Workers, cfg.ConcOps)
 	res, err = RunConc(ConcConfig{
@@ -652,9 +723,9 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return rep, fmt.Errorf("concurrent error-injection phase: %w", err)
 	}
-	logf("phase 3: ok, %d ops, watchdog flagged=%d healed=%d, swept=%d, trace total=%d dropped=%d",
+	logf("phase 3: ok, %d ops, watchdog flagged=%d healed=%d, swept=%d, trace total=%d dropped=%d, advisor %d stores over %d sites, zero drift",
 		res.Ops, res.WatchdogFlagged, res.WatchdogHealed, res.SweptAtQuiesce,
-		res.TraceStats.Total, res.TraceStats.Dropped)
+		res.TraceStats.Total, res.TraceStats.Dropped, res.AdvisorObservations, res.AdvisorSites)
 
 	logf("phase 4: alloc churn, %d workers x %d ops, refused refills + stretched delete windows", cfg.Workers, cfg.ConcOps)
 	res, err = RunAllocChurn(ConcConfig{
@@ -665,8 +736,8 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return rep, fmt.Errorf("alloc-churn phase: %w", err)
 	}
-	logf("phase 4: ok, %d ops, %d allocs over %d delta flushes, zero drift",
-		res.Ops, res.AllocSuccesses, res.AllocFlushes)
+	logf("phase 4: ok, %d ops, %d allocs over %d delta flushes, advisor %d stores over %d sites, zero drift",
+		res.Ops, res.AllocSuccesses, res.AllocFlushes, res.AdvisorObservations, res.AdvisorSites)
 
 	logf("phase 5: multi-shard fabric, %d workers x %d ops across 8 shards", cfg.Workers, cfg.ConcOps)
 	res, err = RunFabric(ConcConfig{

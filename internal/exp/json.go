@@ -79,6 +79,12 @@ type BenchReport struct {
 	// baseline against a multi-shard fabric under a live multi-region
 	// population. Optional for the same reason as Parallel.
 	Fabric []FabricReport `json:"fabric,omitempty"`
+	// Advisor is the optional interleaved A/B section over the
+	// annotation advisor's gate (rcbench -advisor-ab, advise.go):
+	// advisor disarmed (the default configuration, whose cost bound is
+	// the point) against armed-from-birth profiling. Optional for the
+	// same reason as Parallel.
+	Advisor []AdvisorBenchReport `json:"advisor,omitempty"`
 }
 
 // BenchJSON runs every selected workload under the RC and norc

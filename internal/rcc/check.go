@@ -947,7 +947,11 @@ func (c *checker) typeBuiltin(x *Call, b Builtin) Type {
 
 // checkDeletes enforces the deletes-qualifier rule: any function that
 // calls a deletes function (or deleteregion) must itself be qualified
-// deletes (Section 3.3.2 of the paper).
+// deletes (Section 3.3.2 of the paper). The diagnostic carries a fix-it
+// hint naming the call chain that forces the qualifier, from the
+// offending function down to the deleteregion call at its root, so the
+// author of a deep call tree sees why the qualifier is demanded and
+// where to stop propagating it.
 func (c *checker) checkDeletes() {
 	for _, fn := range c.cp.Prog.Funcs {
 		if fn.Body == nil {
@@ -957,11 +961,57 @@ func (c *checker) checkDeletes() {
 			deletes := call.Builtin == BDeleteRegion ||
 				(call.Func != nil && call.Func.Deletes)
 			if deletes && !fn.Deletes {
-				c.errorf(pos, "%s calls deletes function %s but is not qualified deletes",
-					fn.Name, call.Name)
+				chain := append([]string{fn.Name}, c.deletesChain(call)...)
+				c.errorf(pos, "%s calls deletes function %s but is not qualified deletes (fix: declare '%s' with the deletes qualifier; forced by call chain %s)",
+					fn.Name, call.Name, fn.Name, strings.Join(chain, " -> "))
 			}
 		})
 	}
+}
+
+// deletesChain names the calls that force a deletes qualifier through
+// the given call: a shortest path from the callee through declared
+// deletes functions down to a deleteregion call. A body-less deletes
+// function (an extern declaration) ends the chain at its own name —
+// the qualifier is its contract, not something the checker can see
+// through.
+func (c *checker) deletesChain(call *Call) []string {
+	if call.Builtin == BDeleteRegion {
+		return []string{"deleteregion"}
+	}
+	type node struct {
+		fn   *FuncDecl
+		path []string
+	}
+	seen := map[*FuncDecl]bool{call.Func: true}
+	queue := []node{{call.Func, []string{call.Func.Name}}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.fn.Body == nil {
+			return n.path
+		}
+		direct := false
+		var next []*FuncDecl
+		walkCalls(n.fn.Body, func(sub *Call, _ Pos) {
+			if sub.Builtin == BDeleteRegion {
+				direct = true
+			} else if sub.Func != nil && sub.Func.Deletes && !seen[sub.Func] {
+				seen[sub.Func] = true
+				next = append(next, sub.Func)
+			}
+		})
+		if direct {
+			return append(n.path, "deleteregion")
+		}
+		for _, g := range next {
+			path := append(append([]string(nil), n.path...), g.Name)
+			queue = append(queue, node{g, path})
+		}
+	}
+	// A deletes qualifier with no reachable deleteregion: declared more
+	// broadly than needed, but still binding on callers.
+	return []string{call.Func.Name}
 }
 
 // walkCalls visits every Call in a statement tree.

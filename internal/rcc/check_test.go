@@ -129,6 +129,28 @@ deletes void helper(region r) { deleteregion(r); }
 deletes void main(void) { region r = newregion(); helper(r); }`)
 }
 
+func TestCheckDeletesFixitChain(t *testing.T) {
+	// A direct deleteregion call names the builtin as the forcing chain.
+	checkErr(t, `
+void helper(region r) { deleteregion(r); }
+void main(void) {}`,
+		"forced by call chain helper -> deleteregion")
+	// A deep chain is traced through every deletes callee down to the
+	// deleteregion at its root.
+	checkErr(t, `
+deletes void leaf(region r) { deleteregion(r); }
+deletes void mid(region r) { leaf(r); }
+void caller(region r) { mid(r); }
+void main(void) {}`,
+		"forced by call chain caller -> mid -> leaf -> deleteregion")
+	// The hint names the function to qualify.
+	checkErr(t, `
+deletes void leaf(region r) { deleteregion(r); }
+void caller(region r) { leaf(r); }
+void main(void) {}`,
+		"fix: declare 'caller' with the deletes qualifier")
+}
+
 func TestCheckQualifierPlacement(t *testing.T) {
 	checkErr(t, `void main(void) { int *sameregion p; p = null; }`,
 		"only meaningful on struct fields")

@@ -77,9 +77,12 @@ type Arena struct {
 	shardMask uint64
 
 	// metrics gates the cumulative op counters (region_metrics.go);
-	// tracer delivers lifecycle events (region_trace.go). Both are nil
-	// until enabled and cost the fast paths one load + branch.
+	// advisor gates the annotation advisor's call-site profiler
+	// (region_advisor.go); tracer delivers lifecycle events
+	// (region_trace.go). All are nil until enabled and cost the fast
+	// paths one load + branch.
 	metrics atomic.Pointer[arenaMetrics]
+	advisor atomic.Pointer[arenaAdvisor]
 	tracer  atomic.Pointer[tracerBox]
 
 	// allocSlow disables the allocation fast path (region_alloccache.go)
@@ -107,7 +110,10 @@ type Region struct {
 	// counting on a load from this (already hot, effectively read-only)
 	// cache line instead of a dependent load through the arena. Set at
 	// creation and by EnableMetrics' registry walk; nil = not counting.
+	// advisor is the same cached-gate pattern for the annotation
+	// advisor (region_advisor.go); nil = not advising.
 	metrics atomic.Pointer[arenaMetrics]
+	advisor atomic.Pointer[arenaAdvisor]
 
 	// acache is the lazily-created allocation delta cache
 	// (region_alloccache.go); allocSlow (immutable after creation)
@@ -193,8 +199,13 @@ func (a *Arena) newRegion(parent *Region) *Region {
 	// Arm the per-region metrics gate after registering: either this load
 	// sees the enabled pointer, or EnableMetrics' registry walk (which
 	// CASes a.metrics first) sees the registered region. Never both miss.
+	// The advisor gate follows the identical protocol against
+	// EnableAdvisor's walk.
 	if m := a.metrics.Load(); m != nil {
 		r.metrics.Store(m)
+	}
+	if ad := a.advisor.Load(); ad != nil {
+		r.advisor.Store(ad)
 	}
 	a.traceEvent(TraceRegionCreated, r)
 	return r

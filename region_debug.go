@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -209,28 +210,115 @@ func (a *Arena) BlockedDeleters() []BlockedRegion {
 	return report
 }
 
-// DebugHandler returns an http.Handler exposing the arena's live state,
-// meant to be mounted on an internal/debug mux:
-//
-//	/           index of the endpoints, with an arena summary
-//	/hierarchy  live region forest as JSON ({"stats": ..., "regions": ...})
-//	/hierarchy.dot  the same forest as Graphviz dot
-//	/counters   ArenaStats + cumulative ArenaCounters (+ ring-tracer
-//	            occupancy and drop counts, when a RingTracer is
-//	            installed) as JSON
-//	/blocked    blocked-deleters report as JSON
-//	/audit      whole-arena invariant audit (region_audit.go) as JSON;
-//	            exact when the arena is quiesced, advisory under load
-//
-// Creating the handler enables the cumulative counters (EnableMetrics).
-func (a *Arena) DebugHandler() http.Handler {
-	a.EnableMetrics()
-	mux := http.NewServeMux()
+// debugEndpoint is one registration of the DebugHandler mux: the index
+// page iterates the same table the mux is built from, so the endpoint
+// list can never drift from the routes actually served.
+type debugEndpoint struct {
+	path    string
+	desc    string
+	handler http.HandlerFunc
+}
+
+// debugEndpoints builds the endpoint table the DebugHandler serves and
+// indexes.
+func (a *Arena) debugEndpoints() []debugEndpoint {
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(v)
+	}
+	return []debugEndpoint{
+		{"/hierarchy", "live region forest as JSON", func(w http.ResponseWriter, req *http.Request) {
+			writeJSON(w, struct {
+				Stats   ArenaStats    `json:"stats"`
+				Regions []*RegionInfo `json:"regions"`
+			}{a.Stats(), a.Hierarchy()})
+		}},
+		{"/hierarchy.dot", "the same forest as Graphviz dot", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+			fmt.Fprint(w, a.HierarchyDot())
+		}},
+		{"/counters", "arena stats + cumulative counters (+ trace and advisor summaries) as JSON", func(w http.ResponseWriter, req *http.Request) {
+			writeJSON(w, a.countersDoc())
+		}},
+		{"/blocked", "blocked-deleters report as JSON", func(w http.ResponseWriter, req *http.Request) {
+			blocked := a.BlockedDeleters()
+			if blocked == nil {
+				blocked = []BlockedRegion{}
+			}
+			writeJSON(w, struct {
+				Blocked []BlockedRegion `json:"blocked"`
+			}{blocked})
+		}},
+		{"/audit", "whole-arena invariant audit as JSON", func(w http.ResponseWriter, req *http.Request) {
+			rep := a.Audit()
+			if rep.Violations == nil {
+				rep.Violations = []AuditViolation{}
+			}
+			writeJSON(w, rep)
+		}},
+		{"/advisor", "annotation-advisor call-site profile as JSON", func(w http.ResponseWriter, req *http.Request) {
+			writeJSON(w, a.AdvisorReport())
+		}},
+		{"/advisor.txt", "the same profile as a human table, upgrade candidates first", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			a.AdvisorReport().WriteTable(w)
+		}},
+		{"/trace", "ring-tracer occupancy and recent lifecycle events as JSON (?n= limits to the last n)", func(w http.ResponseWriter, req *http.Request) {
+			doc := struct {
+				Attached bool         `json:"attached"`
+				Stats    *TraceStats  `json:"stats,omitempty"`
+				Events   []TraceEvent `json:"events"`
+			}{Events: []TraceEvent{}}
+			if ts, ok := a.traceStats(); ok {
+				doc.Attached = true
+				doc.Stats = &ts
+			}
+			if evs, ok := a.traceEvents(); ok {
+				doc.Attached = true
+				if q := req.URL.Query().Get("n"); q != "" {
+					if n, err := strconv.Atoi(q); err == nil && n >= 0 && n < len(evs) {
+						evs = evs[len(evs)-n:]
+					}
+				}
+				doc.Events = evs
+			}
+			writeJSON(w, doc)
+		}},
+	}
+}
+
+// DebugHandler returns an http.Handler exposing the arena's live state,
+// meant to be mounted on an internal/debug mux. The index page at /
+// lists every endpoint with a one-line description; the list is
+// generated from the same table the routes are registered from, so it
+// is always complete. The endpoints:
+//
+//	/hierarchy      live region forest as JSON ({"stats": ..., "regions": ...})
+//	/hierarchy.dot  the same forest as Graphviz dot
+//	/counters       ArenaStats + cumulative ArenaCounters (+ ring-tracer
+//	                occupancy and advisor summary, when attached) as JSON
+//	/blocked        blocked-deleters report as JSON
+//	/audit          whole-arena invariant audit (region_audit.go) as JSON;
+//	                exact when the arena is quiesced, advisory under load
+//	/advisor        annotation-advisor call-site profile (AdvisorReport)
+//	                as JSON; reports enabled=false until the advisor is
+//	                armed with WithAdvisor or EnableAdvisor
+//	/advisor.txt    the same profile as a human table, upgrade candidates
+//	                ranked by wasted rc updates first
+//	/trace          attached RingTracer's occupancy stats and buffered
+//	                lifecycle events as JSON; ?n=K limits to the last K
+//
+// Creating the handler enables the cumulative counters (EnableMetrics).
+// It does NOT arm the annotation advisor — advising costs a stack walk
+// per store, so it stays an explicit opt-in.
+func (a *Arena) DebugHandler() http.Handler {
+	a.EnableMetrics()
+	mux := http.NewServeMux()
+	endpoints := a.debugEndpoints()
+	for _, ep := range endpoints {
+		mux.HandleFunc(ep.path, ep.handler)
 	}
 	mux.HandleFunc("/{$}", func(w http.ResponseWriter, req *http.Request) {
 		st := a.Stats()
@@ -241,53 +329,36 @@ func (a *Arena) DebugHandler() http.Handler {
 			fmt.Fprintf(w, "trace_events=%d trace_buffered=%d trace_dropped=%d\n",
 				ts.Total, ts.Buffered, ts.Dropped)
 		}
-		fmt.Fprintf(w, "\nendpoints: /hierarchy /hierarchy.dot /counters /blocked /audit\n")
-	})
-	mux.HandleFunc("/hierarchy", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, struct {
-			Stats   ArenaStats    `json:"stats"`
-			Regions []*RegionInfo `json:"regions"`
-		}{a.Stats(), a.Hierarchy()})
-	})
-	mux.HandleFunc("/hierarchy.dot", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
-		fmt.Fprint(w, a.HierarchyDot())
-	})
-	mux.HandleFunc("/counters", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, a.countersDoc())
-	})
-	mux.HandleFunc("/blocked", func(w http.ResponseWriter, req *http.Request) {
-		blocked := a.BlockedDeleters()
-		if blocked == nil {
-			blocked = []BlockedRegion{}
+		if as, ok := a.advisorStats(); ok {
+			fmt.Fprintf(w, "advisor_sites=%d advisor_upgrade_candidates=%d advisor_wasted_rc_updates=%d\n",
+				as.Sites, as.UpgradeCandidates, as.WastedRCUpdates)
 		}
-		writeJSON(w, struct {
-			Blocked []BlockedRegion `json:"blocked"`
-		}{blocked})
-	})
-	mux.HandleFunc("/audit", func(w http.ResponseWriter, req *http.Request) {
-		rep := a.Audit()
-		if rep.Violations == nil {
-			rep.Violations = []AuditViolation{}
+		fmt.Fprintf(w, "\nendpoints:\n")
+		for _, ep := range endpoints {
+			fmt.Fprintf(w, "  %-15s %s\n", ep.path, ep.desc)
 		}
-		writeJSON(w, rep)
 	})
 	return mux
 }
 
 // countersDoc is the shared JSON document of the /counters endpoint and
-// PublishExpvar: arena stats, cumulative counters, and — when the
-// installed tracer chain ends in a RingTracer — the ring's occupancy
-// and drop counts, so monitoring (and chaos runs) can detect lost
-// lifecycle events.
+// PublishExpvar: arena stats, cumulative counters, and — when attached
+// — the ring tracer's occupancy/drop counts and the annotation
+// advisor's summary (site and upgrade-candidate counts, no symbol
+// resolution), so monitoring can detect lost lifecycle events and
+// annotation upgrades left on the table from one scrape.
 func (a *Arena) countersDoc() any {
 	doc := struct {
 		Stats    ArenaStats    `json:"stats"`
 		Counters ArenaCounters `json:"counters"`
 		Trace    *TraceStats   `json:"trace,omitempty"`
+		Advisor  *AdvisorStats `json:"advisor,omitempty"`
 	}{Stats: a.Stats(), Counters: a.Counters()}
 	if ts, ok := a.traceStats(); ok {
 		doc.Trace = &ts
+	}
+	if as, ok := a.advisorStats(); ok {
+		doc.Advisor = &as
 	}
 	return doc
 }

@@ -300,7 +300,10 @@ func TestDebugHandlerUnderChurn(t *testing.T) {
 			}
 		}()
 	}
-	for _, path := range []string{"/hierarchy", "/hierarchy.dot", "/counters", "/blocked"} {
+	for _, path := range []string{
+		"/hierarchy", "/hierarchy.dot", "/counters", "/blocked",
+		"/audit", "/advisor", "/advisor.txt", "/trace",
+	} {
 		for i := 0; i < 20; i++ {
 			req := httptest.NewRequest("GET", path, nil)
 			rec := httptest.NewRecorder()
@@ -312,6 +315,195 @@ func TestDebugHandlerUnderChurn(t *testing.T) {
 	}
 	close(done)
 	wg.Wait()
+}
+
+// TestDebugHandlerIndexComplete parses the endpoint list off the index
+// page and GETs every entry: the index is generated from the same table
+// the mux is registered from, so every listed path must serve 200 and
+// the new inspector endpoints must be listed.
+func TestDebugHandlerIndexComplete(t *testing.T) {
+	a := NewArena()
+	srv := httptest.NewServer(a.DebugHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var listed []string
+	for _, line := range strings.Split(string(body), "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 2 && strings.HasPrefix(f[0], "/") {
+			listed = append(listed, f[0])
+		}
+	}
+	for _, want := range []string{"/hierarchy", "/hierarchy.dot", "/counters", "/blocked", "/audit", "/advisor", "/advisor.txt", "/trace"} {
+		found := false
+		for _, p := range listed {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("index page does not list %s:\n%s", want, body)
+		}
+	}
+	for _, p := range listed {
+		r, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("index lists %s but GET returns %d", p, r.StatusCode)
+		}
+	}
+}
+
+// TestDebugHandlerAdvisor covers both sides of the /advisor endpoints:
+// a disarmed arena reports enabled=false (the handler must NOT silently
+// arm the stack-walking profiler), and an armed arena's JSON decodes
+// back into an AdvisorReport naming the upgrade candidate.
+func TestDebugHandlerAdvisor(t *testing.T) {
+	get := func(t *testing.T, srv *httptest.Server, path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	t.Run("disarmed", func(t *testing.T) {
+		a := NewArena()
+		srv := httptest.NewServer(a.DebugHandler())
+		defer srv.Close()
+		if a.AdvisorEnabled() {
+			t.Fatal("DebugHandler must not arm the advisor")
+		}
+		var rep AdvisorReport
+		if err := json.Unmarshal([]byte(get(t, srv, "/advisor")), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Enabled || len(rep.Sites) != 0 {
+			t.Errorf("disarmed /advisor report: %+v", rep)
+		}
+		if txt := get(t, srv, "/advisor.txt"); !strings.Contains(txt, "advisor disabled") {
+			t.Errorf("/advisor.txt missing the disabled hint:\n%s", txt)
+		}
+	})
+
+	t.Run("armed", func(t *testing.T) {
+		a := NewArena(WithAdvisor())
+		r := a.NewRegion()
+		h := Alloc[traceNode](r)
+		for i := 0; i < 3; i++ {
+			MustSetRef(h, &h.Value.cross, h) // same-region: upgrade candidate
+		}
+		srv := httptest.NewServer(a.DebugHandler())
+		defer srv.Close()
+		var rep AdvisorReport
+		if err := json.Unmarshal([]byte(get(t, srv, "/advisor")), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Enabled || rep.UpgradeCandidates != 1 || len(rep.Sites) != 1 ||
+			rep.Sites[0].Recommended != FlavourSame || rep.Sites[0].Count != 3 {
+			t.Errorf("armed /advisor report wrong: %+v", rep)
+		}
+		txt := get(t, srv, "/advisor.txt")
+		if !strings.Contains(txt, "upgrade candidates") || !strings.Contains(txt, "SetSame") {
+			t.Errorf("/advisor.txt table wrong:\n%s", txt)
+		}
+		// The index page carries the advisor summary line when armed.
+		if idx := get(t, srv, "/"); !strings.Contains(idx, "advisor_upgrade_candidates=1") {
+			t.Errorf("index missing advisor summary:\n%s", idx)
+		}
+	})
+}
+
+// TestDebugHandlerTrace covers /trace with and without a ring tracer
+// attached, including the ?n= window limit and JSON round-trip of the
+// TraceKind names.
+func TestDebugHandlerTrace(t *testing.T) {
+	type traceDoc struct {
+		Attached bool         `json:"attached"`
+		Stats    *TraceStats  `json:"stats"`
+		Events   []TraceEvent `json:"events"`
+	}
+	get := func(t *testing.T, srv *httptest.Server, path string) traceDoc {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var doc traceDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return doc
+	}
+
+	t.Run("detached", func(t *testing.T) {
+		a := NewArena()
+		srv := httptest.NewServer(a.DebugHandler())
+		defer srv.Close()
+		doc := get(t, srv, "/trace")
+		if doc.Attached || doc.Stats != nil || len(doc.Events) != 0 {
+			t.Errorf("detached /trace doc: %+v", doc)
+		}
+	})
+
+	t.Run("attached", func(t *testing.T) {
+		ring := NewRingTracer(64)
+		a := NewArena(WithTracer(ring))
+		for i := 0; i < 3; i++ {
+			r := a.NewRegion()
+			if err := r.Delete(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv := httptest.NewServer(a.DebugHandler())
+		defer srv.Close()
+
+		doc := get(t, srv, "/trace")
+		if !doc.Attached || doc.Stats == nil {
+			t.Fatalf("/trace not attached: %+v", doc)
+		}
+		// 3 × (created + deleted + reclaimed), and the tracer was attached
+		// at construction so it saw the traditional region's creation too.
+		if doc.Stats.Total != 10 || len(doc.Events) != 10 {
+			t.Errorf("/trace stats=%+v events=%d, want total=10", doc.Stats, len(doc.Events))
+		}
+		kinds := map[TraceKind]int{}
+		for _, ev := range doc.Events {
+			kinds[ev.Kind]++
+		}
+		if kinds[TraceRegionCreated] != 4 || kinds[TraceRegionDeleted] != 3 || kinds[TraceRegionReclaimed] != 3 {
+			t.Errorf("/trace kinds wrong (names failed to round-trip?): %v", kinds)
+		}
+
+		limited := get(t, srv, "/trace?n=2")
+		if len(limited.Events) != 2 || limited.Stats.Total != 10 {
+			t.Errorf("/trace?n=2 returned %d events (total %d)", len(limited.Events), limited.Stats.Total)
+		}
+		if limited.Events[0].Seq != doc.Events[8].Seq {
+			t.Errorf("?n=2 did not keep the most recent events: %+v", limited.Events)
+		}
+	})
 }
 
 func TestPublishExpvar(t *testing.T) {
@@ -337,5 +529,24 @@ func TestPublishExpvar(t *testing.T) {
 	}
 	if snap.Stats.LiveRegions != 2 {
 		t.Errorf("expvar live_regions = %d, want 2", snap.Stats.LiveRegions)
+	}
+
+	// An advisor-armed arena's expvar doc carries the advisor summary.
+	armed := NewArena(WithAdvisor())
+	r := armed.NewRegion()
+	h := Alloc[traceNode](r)
+	MustSetRef(h, &h.Value.cross, h)
+	const armedName = "rcgo.test.arena.advisor"
+	if err := armed.PublishExpvar(armedName); err != nil {
+		t.Fatal(err)
+	}
+	var armedSnap struct {
+		Advisor *AdvisorStats `json:"advisor"`
+	}
+	if err := json.Unmarshal([]byte(expvar.Get(armedName).String()), &armedSnap); err != nil {
+		t.Fatal(err)
+	}
+	if armedSnap.Advisor == nil || armedSnap.Advisor.Sites != 1 || armedSnap.Advisor.UpgradeCandidates != 1 {
+		t.Errorf("expvar advisor summary wrong: %+v", armedSnap.Advisor)
 	}
 }

@@ -97,6 +97,7 @@ type Option func(*arenaConfig)
 type arenaConfig struct {
 	shards     int
 	metrics    bool
+	advisor    bool
 	tracer     Tracer
 	allocCache bool
 }
@@ -163,6 +164,7 @@ func clampShards(n int) int {
 //	a := rcgo.NewArena(
 //		rcgo.WithShards(8),          // fabric width (default: GOMAXPROCS-derived)
 //		rcgo.WithMetrics(),          // cumulative op counters from birth
+//		rcgo.WithAdvisor(),          // annotation advisor from birth
 //		rcgo.WithTracer(tracer),     // lifecycle tracer from birth
 //		rcgo.WithAllocCache(true),   // allocation fast path (the default)
 //	)
@@ -191,6 +193,10 @@ func NewArena(opts ...Option) *Arena {
 		// Stored before any region exists, so every region arms its gate
 		// in newRegion and no walk is needed.
 		a.metrics.Store(&arenaMetrics{})
+	}
+	if cfg.advisor {
+		// Same birth-before-any-region argument as the metrics gate.
+		a.advisor.Store(&arenaAdvisor{})
 	}
 	if cfg.tracer != nil {
 		a.tracer.Store(&tracerBox{t: cfg.tracer})

@@ -23,8 +23,10 @@ import (
 // holder's own slot. SetRef updates the target region's atomic count and
 // serializes on the holder's registry shard for the slot. (With arena
 // metrics enabled — see region_metrics.go — every flavour additionally
-// bumps one sharded counter; disabled, the instrumentation is a single
-// pointer load and branch.)
+// bumps one sharded counter, and with the annotation advisor armed —
+// region_advisor.go — every successful non-nil store is additionally
+// classified against the flavour lattice and recorded per call site;
+// disabled, each instrument is a single pointer load and branch.)
 
 // slotShards is the number of registry shards per region. Counted slots
 // hash to a shard by address, so concurrent SetRefs into one region
@@ -134,6 +136,11 @@ func SetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 	if c := hr.slotCounters(unsafe.Pointer(slot)); c != nil {
 		c.countedStores.Add(1)
 	}
+	if target != nil {
+		if ad := hr.advisor.Load(); ad != nil {
+			ad.observe(hr, target.region, FlavourRef)
+		}
+	}
 	// Release the displaced reference outside the shard lock: the drop
 	// can reclaim a deferred-deleted region, which takes its own locks.
 	if old != nil && old.region != hr {
@@ -170,6 +177,9 @@ func SetSame[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 			return fmt.Errorf("%w: sameregion store into deleted region %d",
 				ErrRegionDeleted, hr.id)
 		}
+		if ad := hr.advisor.Load(); ad != nil {
+			ad.observe(hr, target.region, FlavourSame)
+		}
 	}
 	slot.target.Store(target)
 	return nil
@@ -201,6 +211,9 @@ func SetTrad[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 		if hr.settled() != stateAlive {
 			return fmt.Errorf("%w: traditional store into deleted region %d",
 				ErrRegionDeleted, hr.id)
+		}
+		if ad := hr.advisor.Load(); ad != nil {
+			ad.observe(hr, target.region, FlavourTrad)
 		}
 	}
 	slot.target.Store(target)
@@ -239,6 +252,9 @@ func SetParent[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error
 		if ts := target.region.settled(); ts != stateAlive {
 			return fmt.Errorf("%w: parentptr store targets deleted region %d",
 				ErrRegionDeleted, target.region.id)
+		}
+		if ad := hr.advisor.Load(); ad != nil {
+			ad.observe(hr, target.region, FlavourParent)
 		}
 	}
 	slot.target.Store(target)

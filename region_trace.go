@@ -13,9 +13,12 @@ import (
 // explicit delete, deferred delete, reclaim, and blocked delete is
 // reported with the region's identity, its parent, and the reference
 // count at the instant of the event. The per-store counters live in
-// region_metrics.go; tracing covers only lifecycle transitions, which
+// region_metrics.go; tracing covers lifecycle transitions, which
 // already serialize on the region's lifecycle mutex, so a tracer adds no
-// cost to the store fast paths and only a nil-check when disabled.
+// cost to the store fast paths and only a nil-check when disabled. The
+// one store-path kind, TraceStoreUpgradeable, fires at most once per
+// advisor call-site entry and only while the annotation advisor
+// (region_advisor.go) is armed.
 //
 // Events are emitted after the region's lifecycle mutex is released, so
 // a Tracer implementation may safely call back into the runtime (Stats,
@@ -44,6 +47,14 @@ const (
 	// the event's RC names the count that blocked it (0 when subregions
 	// blocked it instead).
 	TraceDeleteBlocked
+	// TraceStoreUpgradeable: the annotation advisor (region_advisor.go)
+	// observed a store call site's first downgrade-worthy store — a
+	// store whose flavour lattice classification admits a cheaper
+	// flavour than the one used. Emitted once per profiled call site
+	// (not per store), with the holder region's identity; the advisor
+	// report names the site and the recommended flavour. Only emitted
+	// while the advisor is armed.
+	TraceStoreUpgradeable
 )
 
 // String names the event kind.
@@ -59,12 +70,37 @@ func (k TraceKind) String() string {
 		return "reclaimed"
 	case TraceDeleteBlocked:
 		return "delete-blocked"
+	case TraceStoreUpgradeable:
+		return "store-upgradeable"
 	}
 	return fmt.Sprintf("TraceKind(%d)", int32(k))
 }
 
 // MarshalText renders the kind as its name in JSON output.
 func (k TraceKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses the name MarshalText produces, so traced events
+// round-trip through JSON (the /trace endpoint's clients decode into
+// the same types).
+func (k *TraceKind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "created":
+		*k = TraceRegionCreated
+	case "deleted":
+		*k = TraceRegionDeleted
+	case "deferred":
+		*k = TraceRegionDeferred
+	case "reclaimed":
+		*k = TraceRegionReclaimed
+	case "delete-blocked":
+		*k = TraceDeleteBlocked
+	case "store-upgradeable":
+		*k = TraceStoreUpgradeable
+	default:
+		return fmt.Errorf("unknown trace kind %q", b)
+	}
+	return nil
+}
 
 // TraceEvent is one region lifecycle event.
 type TraceEvent struct {
@@ -237,6 +273,28 @@ func (a *Arena) traceStats() (TraceStats, bool) {
 		t = u.Unwrap()
 	}
 	return TraceStats{}, false
+}
+
+// traceEvents walks the installed tracer chain (unwrapping wrappers
+// like ZombieWatchdog) to the first tracer that exposes its buffered
+// events — a RingTracer, or anything else with an Events method — for
+// the debug inspector's /trace endpoint.
+func (a *Arena) traceEvents() ([]TraceEvent, bool) {
+	b := a.tracer.Load()
+	if b == nil {
+		return nil, false
+	}
+	for t := b.t; t != nil; {
+		if ev, ok := t.(interface{ Events() []TraceEvent }); ok {
+			return ev.Events(), true
+		}
+		u, ok := t.(interface{ Unwrap() Tracer })
+		if !ok {
+			break
+		}
+		t = u.Unwrap()
+	}
+	return nil, false
 }
 
 // Events returns the buffered events in sequence order, oldest first.
