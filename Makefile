@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet staticcheck race check benchlint-files advise-smoke chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
+.PHONY: all build test test-short vet staticcheck race check benchlint-files advise-smoke own-smoke chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
 
 all: check
 
@@ -40,7 +40,7 @@ race:
 # The default verification gate: build cleanliness, static analysis,
 # the full test suite, the race pass over the concurrent API, and the
 # checked-in benchmark reports revalidated against the current schema.
-check: vet staticcheck test race benchlint-files advise-smoke
+check: vet staticcheck test race benchlint-files advise-smoke own-smoke
 
 # Every committed rcbench report must still satisfy the benchlint
 # invariants — catches schema drift against historical BENCH_*.json.
@@ -58,6 +58,15 @@ benchlint-files:
 # an empty report means the advisor lost the flavour lattice.
 advise-smoke:
 	$(GO) run rcgo/cmd/rcbench -advise -advise-allocs 2000
+
+# Ownership fast-path end-to-end gate: a 1-round -own-ab report piped
+# through benchlint (exercises Acquire/Release, the owned alloc and
+# store paths, and the "ownership" schema section), then the pipeline
+# hand-off example. One round proves the machinery, not the speedup —
+# BENCH_pr8_ownership.json records the real best-of-10 run.
+own-smoke:
+	$(GO) run rcgo/cmd/rcbench -json -reps 1 -scale 2 -workloads moss -own-ab 1 -own-cpu 2 | $(GO) run rcgo/cmd/benchlint
+	$(GO) run rcgo/examples/pipeline
 
 # Chaos harness under the race detector: a seeded sequential phase
 # checked op-by-op against the reference model of the delete state
@@ -104,6 +113,7 @@ examples:
 	$(GO) run rcgo/examples/webserver
 	$(GO) run rcgo/examples/arenacompiler
 	$(GO) run rcgo/examples/interp
+	$(GO) run rcgo/examples/pipeline
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/rcc/

@@ -32,8 +32,8 @@ func TestChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Coverage) != 6 {
-		t.Fatalf("expected 6 instrumented sites, got %d: %+v", len(rep.Coverage), rep.Coverage)
+	if len(rep.Coverage) != 7 {
+		t.Fatalf("expected 7 instrumented sites, got %d: %+v", len(rep.Coverage), rep.Coverage)
 	}
 	for _, st := range rep.Coverage {
 		if st.Fires == 0 {
@@ -68,6 +68,16 @@ func TestChaos(t *testing.T) {
 	if rep.Fabric.LiveBeforeQuiesce < wantLive {
 		t.Errorf("fabric phase had %d regions live before quiesce, want >= %d",
 			rep.Fabric.LiveBeforeQuiesce, wantLive)
+	}
+	if !rep.Ownership.Audit.OK {
+		t.Errorf("ownership quiesced audit not clean: %s", rep.Ownership.Audit)
+	}
+	if rep.Ownership.Acquires == 0 || rep.Ownership.Acquires != rep.Ownership.Releases {
+		t.Errorf("ownership phase imbalanced: acquires=%d releases=%d",
+			rep.Ownership.Acquires, rep.Ownership.Releases)
+	}
+	if rep.Ownership.OwnerFlushes == 0 {
+		t.Error("ownership phase never flushed owner-local deltas")
 	}
 }
 

@@ -5,8 +5,9 @@
 // It checks the invariants every rcgo.bench/1 document must satisfy —
 // the schema tag, at least one workload, positive times, non-negative
 // counters, a non-zero store total, and (when the optional parallel,
-// fabric or advisor sections are present) positive A/B timings per
-// cell, plus a sane shard/backdrop geometry on fabric cells — and exits
+// fabric, advisor or ownership sections are present) positive A/B
+// timings per cell, plus a sane shard/backdrop geometry on fabric
+// cells — and exits
 // non-zero with a message naming the first violation. `make
 // bench-smoke` runs a tiny report through it as a sanity gate.
 package main
@@ -157,9 +158,31 @@ func main() {
 			fail("%s: baseline_ns_op = %g, want > 0", ab.Name, ab.BaselineNs)
 		}
 	}
-	if len(report.Parallel) > 0 || len(report.Fabric) > 0 || len(report.Advisor) > 0 {
-		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells, %d advisor cells)\n",
-			len(report.Workloads), len(report.Parallel), len(report.Fabric), len(report.Advisor))
+	seenOwn := make(map[string]bool)
+	for i, ob := range report.Ownership {
+		if ob.Name == "" {
+			fail("ownership cell %d has no name", i)
+		}
+		if seenOwn[ob.Name] {
+			fail("ownership cell %q appears twice", ob.Name)
+		}
+		seenOwn[ob.Name] = true
+		if ob.CPU <= 0 {
+			fail("%s: cpu = %d, want > 0", ob.Name, ob.CPU)
+		}
+		if ob.BestOf <= 0 {
+			fail("%s: best_of = %d, want > 0", ob.Name, ob.BestOf)
+		}
+		if ob.NsPerOp <= 0 {
+			fail("%s: ns_op = %g, want > 0", ob.Name, ob.NsPerOp)
+		}
+		if ob.BaselineNs <= 0 {
+			fail("%s: baseline_ns_op = %g, want > 0", ob.Name, ob.BaselineNs)
+		}
+	}
+	if len(report.Parallel) > 0 || len(report.Fabric) > 0 || len(report.Advisor) > 0 || len(report.Ownership) > 0 {
+		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells, %d advisor cells, %d ownership cells)\n",
+			len(report.Workloads), len(report.Parallel), len(report.Fabric), len(report.Advisor), len(report.Ownership))
 		return
 	}
 	fmt.Printf("benchlint: ok (%d workloads)\n", len(report.Workloads))

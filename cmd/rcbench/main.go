@@ -12,6 +12,7 @@
 //	rcbench -alloc-ab 10 -ab-cpu 8   # Go-native allocation fast-path A/B
 //	rcbench -fabric-ab 10 -fabric-cpu 8 -fabric-live 256   # arena fabric A/B
 //	rcbench -advisor-ab 10 -advisor-cpu 8   # annotation-advisor gate A/B
+//	rcbench -own-ab 10 -own-cpu 2    # ownership fast-path A/B (shared vs Owner token)
 //	rcbench -advise              # profile a deliberately un-annotated
 //	                             # grobner-mix replay and print the
 //	                             # advisor's upgrade table; exits non-zero
@@ -50,6 +51,8 @@ func main() {
 	fabricLive := flag.Int("fabric-live", 256, "live-region backdrop population for the -fabric-ab benchmarks")
 	advisorAB := flag.Int("advisor-ab", 0, "run the annotation-advisor gate A/B benchmarks (disarmed vs armed), best of N interleaved runs per side (0 = skip)")
 	advisorCPU := flag.Int("advisor-cpu", 8, "GOMAXPROCS for the -advisor-ab benchmarks")
+	ownAB := flag.Int("own-ab", 0, "run the ownership fast-path A/B benchmarks (shared path vs Owner token), best of N interleaved runs per side (0 = skip)")
+	ownCPU := flag.Int("own-cpu", 2, "GOMAXPROCS for the -own-ab benchmarks")
 	advise := flag.Bool("advise", false, "replay the grobner op mix un-annotated through an advisor-armed arena and print the upgrade table; exit non-zero if no upgrade candidate is found")
 	adviseAllocs := flag.Int("advise-allocs", 0, "allocation count for the -advise replay (0 = default)")
 	flag.Parse()
@@ -88,6 +91,12 @@ func main() {
 				fail(err)
 			}
 		}
+		if *ownAB > 0 {
+			report.Ownership, err = exp.OwnAB(*ownCPU, *ownAB)
+			if err != nil {
+				fail(err)
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -105,7 +114,7 @@ func main() {
 		if rep.UpgradeCandidates == 0 {
 			fail(fmt.Errorf("advise replay found no upgrade candidates — the advisor lost the flavour lattice"))
 		}
-		if *allocAB == 0 && *fabricAB == 0 && *advisorAB == 0 && *table == 0 && *figure == 0 {
+		if *allocAB == 0 && *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -117,7 +126,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintAllocAB(os.Stdout, cells)
-		if *fabricAB == 0 && *advisorAB == 0 && *table == 0 && *figure == 0 {
+		if *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -129,7 +138,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintFabricAB(os.Stdout, cells)
-		if *advisorAB == 0 && *table == 0 && *figure == 0 {
+		if *advisorAB == 0 && *ownAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -141,6 +150,18 @@ func main() {
 			fail(err)
 		}
 		exp.PrintAdvisorAB(os.Stdout, cells)
+		if *ownAB == 0 && *table == 0 && *figure == 0 {
+			return
+		}
+		fmt.Println()
+	}
+
+	if *ownAB > 0 {
+		cells, err := exp.OwnAB(*ownCPU, *ownAB)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintOwnAB(os.Stdout, cells)
 		if *table == 0 && *figure == 0 {
 			return
 		}

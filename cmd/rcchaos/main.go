@@ -1,11 +1,12 @@
 // Command rcchaos runs the chaos harness for the concurrent region
 // runtime (internal/chaos): a seeded sequential phase checked op-by-op
-// against a reference model of the delete state machine, then four
+// against a reference model of the delete state machine, then five
 // concurrent phases — scheduler perturbation, error injection,
-// allocation churn through the fast path's caches, and multi-shard
-// fabric churn with hundreds of live regions — with failpoints
-// armed on every instrumented lifecycle edge, a zombie watchdog
-// patrolling, and Arena.Audit required clean at every quiesce point.
+// allocation churn through the fast path's caches, multi-shard
+// fabric churn with hundreds of live regions, and ownership hand-off
+// churn around a token ring — with failpoints armed on every
+// instrumented lifecycle edge, a zombie watchdog patrolling, and
+// Arena.Audit required clean at every quiesce point.
 // Failpoint site coverage is reported at exit; the run fails if any
 // site never fired.
 //
@@ -62,6 +63,9 @@ func main() {
 	fmt.Printf("rcchaos: concurrent/fabric: %d ops, live-before-quiesce=%d shards-populated=%d allocs=%d, audit violations=%d\n",
 		rep.Fabric.Ops, rep.Fabric.LiveBeforeQuiesce, rep.Fabric.ShardsPopulated,
 		rep.Fabric.AllocSuccesses, len(rep.Fabric.Audit.Violations))
+	fmt.Printf("rcchaos: concurrent/ownership: %d ops, allocs=%d acquires=%d releases=%d flushes=%d, audit violations=%d\n",
+		rep.Ownership.Ops, rep.Ownership.AllocSuccesses, rep.Ownership.Acquires,
+		rep.Ownership.Releases, rep.Ownership.OwnerFlushes, len(rep.Ownership.Audit.Violations))
 	fmt.Println("rcchaos: failpoint site coverage:")
 	for _, st := range rep.Coverage {
 		fmt.Printf("rcchaos:   %-24s evals=%-8d fires=%d\n", st.Name, st.Evals, st.Fires)

@@ -82,6 +82,46 @@ deletes void main(void) {
 	// checks eliminated: 1, remaining: 0
 }
 
+// The ownership pipeline: acquire a region, build it through the owned
+// fast path (no shared-counter synchronization per operation), hand the
+// token to a consumer over a channel — the channel is the happens-before
+// edge that publishes the owner-local state — and let the consumer
+// delete the region through the token in one step.
+func ExampleRegion_Acquire() {
+	type msg struct {
+		next rcgo.Ref[msg]
+		data int
+	}
+	arena := rcgo.NewArena()
+	handoff := make(chan *rcgo.Owner)
+	done := make(chan bool)
+
+	go func() { // consumer
+		own := <-handoff
+		n := rcgo.AllocOwned[msg](own) // still the owned fast path
+		n.Value.data = 99
+		done <- own.Delete() == nil
+	}()
+
+	r := arena.NewRegion() // producer: build while exclusively owned
+	own := r.Acquire()
+	var head *rcgo.Obj[msg]
+	for i := 0; i < 3; i++ {
+		n := rcgo.AllocOwned[msg](own)
+		n.Value.data = i
+		if err := rcgo.SetSameOwned(own, n, &n.Value.next, head); err != nil {
+			panic(err)
+		}
+		head = n
+	}
+	for n := head; n != nil; n = n.Value.next.Get() {
+		fmt.Print(n.Value.data, " ")
+	}
+	handoff <- own // transfer: the consumer now owns the region
+	fmt.Println("deleted by consumer:", <-done)
+	// Output: 2 1 0 deleted by consumer: true
+}
+
 // Subregions must be deleted before their parents, and parent references
 // never cost reference-count traffic.
 func Example_subregions() {

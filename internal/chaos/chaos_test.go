@@ -110,14 +110,45 @@ func TestAllocChurnPhase(t *testing.T) {
 	}
 }
 
+// The ownership phase must keep the flush-at-release exactness
+// contract (arena Allocs == worker-observed owned-path successes,
+// Acquires == Releases, OwnedRegions 0, audit clean) while tokens churn
+// around the hand-off ring with injected release failures, and every
+// shared-path probe against a held region must fail ErrRegionOwned.
+func TestOwnershipPhase(t *testing.T) {
+	ops := 400
+	if testing.Short() {
+		ops = 150
+	}
+	res, err := RunOwnership(ConcConfig{
+		Seed: 9, Workers: 4, Ops: ops,
+		Rules: OwnershipRules(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audit.OK {
+		t.Fatalf("audit: %s", res.Audit)
+	}
+	if res.Acquires == 0 {
+		t.Fatal("no acquisitions — ownership phase exercised nothing")
+	}
+	if res.OwnerFlushes == 0 {
+		t.Fatal("no owner flushes — the owned-path metric deltas never merged")
+	}
+	if res.TraceStats.Total == 0 {
+		t.Fatal("no lifecycle events traced")
+	}
+}
+
 func fires(t *testing.T) map[string]uint64 {
 	t.Helper()
 	out := make(map[string]uint64)
 	for _, st := range siteCoverage() {
 		out[st.Name] = st.Fires
 	}
-	if len(out) != 6 {
-		t.Fatalf("expected 6 rcgo sites, got %v", out)
+	if len(out) != 7 {
+		t.Fatalf("expected 7 rcgo sites, got %v", out)
 	}
 	return out
 }

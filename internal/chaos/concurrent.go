@@ -75,6 +75,21 @@ func FabricRules(seed uint64) map[string]failpoint.Rule {
 	}
 }
 
+// OwnershipRules arms the sites for the ownership hand-off phase:
+// injected release failures in the flush window (the region stays owned
+// and the token stays valid, so the worker must retry), refused chunk
+// refills on the owned allocation path, and yields inside the windows
+// the acquire barrier and the external incRC race against.
+func OwnershipRules(seed uint64) map[string]failpoint.Rule {
+	return map[string]failpoint.Rule{
+		"rcgo/own.release":    {Action: failpoint.ActionError, Num: 1, Den: 5, Seed: seed},
+		"rcgo/alloc.refill":   {Action: failpoint.ActionError, Num: 1, Den: 7, Seed: seed},
+		"rcgo/incrc.validate": {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed, Yields: 2},
+		"rcgo/delete.dying":   {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed},
+		"rcgo/zombie.drain":   {Action: failpoint.ActionYield, Num: 1, Den: 4, Seed: seed},
+	}
+}
+
 // ConcConfig sizes one concurrent phase.
 type ConcConfig struct {
 	Seed    int64
@@ -115,6 +130,13 @@ type ConcResult struct {
 	// counts — the advisor's exact-at-quiesce contract under churn.
 	AdvisorObservations int64
 	AdvisorSites        int
+	// Acquires / Releases / OwnerFlushes are set by the ownership phase
+	// only: the arena's cumulative ownership counters at quiesce.
+	// Owner.Delete counts as one release and one delete, so a quiesced
+	// run must show Acquires == Releases exactly.
+	Acquires     int64
+	Releases     int64
+	OwnerFlushes int64
 }
 
 // advisorCounts is the workers' own tally of successful non-nil stores,
@@ -156,6 +178,7 @@ func tolerable(err error) bool {
 		errors.Is(err, rcgo.ErrRegionDeleted) ||
 		errors.Is(err, rcgo.ErrRegionInUse) ||
 		errors.Is(err, rcgo.ErrBadRef) ||
+		errors.Is(err, rcgo.ErrRegionOwned) ||
 		errors.Is(err, rcgo.ErrInjected)
 }
 
@@ -645,9 +668,238 @@ func RunFabric(cfg ConcConfig) (ConcResult, error) {
 	return res, nil
 }
 
+// RunOwnership runs the ownership hand-off phase: workers form a ring,
+// and every iteration each worker builds a region through the owned
+// fast path — TryAcquire, TryAllocOwned bursts, SetSameOwned links,
+// SetRefOwned counted references into a shared hub region — then hands
+// the Owner token to its ring neighbour over a channel (the memory-
+// model edge that publishes the token's plain owner-local state), and
+// consumes the token it receives: more owned allocations, then either
+// Owner.Delete or a Release followed by a shared Delete. The
+// rcgo/own.release failpoint (OwnershipRules) injects transient
+// failures into the flush window, so workers constantly retry
+// release/delete on still-valid tokens; while they hold a token they
+// also probe the shared paths — second TryAcquire, shared TryAlloc,
+// TryPin, Delete, SetRef with an owned holder — all of which must fail
+// fast with exactly ErrRegionOwned.
+//
+// The judge is the flush-at-release exactness contract: every worker
+// counts its own successful owned allocations, and at quiesce the
+// arena's cumulative Allocs counter must equal that total — any owner-
+// local delta lost (or double-counted) across an injected release
+// retry or a token hand-off shows up as drift there, as a nonzero
+// LiveObjects, or as an audit violation. Ownership itself must balance:
+// Acquires == Releases and OwnedRegions == 0 once every token is
+// consumed.
+func RunOwnership(cfg ConcConfig) (ConcResult, error) {
+	var res ConcResult
+	a := rcgo.NewArena()
+	a.EnableMetrics()
+	ring := rcgo.NewRingTracer(1 << 14)
+	a.SetTracer(ring)
+
+	var successes atomic.Int64
+	hub := a.NewRegion()
+	hubObj := rcgo.Alloc[node](hub)
+	successes.Add(1)
+
+	for name, r := range cfg.Rules {
+		if err := failpoint.Enable(name, r); err != nil {
+			return res, err
+		}
+	}
+	defer failpoint.DisableAll()
+
+	// Tokens travel around the ring: worker w sends to chans[(w+1)%W]
+	// and receives from chans[w]. Every worker sends and receives
+	// exactly cfg.Ops tokens (nil on a failed build), so the ring
+	// drains completely — no token is in flight after wg.Wait.
+	chans := make([]chan *rcgo.Owner, cfg.Workers)
+	for i := range chans {
+		chans[i] = make(chan *rcgo.Owner, 4)
+	}
+	errs := make(chan error, cfg.Workers*2)
+	// On an unexpected error the worker must keep the ring protocol
+	// alive (a returning worker would deadlock its neighbour's receive),
+	// so it records the error and carries on; the first one fails the
+	// phase after the workers drain.
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			next := chans[(w+1)%cfg.Workers]
+			for i := 0; i < cfg.Ops; i++ {
+				// Build side: fresh region, acquired immediately.
+				r := a.NewRegion()
+				own, err := r.TryAcquire()
+				if err != nil {
+					fail(fmt.Errorf("ownership acquire: %w", err))
+					_ = r.Delete()
+					next <- nil
+					continue
+				}
+				var obj *rcgo.Obj[node]
+				for n := 1 + rng.Intn(3); n > 0; n-- {
+					o, aerr := rcgo.TryAllocOwned[node](own)
+					if aerr == nil {
+						successes.Add(1)
+						obj = o
+					} else if !errors.Is(aerr, rcgo.ErrInjected) {
+						fail(fmt.Errorf("owned alloc: %w", aerr))
+					}
+				}
+				if obj != nil {
+					if serr := rcgo.SetSameOwned(own, obj, &obj.Value.Same, obj); serr != nil {
+						fail(fmt.Errorf("owned sameregion store: %w", serr))
+					}
+					if serr := rcgo.SetRefOwned(own, obj, &obj.Value.Other, hubObj); serr != nil && !tolerable(serr) {
+						fail(fmt.Errorf("owned counted store: %w", serr))
+					}
+					// The owned annotation check still fires: a sameregion
+					// store of an external target is a check failure.
+					if rng.Intn(4) == 0 {
+						if serr := rcgo.SetSameOwned(own, obj, &obj.Value.Same, hubObj); !errors.Is(serr, rcgo.ErrBadRef) {
+							fail(fmt.Errorf("owned bad sameregion store: got %v, want ErrBadRef", serr))
+						}
+					}
+				}
+				// Shared-path probes while the token is held: every one
+				// must fail fast with exactly ErrRegionOwned.
+				if rng.Intn(3) == 0 {
+					if _, perr := r.TryAcquire(); !errors.Is(perr, rcgo.ErrRegionOwned) {
+						fail(fmt.Errorf("second acquire: got %v, want ErrRegionOwned", perr))
+					}
+					// The armed alloc.refill site may inject before the
+					// admission loop reads the owned state; both rejections
+					// prove the shared path cannot allocate here.
+					if _, perr := rcgo.TryAlloc[node](r); !errors.Is(perr, rcgo.ErrRegionOwned) &&
+						!errors.Is(perr, rcgo.ErrInjected) {
+						fail(fmt.Errorf("shared alloc on owned region: got %v, want ErrRegionOwned", perr))
+					}
+					if perr := r.Delete(); !errors.Is(perr, rcgo.ErrRegionOwned) {
+						fail(fmt.Errorf("shared delete of owned region: got %v, want ErrRegionOwned", perr))
+					}
+					if obj != nil {
+						if _, perr := rcgo.TryPin(obj); !errors.Is(perr, rcgo.ErrRegionOwned) {
+							fail(fmt.Errorf("pin into owned region: got %v, want ErrRegionOwned", perr))
+						}
+						if perr := rcgo.SetRef(obj, &obj.Value.Other, hubObj); !errors.Is(perr, rcgo.ErrRegionOwned) {
+							fail(fmt.Errorf("shared store with owned holder: got %v, want ErrRegionOwned", perr))
+						}
+					}
+				}
+				// Hand-off: the channel send publishes the token's plain
+				// owner-local state to the neighbour.
+				next <- own
+
+				// Consume side: the token received from the other
+				// neighbour, with more owned work before the delete.
+				tok := <-chans[w]
+				if tok == nil {
+					continue
+				}
+				if _, aerr := rcgo.TryAllocOwned[node](tok); aerr == nil {
+					successes.Add(1)
+				} else if !errors.Is(aerr, rcgo.ErrInjected) {
+					fail(fmt.Errorf("owned alloc after hand-off: %w", aerr))
+				}
+				if rng.Intn(3) == 0 {
+					// Release back to the shared state (retrying injected
+					// flush failures on the still-valid token), then the
+					// ordinary shared delete.
+					tr := tok.Region()
+					for {
+						rerr := tok.Release()
+						if rerr == nil {
+							break
+						}
+						if !errors.Is(rerr, rcgo.ErrInjected) {
+							fail(fmt.Errorf("release: %w", rerr))
+							break
+						}
+					}
+					if derr := tr.Delete(); derr != nil && !tolerable(derr) {
+						fail(fmt.Errorf("delete after release: %w", derr))
+					}
+				} else {
+					// Owner.Delete consumes the token in one step; injected
+					// flush failures leave it valid for the retry.
+					for {
+						derr := tok.Delete()
+						if derr == nil {
+							break
+						}
+						if !errors.Is(derr, rcgo.ErrInjected) {
+							fail(fmt.Errorf("owned delete: %w", derr))
+							break
+						}
+					}
+				}
+			}
+		}(w, cfg.Seed+int64(w)*6151)
+	}
+	wg.Wait()
+	res.Ops = cfg.Workers * cfg.Ops
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	// Quiesce: disarm, delete the hub (its inbound counted references
+	// all died with their token regions), then judge.
+	failpoint.DisableAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hub.DeleteWithRetry(ctx, rcgo.Backoff{}); err != nil {
+		return res, fmt.Errorf("quiesce: delete hub region: %w", err)
+	}
+	res.SweptAtQuiesce = a.SweepZombies()
+	res.TraceStats = ring.TraceStats()
+	res.Audit = a.Audit()
+	counters := a.Counters()
+	res.AllocSuccesses = successes.Load()
+	res.Acquires = counters.Acquires
+	res.Releases = counters.Releases
+	res.OwnerFlushes = counters.OwnerFlushes
+	if !res.Audit.OK {
+		return res, fmt.Errorf("quiesced ownership audit failed:\n%s", res.Audit)
+	}
+	if counters.Allocs != res.AllocSuccesses {
+		return res, fmt.Errorf("ownership alloc drift: arena counted %d allocs, workers observed %d successes",
+			counters.Allocs, res.AllocSuccesses)
+	}
+	if res.Acquires == 0 || res.Acquires != res.Releases {
+		return res, fmt.Errorf("ownership imbalance: %d acquires vs %d releases", res.Acquires, res.Releases)
+	}
+	if got := a.OwnedRegions(); got != 0 {
+		return res, fmt.Errorf("quiesce: OwnedRegions = %d, want 0", got)
+	}
+	if got := a.LiveObjects(); got != 0 {
+		return res, fmt.Errorf("quiesce: LiveObjects = %d, want 0", got)
+	}
+	if got := a.LiveRegions(); got != 1 {
+		return res, fmt.Errorf("quiesce: LiveRegions = %d, want 1 (traditional)", got)
+	}
+	if got := a.DeferredRegions(); got != 0 {
+		return res, fmt.Errorf("quiesce: DeferredRegions = %d, want 0", got)
+	}
+	return res, nil
+}
+
 // Config sizes a full chaos run: one sequential model-checked phase,
 // then a perturbation-mix and an error-mix concurrent phase, then the
-// allocation-churn phase, then the multi-shard fabric phase.
+// allocation-churn phase, then the multi-shard fabric phase, then the
+// ownership hand-off phase.
 type Config struct {
 	Seed    int64
 	SeqOps  int
@@ -666,6 +918,7 @@ type Report struct {
 	Errors      ConcResult
 	AllocChurn  ConcResult
 	Fabric      ConcResult
+	Ownership   ConcResult
 	// Coverage is the post-run failpoint counter snapshot; every
 	// instrumented site must show Fires > 0 for the run to count.
 	Coverage []failpoint.Stats
@@ -750,6 +1003,18 @@ func Run(cfg Config) (*Report, error) {
 	}
 	logf("phase 5: ok, %d ops, %d regions live on %d shards at quiesce entry, %d allocs, zero drift",
 		res.Ops, res.LiveBeforeQuiesce, res.ShardsPopulated, res.AllocSuccesses)
+
+	logf("phase 6: ownership hand-off, %d workers x %d ops around the token ring, injected release failures", cfg.Workers, cfg.ConcOps)
+	res, err = RunOwnership(ConcConfig{
+		Seed: cfg.Seed + 5, Workers: cfg.Workers, Ops: cfg.ConcOps,
+		Rules: OwnershipRules(uint64(cfg.Seed) + 5),
+	})
+	rep.Ownership = res
+	if err != nil {
+		return rep, fmt.Errorf("ownership phase: %w", err)
+	}
+	logf("phase 6: ok, %d ops, %d allocs through the owned path, acquires=%d releases=%d flushes=%d, zero drift",
+		res.Ops, res.AllocSuccesses, res.Acquires, res.Releases, res.OwnerFlushes)
 
 	rep.Coverage = siteCoverage()
 	if un := rep.Uncovered(); len(un) > 0 {

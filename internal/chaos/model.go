@@ -33,6 +33,12 @@ const (
 	OpSetSame
 	OpDelete
 	OpDeleteDeferred
+	OpAcquire
+	OpRelease
+	OpOwnedAlloc
+	OpOwnedSetRef
+	OpOwnedStore
+	OpOwnedDelete
 	numOpKinds
 )
 
@@ -59,6 +65,18 @@ func (k OpKind) String() string {
 		return "delete"
 	case OpDeleteDeferred:
 		return "delete-deferred"
+	case OpAcquire:
+		return "acquire"
+	case OpRelease:
+		return "release"
+	case OpOwnedAlloc:
+		return "owned-alloc"
+	case OpOwnedSetRef:
+		return "owned-set-ref"
+	case OpOwnedStore:
+		return "owned-store"
+	case OpOwnedDelete:
+		return "owned-delete"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
@@ -97,6 +115,7 @@ const (
 	outDeleted
 	outBadRef
 	outInjected
+	outOwned
 )
 
 func (o outcome) String() string {
@@ -111,6 +130,8 @@ func (o outcome) String() string {
 		return "bad-ref"
 	case outInjected:
 		return "injected"
+	case outOwned:
+		return "owned"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -131,6 +152,8 @@ func classify(err error) (outcome, error) {
 		return outDeleted, nil
 	case errors.Is(err, rcgo.ErrBadRef):
 		return outBadRef, nil
+	case errors.Is(err, rcgo.ErrRegionOwned):
+		return outOwned, nil
 	}
 	return 0, fmt.Errorf("unclassifiable error: %w", err)
 }
@@ -142,6 +165,7 @@ const (
 	mAlive mState = iota
 	mZombie
 	mDead
+	mOwned
 )
 
 // mRegion shadows one runtime region.
@@ -152,7 +176,15 @@ type mRegion struct {
 	rc       int64 // pins + external counted slots pointing here
 	pins     int64
 	children int64
-	objs     int64
+	objs     int64 // flushed objects; an owned region's token-local allocs are ownerObjs
+
+	// owner is the live Owner token while state == mOwned; ownerObjs
+	// counts its unflushed owned allocations, merged into objs at
+	// Release exactly as the runtime flushes (verify compares objs
+	// against the runtime's flushed count, so this split checks the
+	// flush-at-release exactness contract op by op).
+	owner     *rcgo.Owner
+	ownerObjs int64
 }
 
 // mObj shadows one runtime object: where it lives and what its counted
@@ -245,12 +277,36 @@ func joinLines(lines []string) string {
 
 func pick[T any](list []T, idx int) T { return list[idx%len(list)] }
 
-// aliveRegions returns the model regions currently alive.
+// aliveRegions returns the model regions currently alive, including the
+// exclusively owned (an owned region is alive — the population caps
+// cover it too).
 func (h *Harness) aliveRegions() []*mRegion {
 	var out []*mRegion
 	for _, r := range h.regions {
-		if r.state == mAlive {
+		if r.state == mAlive || r.state == mOwned {
 			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ownedRegions returns the model regions currently held through a token.
+func (h *Harness) ownedRegions() []*mRegion {
+	var out []*mRegion
+	for _, r := range h.regions {
+		if r.state == mOwned {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// objsIn returns the model objects living in r.
+func (h *Harness) objsIn(r *mRegion) []*mObj {
+	var out []*mObj
+	for _, o := range h.objs {
+		if o.region == r {
+			out = append(out, o)
 		}
 	}
 	return out
@@ -318,7 +374,10 @@ func (h *Harness) apply(op Op) error {
 		parent := pick(h.regions, op.A)
 		sub, err := parent.real.TryNewSubregion()
 		predicted := outOK
-		if parent.state != mAlive {
+		switch {
+		case parent.state == mOwned:
+			predicted = outOwned
+		case parent.state != mAlive:
 			predicted = outDeleted
 		}
 		return h.expect(op, err, predicted, func() {
@@ -337,7 +396,10 @@ func (h *Harness) apply(op Op) error {
 		r := pick(h.regions, op.A)
 		o, err := rcgo.TryAlloc[node](r.real)
 		predicted := outOK
-		if r.state != mAlive {
+		switch {
+		case r.state == mOwned:
+			predicted = outOwned
+		case r.state != mAlive:
 			predicted = outDeleted
 		}
 		return h.expect(op, err, predicted, func() {
@@ -352,7 +414,10 @@ func (h *Harness) apply(op Op) error {
 		o := pick(h.objs, op.A)
 		unpin, err := rcgo.TryPin(o.real)
 		predicted := outOK
-		if o.region.state != mAlive {
+		switch {
+		case o.region.state == mOwned:
+			predicted = outOwned
+		case o.region.state != mAlive:
 			predicted = outDeleted
 		}
 		return h.expect(op, err, predicted, func() {
@@ -391,10 +456,17 @@ func (h *Harness) apply(op Op) error {
 		}
 		err := rcgo.SetRef(holder.real, &holder.real.Value.Other, treal)
 		external := target != nil && target.region != holder.region
+		// Prediction order mirrors the runtime: the external target's
+		// incRC decides first (owned beats deleted there too), then the
+		// holder's state check under the shard lock.
 		predicted := outOK
 		switch {
+		case external && target.region.state == mOwned:
+			predicted = outOwned
 		case external && target.region.state != mAlive:
 			predicted = outDeleted
+		case holder.region.state == mOwned:
+			predicted = outOwned
 		case holder.region.state != mAlive && !(holder.region.state == mZombie && target == nil):
 			predicted = outDeleted
 		}
@@ -421,6 +493,8 @@ func (h *Harness) apply(op Op) error {
 		switch {
 		case target.region != holder.region:
 			predicted = outBadRef
+		case holder.region.state == mOwned:
+			predicted = outOwned
 		case holder.region.state != mAlive:
 			predicted = outDeleted
 		}
@@ -435,6 +509,8 @@ func (h *Harness) apply(op Op) error {
 		err := r.real.Delete()
 		predicted := outOK
 		switch {
+		case r.state == mOwned:
+			predicted = outOwned
 		case r.state != mAlive:
 			predicted = outDeleted
 		case r.children > 0 || r.rc > 0:
@@ -457,6 +533,138 @@ func (h *Harness) apply(op Op) error {
 			h.mReclaim(r)
 		} else {
 			r.state = mZombie
+		}
+		return nil
+
+	case OpAcquire:
+		if len(h.regions) == 0 {
+			return nil
+		}
+		r := pick(h.regions, op.A)
+		own, err := r.real.TryAcquire()
+		predicted := outOK
+		switch {
+		case r.state == mOwned:
+			predicted = outOwned
+		case r.state != mAlive:
+			predicted = outDeleted
+		}
+		return h.expect(op, err, predicted, func() {
+			r.state = mOwned
+			r.owner = own
+		})
+
+	case OpRelease:
+		owned := h.ownedRegions()
+		if len(owned) == 0 {
+			return nil
+		}
+		r := pick(owned, op.A)
+		err := r.owner.Release()
+		// An injected own.release error leaves the region owned and the
+		// token valid (nothing flushed); expect applies no transition on
+		// outInjected, so model and runtime stay in step.
+		return h.expect(op, err, outOK, func() {
+			r.objs += r.ownerObjs
+			r.ownerObjs = 0
+			r.state = mAlive
+			r.owner = nil
+		})
+
+	case OpOwnedAlloc:
+		owned := h.ownedRegions()
+		if len(owned) == 0 {
+			return nil
+		}
+		if len(h.objs) >= h.maxObjs {
+			h.note("%s -> skipped (object cap)", op)
+			return nil
+		}
+		r := pick(owned, op.A)
+		o, err := rcgo.TryAllocOwned[node](r.owner)
+		return h.expect(op, err, outOK, func() {
+			r.ownerObjs++
+			h.objs = append(h.objs, &mObj{real: o, region: r})
+		})
+
+	case OpOwnedSetRef:
+		owned := h.ownedRegions()
+		if len(owned) == 0 || len(h.objs) == 0 {
+			return nil
+		}
+		r := pick(owned, op.A)
+		holders := h.objsIn(r)
+		if len(holders) == 0 {
+			return nil
+		}
+		holder := pick(holders, op.A)
+		target := pick(h.objs, op.B)
+		err := rcgo.SetRefOwned(r.owner, holder.real, &holder.real.Value.Other, target.real)
+		external := target.region != r
+		predicted := outOK
+		switch {
+		case external && target.region.state == mOwned:
+			predicted = outOwned
+		case external && target.region.state != mAlive:
+			predicted = outDeleted
+		}
+		return h.expect(op, err, predicted, func() {
+			old := holder.other
+			holder.other = target
+			if external {
+				target.region.rc++
+			}
+			if old != nil && old.region != r {
+				old.region.rc--
+				h.mMaybeDrain(old.region)
+			}
+		})
+
+	case OpOwnedStore:
+		owned := h.ownedRegions()
+		if len(owned) == 0 || len(h.objs) == 0 {
+			return nil
+		}
+		r := pick(owned, op.A)
+		holders := h.objsIn(r)
+		if len(holders) == 0 {
+			return nil
+		}
+		holder := pick(holders, op.A)
+		target := pick(h.objs, op.B)
+		err := rcgo.SetSameOwned(r.owner, holder.real, &holder.real.Value.Same, target.real)
+		predicted := outOK
+		if target.region != r {
+			predicted = outBadRef
+		}
+		// Never counted: no model transition.
+		return h.expect(op, err, predicted, nil)
+
+	case OpOwnedDelete:
+		owned := h.ownedRegions()
+		if len(owned) == 0 {
+			return nil
+		}
+		r := pick(owned, op.A)
+		err := r.owner.Delete()
+		predicted := outOK
+		if r.children > 0 || r.rc > 0 {
+			predicted = outInUse
+		}
+		if e := h.expect(op, err, predicted, func() {
+			r.ownerObjs = 0
+			r.owner = nil
+			h.mReclaim(r)
+		}); e != nil {
+			return e
+		}
+		if errors.Is(err, rcgo.ErrRegionInUse) {
+			// Owner.Delete flushes before deciding: a blocked delete
+			// leaves the region owned with the token's deltas already
+			// merged — mirror the early flush or the object counts
+			// diverge on the very next verify.
+			r.objs += r.ownerObjs
+			r.ownerObjs = 0
 		}
 		return nil
 	}
@@ -496,15 +704,25 @@ func (h *Harness) mMaybeDrain(r *mRegion) {
 // verify compares every model region against the runtime and the
 // arena-wide totals against the model's sums.
 func (h *Harness) verify() error {
-	var alive, zombie, objTotal int64
+	var alive, zombie, owned, objTotal int64
 	for _, r := range h.regions {
 		st := r.real.Stats()
 		switch r.state {
 		case mAlive:
-			if st.Deleted {
+			if st.Deleted || st.Owned {
 				return h.divergence("region %d: model alive, runtime %+v", st.ID, st)
 			}
 			alive++
+		case mOwned:
+			if st.Deleted || !st.Owned {
+				return h.divergence("region %d: model owned, runtime %+v", st.ID, st)
+			}
+			// Counts as alive in the population totals; the counter
+			// comparison below checks the flushed objs only (r.objs
+			// excludes ownerObjs), which is exactly what the runtime
+			// exposes while the token holds the rest.
+			alive++
+			owned++
 		case mZombie:
 			if !st.Deferred || st.Reclaimed {
 				return h.divergence("region %d: model zombie, runtime %+v", st.ID, st)
@@ -534,6 +752,9 @@ func (h *Harness) verify() error {
 	if ast.DeferredRegions != zombie {
 		return h.divergence("arena DeferredRegions=%d, model %d", ast.DeferredRegions, zombie)
 	}
+	if ast.OwnedRegions != owned {
+		return h.divergence("arena OwnedRegions=%d, model %d", ast.OwnedRegions, owned)
+	}
 	return nil
 }
 
@@ -542,6 +763,22 @@ func (h *Harness) verify() error {
 // correct runtime ends with only the traditional region alive and
 // nothing live or deferred; anything else is a divergence.
 func (h *Harness) Drain() error {
+	// Release every outstanding token first: counted slots cannot be
+	// cleared through the shared path while their holder is owned.
+	// RunSeq disarms failpoints before draining, so Release cannot be
+	// injected here.
+	for _, r := range h.regions {
+		if r.state != mOwned {
+			continue
+		}
+		if err := r.owner.Release(); err != nil {
+			return h.divergence("drain release: %v", err)
+		}
+		r.objs += r.ownerObjs
+		r.ownerObjs = 0
+		r.state = mAlive
+		r.owner = nil
+	}
 	for _, p := range h.pins {
 		p.unpin()
 		p.region.rc--
@@ -599,26 +836,38 @@ func RandomOps(seed int64, n int) []Op {
 	for i := 0; i < n; i++ {
 		var k OpKind
 		switch p := rng.Intn(100); {
-		case p < 16:
+		case p < 14:
 			k = OpAlloc
-		case p < 34:
+		case p < 28:
 			k = OpSetRef
-		case p < 44:
+		case p < 36:
 			k = OpClearRef
-		case p < 54:
+		case p < 43:
 			k = OpSetSame
-		case p < 64:
+		case p < 51:
 			k = OpPin
-		case p < 74:
+		case p < 59:
 			k = OpUnpin
-		case p < 82:
+		case p < 65:
 			k = OpNewSubregion
-		case p < 86:
+		case p < 69:
 			k = OpNewRegion
-		case p < 93:
+		case p < 75:
 			k = OpDelete
-		default:
+		case p < 78:
 			k = OpDeleteDeferred
+		case p < 83:
+			k = OpAcquire
+		case p < 86:
+			k = OpRelease
+		case p < 91:
+			k = OpOwnedAlloc
+		case p < 94:
+			k = OpOwnedSetRef
+		case p < 97:
+			k = OpOwnedStore
+		default:
+			k = OpOwnedDelete
 		}
 		ops = append(ops, Op{Kind: k, A: rng.Intn(1 << 20), B: rng.Intn(1 << 20)})
 	}
@@ -643,6 +892,7 @@ func SeqRules(seed uint64) map[string]failpoint.Rule {
 		"rcgo/zombie.drain":    {Action: failpoint.ActionError, Num: 1, Den: 5, Seed: seed},
 		"rcgo/slot.insert":     {Action: failpoint.ActionError, Num: 1, Den: 9, Seed: seed},
 		"rcgo/alloc.refill":    {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed},
+		"rcgo/own.release":     {Action: failpoint.ActionError, Num: 1, Den: 6, Seed: seed},
 	}
 }
 

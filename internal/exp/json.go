@@ -85,6 +85,11 @@ type BenchReport struct {
 	// the point) against armed-from-birth profiling. Optional for the
 	// same reason as Parallel.
 	Advisor []AdvisorBenchReport `json:"advisor,omitempty"`
+	// Ownership is the optional interleaved A/B section over the
+	// exclusive-ownership fast path (rcbench -own-ab, own.go): the
+	// shared-path API against the same work through an Owner token.
+	// Optional for the same reason as Parallel.
+	Ownership []OwnershipReport `json:"ownership,omitempty"`
 }
 
 // BenchJSON runs every selected workload under the RC and norc

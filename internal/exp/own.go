@@ -1,0 +1,284 @@
+package exp
+
+// Interleaved A/B benchmarking of the exclusive-ownership fast path
+// (region_owner.go). Each scenario executes identical logical work
+// twice: once through the shared-path API (Alloc/SetSame/SetRef/Delete
+// — atomic counters, shard locks, state checks on every operation) and
+// once through an Owner token (AllocOwned/SetSameOwned/SetRefOwned/
+// Owner.Delete — plain owner-local counters flushed once at release).
+// Every worker owns private regions, so the shared side measures the
+// uncontended cost of the synchronized bookkeeping itself, which is
+// exactly what the owned path removes; the external targets of the
+// counted-store scenario still pay the shared incRC on both sides,
+// because that protocol is unchanged while owned.
+//
+// Methodology: identical to the fabric A/B (fabric.go) — fixed-work
+// wall-clocked rounds with the GC quiesced, ABBA ordering, per-side
+// minima, and DeltaPct as the median of per-round paired deltas.
+//
+// cmd/rcbench exposes this as -own-ab and records the cells in the
+// rcgo.bench/1 "ownership" section (BENCH_pr8_ownership.json).
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"rcgo"
+)
+
+// OwnershipReport is one interleaved A/B ownership benchmark cell: the
+// scenario timed at the given GOMAXPROCS through the shared path
+// (baseline_ns_op) and through an Owner token (ns_op), over best_of
+// ABBA-ordered rounds.
+type OwnershipReport struct {
+	Name   string `json:"name"`
+	CPU    int    `json:"cpu"`
+	BestOf int    `json:"best_of"`
+	// BaselineNs is the minimum ns/op down the shared path across
+	// rounds; NsPerOp is the same through the Owner token.
+	BaselineNs float64 `json:"baseline_ns_op"`
+	NsPerOp    float64 `json:"ns_op"`
+	// DeltaPct is the median across rounds of the per-round paired
+	// improvement, (shared - owned) / shared * 100.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// ownBody is one worker's share of a scenario: iters operations against
+// private regions of the arena.
+type ownBody func(a *rcgo.Arena, iters int) error
+
+// ownAllocShared / ownAllocOwned: the build loop — allocate and
+// sameregion-link into a private region, recycling it every batch
+// allocations. With a large batch the cell isolates the per-operation
+// cost (batched-delta atomics and state checks vs plain increments);
+// with a small batch it folds the region lifecycle in, so the owned
+// side also pays Acquire's barrier sweep and Release's flush per batch.
+func ownAllocShared(batch int) ownBody {
+	return func(a *rcgo.Arena, iters int) error {
+		r := a.NewRegion()
+		var prev *rcgo.Obj[abNode]
+		n := 0
+		for i := 0; i < iters; i++ {
+			o := rcgo.Alloc[abNode](r)
+			rcgo.MustSetSame(o, &o.Value.next, prev)
+			prev = o
+			if n++; n == batch {
+				prev = nil
+				if err := r.Delete(); err != nil {
+					return err
+				}
+				r = a.NewRegion()
+				n = 0
+			}
+		}
+		return r.Delete()
+	}
+}
+
+func ownAllocOwned(batch int) ownBody {
+	return func(a *rcgo.Arena, iters int) error {
+		own, err := a.NewRegion().TryAcquire()
+		if err != nil {
+			return err
+		}
+		var prev *rcgo.Obj[abNode]
+		n := 0
+		for i := 0; i < iters; i++ {
+			o := rcgo.AllocOwned[abNode](own)
+			if err := rcgo.SetSameOwned(own, o, &o.Value.next, prev); err != nil {
+				return err
+			}
+			prev = o
+			if n++; n == batch {
+				prev = nil
+				if err := own.Delete(); err != nil {
+					return err
+				}
+				if own, err = a.NewRegion().TryAcquire(); err != nil {
+					return err
+				}
+				n = 0
+			}
+		}
+		return own.Delete()
+	}
+}
+
+// ownSetRefShared / ownSetRefOwned: the counted-store loop — a private
+// holder stores references to two objects in an external region,
+// alternating so every store displaces the previous reference (one
+// incRC and one decRC per operation on both sides). The owned side
+// saves the holder-side shard lock and state re-check, not the
+// target-side atomics.
+func ownSetRefShared(a *rcgo.Arena, iters int) error {
+	tr := a.NewRegion()
+	t0, t1 := rcgo.Alloc[abNode](tr), rcgo.Alloc[abNode](tr)
+	hr := a.NewRegion()
+	h := rcgo.Alloc[abNode](hr)
+	for i := 0; i < iters; i++ {
+		t := t0
+		if i&1 == 1 {
+			t = t1
+		}
+		if err := rcgo.SetRef(h, &h.Value.next, t); err != nil {
+			return err
+		}
+	}
+	if err := rcgo.SetRef(h, &h.Value.next, nil); err != nil {
+		return err
+	}
+	if err := hr.Delete(); err != nil {
+		return err
+	}
+	return tr.Delete()
+}
+
+func ownSetRefOwned(a *rcgo.Arena, iters int) error {
+	tr := a.NewRegion()
+	t0, t1 := rcgo.Alloc[abNode](tr), rcgo.Alloc[abNode](tr)
+	own, err := a.NewRegion().TryAcquire()
+	if err != nil {
+		return err
+	}
+	h, err := rcgo.TryAllocOwned[abNode](own)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < iters; i++ {
+		t := t0
+		if i&1 == 1 {
+			t = t1
+		}
+		if err := rcgo.SetRefOwned(own, h, &h.Value.next, t); err != nil {
+			return err
+		}
+	}
+	if err := rcgo.SetRefOwned(own, h, &h.Value.next, nil); err != nil {
+		return err
+	}
+	if err := own.Delete(); err != nil {
+		return err
+	}
+	return tr.Delete()
+}
+
+// measureOwn times one side of one scenario once: workers goroutines
+// each running iters operations against private regions of one arena,
+// wall-clocked with the GC quiesced.
+func measureOwn(workers, iters int, body ownBody) (float64, error) {
+	a := rcgo.NewArena()
+	runtime.GC()
+	oldGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(oldGC)
+	errs := make(chan error, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := body(a, iters); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(elapsed.Nanoseconds()) / float64(workers*iters), nil
+}
+
+// OwnAB runs the interleaved A/B ownership benchmarks at the given
+// GOMAXPROCS over bestOf rounds per scenario: the build loop with a
+// long-lived region (per-op cost), the build loop with a short batch
+// (region lifecycle folded in, including Acquire/Release per batch),
+// and the counted-store loop against an external shared target.
+func OwnAB(cpu, bestOf int) ([]OwnershipReport, error) {
+	if bestOf <= 0 {
+		bestOf = 10
+	}
+	if cpu <= 0 {
+		cpu = 2
+	}
+	scenarios := []struct {
+		name string
+		// iters is per-worker operation count, sized like the fabric
+		// A/B: one run in the low-hundreds of milliseconds.
+		iters  int
+		shared ownBody
+		owned  ownBody
+	}{
+		{"own-alloc-setsame", 150000, ownAllocShared(8192), ownAllocOwned(8192)},
+		{"own-build-delete", 120000, ownAllocShared(8), ownAllocOwned(8)},
+		{"own-setref", 80000, ownSetRefShared, ownSetRefOwned},
+	}
+	prev := runtime.GOMAXPROCS(cpu)
+	defer runtime.GOMAXPROCS(prev)
+	var out []OwnershipReport
+	for _, sc := range scenarios {
+		rep := OwnershipReport{Name: sc.name, CPU: cpu, BestOf: bestOf}
+		// Unrecorded warmup of each side (see FabricAB).
+		if _, err := measureOwn(cpu, sc.iters/4, sc.shared); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		if _, err := measureOwn(cpu, sc.iters/4, sc.owned); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		var deltas []float64
+		for i := 0; i < bestOf; i++ {
+			var slow, fast float64
+			var err error
+			// ABBA: alternate which side runs first so a systematic
+			// first-runner advantage (or penalty) cancels across rounds.
+			if i%2 == 0 {
+				if slow, err = measureOwn(cpu, sc.iters, sc.shared); err == nil {
+					fast, err = measureOwn(cpu, sc.iters, sc.owned)
+				}
+			} else {
+				if fast, err = measureOwn(cpu, sc.iters, sc.owned); err == nil {
+					slow, err = measureOwn(cpu, sc.iters, sc.shared)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sc.name, err)
+			}
+			if rep.BaselineNs == 0 || slow < rep.BaselineNs {
+				rep.BaselineNs = slow
+			}
+			if rep.NsPerOp == 0 || fast < rep.NsPerOp {
+				rep.NsPerOp = fast
+			}
+			deltas = append(deltas, 100*(slow-fast)/slow)
+		}
+		sort.Float64s(deltas)
+		if n := len(deltas); n%2 == 1 {
+			rep.DeltaPct = deltas[n/2]
+		} else {
+			rep.DeltaPct = (deltas[n/2-1] + deltas[n/2]) / 2
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// PrintOwnAB renders the ownership A/B cells as a small table.
+func PrintOwnAB(w io.Writer, reps []OwnershipReport) {
+	fmt.Fprintf(w, "%-24s %4s %7s %12s %12s %8s\n",
+		"scenario", "cpu", "best-of", "shared ns", "owned ns", "delta")
+	for _, r := range reps {
+		fmt.Fprintf(w, "%-24s %4d %7d %12.1f %12.1f %+7.1f%%\n",
+			r.Name, r.CPU, r.BestOf, r.BaselineNs, r.NsPerOp, r.DeltaPct)
+	}
+}

@@ -54,12 +54,16 @@ import (
 // are lock-free. stateDying is a transient window during which Delete or
 // DeleteDeferred holds mu and is deciding: observers wait it out
 // (settled) rather than treating it as deleted, because the delete may
-// still fail with ErrRegionInUse.
+// still fail with ErrRegionInUse. stateOwned (region_owner.go) is a
+// settled state like zombie: shared-path operations fail fast with
+// ErrRegionOwned rather than waiting, because ownership lasts as long
+// as the token holder wants it to.
 const (
 	stateAlive  int32 = iota
 	stateDying        // transient: a delete holds mu and is deciding
 	stateZombie       // DeleteDeferred: reclaim when references drain
 	stateDead         // reclaimed
+	stateOwned        // exclusively owned via an Owner token (region_owner.go)
 )
 
 // Arena is a reference-counted region heap for Go values, created by
@@ -129,6 +133,12 @@ type Region struct {
 	pins     atomic.Int64 // the pin subset of rc, for stats
 	children atomic.Int64
 	objs     atomic.Int64
+
+	// owner is the region's exclusive-ownership token while stateOwned
+	// (region_owner.go); nil otherwise. Set and cleared under mu at the
+	// same program points as the alive ⇄ owned transitions, read
+	// atomically by the auditor's owner-linkage check.
+	owner atomic.Pointer[Owner]
 
 	// slots is the sharded registry of counted (SetRef) slots held by
 	// this region's objects; deletion drains it to release outbound
@@ -223,10 +233,16 @@ func (r *Region) NewSubregion() *Region {
 }
 
 // TryNewSubregion creates a region below r, or returns ErrRegionDeleted
-// if r has been deleted.
+// if r has been deleted (ErrRegionOwned if it is exclusively owned —
+// the owner alone decides the region's lifetime obligations).
 func (r *Region) TryNewSubregion() (*Region, error) {
 	r.mu.Lock()
-	if r.state.Load() != stateAlive {
+	switch r.state.Load() {
+	case stateAlive:
+	case stateOwned:
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: NewSubregion of region %d", ErrRegionOwned, r.id)
+	default:
 		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: NewSubregion of region %d", ErrRegionDeleted, r.id)
 	}
@@ -294,6 +310,9 @@ func TryAlloc[T any](r *Region) (*Obj[T], error) {
 			// withdraw the provisional delta and re-decide once settled.
 			sh.pending.Add(-1)
 			runtime.Gosched()
+		case stateOwned:
+			sh.pending.Add(-1)
+			return nil, fmt.Errorf("%w: allocation in region %d", ErrRegionOwned, r.id)
 		default:
 			sh.pending.Add(-1)
 			return nil, fmt.Errorf("%w: allocation in region %d", ErrRegionDeleted, r.id)
@@ -307,7 +326,12 @@ func TryAlloc[T any](r *Region) (*Obj[T], error) {
 func tryAllocSlow[T any](r *Region) (*Obj[T], error) {
 	o := &Obj[T]{region: r}
 	r.mu.Lock()
-	if r.state.Load() != stateAlive {
+	switch r.state.Load() {
+	case stateAlive:
+	case stateOwned:
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: allocation in region %d", ErrRegionOwned, r.id)
+	default:
 		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: allocation in region %d", ErrRegionDeleted, r.id)
 	}
@@ -384,6 +408,14 @@ func (r *Region) incRC() error {
 			// once the state settles.
 			r.rc.Add(-1)
 			runtime.Gosched()
+		case stateOwned:
+			// New references to an owned region are the owner's business;
+			// the transient increment may make an Owner.Delete fail with
+			// ErrRegionInUse, which its callers retry exactly like the
+			// dying race above. Pre-existing references stay free to
+			// decRC while owned.
+			r.rc.Add(-1)
+			return fmt.Errorf("%w: new reference to region %d", ErrRegionOwned, r.id)
 		default: // zombie or dead: no new references
 			r.rc.Add(-1)
 			r.maybeDrain()
@@ -484,7 +516,13 @@ func (r *Region) Delete() error {
 		return errors.New("rcgo: cannot delete the traditional region")
 	}
 	r.mu.Lock()
-	if r.state.Load() != stateAlive {
+	switch r.state.Load() {
+	case stateAlive:
+	case stateOwned:
+		// Only the token may delete an owned region (Owner.Delete).
+		r.mu.Unlock()
+		return fmt.Errorf("%w: delete of region %d", ErrRegionOwned, r.id)
+	default:
 		r.mu.Unlock()
 		return fmt.Errorf("%w: double delete of region %d", ErrRegionDeleted, r.id)
 	}
@@ -537,7 +575,9 @@ func (r *Region) noteDeleteBlocked() {
 // allocations, subregions, pins and inbound references (so its reclaim
 // cannot be postponed indefinitely); clearing its outbound counted slots
 // with nil stores remains allowed, which is how cross-region cycles are
-// broken. No-op on the traditional region or one already deleted.
+// broken. No-op on the traditional region, one already deleted, or one
+// that is exclusively owned (the owner decides its end through the
+// token — Owner.Release then DeleteDeferred, or Owner.Delete).
 func (r *Region) DeleteDeferred() {
 	if r == r.arena.trad {
 		return

@@ -25,8 +25,9 @@ type RegionInfo struct {
 	Parent int64 `json:"parent,omitempty"`
 	// Traditional marks the arena's distinguished traditional region.
 	Traditional bool `json:"traditional,omitempty"`
-	// State is "alive" or "deferred" (reclaimed regions leave the
-	// registry and never appear).
+	// State is "alive", "owned" (exclusively held through an Owner
+	// token, region_owner.go) or "deferred" (reclaimed regions leave
+	// the registry and never appear).
 	State      string        `json:"state"`
 	RC         int64         `json:"rc"`
 	Pins       int64         `json:"pins"`
@@ -48,8 +49,11 @@ func (a *Arena) Hierarchy() []*RegionInfo {
 	a.EachRegion(func(r *Region) {
 		st := r.Stats()
 		state := "alive"
-		if st.Deferred {
+		switch {
+		case st.Deferred:
 			state = "deferred"
+		case st.Owned:
+			state = "owned"
 		}
 		var parent int64
 		if r.parent != nil {
@@ -96,8 +100,11 @@ func (a *Arena) HierarchyDot() string {
 	var emit func(n *RegionInfo)
 	emit = func(n *RegionInfo) {
 		attrs := ""
-		if n.State == "deferred" {
+		switch n.State {
+		case "deferred":
 			attrs = ", style=dashed, color=red"
+		case "owned":
+			attrs = ", style=bold, color=blue"
 		}
 		name := fmt.Sprintf("r%d", n.ID)
 		if n.Traditional {
@@ -323,8 +330,8 @@ func (a *Arena) DebugHandler() http.Handler {
 	mux.HandleFunc("/{$}", func(w http.ResponseWriter, req *http.Request) {
 		st := a.Stats()
 		fmt.Fprintf(w, "rcgo arena debug\n\n")
-		fmt.Fprintf(w, "live_regions=%d deferred_regions=%d live_objects=%d regions_created=%d shards=%d\n",
-			st.LiveRegions, st.DeferredRegions, st.LiveObjects, st.RegionsCreated, st.Shards)
+		fmt.Fprintf(w, "live_regions=%d deferred_regions=%d owned_regions=%d live_objects=%d regions_created=%d shards=%d\n",
+			st.LiveRegions, st.DeferredRegions, st.OwnedRegions, st.LiveObjects, st.RegionsCreated, st.Shards)
 		if ts, ok := a.traceStats(); ok {
 			fmt.Fprintf(w, "trace_events=%d trace_buffered=%d trace_dropped=%d\n",
 				ts.Total, ts.Buffered, ts.Dropped)

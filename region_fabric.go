@@ -67,16 +67,19 @@ type arenaShard struct {
 	// seq<<shardIDBits | shardIndex, so sequences on different shards can
 	// never mint the same id.
 	nextSeq atomic.Int64
-	// liveObjs / liveRegions / deferredRegions are this shard's slice of
-	// the arena totals, covering exactly the regions assigned to the
-	// shard. Updated at the same program points the arena-wide counters
-	// used to be (creation, every delete-state transition, batched-delta
-	// flushes, reclaim), so summing the shards preserves the
-	// exact-at-quiesce contract.
+	// liveObjs / liveRegions / deferredRegions / ownedRegions are this
+	// shard's slice of the arena totals, covering exactly the regions
+	// assigned to the shard. Updated at the same program points the
+	// arena-wide counters used to be (creation, every delete-state
+	// transition, batched-delta flushes, reclaim; ownedRegions at the
+	// alive ⇄ owned transitions in region_owner.go), so summing the
+	// shards preserves the exact-at-quiesce contract. An owned region
+	// still counts in liveRegions — ownership is a mode of being alive.
 	liveObjs        atomic.Int64
 	liveRegions     atomic.Int64
 	deferredRegions atomic.Int64
-	_               [32]byte // pad the hot counters to a line of their own
+	ownedRegions    atomic.Int64
+	_               [24]byte // pad the hot counters to a line of their own
 
 	// registry is the shard's segment of the id→region index behind
 	// EachRegion and the debug inspector: regions register at creation

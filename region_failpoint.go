@@ -42,6 +42,14 @@ import "rcgo/internal/failpoint"
 //	                      the interval during which batched counter
 //	                      deltas are in flight between a shard and the
 //	                      real objs/liveObjs counters.
+//	rcgo/own.release      Owner.Release and Owner.Delete, at the head
+//	                      of the flush window (mu held, nothing merged
+//	                      yet) — an injected error is a transient
+//	                      release failure observed before any flush, so
+//	                      the region stays owned and the token stays
+//	                      valid (callers retry); a delay or yield holds
+//	                      the window open while owner-local deltas are
+//	                      about to merge into the shared counters.
 //
 // Disarmed (the steady state), each site costs its edge one atomic
 // pointer load and a never-taken branch — the same budget as the
@@ -55,6 +63,7 @@ var (
 	fpZombieDrain    = failpoint.New("rcgo/zombie.drain")
 	fpSlotInsert     = failpoint.New("rcgo/slot.insert")
 	fpAllocRefill    = failpoint.New("rcgo/alloc.refill")
+	fpOwnRelease     = failpoint.New("rcgo/own.release")
 )
 
 // ErrInjected is failpoint.ErrInjected re-exported: every error a

@@ -42,8 +42,8 @@ import (
 // cache-line multiples so two shards never share a line.
 const metricShards = 64
 
-// counterShard is one shard of every counter. 14 counters * 8 bytes =
-// 112 bytes, padded to 128 so shards start on separate cache lines.
+// counterShard is one shard of every counter. 17 counters * 8 bytes =
+// 136 bytes, padded to 192 so shards start on separate cache lines.
 type counterShard struct {
 	allocs          atomic.Int64
 	countedStores   atomic.Int64
@@ -59,7 +59,10 @@ type counterShard struct {
 	reclaims        atomic.Int64
 	pinOps          atomic.Int64
 	allocFlushes    atomic.Int64
-	_               [16]byte
+	acquires        atomic.Int64
+	releases        atomic.Int64
+	ownerFlushes    atomic.Int64
+	_               [56]byte
 }
 
 // arenaMetrics is the sharded counter block, allocated when metrics are
@@ -161,6 +164,15 @@ type ArenaCounters struct {
 	// batching efficiency, not an object count: Allocs/AllocFlushes
 	// approximates objects credited per flush.
 	AllocFlushes int64 `json:"alloc_flushes"`
+	// Acquires / Releases count successful exclusive-ownership
+	// transitions (region_owner.go). An Owner.Delete counts as one
+	// release and one delete, so at quiesce Acquires == Releases.
+	Acquires int64 `json:"acquires"`
+	Releases int64 `json:"releases"`
+	// OwnerFlushes counts Release-time merges of owner-local metric
+	// deltas that carried at least one nonzero counter — the ownership
+	// analogue of AllocFlushes.
+	OwnerFlushes int64 `json:"owner_flushes"`
 }
 
 // Counters returns a snapshot of the cumulative counters by summing the
@@ -189,6 +201,9 @@ func (a *Arena) Counters() ArenaCounters {
 		c.Reclaims += s.reclaims.Load()
 		c.PinOps += s.pinOps.Load()
 		c.AllocFlushes += s.allocFlushes.Load()
+		c.Acquires += s.acquires.Load()
+		c.Releases += s.releases.Load()
+		c.OwnerFlushes += s.ownerFlushes.Load()
 	}
 	return c
 }

@@ -1,0 +1,506 @@
+package rcgo
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Exclusive region ownership (DESIGN.md §14): the regions-as-locks idea
+// of Gerakios et al. ported onto the concurrent runtime. A goroutine
+// that holds a region's Owner token has exclusive mutation rights to
+// it, and the owned operations (AllocOwned, SetRefOwned, SetSameOwned,
+// SetTradOwned, SetParentOwned) exploit that exclusivity: bookkeeping
+// that the shared paths maintain with atomics and shard locks is kept
+// in plain owner-local fields on the token and flushed to the shared
+// counters at Release. The common pipeline pattern — build a region on
+// one goroutine, hand it through a channel, let the consumer delete it
+// — pays near-zero synchronization per operation.
+//
+// The owned-state machine. Acquire transitions a region stateAlive →
+// stateOwned under the lifecycle mutex; Release transitions it back.
+// stateOwned is a settled state (unlike the transient stateDying):
+// shared-path observers do not wait it out, they fail fast with
+// ErrRegionOwned — allocation, subregion creation, pins, new inbound
+// counted references, stores whose holder lives in the owned region,
+// and Delete are all rejected while the region is owned. Two things
+// remain possible from outside: releasing *pre-existing* references
+// (decRC — unpin, clearing a counted slot in some other region that
+// points here) and reading (Stats, Hierarchy, Audit — all atomic or
+// mu-protected state only). A dying, zombie or dead region cannot be
+// acquired, and an owned region cannot be deleted or deferred except
+// through its token (Owner.Delete).
+//
+// Why the owner may use plain (non-atomic) loads and stores. Three
+// hazards have to be excluded:
+//
+//  1. In-flight shared stores at Acquire time. A shared SetRef that
+//     passed its state check before the stateOwned transition may still
+//     be mid-critical-section on one of the region's slot-registry
+//     shards. Acquire therefore performs a barrier sweep after the
+//     transition: it locks and releases every slot shard once. Any
+//     store that read stateAlive is inside its shard critical section
+//     and completes before the sweep passes that shard; any store that
+//     takes a shard lock after the sweep re-reads the state inside the
+//     lock (SetRef checks settled() under the shard mutex) and fails
+//     with ErrRegionOwned. After Acquire returns, no shared-path store
+//     can touch the region's slots, and the sweep's lock/unlock pairs
+//     give the acquiring goroutine a happens-before edge over every
+//     prior registration — so the owner's plain reads of slot
+//     bookkeeping (Ref.registered) observe fully-written values.
+//  2. Concurrent readers while owned. Stats/Audit/Hierarchy read only
+//     atomics (or take mu, which the owner's fast paths never hold), so
+//     the owner keeps its *new* state in plain fields those readers
+//     never touch: object-count and metric deltas live on the token,
+//     newly counted slots are parked on the token instead of the shared
+//     registry. The one shared word the owner still writes per store is
+//     the slot's atomic target pointer — debug scans (targetRegion) and
+//     the delete-time unscan read it concurrently, and an atomic store
+//     on x86/arm64 costs the same as a plain one, so nothing is lost.
+//  3. Token transfer between goroutines. The token is not itself
+//     synchronized: it must be used by one goroutine at a time, and
+//     handing it to another goroutine must happen through a
+//     synchronization edge — a channel send/receive, a mutex, a
+//     sync.WaitGroup. That edge is the standard Go memory-model
+//     happens-before that publishes the token's plain fields to the
+//     receiver, exactly as for any other Go value. Release is the final
+//     edge: every owner-local write precedes the flush, the flush
+//     happens under r.mu, and any later shared-path operation that
+//     observes stateAlive synchronizes with Release through that mutex
+//     and the state atomic.
+//
+// Flush-at-Release exactness: Release (and Owner.Delete) merges the
+// owner-local deltas into the shared counters under r.mu before the
+// region returns to the shared state, so every counter keeps the
+// runtime-wide exact-at-quiesce contract — an arena in which every
+// token has been released accounts for every owned-path operation, and
+// the chaos ownership phase judges Counters().Allocs against
+// worker-counted successes exactly. While a token is outstanding its
+// unflushed deltas are invisible to Stats/Audit (both the per-region
+// and the fabric-shard side miss them equally, so totals stay
+// consistent); the audit's rc-accounting rule is advisory while any
+// region is owned, because counted slots created through a token are
+// merged into the scanned registry only at Release.
+//
+// The flush window carries the rcgo/own.release failpoint: an injected
+// error is a transient release failure observed before anything is
+// flushed — the region stays owned and the token stays valid, so the
+// caller retries; perturbations (delay/yield) fire inside the window,
+// under mu, stretching the interval the chaos phase races against.
+
+// ErrRegionOwned is returned by shared-path operations that target a
+// region while it is exclusively owned (Region.TryAcquire): allocation,
+// subregion creation, pinning, deleting, creating an inbound counted
+// reference, any Set* store whose holder lives in the owned region, and
+// a second TryAcquire. The owner performs these through its token.
+var ErrRegionOwned = errors.New("rcgo: region is exclusively owned")
+
+// ErrNotOwner is returned by owned-path operations whose token has been
+// released (or consumed by Owner.Delete), and by owned stores whose
+// holder object does not live in the token's region.
+var ErrNotOwner = errors.New("rcgo: operation requires the region's owner token")
+
+// ownerSlot is a counted slot registered while owned, parked on the
+// token until Release merges it into the holder region's shared
+// registry.
+type ownerSlot struct {
+	rel releaser
+	p   unsafe.Pointer // the slot's address, for registry shard selection
+}
+
+// ownerCounters are the owner-local metric deltas, mirrored from
+// counterShard and flushed into one shard at Release. Plain fields:
+// only the owning goroutine touches them.
+type ownerCounters struct {
+	allocs        int64
+	countedStores int64
+	sameChecks    int64
+	tradChecks    int64
+	parentChecks  int64
+	checkFailures int64
+}
+
+func (c *ownerCounters) any() bool {
+	return c.allocs|c.countedStores|c.sameChecks|c.tradChecks|c.parentChecks|c.checkFailures != 0
+}
+
+// Owner is the transferable token of exclusive ownership over one
+// region, returned by Region.TryAcquire. It must be used by one
+// goroutine at a time; handing it to another goroutine must happen
+// through a synchronization edge (typically a channel), which is what
+// publishes its plain owner-local state to the receiver. The zero Owner
+// is not valid.
+type Owner struct {
+	// r is the owned region; nil once the token has been released or
+	// consumed by Owner.Delete.
+	r *Region
+	// objs is the owned-allocation count not yet flushed to r.objs and
+	// the fabric shard's liveObjs.
+	objs int64
+	// m is the owner-local metric deltas.
+	m ownerCounters
+	// slots are counted slots first registered while owned, merged into
+	// the shared registry at Release.
+	slots []ownerSlot
+}
+
+// Region returns the owned region, or nil after Release/Delete.
+func (o *Owner) Region() *Region { return o.r }
+
+// Owned reports whether the region is currently exclusively owned.
+func (r *Region) Owned() bool { return r.settled() == stateOwned }
+
+// storeBarrier locks and releases every slot-registry shard once. Called
+// by TryAcquire after the stateOwned transition: every in-flight shared
+// counted store holds its shard lock from state check to registration,
+// so the sweep both waits those stores out and hands the acquiring
+// goroutine a happens-before edge over all prior slot registrations.
+func (r *Region) storeBarrier() {
+	for i := range r.slots {
+		sh := &r.slots[i]
+		sh.mu.Lock()
+		//lint:ignore SA2001 the empty critical section is the barrier
+		sh.mu.Unlock()
+	}
+}
+
+// Acquire takes exclusive ownership of the region, panicking on failure;
+// use TryAcquire where a concurrent delete or a second acquirer may
+// race.
+func (r *Region) Acquire() *Owner {
+	o, err := r.TryAcquire()
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// TryAcquire takes exclusive ownership of the region, returning the
+// transferable Owner token. It fails with ErrRegionOwned if the region
+// is already owned, ErrRegionDeleted if it has been deleted or
+// deferred-deleted, and an error on the traditional region (which is
+// shared by construction). Pre-existing external references do not
+// block acquisition — they may still be released (decRC) while the
+// region is owned; only *new* references are rejected.
+func (r *Region) TryAcquire() (*Owner, error) {
+	if r == r.arena.trad {
+		return nil, errors.New("rcgo: cannot acquire the traditional region")
+	}
+	r.mu.Lock()
+	switch r.state.Load() {
+	case stateAlive:
+	case stateOwned:
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: Acquire of region %d", ErrRegionOwned, r.id)
+	default: // dying cannot be observed under mu; zombie or dead
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: Acquire of region %d", ErrRegionDeleted, r.id)
+	}
+	// Settle the batched allocation deltas so owner-local accounting
+	// starts from flushed counters (late shared admissions that raced
+	// the transition flush again at Release).
+	r.flushAllocPendingLocked()
+	o := &Owner{r: r}
+	r.owner.Store(o)
+	r.state.Store(stateOwned)
+	r.shard.ownedRegions.Add(1)
+	r.mu.Unlock()
+	r.storeBarrier()
+	if c := r.counters(); c != nil {
+		c.acquires.Add(1)
+	}
+	r.arena.traceEvent(TraceRegionAcquired, r)
+	return o, nil
+}
+
+// flushLocked merges the token's owner-local state into the region's
+// shared bookkeeping. Caller holds r.mu and the region is stateOwned
+// (stable under mu). Flushing is idempotent-by-zeroing: the token's
+// deltas are reset so a Delete that fails ErrRegionInUse after flushing
+// leaves a still-valid token with nothing double-counted.
+func (o *Owner) flushLocked(r *Region) {
+	if o.objs != 0 {
+		r.objs.Add(o.objs)
+		r.shard.liveObjs.Add(o.objs)
+		o.objs = 0
+	}
+	// Late shared-path admissions (TryAlloc calls that loaded stateAlive
+	// just before the Acquire transition) parked deltas in the alloc
+	// cache; settle them on the same edge.
+	r.flushAllocPendingLocked()
+	if len(o.slots) > 0 {
+		for _, s := range o.slots {
+			sh := r.shardOf(s.p)
+			sh.mu.Lock()
+			sh.slots = append(sh.slots, s.rel)
+			sh.mu.Unlock()
+		}
+		o.slots = nil
+	}
+	if m := r.metrics.Load(); m != nil && o.m.any() {
+		c := m.shard(unsafe.Pointer(r))
+		c.allocs.Add(o.m.allocs)
+		c.countedStores.Add(o.m.countedStores)
+		c.sameChecks.Add(o.m.sameChecks)
+		c.tradChecks.Add(o.m.tradChecks)
+		c.parentChecks.Add(o.m.parentChecks)
+		c.checkFailures.Add(o.m.checkFailures)
+		c.ownerFlushes.Add(1)
+	}
+	o.m = ownerCounters{}
+}
+
+// Release returns the region to the shared state, flushing every
+// owner-local delta into the shared counters (the exactness edge) and
+// invalidating the token. An injected rcgo/own.release error is a
+// transient release failure: nothing has been flushed, the region stays
+// owned and the token stays valid, so the caller retries.
+func (o *Owner) Release() error {
+	r := o.r
+	if r == nil {
+		return fmt.Errorf("%w: Release of a released token", ErrNotOwner)
+	}
+	r.mu.Lock()
+	// Failpoint at the head of the flush window, under mu: an error
+	// aborts before any flush; a delay or yield holds the window open
+	// while owner-local deltas are about to be merged.
+	if err := fpOwnRelease.Eval(); err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: release of region %d", err, r.id)
+	}
+	o.flushLocked(r)
+	r.owner.Store(nil)
+	r.state.Store(stateAlive)
+	r.shard.ownedRegions.Add(-1)
+	r.mu.Unlock()
+	o.r = nil
+	if c := r.counters(); c != nil {
+		c.releases.Add(1)
+	}
+	r.arena.traceEvent(TraceRegionReleased, r)
+	return nil
+}
+
+// Delete flushes the owner-local state and deletes the owned region in
+// one step — the tail of the build→transfer→delete pipeline, saving the
+// Release/Delete round trip through the shared state. Like Delete it
+// fails with ErrRegionInUse while pre-existing external references or
+// subregions remain; the region then STAYS owned and the token stays
+// valid (the flush that already happened is just an early flush). An
+// injected rcgo/own.release error behaves as in Release. On success the
+// token is consumed.
+func (o *Owner) Delete() error {
+	r := o.r
+	if r == nil {
+		return fmt.Errorf("%w: Delete of a released token", ErrNotOwner)
+	}
+	r.mu.Lock()
+	if err := fpOwnRelease.Eval(); err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: delete of owned region %d", err, r.id)
+	}
+	o.flushLocked(r)
+	if n := r.children.Load(); n > 0 {
+		r.mu.Unlock()
+		r.noteDeleteBlocked()
+		return fmt.Errorf("%w (subregions=%d)", ErrRegionInUse, n)
+	}
+	if n := r.rc.Load(); n != 0 {
+		// Pre-existing references (pins, inbound counted slots) not yet
+		// released — or a transient incRC that is about to observe
+		// stateOwned and withdraw. Either way the delete fails and
+		// ownership is retained.
+		r.mu.Unlock()
+		r.noteDeleteBlocked()
+		return fmt.Errorf("%w (rc=%d)", ErrRegionInUse, n)
+	}
+	// No dying window: stateOwned already rejects every operation that
+	// stateDying guards against, so the transition is owned → dead.
+	r.owner.Store(nil)
+	r.state.Store(stateDead)
+	r.shard.liveRegions.Add(-1)
+	r.shard.ownedRegions.Add(-1)
+	r.mu.Unlock()
+	o.r = nil
+	if c := r.counters(); c != nil {
+		c.releases.Add(1)
+		c.deletes.Add(1)
+	}
+	r.arena.traceEvent(TraceRegionReleased, r)
+	r.arena.traceEvent(TraceRegionDeleted, r)
+	r.reclaim()
+	return nil
+}
+
+// AllocOwned allocates a zero T in the owned region through its token,
+// panicking on failure; use TryAllocOwned where a refused chunk refill
+// (rcgo/alloc.refill) must be tolerated.
+func AllocOwned[T any](o *Owner) *Obj[T] {
+	obj, err := TryAllocOwned[T](o)
+	if err != nil {
+		panic(err)
+	}
+	return obj
+}
+
+// TryAllocOwned allocates a zero T in the owned region through its
+// token. The owned path skips everything the shared TryAlloc pays for
+// admission: no state-check loop (the token proves the region is
+// owned-alive), no batched-delta atomics, no shared counter updates —
+// the object count and the metric delta are plain increments on the
+// token, flushed at Release. The object itself still comes from the
+// pooled per-type chunks (region_alloccache.go); their cursor atomics
+// are uncontended while owned.
+func TryAllocOwned[T any](o *Owner) (*Obj[T], error) {
+	r := o.r
+	if r == nil {
+		return nil, fmt.Errorf("%w: owned allocation", ErrNotOwner)
+	}
+	var obj *Obj[T]
+	if r.allocSlow {
+		obj = &Obj[T]{region: r}
+	} else {
+		var err error
+		if obj, err = newChunkedObj[T](r); err != nil {
+			return nil, err
+		}
+	}
+	o.objs++
+	o.m.allocs++
+	return obj, nil
+}
+
+// SetRefOwned is the owned-path counted store: holder.slot = target
+// where holder lives in the token's region. The holder-side cost
+// collapses — no shard lock, no settled() check, registration
+// bookkeeping is a plain append on the token — while the target-side
+// protocol is unchanged: an external target still pays the atomic
+// increment-then-validate (incRC) on its own region, because that
+// region is shared and its delete races must stay linearizable. A
+// displaced external reference is released with the same shared decRC.
+func SetRefOwned[T any, H any](o *Owner, holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	r := o.r
+	if r == nil {
+		return fmt.Errorf("%w: owned counted store", ErrNotOwner)
+	}
+	if holder.region != r {
+		return fmt.Errorf("%w: holder lives in region %d, token owns region %d",
+			ErrNotOwner, holder.region.id, r.id)
+	}
+	if target != nil && target.region != r {
+		if err := target.region.incRC(); err != nil {
+			return fmt.Errorf("counted store: %w", err)
+		}
+	}
+	old := slot.target.Swap(target)
+	if target != nil && !slot.registered {
+		// Plain read and write of registered: the Acquire barrier gives
+		// the owner happens-before over every pre-ownership registration,
+		// and no shared store can race while the region is owned.
+		slot.registered = true
+		o.slots = append(o.slots, ownerSlot{rel: slot, p: unsafe.Pointer(slot)})
+	}
+	o.m.countedStores++
+	if target != nil {
+		if ad := r.advisor.Load(); ad != nil {
+			ad.observe(r, target.region, FlavourRef)
+		}
+	}
+	if old != nil && old.region != r {
+		old.region.decRC()
+	}
+	return nil
+}
+
+// SetSameOwned is the owned-path sameregion store: target must be nil
+// or in the token's region. The check is the paper's one-compare
+// annotation check against immutable identity; with the region owned
+// there is no state word to consult at all.
+func SetSameOwned[T any, H any](o *Owner, holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	r := o.r
+	if r == nil {
+		return fmt.Errorf("%w: owned sameregion store", ErrNotOwner)
+	}
+	if holder.region != r {
+		return fmt.Errorf("%w: holder lives in region %d, token owns region %d",
+			ErrNotOwner, holder.region.id, r.id)
+	}
+	o.m.sameChecks++
+	if target != nil {
+		if target.region != r {
+			o.m.checkFailures++
+			return fmt.Errorf("%w: sameregion store of %v into %v",
+				ErrBadRef, target.region.id, r.id)
+		}
+		if ad := r.advisor.Load(); ad != nil {
+			ad.observe(r, target.region, FlavourSame)
+		}
+	}
+	slot.target.Store(target)
+	return nil
+}
+
+// SetTradOwned is the owned-path traditional store: target must be nil
+// or in the arena's traditional region (immortal, so no target state
+// check either).
+func SetTradOwned[T any, H any](o *Owner, holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	r := o.r
+	if r == nil {
+		return fmt.Errorf("%w: owned traditional store", ErrNotOwner)
+	}
+	if holder.region != r {
+		return fmt.Errorf("%w: holder lives in region %d, token owns region %d",
+			ErrNotOwner, holder.region.id, r.id)
+	}
+	o.m.tradChecks++
+	if target != nil {
+		if target.region != r.arena.trad {
+			o.m.checkFailures++
+			return fmt.Errorf("%w: traditional store of %v", ErrBadRef, target.region.id)
+		}
+		if ad := r.advisor.Load(); ad != nil {
+			ad.observe(r, target.region, FlavourTrad)
+		}
+	}
+	slot.target.Store(target)
+	return nil
+}
+
+// SetParentOwned is the owned-path parentptr store: target must be nil
+// or in an ancestor (or the same) region of the token's. The ancestor
+// must not itself be deleted; an ancestor that is merely owned (by this
+// or another token) is a legal target — a parentptr creates no
+// reference and mutates nothing in the target region.
+func SetParentOwned[T any, H any](o *Owner, holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
+	r := o.r
+	if r == nil {
+		return fmt.Errorf("%w: owned parentptr store", ErrNotOwner)
+	}
+	if holder.region != r {
+		return fmt.Errorf("%w: holder lives in region %d, token owns region %d",
+			ErrNotOwner, holder.region.id, r.id)
+	}
+	o.m.parentChecks++
+	if target != nil {
+		if !target.region.isAncestorOf(r) {
+			o.m.checkFailures++
+			return fmt.Errorf("%w: parentptr store of %v into %v",
+				ErrBadRef, target.region.id, r.id)
+		}
+		if ts := target.region.settled(); ts != stateAlive && ts != stateOwned {
+			return fmt.Errorf("%w: parentptr store targets deleted region %d",
+				ErrRegionDeleted, target.region.id)
+		}
+		if ad := r.advisor.Load(); ad != nil {
+			ad.observe(r, target.region, FlavourParent)
+		}
+	}
+	slot.target.Store(target)
+	return nil
+}
+
+// compile-time check that Region carries the owner pointer the audit
+// reads; the field itself lives in region_api.go with its lifecycle
+// peers.
+var _ = func(r *Region) *atomic.Pointer[Owner] { return &r.owner }

@@ -26,6 +26,10 @@ type RegionStats struct {
 	Deleted bool
 	// Reclaimed reports that the region's storage has been released.
 	Reclaimed bool
+	// Owned reports a region that is exclusively owned through an Owner
+	// token (region_owner.go). Its Objects field excludes the token's
+	// unflushed owner-local allocations, which become visible at Release.
+	Owned bool
 }
 
 // statsRCRetries bounds the Stats re-read loop. Holding mu freezes the
@@ -62,6 +66,8 @@ func (r *Region) Stats() RegionStats {
 			st.Deferred, st.Deleted = true, true
 		case stateDead:
 			st.Deleted, st.Reclaimed = true, true
+		case stateOwned:
+			st.Owned = true
 		}
 		if r.rc.Load() == rc || attempt >= statsRCRetries {
 			return st
@@ -83,16 +89,24 @@ func (r *Region) Objects() int64 {
 	n := r.objs.Load()
 	// A deleted region's shards hold at most failed-admission residue
 	// (which nets to zero against already-drained halves), never objects,
-	// so only an alive region adds its pending deltas.
-	if c := r.acache.Load(); c != nil && r.settled() == stateAlive {
-		n += c.sum()
+	// so only an alive (or owned — same argument, late shared admissions
+	// only) region adds its pending deltas. An owned region's unflushed
+	// owner-local allocations are not included; they land at Release.
+	if c := r.acache.Load(); c != nil {
+		if s := r.settled(); s == stateAlive || s == stateOwned {
+			n += c.sum()
+		}
 	}
 	return n
 }
 
 // Deleted reports whether the region has been deleted (explicitly, or
-// deferred and awaiting reclaim).
-func (r *Region) Deleted() bool { return r.settled() != stateAlive }
+// deferred and awaiting reclaim). An exclusively owned region is not
+// deleted.
+func (r *Region) Deleted() bool {
+	s := r.settled()
+	return s == stateZombie || s == stateDead
+}
 
 // Deferred reports whether the region is deferred-deleted and awaiting
 // reclaim.
@@ -119,6 +133,10 @@ type ArenaStats struct {
 	// DeferredRegions is the number of deferred-deleted (zombie)
 	// regions still awaiting reclaim.
 	DeferredRegions int64 `json:"deferred_regions"`
+	// OwnedRegions is the number of regions currently held through an
+	// Owner token (region_owner.go). Owned regions also count in
+	// LiveRegions — ownership is a mode of being alive.
+	OwnedRegions int64 `json:"owned_regions"`
 	// Shards is the arena's fabric width (Arena.Shards): a constant,
 	// carried here so monitoring snapshots are self-describing.
 	Shards int `json:"shards"`
@@ -137,6 +155,7 @@ func (a *Arena) Stats() ArenaStats {
 		st.RegionsCreated += sh.nextSeq.Load()
 		st.LiveRegions += sh.liveRegions.Load()
 		st.DeferredRegions += sh.deferredRegions.Load()
+		st.OwnedRegions += sh.ownedRegions.Load()
 	}
 	return st
 }
@@ -157,6 +176,16 @@ func (a *Arena) DeferredRegions() int64 {
 	var n int64
 	for i := range a.shards {
 		n += a.shards[i].deferredRegions.Load()
+	}
+	return n
+}
+
+// OwnedRegions returns the number of regions currently held through an
+// Owner token (region_owner.go).
+func (a *Arena) OwnedRegions() int64 {
+	var n int64
+	for i := range a.shards {
+		n += a.shards[i].ownedRegions.Load()
 	}
 	return n
 }

@@ -125,6 +125,13 @@ func SetRef[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 		if external {
 			target.region.decRC()
 		}
+		if hs == stateOwned {
+			// The state re-read under the shard lock is what fences
+			// shared stores against Acquire's barrier sweep: any store
+			// that gets here after the sweep passed its shard observes
+			// stateOwned and fails; the owner uses SetRefOwned.
+			return fmt.Errorf("%w: counted store into region %d", ErrRegionOwned, hr.id)
+		}
 		return fmt.Errorf("%w: counted store into deleted region %d", ErrRegionDeleted, hr.id)
 	}
 	old := slot.target.Swap(target)
@@ -173,7 +180,11 @@ func SetSame[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 			return fmt.Errorf("%w: sameregion store of %v into %v",
 				ErrBadRef, target.region.id, hr.id)
 		}
-		if hr.settled() != stateAlive {
+		if hs := hr.settled(); hs != stateAlive {
+			if hs == stateOwned {
+				return fmt.Errorf("%w: sameregion store into region %d",
+					ErrRegionOwned, hr.id)
+			}
 			return fmt.Errorf("%w: sameregion store into deleted region %d",
 				ErrRegionDeleted, hr.id)
 		}
@@ -208,7 +219,11 @@ func SetTrad[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error {
 			}
 			return fmt.Errorf("%w: traditional store of %v", ErrBadRef, target.region.id)
 		}
-		if hr.settled() != stateAlive {
+		if hs := hr.settled(); hs != stateAlive {
+			if hs == stateOwned {
+				return fmt.Errorf("%w: traditional store into region %d",
+					ErrRegionOwned, hr.id)
+			}
 			return fmt.Errorf("%w: traditional store into deleted region %d",
 				ErrRegionDeleted, hr.id)
 		}
@@ -245,11 +260,17 @@ func SetParent[T any, H any](holder *Obj[H], slot *Ref[T], target *Obj[T]) error
 			return fmt.Errorf("%w: parentptr store of %v into %v",
 				ErrBadRef, target.region.id, hr.id)
 		}
-		if hr.settled() != stateAlive {
+		if hs := hr.settled(); hs != stateAlive {
+			if hs == stateOwned {
+				return fmt.Errorf("%w: parentptr store into region %d",
+					ErrRegionOwned, hr.id)
+			}
 			return fmt.Errorf("%w: parentptr store into deleted region %d",
 				ErrRegionDeleted, hr.id)
 		}
-		if ts := target.region.settled(); ts != stateAlive {
+		// An ancestor that is merely owned remains a legal target: a
+		// parentptr creates no reference and mutates nothing over there.
+		if ts := target.region.settled(); ts != stateAlive && ts != stateOwned {
 			return fmt.Errorf("%w: parentptr store targets deleted region %d",
 				ErrRegionDeleted, target.region.id)
 		}

@@ -55,6 +55,13 @@ const (
 	// report names the site and the recommended flavour. Only emitted
 	// while the advisor is armed.
 	TraceStoreUpgradeable
+	// TraceRegionAcquired: a goroutine took exclusive ownership of the
+	// region (Region.TryAcquire, region_owner.go).
+	TraceRegionAcquired
+	// TraceRegionReleased: an Owner token returned the region to the
+	// shared state (Owner.Release), or Owner.Delete consumed it — the
+	// latter emits released followed by deleted and reclaimed.
+	TraceRegionReleased
 )
 
 // String names the event kind.
@@ -72,6 +79,10 @@ func (k TraceKind) String() string {
 		return "delete-blocked"
 	case TraceStoreUpgradeable:
 		return "store-upgradeable"
+	case TraceRegionAcquired:
+		return "acquired"
+	case TraceRegionReleased:
+		return "released"
 	}
 	return fmt.Sprintf("TraceKind(%d)", int32(k))
 }
@@ -96,6 +107,10 @@ func (k *TraceKind) UnmarshalText(b []byte) error {
 		*k = TraceDeleteBlocked
 	case "store-upgradeable":
 		*k = TraceStoreUpgradeable
+	case "acquired":
+		*k = TraceRegionAcquired
+	case "released":
+		*k = TraceRegionReleased
 	default:
 		return fmt.Errorf("unknown trace kind %q", b)
 	}
