@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet staticcheck race check benchlint-files advise-smoke own-smoke chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
+.PHONY: all build test test-short test-shuffle vet staticcheck race check benchlint-files advise-smoke own-smoke contend-smoke chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
 
 all: check
 
@@ -30,6 +30,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Shuffled test order: catches tests that only pass because an earlier
+# test left global state (failpoints, expvar, metrics) the way they
+# expect. -short keeps the pass cheap enough to run inside check.
+test-shuffle:
+	$(GO) test -shuffle=on -short ./...
+
 # Race-detector pass: the concurrent Go-native runtime stress tests
 # (region_concurrent_test.go) are only meaningful under -race. -short
 # keeps the VM differential suites at a size where the ~10-20x race
@@ -40,7 +46,7 @@ race:
 # The default verification gate: build cleanliness, static analysis,
 # the full test suite, the race pass over the concurrent API, and the
 # checked-in benchmark reports revalidated against the current schema.
-check: vet staticcheck test race benchlint-files advise-smoke own-smoke
+check: vet staticcheck test test-shuffle race benchlint-files advise-smoke own-smoke contend-smoke
 
 # Every committed rcbench report must still satisfy the benchlint
 # invariants — catches schema drift against historical BENCH_*.json.
@@ -67,6 +73,16 @@ advise-smoke:
 own-smoke:
 	$(GO) run rcgo/cmd/rcbench -json -reps 1 -scale 2 -workloads moss -own-ab 1 -own-cpu 2 | $(GO) run rcgo/cmd/benchlint
 	$(GO) run rcgo/examples/pipeline
+
+# Blocking-acquisition end-to-end gate: a 1-round -contend-ab report
+# (exercises AcquireContext, the FIFO hand-off and the "contention"
+# schema section) piped through benchlint, then the contention chaos
+# phase alone under the race detector with the own.handoff failpoint
+# armed. One round proves the machinery — BENCH_pr9_contention.json
+# records the real best-of-10 run.
+contend-smoke:
+	$(GO) run rcgo/cmd/rcbench -json -reps 1 -scale 2 -workloads moss -contend-ab 1 -contend-cpu 2 | $(GO) run rcgo/cmd/benchlint
+	$(GO) run -race rcgo/cmd/rcchaos -phase contention -seed 1 -workers 4 -conc-ops 300 -q
 
 # Chaos harness under the race detector: a seeded sequential phase
 # checked op-by-op against the reference model of the delete state

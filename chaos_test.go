@@ -32,8 +32,8 @@ func TestChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Coverage) != 7 {
-		t.Fatalf("expected 7 instrumented sites, got %d: %+v", len(rep.Coverage), rep.Coverage)
+	if len(rep.Coverage) != 8 {
+		t.Fatalf("expected 8 instrumented sites, got %d: %+v", len(rep.Coverage), rep.Coverage)
 	}
 	for _, st := range rep.Coverage {
 		if st.Fires == 0 {
@@ -78,6 +78,20 @@ func TestChaos(t *testing.T) {
 	}
 	if rep.Ownership.OwnerFlushes == 0 {
 		t.Error("ownership phase never flushed owner-local deltas")
+	}
+	if !rep.Contention.Audit.OK {
+		t.Errorf("contention quiesced audit not clean: %s", rep.Contention.Audit)
+	}
+	if rep.Contention.AcquireWaits == 0 {
+		t.Error("contention phase saw no blocking waits")
+	}
+	if rep.Contention.Acquires == 0 ||
+		rep.Contention.Acquires != rep.Contention.Releases+rep.Contention.Revocations {
+		t.Errorf("contention phase imbalanced: acquires=%d releases=%d revocations=%d",
+			rep.Contention.Acquires, rep.Contention.Releases, rep.Contention.Revocations)
+	}
+	if rep.Contention.Revocations == 0 {
+		t.Error("contention phase never exercised watchdog revocation")
 	}
 }
 

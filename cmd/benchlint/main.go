@@ -5,9 +5,9 @@
 // It checks the invariants every rcgo.bench/1 document must satisfy —
 // the schema tag, at least one workload, positive times, non-negative
 // counters, a non-zero store total, and (when the optional parallel,
-// fabric, advisor or ownership sections are present) positive A/B
-// timings per cell, plus a sane shard/backdrop geometry on fabric
-// cells — and exits
+// fabric, advisor, ownership or contention sections are present)
+// positive A/B timings per cell, plus a sane shard/backdrop geometry
+// on fabric cells — and exits
 // non-zero with a message naming the first violation. `make
 // bench-smoke` runs a tiny report through it as a sanity gate.
 package main
@@ -180,9 +180,33 @@ func main() {
 			fail("%s: baseline_ns_op = %g, want > 0", ob.Name, ob.BaselineNs)
 		}
 	}
-	if len(report.Parallel) > 0 || len(report.Fabric) > 0 || len(report.Advisor) > 0 || len(report.Ownership) > 0 {
-		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells, %d advisor cells, %d ownership cells)\n",
-			len(report.Workloads), len(report.Parallel), len(report.Fabric), len(report.Advisor), len(report.Ownership))
+	seenCon := make(map[string]bool)
+	for i, cb := range report.Contention {
+		if cb.Name == "" {
+			fail("contention cell %d has no name", i)
+		}
+		if seenCon[cb.Name] {
+			fail("contention cell %q appears twice", cb.Name)
+		}
+		seenCon[cb.Name] = true
+		if cb.CPU <= 0 {
+			fail("%s: cpu = %d, want > 0", cb.Name, cb.CPU)
+		}
+		if cb.BestOf <= 0 {
+			fail("%s: best_of = %d, want > 0", cb.Name, cb.BestOf)
+		}
+		if cb.NsPerOp <= 0 {
+			fail("%s: ns_op = %g, want > 0", cb.Name, cb.NsPerOp)
+		}
+		if cb.BaselineNs <= 0 {
+			fail("%s: baseline_ns_op = %g, want > 0", cb.Name, cb.BaselineNs)
+		}
+	}
+	if len(report.Parallel) > 0 || len(report.Fabric) > 0 || len(report.Advisor) > 0 ||
+		len(report.Ownership) > 0 || len(report.Contention) > 0 {
+		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells, %d advisor cells, %d ownership cells, %d contention cells)\n",
+			len(report.Workloads), len(report.Parallel), len(report.Fabric), len(report.Advisor),
+			len(report.Ownership), len(report.Contention))
 		return
 	}
 	fmt.Printf("benchlint: ok (%d workloads)\n", len(report.Workloads))

@@ -13,6 +13,7 @@
 //	rcbench -fabric-ab 10 -fabric-cpu 8 -fabric-live 256   # arena fabric A/B
 //	rcbench -advisor-ab 10 -advisor-cpu 8   # annotation-advisor gate A/B
 //	rcbench -own-ab 10 -own-cpu 2    # ownership fast-path A/B (shared vs Owner token)
+//	rcbench -contend-ab 10 -contend-cpu 4   # blocking-acquisition A/B (fast path + hand-off storm)
 //	rcbench -advise              # profile a deliberately un-annotated
 //	                             # grobner-mix replay and print the
 //	                             # advisor's upgrade table; exits non-zero
@@ -53,6 +54,8 @@ func main() {
 	advisorCPU := flag.Int("advisor-cpu", 8, "GOMAXPROCS for the -advisor-ab benchmarks")
 	ownAB := flag.Int("own-ab", 0, "run the ownership fast-path A/B benchmarks (shared path vs Owner token), best of N interleaved runs per side (0 = skip)")
 	ownCPU := flag.Int("own-cpu", 2, "GOMAXPROCS for the -own-ab benchmarks")
+	contendAB := flag.Int("contend-ab", 0, "run the blocking-acquisition A/B benchmarks (TryAcquire cycle vs AcquireContext, uncontended and under a hand-off storm), best of N interleaved runs per side (0 = skip)")
+	contendCPU := flag.Int("contend-cpu", 4, "GOMAXPROCS (and contender count) for the -contend-ab benchmarks")
 	advise := flag.Bool("advise", false, "replay the grobner op mix un-annotated through an advisor-armed arena and print the upgrade table; exit non-zero if no upgrade candidate is found")
 	adviseAllocs := flag.Int("advise-allocs", 0, "allocation count for the -advise replay (0 = default)")
 	flag.Parse()
@@ -97,6 +100,12 @@ func main() {
 				fail(err)
 			}
 		}
+		if *contendAB > 0 {
+			report.Contention, err = exp.ContendAB(*contendCPU, *contendAB)
+			if err != nil {
+				fail(err)
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -114,7 +123,7 @@ func main() {
 		if rep.UpgradeCandidates == 0 {
 			fail(fmt.Errorf("advise replay found no upgrade candidates — the advisor lost the flavour lattice"))
 		}
-		if *allocAB == 0 && *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *table == 0 && *figure == 0 {
+		if *allocAB == 0 && *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -126,7 +135,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintAllocAB(os.Stdout, cells)
-		if *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *table == 0 && *figure == 0 {
+		if *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -138,7 +147,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintFabricAB(os.Stdout, cells)
-		if *advisorAB == 0 && *ownAB == 0 && *table == 0 && *figure == 0 {
+		if *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -150,7 +159,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintAdvisorAB(os.Stdout, cells)
-		if *ownAB == 0 && *table == 0 && *figure == 0 {
+		if *ownAB == 0 && *contendAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -162,6 +171,18 @@ func main() {
 			fail(err)
 		}
 		exp.PrintOwnAB(os.Stdout, cells)
+		if *contendAB == 0 && *table == 0 && *figure == 0 {
+			return
+		}
+		fmt.Println()
+	}
+
+	if *contendAB > 0 {
+		cells, err := exp.ContendAB(*contendCPU, *contendAB)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintContendAB(os.Stdout, cells)
 		if *table == 0 && *figure == 0 {
 			return
 		}

@@ -1,24 +1,32 @@
 // Command rcchaos runs the chaos harness for the concurrent region
 // runtime (internal/chaos): a seeded sequential phase checked op-by-op
-// against a reference model of the delete state machine, then five
+// against a reference model of the delete state machine, then six
 // concurrent phases — scheduler perturbation, error injection,
 // allocation churn through the fast path's caches, multi-shard
-// fabric churn with hundreds of live regions, and ownership hand-off
-// churn around a token ring — with failpoints armed on every
-// instrumented lifecycle edge, a zombie watchdog patrolling, and
-// Arena.Audit required clean at every quiesce point.
+// fabric churn with hundreds of live regions, ownership hand-off
+// churn around a token ring, and a contention storm of blocking
+// acquirers against one hub region — with failpoints armed on every
+// instrumented lifecycle edge, a zombie watchdog patrolling (an owner
+// watchdog in the contention phase), and Arena.Audit required clean
+// at every quiesce point.
 // Failpoint site coverage is reported at exit; the run fails if any
 // site never fired.
 //
 // Meant to run under the race detector (make chaos):
 //
 //	go run -race rcgo/cmd/rcchaos -seed 1 -seq-ops 20000 -workers 8 -conc-ops 3000
+//
+// A single phase can be rerun in isolation with -phase (same seeds and
+// failpoint rules as its slot in the full run, coverage gate skipped):
+//
+//	go run -race rcgo/cmd/rcchaos -phase contention -seed 1 -workers 8 -conc-ops 3000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rcgo/internal/chaos"
 )
@@ -28,6 +36,7 @@ func main() {
 	seqOps := flag.Int("seq-ops", 20000, "ops in the sequential model-checked phase")
 	workers := flag.Int("workers", 8, "goroutines per concurrent phase")
 	concOps := flag.Int("conc-ops", 3000, "ops per worker per concurrent phase")
+	phase := flag.String("phase", "", "run a single phase by name (empty = full run)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -38,13 +47,36 @@ func main() {
 		logf = nil
 	}
 
-	rep, err := chaos.Run(chaos.Config{
+	cfg := chaos.Config{
 		Seed:    *seed,
 		SeqOps:  *seqOps,
 		Workers: *workers,
 		ConcOps: *concOps,
 		Log:     logf,
-	})
+	}
+
+	if *phase != "" {
+		known := false
+		for _, name := range chaos.PhaseNames() {
+			if name == *phase {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "rcchaos: unknown phase %q; phases are: %s\n",
+				*phase, strings.Join(chaos.PhaseNames(), ", "))
+			os.Exit(2)
+		}
+		if _, err := chaos.RunPhase(*phase, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rcchaos: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rcchaos: PASS — phase %s clean (coverage gate skipped)\n", *phase)
+		return
+	}
+
+	rep, err := chaos.Run(cfg)
 
 	fmt.Printf("rcchaos: seed=%d\n", *seed)
 	fmt.Printf("rcchaos: sequential: %d ops, outcomes %v\n", rep.SeqOps, rep.SeqOutcomes)
@@ -66,6 +98,10 @@ func main() {
 	fmt.Printf("rcchaos: concurrent/ownership: %d ops, allocs=%d acquires=%d releases=%d flushes=%d, audit violations=%d\n",
 		rep.Ownership.Ops, rep.Ownership.AllocSuccesses, rep.Ownership.Acquires,
 		rep.Ownership.Releases, rep.Ownership.OwnerFlushes, len(rep.Ownership.Audit.Violations))
+	fmt.Printf("rcchaos: concurrent/contention: %d ops, waits=%d timeouts=%d cancels=%d, acquires=%d releases=%d revocations=%d, audit violations=%d\n",
+		rep.Contention.Ops, rep.Contention.AcquireWaits, rep.Contention.AcquireTimeouts,
+		rep.Contention.AcquireCancels, rep.Contention.Acquires, rep.Contention.Releases,
+		rep.Contention.Revocations, len(rep.Contention.Audit.Violations))
 	fmt.Println("rcchaos: failpoint site coverage:")
 	for _, st := range rep.Coverage {
 		fmt.Printf("rcchaos:   %-24s evals=%-8d fires=%d\n", st.Name, st.Evals, st.Fires)

@@ -90,6 +90,20 @@ func OwnershipRules(seed uint64) map[string]failpoint.Rule {
 	}
 }
 
+// ContentionRules arms the sites for the contention phase: refused
+// hand-offs in the wake/transfer window (the waiter is requeued and the
+// next tried, so FIFO delivery must survive refusals), injected release
+// failures in the flush window (the releaser retries on a still-valid
+// token while waiters stay parked), and refused chunk refills on the
+// owned allocation path.
+func ContentionRules(seed uint64) map[string]failpoint.Rule {
+	return map[string]failpoint.Rule{
+		"rcgo/own.handoff":  {Action: failpoint.ActionError, Num: 1, Den: 4, Seed: seed},
+		"rcgo/own.release":  {Action: failpoint.ActionError, Num: 1, Den: 7, Seed: seed},
+		"rcgo/alloc.refill": {Action: failpoint.ActionError, Num: 1, Den: 9, Seed: seed},
+	}
+}
+
 // ConcConfig sizes one concurrent phase.
 type ConcConfig struct {
 	Seed    int64
@@ -130,13 +144,22 @@ type ConcResult struct {
 	// counts — the advisor's exact-at-quiesce contract under churn.
 	AdvisorObservations int64
 	AdvisorSites        int
-	// Acquires / Releases / OwnerFlushes are set by the ownership phase
-	// only: the arena's cumulative ownership counters at quiesce.
-	// Owner.Delete counts as one release and one delete, so a quiesced
-	// run must show Acquires == Releases exactly.
+	// Acquires / Releases / OwnerFlushes are set by the ownership and
+	// contention phases: the arena's cumulative ownership counters at
+	// quiesce. Owner.Delete counts as one release and one delete, so a
+	// quiesced run must show Acquires == Releases + Revocations exactly
+	// (Revocations is zero in the ownership phase, which runs no
+	// watchdog escape hatch).
 	Acquires     int64
 	Releases     int64
 	OwnerFlushes int64
+	// Revocations / AcquireWaits / AcquireTimeouts / AcquireCancels are
+	// set by the contention phase only: forced token revocations by the
+	// OwnerWatchdog, and the parked/aborted AcquireContext tallies.
+	Revocations     int64
+	AcquireWaits    int64
+	AcquireTimeouts int64
+	AcquireCancels  int64
 }
 
 // advisorCounts is the workers' own tally of successful non-nil stores,
@@ -896,10 +919,221 @@ func RunOwnership(cfg ConcConfig) (ConcResult, error) {
 	return res, nil
 }
 
+// RunContention runs the contention phase: a token storm against one
+// hub region. Every worker loops AcquireContext on the hub under a
+// random short deadline (or an asynchronously-cancelled context), so
+// the FIFO wait queue stays deep; the rcgo/own.handoff failpoint
+// refuses a quarter of all hand-off attempts (requeueing the refused
+// waiter), rcgo/own.release injects transient release failures, and a
+// small fraction of successful acquirers ABANDON their token — never
+// release it — simulating a crashed goroutine, so the OwnerWatchdog's
+// forced-release escape hatch must revoke the stale token to unwedge
+// the queue.
+//
+// The judges are the acquisition-accounting contract: every minted
+// token is eventually paired with exactly one release or one
+// revocation (Acquires == Releases + Revocations), no waiter leaks (the
+// arena-wide parked-waiter gauge is zero at quiesce and the audit's
+// queue-integrity rules are clean), and the flush-at-release exactness
+// story extends to revocation — workers count an owned allocation only
+// once the token that made it released successfully (a revoked token's
+// unflushed deltas are discarded by contract), and the arena's Allocs
+// counter must match that committed tally exactly.
+func RunContention(cfg ConcConfig) (ConcResult, error) {
+	var res ConcResult
+	a := rcgo.NewArena()
+	a.EnableMetrics()
+	ring := rcgo.NewRingTracer(1 << 14)
+	wd := rcgo.NewOwnerWatchdog(a, 2*time.Millisecond, ring)
+	wd.ForceReleaseAfter = 5 * time.Millisecond
+	a.SetTracer(wd)
+	wd.Start(time.Millisecond)
+	defer wd.Stop()
+
+	hub := a.NewRegion()
+
+	for name, r := range cfg.Rules {
+		if err := failpoint.Enable(name, r); err != nil {
+			return res, err
+		}
+	}
+	defer failpoint.DisableAll()
+
+	// successes counts owned allocations committed by a successful
+	// Release; a token that is abandoned or revoked drops its tally,
+	// matching the runtime's discard-on-revoke contract.
+	var successes atomic.Int64
+	errs := make(chan error, cfg.Workers*2)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < cfg.Ops; i++ {
+				// A third of the acquirers wait patiently (generous
+				// deadline), the rest race tight deadlines or an async
+				// cancel against the hand-off.
+				var ctx context.Context
+				var cancel context.CancelFunc
+				switch rng.Intn(3) {
+				case 0:
+					ctx, cancel = context.WithTimeout(context.Background(), time.Second)
+				case 1:
+					ctx, cancel = context.WithTimeout(context.Background(),
+						time.Duration(50+rng.Intn(2000))*time.Microsecond)
+				default:
+					// Async cancel racing the hand-off; firing after the
+					// acquire completed (or after the loop's own cancel)
+					// is harmless.
+					ctx, cancel = context.WithCancel(context.Background())
+					time.AfterFunc(time.Duration(50+rng.Intn(2000))*time.Microsecond, cancel)
+				}
+				own, err := hub.AcquireContext(ctx)
+				if err != nil {
+					cancel()
+					// The only legitimate failure here is a context abort,
+					// and its unwrap chain must expose both the context
+					// error and ErrRegionOwned.
+					if !errors.Is(err, rcgo.ErrRegionOwned) ||
+						(!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)) {
+						fail(fmt.Errorf("contended acquire: error %v must wrap the context error and ErrRegionOwned", err))
+					}
+					continue
+				}
+				pending := int64(0)
+				var obj *rcgo.Obj[node]
+				for n := 1 + rng.Intn(3); n > 0; n-- {
+					o, aerr := rcgo.TryAllocOwned[node](own)
+					switch {
+					case aerr == nil:
+						pending++
+						obj = o
+					case errors.Is(aerr, rcgo.ErrInjected):
+					case errors.Is(aerr, rcgo.ErrOwnerRevoked):
+						// The watchdog tore the token away mid-burst (the
+						// worker was descheduled past the force threshold);
+						// everything this token did is discarded.
+					default:
+						fail(fmt.Errorf("owned alloc under contention: %w", aerr))
+					}
+				}
+				if obj != nil {
+					if serr := rcgo.SetSameOwned(own, obj, &obj.Value.Same, obj); serr != nil &&
+						!errors.Is(serr, rcgo.ErrOwnerRevoked) {
+						fail(fmt.Errorf("owned sameregion store under contention: %w", serr))
+					}
+				}
+				if rng.Intn(40) == 0 {
+					// Abandon: walk away without releasing, exactly what a
+					// crashed holder does. The watchdog must revoke this
+					// token; its tally is forfeit.
+					cancel()
+					continue
+				}
+				for {
+					rerr := own.Release()
+					if rerr == nil {
+						successes.Add(pending)
+						break
+					}
+					if errors.Is(rerr, rcgo.ErrInjected) {
+						continue
+					}
+					if errors.Is(rerr, rcgo.ErrOwnerRevoked) {
+						break
+					}
+					fail(fmt.Errorf("release under contention: %w", rerr))
+					break
+				}
+				cancel()
+			}
+		}(cfg.Seed + int64(w)*7919)
+	}
+	wg.Wait()
+	res.Ops = cfg.Workers * cfg.Ops
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	// Quiesce: disarm, then wait out any still-abandoned token — the
+	// watchdog has to revoke it before the hub can be deleted.
+	failpoint.DisableAll()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.OwnedRegions() != 0 {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("quiesce: abandoned token never revoked, OwnedRegions = %d", a.OwnedRegions())
+		}
+		wd.Check()
+		time.Sleep(time.Millisecond)
+	}
+	wd.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hub.DeleteWithRetry(ctx, rcgo.Backoff{}); err != nil {
+		return res, fmt.Errorf("quiesce: delete hub region: %w", err)
+	}
+	res.SweptAtQuiesce = a.SweepZombies()
+	res.TraceStats = ring.TraceStats()
+	res.Audit = a.Audit()
+	res.WatchdogFlagged = wd.Flagged()
+	counters := a.Counters()
+	res.AllocSuccesses = successes.Load()
+	res.Acquires = counters.Acquires
+	res.Releases = counters.Releases
+	res.OwnerFlushes = counters.OwnerFlushes
+	res.Revocations = counters.OwnerRevocations
+	res.AcquireWaits = counters.AcquireWaits
+	res.AcquireTimeouts = counters.AcquireTimeouts
+	res.AcquireCancels = counters.AcquireCancels
+	if !res.Audit.OK {
+		return res, fmt.Errorf("quiesced contention audit failed:\n%s", res.Audit)
+	}
+	if res.Acquires == 0 || res.Acquires != res.Releases+res.Revocations {
+		return res, fmt.Errorf("acquisition imbalance: %d acquires vs %d releases + %d revocations",
+			res.Acquires, res.Releases, res.Revocations)
+	}
+	if res.AcquireWaits == 0 {
+		return res, fmt.Errorf("contention phase saw no contention: AcquireWaits = 0")
+	}
+	if got := a.AcquireWaiters(); got != 0 {
+		return res, fmt.Errorf("quiesce: %d waiters leaked on the shard gauges", got)
+	}
+	if got := a.Owners().TotalWaiters; got != 0 {
+		return res, fmt.Errorf("quiesce: owners report still sees %d waiters", got)
+	}
+	if counters.Allocs != res.AllocSuccesses {
+		return res, fmt.Errorf("contention alloc drift: arena counted %d allocs, workers committed %d",
+			counters.Allocs, res.AllocSuccesses)
+	}
+	if got := a.OwnedRegions(); got != 0 {
+		return res, fmt.Errorf("quiesce: OwnedRegions = %d, want 0", got)
+	}
+	if got := a.LiveObjects(); got != 0 {
+		return res, fmt.Errorf("quiesce: LiveObjects = %d, want 0", got)
+	}
+	if got := a.LiveRegions(); got != 1 {
+		return res, fmt.Errorf("quiesce: LiveRegions = %d, want 1 (traditional)", got)
+	}
+	if got := a.DeferredRegions(); got != 0 {
+		return res, fmt.Errorf("quiesce: DeferredRegions = %d, want 0", got)
+	}
+	return res, nil
+}
+
 // Config sizes a full chaos run: one sequential model-checked phase,
 // then a perturbation-mix and an error-mix concurrent phase, then the
 // allocation-churn phase, then the multi-shard fabric phase, then the
-// ownership hand-off phase.
+// ownership hand-off phase, then the contention phase.
 type Config struct {
 	Seed    int64
 	SeqOps  int
@@ -919,6 +1153,7 @@ type Report struct {
 	AllocChurn  ConcResult
 	Fabric      ConcResult
 	Ownership   ConcResult
+	Contention  ConcResult
 	// Coverage is the post-run failpoint counter snapshot; every
 	// instrumented site must show Fires > 0 for the run to count.
 	Coverage []failpoint.Stats
@@ -1016,10 +1251,86 @@ func Run(cfg Config) (*Report, error) {
 	logf("phase 6: ok, %d ops, %d allocs through the owned path, acquires=%d releases=%d flushes=%d, zero drift",
 		res.Ops, res.AllocSuccesses, res.Acquires, res.Releases, res.OwnerFlushes)
 
+	logf("phase 7: contention, %d workers x %d ops storming one hub, refused hand-offs + abandoned tokens", cfg.Workers, cfg.ConcOps)
+	res, err = RunContention(ConcConfig{
+		Seed: cfg.Seed + 6, Workers: cfg.Workers, Ops: cfg.ConcOps,
+		Rules: ContentionRules(uint64(cfg.Seed) + 6),
+	})
+	rep.Contention = res
+	if err != nil {
+		return rep, fmt.Errorf("contention phase: %w", err)
+	}
+	logf("phase 7: ok, %d ops, %d waits (%d timeouts, %d cancels), acquires=%d releases=%d revocations=%d, zero leaked waiters",
+		res.Ops, res.AcquireWaits, res.AcquireTimeouts, res.AcquireCancels,
+		res.Acquires, res.Releases, res.Revocations)
+
 	rep.Coverage = siteCoverage()
 	if un := rep.Uncovered(); len(un) > 0 {
 		return rep, fmt.Errorf("failpoint sites never fired: %v", un)
 	}
+	return rep, nil
+}
+
+// PhaseNames lists the chaos phases in run order, by the names RunPhase
+// accepts.
+func PhaseNames() []string {
+	return []string{"seq", "perturb", "errors", "alloc-churn", "fabric", "ownership", "contention"}
+}
+
+// RunPhase executes a single named phase with the same seed offset and
+// failpoint rules it gets inside a full Run, so a failure reproduced by
+// `rcchaos -phase X` is the same failure the full run would hit. The
+// coverage gate is skipped: one phase cannot fire every site.
+func RunPhase(name string, cfg Config) (*Report, error) {
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{}
+
+	if name == "seq" {
+		rep.SeqOps = cfg.SeqOps
+		logf("phase seq: %d ops against the reference model, error failpoints armed", cfg.SeqOps)
+		h := NewHarness()
+		if err := RunSeq(h, RandomOps(cfg.Seed, cfg.SeqOps), SeqRules(uint64(cfg.Seed)), 100); err != nil {
+			return rep, fmt.Errorf("sequential phase: %w", err)
+		}
+		rep.SeqOutcomes = h.Outcomes()
+		logf("phase seq: ok, outcomes %v", rep.SeqOutcomes)
+		return rep, nil
+	}
+
+	// The concurrent phases share a config shape; the table mirrors the
+	// seed-offset and rule choices of Run exactly.
+	type phase struct {
+		offset int64
+		rules  func(seed uint64) map[string]failpoint.Rule
+		run    func(ConcConfig) (ConcResult, error)
+		dst    *ConcResult
+	}
+	phases := map[string]phase{
+		"perturb":     {1, func(s uint64) map[string]failpoint.Rule { return ConcRules(s, true) }, RunConc, &rep.Perturb},
+		"errors":      {2, func(s uint64) map[string]failpoint.Rule { return ConcRules(s, false) }, RunConc, &rep.Errors},
+		"alloc-churn": {3, AllocChurnRules, RunAllocChurn, &rep.AllocChurn},
+		"fabric":      {4, FabricRules, RunFabric, &rep.Fabric},
+		"ownership":   {5, OwnershipRules, RunOwnership, &rep.Ownership},
+		"contention":  {6, ContentionRules, RunContention, &rep.Contention},
+	}
+	p, ok := phases[name]
+	if !ok {
+		return rep, fmt.Errorf("unknown phase %q (have %v)", name, PhaseNames())
+	}
+	seed := cfg.Seed + p.offset
+	logf("phase %s: %d workers x %d ops, seed %d", name, cfg.Workers, cfg.ConcOps, seed)
+	res, err := p.run(ConcConfig{
+		Seed: seed, Workers: cfg.Workers, Ops: cfg.ConcOps,
+		Rules: p.rules(uint64(seed)),
+	})
+	*p.dst = res
+	if err != nil {
+		return rep, fmt.Errorf("%s phase: %w", name, err)
+	}
+	logf("phase %s: ok, %d ops", name, res.Ops)
 	return rep, nil
 }
 

@@ -1,0 +1,219 @@
+package exp
+
+// Interleaved A/B benchmarking of blocking ownership acquisition
+// (Region.AcquireContext, region_owner.go). Two questions, one cell
+// each:
+//
+//   - acquire-fastpath: what does the context-aware entry point cost
+//     when the region is free? Both sides run a single uncontended
+//     worker acquiring and releasing one hub region; the baseline goes
+//     through TryAcquire, the treatment through AcquireContext with a
+//     background context. The delta is the price of the cancellation
+//     pre-check and the extra call frame — it should be near zero.
+//
+//   - contend-handoff: what does a FIFO hand-off cost? The baseline is
+//     the same single-worker TryAcquire/Release spin (the uncontended
+//     token cycle); the treatment storms the hub with GOMAXPROCS
+//     workers through AcquireContext, so nearly every acquisition is a
+//     parked waiter woken by the releasing owner's direct hand-off.
+//     The delta is strongly negative by design: it quantifies the
+//     goroutine wake + channel transfer that blocking acquisition
+//     pays per hand-off, the number DESIGN.md §15 tells operators to
+//     budget for.
+//
+// Methodology: identical to the ownership A/B (own.go) — fixed-work
+// wall-clocked rounds with the GC quiesced, ABBA ordering, per-side
+// minima, and DeltaPct as the median of per-round paired deltas.
+//
+// cmd/rcbench exposes this as -contend-ab and records the cells in the
+// rcgo.bench/1 "contention" section (BENCH_pr9_contention.json).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"rcgo"
+)
+
+// ContentionReport is one interleaved A/B contention benchmark cell:
+// the scenario timed at the given GOMAXPROCS through the uncontended
+// baseline (baseline_ns_op) and the treatment side (ns_op), over
+// best_of ABBA-ordered rounds.
+type ContentionReport struct {
+	Name   string `json:"name"`
+	CPU    int    `json:"cpu"`
+	BestOf int    `json:"best_of"`
+	// BaselineNs is the minimum ns per acquisition across rounds on the
+	// baseline side; NsPerOp is the same on the treatment side.
+	BaselineNs float64 `json:"baseline_ns_op"`
+	NsPerOp    float64 `json:"ns_op"`
+	// DeltaPct is the median across rounds of the per-round paired
+	// improvement, (baseline - treatment) / baseline * 100. For the
+	// hand-off cell this is negative: contended acquisition is slower
+	// than the uncontended cycle, and the magnitude is the point.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// contendBody is one worker's share of a scenario: iters acquire/release
+// cycles against the shared hub region.
+type contendBody func(hub *rcgo.Region, iters int) error
+
+// contendTry is the uncontended baseline cycle. It is only ever run
+// single-worker, so TryAcquire cannot lose a race and every error is
+// real.
+func contendTry(hub *rcgo.Region, iters int) error {
+	for i := 0; i < iters; i++ {
+		own, err := hub.TryAcquire()
+		if err != nil {
+			return err
+		}
+		if err := own.Release(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// contendCtx is the blocking cycle: with one worker it exercises
+// AcquireContext's uncontended fast path, with many it parks on the
+// wait queue and is woken by the previous owner's hand-off.
+func contendCtx(hub *rcgo.Region, iters int) error {
+	ctx := context.Background()
+	for i := 0; i < iters; i++ {
+		own, err := hub.AcquireContext(ctx)
+		if err != nil {
+			return err
+		}
+		if err := own.Release(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureContend times one side of one scenario once: workers
+// goroutines sharing one hub region, totalIters acquisitions split
+// evenly between them, wall-clocked with the GC quiesced.
+func measureContend(workers, totalIters int, body contendBody) (float64, error) {
+	a := rcgo.NewArena()
+	hub := a.NewRegion()
+	runtime.GC()
+	oldGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(oldGC)
+	per := totalIters / workers
+	errs := make(chan error, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := body(hub, per); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	if err := hub.Delete(); err != nil {
+		return 0, err
+	}
+	return float64(elapsed.Nanoseconds()) / float64(workers*per), nil
+}
+
+// ContendAB runs the interleaved A/B contention benchmarks at the given
+// GOMAXPROCS over bestOf rounds per scenario.
+func ContendAB(cpu, bestOf int) ([]ContentionReport, error) {
+	if bestOf <= 0 {
+		bestOf = 10
+	}
+	if cpu <= 1 {
+		cpu = 2 // the hand-off cell needs at least two contenders
+	}
+	scenarios := []struct {
+		name string
+		// iters is the total acquisition count per run, sized like the
+		// ownership A/B: one run in the low-hundreds of milliseconds.
+		// Hand-offs cost microseconds each, so the contended cell runs
+		// far fewer cycles than the uncontended one.
+		iters       int
+		baseWorkers int
+		base        contendBody
+		workers     int
+		treat       contendBody
+	}{
+		{"acquire-fastpath", 400000, 1, contendTry, 1, contendCtx},
+		{"contend-handoff", 60000, 1, contendTry, cpu, contendCtx},
+	}
+	prev := runtime.GOMAXPROCS(cpu)
+	defer runtime.GOMAXPROCS(prev)
+	var out []ContentionReport
+	for _, sc := range scenarios {
+		rep := ContentionReport{Name: sc.name, CPU: cpu, BestOf: bestOf}
+		// Unrecorded warmup of each side (see OwnAB).
+		if _, err := measureContend(sc.baseWorkers, sc.iters/4, sc.base); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		if _, err := measureContend(sc.workers, sc.iters/4, sc.treat); err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		var deltas []float64
+		for i := 0; i < bestOf; i++ {
+			var slow, fast float64
+			var err error
+			// ABBA: alternate which side runs first so a systematic
+			// first-runner advantage (or penalty) cancels across rounds.
+			if i%2 == 0 {
+				if slow, err = measureContend(sc.baseWorkers, sc.iters, sc.base); err == nil {
+					fast, err = measureContend(sc.workers, sc.iters, sc.treat)
+				}
+			} else {
+				if fast, err = measureContend(sc.workers, sc.iters, sc.treat); err == nil {
+					slow, err = measureContend(sc.baseWorkers, sc.iters, sc.base)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sc.name, err)
+			}
+			if rep.BaselineNs == 0 || slow < rep.BaselineNs {
+				rep.BaselineNs = slow
+			}
+			if rep.NsPerOp == 0 || fast < rep.NsPerOp {
+				rep.NsPerOp = fast
+			}
+			deltas = append(deltas, 100*(slow-fast)/slow)
+		}
+		sort.Float64s(deltas)
+		if n := len(deltas); n%2 == 1 {
+			rep.DeltaPct = deltas[n/2]
+		} else {
+			rep.DeltaPct = (deltas[n/2-1] + deltas[n/2]) / 2
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// PrintContendAB renders the contention A/B cells as a small table.
+func PrintContendAB(w io.Writer, reps []ContentionReport) {
+	fmt.Fprintf(w, "%-24s %4s %7s %12s %12s %8s\n",
+		"scenario", "cpu", "best-of", "baseline ns", "treated ns", "delta")
+	for _, r := range reps {
+		fmt.Fprintf(w, "%-24s %4d %7d %12.1f %12.1f %+7.1f%%\n",
+			r.Name, r.CPU, r.BestOf, r.BaselineNs, r.NsPerOp, r.DeltaPct)
+	}
+}

@@ -90,6 +90,12 @@ type BenchReport struct {
 	// shared-path API against the same work through an Owner token.
 	// Optional for the same reason as Parallel.
 	Ownership []OwnershipReport `json:"ownership,omitempty"`
+	// Contention is the optional interleaved A/B section over blocking
+	// ownership acquisition (rcbench -contend-ab, contend.go): the
+	// uncontended TryAcquire cycle against AcquireContext, first on the
+	// fast path and then under a many-worker hand-off storm. Optional
+	// for the same reason as Parallel.
+	Contention []ContentionReport `json:"contention,omitempty"`
 }
 
 // BenchJSON runs every selected workload under the RC and norc

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -152,6 +153,22 @@ type Region struct {
 	// be arena-wide) so concurrent single-type regions never displace
 	// each other's chunks; reclaim returns parked chunks to their pools.
 	chunkPark [chunkParkSlots]atomic.Pointer[chunkBox]
+
+	// waitq is the FIFO queue of parked AcquireContext contenders
+	// (region_owner.go); guarded by mu, and non-empty only while the
+	// region is stateOwned — hand-off pops the head, cancellation
+	// splices out the quitter, Owner.Delete fails the whole queue.
+	// acquiredAt/acquirePC/acquirePCN (also mu-guarded) record when and
+	// where the current token was minted, for the OwnerWatchdog's
+	// stale-owner reports and the /owners inspector.
+	waitq      []*acquireWaiter
+	acquiredAt time.Time
+	acquirePC  [acquirePCDepth]uintptr
+	acquirePCN int
+	// contendedWaits counts waiters ever parked on this region
+	// (cumulative, monotone), read lock-free by the /owners
+	// top-contended table.
+	contendedWaits atomic.Int64
 }
 
 // ErrRegionInUse is returned by Delete while external references or

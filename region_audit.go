@@ -94,6 +94,20 @@ const (
 	// disagrees with the registered stateOwned regions assigned to it,
 	// same per-shard discipline as the other total rules.
 	AuditOwnedRegionsTotal = "owned-regions-total"
+	// AuditWaitersOnUnowned: a region that is not exclusively owned has
+	// AcquireContext waiters parked on its queue (region_owner.go).
+	// Waiters are appended only while stateOwned and the hand-off never
+	// leaves the queue non-empty when returning the region to the shared
+	// state, so a stable disagreement means a broken park/hand-off
+	// transition; on a live arena a transition between the two samples
+	// makes this advisory.
+	AuditWaitersOnUnowned = "waiters-on-unowned"
+	// AuditAcquireWaitersTotal: a fabric shard's acquireWaiters gauge
+	// disagrees with the summed wait-queue lengths of the regions
+	// assigned to it, same per-shard discipline as the other total
+	// rules. Exact at quiesce (every parked waiter is counted on its
+	// region's shard at park and uncounted at pop/splice/queue-failure).
+	AuditAcquireWaitersTotal = "acquire-waiters-total"
 )
 
 // AuditViolation is one detected invariant breach.
@@ -208,8 +222,10 @@ func (a *Arena) Audit() AuditReport {
 	deferredByShard := make([]int64, len(a.shards))
 	ownedByShard := make([]int64, len(a.shards))
 	objByShard := make([]int64, len(a.shards))
+	waitersByShard := make([]int64, len(a.shards))
 	for _, r := range regions {
 		ownerBefore := r.owner.Load() != nil
+		waitersBefore := r.waiterCount()
 		st := r.Stats()
 		if st.Reclaimed {
 			if a.findRegion(r.id) != nil {
@@ -239,6 +255,16 @@ func (a *Arena) Audit() AuditReport {
 		}
 		if !st.Owned && ownerBefore && ownerAfter {
 			add(AuditOwnedState, r.id, 0, 1, "Owner token installed on a region that is not owned")
+		}
+		// Queue linkage: waiters may exist only while the region is owned.
+		// Double-sampled around the Stats snapshot like the owner pointer,
+		// so a hand-off or a Release draining the queue between the reads
+		// is not a violation.
+		waitersAfter := r.waiterCount()
+		waitersByShard[shard] += int64(waitersAfter)
+		if !st.Owned && waitersBefore > 0 && waitersAfter > 0 {
+			add(AuditWaitersOnUnowned, r.id, int64(waitersAfter), 0,
+				"%d AcquireContext waiters parked on a region that is not owned", waitersAfter)
 		}
 		objByShard[shard] += st.Objects
 		for name, v := range map[string]int64{
@@ -309,6 +335,10 @@ func (a *Arena) Audit() AuditReport {
 		if got, want := sh.ownedRegions.Load(), ownedByShard[i]; got != want {
 			add(AuditOwnedRegionsTotal, 0, got, want,
 				"shard %d OwnedRegions %d != %d owned registered regions", i, got, want)
+		}
+		if got, want := sh.acquireWaiters.Load(), waitersByShard[i]; got != want {
+			add(AuditAcquireWaitersTotal, 0, got, want,
+				"shard %d AcquireWaiters %d != %d summed wait-queue lengths", i, got, want)
 		}
 	}
 

@@ -138,6 +138,25 @@ func TestAuditDetectsCorruption(t *testing.T) {
 		a.shards[0].liveObjs.Add(1)
 		violated(t, a, AuditLiveObjectsTotal)
 	})
+	t.Run(AuditAcquireWaitersTotal, func(t *testing.T) {
+		a := NewArena()
+		a.shards[0].acquireWaiters.Add(1) // gauge with no parked waiter behind it
+		violated(t, a, AuditAcquireWaitersTotal)
+	})
+	t.Run(AuditWaitersOnUnowned, func(t *testing.T) {
+		a := NewArena()
+		r := a.NewRegion()
+		// A waiter parked on a region that is not owned can never be
+		// woken: plant one directly to simulate the lost hand-off.
+		r.mu.Lock()
+		r.waitq = append(r.waitq, &acquireWaiter{ready: make(chan handoff, 1)})
+		r.mu.Unlock()
+		r.shard.acquireWaiters.Add(1) // keep the gauge consistent
+		v := violated(t, a, AuditWaitersOnUnowned)
+		if v.Region != r.ID() {
+			t.Errorf("violation names region %d, want %d", v.Region, r.ID())
+		}
+	})
 }
 
 // A drain suppressed by the zombie.drain failpoint leaves a fully

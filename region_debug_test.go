@@ -1,6 +1,7 @@
 package rcgo
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // findRegion walks a hierarchy report for the node with the given id.
@@ -266,6 +268,82 @@ func TestDebugHandlerEndpoints(t *testing.T) {
 	}
 }
 
+// /owners reports every held region with the evidence an operator
+// needs — holder age, acquire site, queue depth — plus the arena-wide
+// waiter gauge and the top-contended table.
+func TestDebugHandlerOwners(t *testing.T) {
+	a := NewArena()
+	r := a.NewRegion()
+	own, err := r.TryAcquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		tok, err := r.AcquireContext(context.Background())
+		if err == nil {
+			err = tok.Release()
+		}
+		parked <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.AcquireWaiters() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	srv := httptest.NewServer(a.DebugHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/owners")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var rep OwnersReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("/owners: %v\n%s", err, body)
+	}
+	if len(rep.Owned) != 1 || rep.Owned[0].ID != r.ID() {
+		t.Fatalf("/owners owned = %+v, want exactly region %d", rep.Owned, r.ID())
+	}
+	if rep.Owned[0].QueueDepth != 1 {
+		t.Errorf("/owners queue depth = %d, want 1", rep.Owned[0].QueueDepth)
+	}
+	if rep.Owned[0].HeldFor <= 0 {
+		t.Errorf("/owners held_ns = %d, want > 0", rep.Owned[0].HeldFor)
+	}
+	if !strings.Contains(rep.Owned[0].AcquireSite, "region_debug_test.go") {
+		t.Errorf("/owners acquire site = %q, want the acquiring test frame", rep.Owned[0].AcquireSite)
+	}
+	if rep.TotalWaiters != 1 {
+		t.Errorf("/owners total waiters = %d, want 1", rep.TotalWaiters)
+	}
+	if len(rep.TopContended) == 0 || rep.TopContended[0].ID != r.ID() {
+		t.Errorf("/owners top contended = %+v, want region %d first", rep.TopContended, r.ID())
+	}
+
+	if err := own.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-parked; err != nil {
+		t.Fatalf("parked waiter: %v", err)
+	}
+	// Quiesced: the report empties but keeps the contention history.
+	rep = a.Owners()
+	if len(rep.Owned) != 0 || rep.TotalWaiters != 0 {
+		t.Errorf("quiesced owners report = %+v, want empty", rep)
+	}
+	if len(rep.TopContended) == 0 || rep.TopContended[0].Waits != 1 {
+		t.Errorf("quiesced top contended = %+v, want region %d with 1 wait", rep.TopContended, r.ID())
+	}
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // The inspector must stay readable while the arena churns: hammer the
 // endpoints concurrently with region create/store/delete traffic. Run
 // under -race this doubles as the inspector's data-race exerciser.
@@ -302,7 +380,7 @@ func TestDebugHandlerUnderChurn(t *testing.T) {
 	}
 	for _, path := range []string{
 		"/hierarchy", "/hierarchy.dot", "/counters", "/blocked",
-		"/audit", "/advisor", "/advisor.txt", "/trace",
+		"/audit", "/advisor", "/advisor.txt", "/owners", "/trace",
 	} {
 		for i := 0; i < 20; i++ {
 			req := httptest.NewRequest("GET", path, nil)
@@ -339,7 +417,7 @@ func TestDebugHandlerIndexComplete(t *testing.T) {
 			listed = append(listed, f[0])
 		}
 	}
-	for _, want := range []string{"/hierarchy", "/hierarchy.dot", "/counters", "/blocked", "/audit", "/advisor", "/advisor.txt", "/trace"} {
+	for _, want := range []string{"/hierarchy", "/hierarchy.dot", "/counters", "/blocked", "/audit", "/advisor", "/advisor.txt", "/owners", "/trace"} {
 		found := false
 		for _, p := range listed {
 			if p == want {

@@ -79,7 +79,13 @@ type arenaShard struct {
 	liveRegions     atomic.Int64
 	deferredRegions atomic.Int64
 	ownedRegions    atomic.Int64
-	_               [24]byte // pad the hot counters to a line of their own
+	// acquireWaiters is the shard's count of currently-parked
+	// AcquireContext waiters (region_owner.go): +1 at park, -1 at
+	// hand-off pop, cancellation splice and Owner.Delete's queue sweep.
+	// Zero at quiesce; the audit cross-checks it against the sum of the
+	// shard's wait-queue lengths.
+	acquireWaiters atomic.Int64
+	_              [16]byte // pad the hot counters to a line of their own
 
 	// registry is the shard's segment of the id→region index behind
 	// EachRegion and the debug inspector: regions register at creation

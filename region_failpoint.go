@@ -50,6 +50,14 @@ import "rcgo/internal/failpoint"
 //	                      valid (callers retry); a delay or yield holds
 //	                      the window open while owner-local deltas are
 //	                      about to merge into the shared counters.
+//	rcgo/own.handoff      handOffLocked, on each token-transfer attempt
+//	                      from a finished owner to the wait-queue head
+//	                      (mu held) — an injected error is a refused
+//	                      hand-off: that waiter is requeued at the tail
+//	                      and the next is tried, so delivery retries at
+//	                      waiter granularity; a delay or yield widens
+//	                      the wake/transfer window the cancellation
+//	                      path races against.
 //
 // Disarmed (the steady state), each site costs its edge one atomic
 // pointer load and a never-taken branch — the same budget as the
@@ -64,6 +72,7 @@ var (
 	fpSlotInsert     = failpoint.New("rcgo/slot.insert")
 	fpAllocRefill    = failpoint.New("rcgo/alloc.refill")
 	fpOwnRelease     = failpoint.New("rcgo/own.release")
+	fpOwnHandoff     = failpoint.New("rcgo/own.handoff")
 )
 
 // ErrInjected is failpoint.ErrInjected re-exported: every error a

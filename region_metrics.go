@@ -42,27 +42,32 @@ import (
 // cache-line multiples so two shards never share a line.
 const metricShards = 64
 
-// counterShard is one shard of every counter. 17 counters * 8 bytes =
-// 136 bytes, padded to 192 so shards start on separate cache lines.
+// counterShard is one shard of every counter. 22 counters * 8 bytes =
+// 176 bytes, padded to 192 so shards start on separate cache lines.
 type counterShard struct {
-	allocs          atomic.Int64
-	countedStores   atomic.Int64
-	rcIncrements    atomic.Int64
-	rcDecrements    atomic.Int64
-	sameChecks      atomic.Int64
-	tradChecks      atomic.Int64
-	parentChecks    atomic.Int64
-	checkFailures   atomic.Int64
-	deletes         atomic.Int64
-	deletesBlocked  atomic.Int64
-	deferredDeletes atomic.Int64
-	reclaims        atomic.Int64
-	pinOps          atomic.Int64
-	allocFlushes    atomic.Int64
-	acquires        atomic.Int64
-	releases        atomic.Int64
-	ownerFlushes    atomic.Int64
-	_               [56]byte
+	allocs           atomic.Int64
+	countedStores    atomic.Int64
+	rcIncrements     atomic.Int64
+	rcDecrements     atomic.Int64
+	sameChecks       atomic.Int64
+	tradChecks       atomic.Int64
+	parentChecks     atomic.Int64
+	checkFailures    atomic.Int64
+	deletes          atomic.Int64
+	deletesBlocked   atomic.Int64
+	deferredDeletes  atomic.Int64
+	reclaims         atomic.Int64
+	pinOps           atomic.Int64
+	allocFlushes     atomic.Int64
+	acquires         atomic.Int64
+	releases         atomic.Int64
+	ownerFlushes     atomic.Int64
+	acquireWaits     atomic.Int64
+	acquireTimeouts  atomic.Int64
+	acquireCancels   atomic.Int64
+	ownerRevocations atomic.Int64
+	acquireWaitNanos atomic.Int64
+	_                [16]byte
 }
 
 // arenaMetrics is the sharded counter block, allocated when metrics are
@@ -165,14 +170,30 @@ type ArenaCounters struct {
 	// approximates objects credited per flush.
 	AllocFlushes int64 `json:"alloc_flushes"`
 	// Acquires / Releases count successful exclusive-ownership
-	// transitions (region_owner.go). An Owner.Delete counts as one
-	// release and one delete, so at quiesce Acquires == Releases.
+	// transitions (region_owner.go), whether uncontended or delivered by
+	// hand-off. An Owner.Delete counts as one release and one delete; a
+	// forced revocation (OwnerRevocations) retires a token without a
+	// release, so at quiesce Acquires == Releases + OwnerRevocations.
 	Acquires int64 `json:"acquires"`
 	Releases int64 `json:"releases"`
 	// OwnerFlushes counts Release-time merges of owner-local metric
 	// deltas that carried at least one nonzero counter — the ownership
 	// analogue of AllocFlushes.
 	OwnerFlushes int64 `json:"owner_flushes"`
+	// AcquireWaits counts AcquireContext calls that found the region
+	// owned and parked on its wait queue; AcquireTimeouts and
+	// AcquireCancels count the parked waits that ended with
+	// context.DeadlineExceeded and context.Canceled respectively (the
+	// remainder received a hand-off). AcquireWaitNanos accrues the wall
+	// time parked waiters spent waiting, however the wait ended —
+	// AcquireWaitNanos/AcquireWaits is the mean queueing delay.
+	AcquireWaits     int64 `json:"acquire_waits"`
+	AcquireTimeouts  int64 `json:"acquire_timeouts"`
+	AcquireCancels   int64 `json:"acquire_cancels"`
+	AcquireWaitNanos int64 `json:"acquire_wait_ns"`
+	// OwnerRevocations counts stale tokens forcibly retired by the
+	// OwnerWatchdog's escape hatch (region_watchdog.go).
+	OwnerRevocations int64 `json:"owner_revocations"`
 }
 
 // Counters returns a snapshot of the cumulative counters by summing the
@@ -204,6 +225,11 @@ func (a *Arena) Counters() ArenaCounters {
 		c.Acquires += s.acquires.Load()
 		c.Releases += s.releases.Load()
 		c.OwnerFlushes += s.ownerFlushes.Load()
+		c.AcquireWaits += s.acquireWaits.Load()
+		c.AcquireTimeouts += s.acquireTimeouts.Load()
+		c.AcquireCancels += s.acquireCancels.Load()
+		c.AcquireWaitNanos += s.acquireWaitNanos.Load()
+		c.OwnerRevocations += s.ownerRevocations.Load()
 	}
 	return c
 }

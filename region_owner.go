@@ -1,9 +1,12 @@
 package rcgo
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -32,7 +35,22 @@ import (
 // acquired, and an owned region cannot be deleted or deferred except
 // through its token (Owner.Delete).
 //
-// Why the owner may use plain (non-atomic) loads and stores. Three
+// Contended acquisition (DESIGN.md §15). TryAcquire is non-blocking by
+// design — a contender gets ErrRegionOwned and decides its own retry
+// policy — but a caller that *wants* the token needs acquisition that
+// queues instead of spinning. AcquireContext parks the contender on a
+// per-region FIFO wait queue (guarded by r.mu, like every lifecycle
+// decision): Release pops the queue head and hands it a fresh token
+// directly, without the region ever passing through stateAlive, so
+// there is no thundering herd and no barn door for a third party to
+// steal the region through. Cancellation and deadlines remove the
+// parked waiter from the queue without leaking its slot; a region that
+// dies while waiters are parked (Owner.Delete) fails them all with
+// ErrRegionDeleted. A stalled owner is the OwnerWatchdog's business
+// (region_watchdog.go): it can forcibly revoke the stale token
+// (ErrOwnerRevoked) and push the queue forward.
+//
+// Why the owner may use plain (non-atomic) loads and stores. Four
 // hazards have to be excluded:
 //
 //  1. In-flight shared stores at Acquire time. A shared SetRef that
@@ -69,6 +87,21 @@ import (
 //     happens under r.mu, and any later shared-path operation that
 //     observes stateAlive synchronizes with Release through that mutex
 //     and the state atomic.
+//  4. Waiter wake vs the flush window. A direct hand-off never returns
+//     the region to stateAlive, so hazard 3's "later shared-path
+//     operation observes stateAlive" edge never forms — the successor
+//     needs its own publication edge over the old owner's plain writes
+//     (the flushed counters, the slot registrations merged under the
+//     registry shard locks, Ref.registered flags written plain). That
+//     edge is the hand-off channel itself: the old owner flushes under
+//     r.mu, releases the mutex, and only then sends the successor
+//     token on the waiter's buffered channel, so every owner-local
+//     write (and the flush that merged it) is sequenced before the
+//     send, and the receive in AcquireContext happens-before every
+//     owned operation the successor performs. The successor also skips
+//     the Acquire barrier sweep: the region never left stateOwned, so
+//     no shared-path store can have slipped in for the sweep to wait
+//     out — the hand-off inherits the old owner's barrier.
 //
 // Flush-at-Release exactness: Release (and Owner.Delete) merges the
 // owner-local deltas into the shared counters under r.mu before the
@@ -100,6 +133,42 @@ var ErrRegionOwned = errors.New("rcgo: region is exclusively owned")
 // released (or consumed by Owner.Delete), and by owned stores whose
 // holder object does not live in the token's region.
 var ErrNotOwner = errors.New("rcgo: operation requires the region's owner token")
+
+// ErrOwnerRevoked is returned by every operation on an Owner token that
+// the OwnerWatchdog's forced-release escape hatch has revoked
+// (region_watchdog.go): the region has been handed onward — to the next
+// parked waiter, or back to the shared state — and the stale token can
+// never touch it again. Unflushed owner-local deltas on a revoked token
+// are discarded, never merged (see revokeOwner).
+var ErrOwnerRevoked = errors.New("rcgo: owner token was revoked")
+
+// handoff is what a parked waiter receives when its turn comes: a fresh
+// Owner token, or the error that ended the wait (the region died while
+// the waiter was parked).
+type handoff struct {
+	o   *Owner
+	err error
+}
+
+// acquirePCDepth is how many frames of the acquiring call stack are
+// recorded per token, for the owner watchdog's stale-owner reports and
+// the /owners inspector.
+const acquirePCDepth = 3
+
+// acquireWaiter is one parked AcquireContext contender on a region's
+// FIFO wait queue (Region.waitq, guarded by r.mu). ready is buffered
+// with capacity 1 so the hand-off side — Release, Owner.Delete's
+// fail-the-queue sweep, the watchdog's revocation — never blocks on a
+// waiter, even one that has already given up and is about to take
+// delivery only to dispose of the token.
+type acquireWaiter struct {
+	ready chan handoff
+	// pcs/npc record the waiter's own call stack at park time, so a
+	// token minted by hand-off is attributed to the goroutine that
+	// actually holds it, not to the releaser.
+	pcs [acquirePCDepth]uintptr
+	npc int
+}
 
 // ownerSlot is a counted slot registered while owned, parked on the
 // token until Release merges it into the holder region's shared
@@ -143,6 +212,12 @@ type Owner struct {
 	// slots are counted slots first registered while owned, merged into
 	// the shared registry at Release.
 	slots []ownerSlot
+	// revoked is set (exactly once, under r.mu) by the OwnerWatchdog's
+	// forced release; every owned operation checks it first and fails
+	// with ErrOwnerRevoked. It is the one atomic on the token — an
+	// uncontended load on an owner-local cache line, so the owned fast
+	// paths keep their plain-field cost story.
+	revoked atomic.Bool
 }
 
 // Region returns the owned region, or nil after Release/Delete.
@@ -165,9 +240,13 @@ func (r *Region) storeBarrier() {
 	}
 }
 
-// Acquire takes exclusive ownership of the region, panicking on failure;
-// use TryAcquire where a concurrent delete or a second acquirer may
-// race.
+// Acquire takes exclusive ownership of the region, panicking on
+// failure. It panics with ErrRegionOwned if another token already holds
+// the region, with ErrRegionDeleted if the region has been deleted or
+// deferred-deleted, and with a plain error on the traditional region
+// (which is shared by construction and can never be owned). Use
+// TryAcquire where a concurrent delete or a second acquirer may race,
+// or AcquireContext to wait for the current owner's release.
 func (r *Region) Acquire() *Owner {
 	o, err := r.TryAcquire()
 	if err != nil {
@@ -188,13 +267,23 @@ func (r *Region) TryAcquire() (*Owner, error) {
 		return nil, errors.New("rcgo: cannot acquire the traditional region")
 	}
 	r.mu.Lock()
+	o, err := r.acquireLocked()
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	r.finishAcquire()
+	return o, nil
+}
+
+// acquireLocked performs the alive → owned transition. The caller holds
+// r.mu and, on success, must call finishAcquire after releasing it.
+func (r *Region) acquireLocked() (*Owner, error) {
 	switch r.state.Load() {
 	case stateAlive:
 	case stateOwned:
-		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: Acquire of region %d", ErrRegionOwned, r.id)
 	default: // dying cannot be observed under mu; zombie or dead
-		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: Acquire of region %d", ErrRegionDeleted, r.id)
 	}
 	// Settle the batched allocation deltas so owner-local accounting
@@ -205,13 +294,219 @@ func (r *Region) TryAcquire() (*Owner, error) {
 	r.owner.Store(o)
 	r.state.Store(stateOwned)
 	r.shard.ownedRegions.Add(1)
-	r.mu.Unlock()
+	r.acquiredAt = time.Now()
+	// Skip runtime.Callers, acquireLocked and its Try/AcquireContext
+	// wrapper: the first recorded frame is the acquiring caller.
+	r.acquirePCN = runtime.Callers(3, r.acquirePC[:])
+	return o, nil
+}
+
+// finishAcquire is the out-of-mu tail of an uncontended acquire: the
+// barrier sweep over the slot shards (hazard 1 in the file comment),
+// the counter, and the trace event. A handed-off acquire does not come
+// through here — it inherits the old owner's barrier (hazard 4) and
+// counts/traces at the receive site.
+func (r *Region) finishAcquire() {
 	r.storeBarrier()
 	if c := r.counters(); c != nil {
 		c.acquires.Add(1)
 	}
 	r.arena.traceEvent(TraceRegionAcquired, r)
-	return o, nil
+}
+
+// AcquireContext takes exclusive ownership of the region, waiting for
+// the current owner to release it. An uncontended call is TryAcquire
+// with a context check; a contended call parks on the region's FIFO
+// wait queue — no spinning, no thundering herd — until Owner.Release
+// (or the watchdog's revocation) hands it a fresh token directly, the
+// region dies (ErrRegionDeleted: an Owner.Delete failed the whole
+// queue), or ctx ends. A cancelled or expired wait removes the waiter
+// from the queue without leaking its slot and returns an error that
+// wraps both ctx.Err() and ErrRegionOwned, so callers can test either
+// with errors.Is; if the hand-off wins the race against cancellation,
+// the delivered token is accounted (one acquire, one release) and
+// immediately passed onward before the same error returns.
+func (r *Region) AcquireContext(ctx context.Context) (*Owner, error) {
+	if r == r.arena.trad {
+		return nil, errors.New("rcgo: cannot acquire the traditional region")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, r.acquireAbortErr(err)
+	}
+	r.mu.Lock()
+	if r.state.Load() != stateOwned {
+		o, err := r.acquireLocked()
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		r.finishAcquire()
+		return o, nil
+	}
+	// Contended: park. The waiter is visible to Release's hand-off the
+	// moment mu is released, and only while the region stays owned —
+	// stateOwned is re-checked under the same mu that every alive ⇄
+	// owned transition holds, so a waiter can never be appended to an
+	// unowned or dead region (the audit's waiters-on-unowned rule).
+	w := &acquireWaiter{ready: make(chan handoff, 1)}
+	w.npc = runtime.Callers(2, w.pcs[:])
+	r.waitq = append(r.waitq, w)
+	r.shard.acquireWaiters.Add(1)
+	r.mu.Unlock()
+	r.contendedWaits.Add(1)
+	if c := r.counters(); c != nil {
+		c.acquireWaits.Add(1)
+	}
+	r.arena.traceEvent(TraceAcquireBlocked, r)
+	start := time.Now()
+
+	select {
+	case h := <-w.ready:
+		return r.acquireDelivered(ctx, h, start)
+	case <-ctx.Done():
+	}
+	// Gave up. If the waiter is still queued, removing it is the whole
+	// story; if the hand-off already popped it, the send is committed
+	// (the channel is buffered, the sender never blocks) — take
+	// delivery and dispose of the token like any other post-receive
+	// cancellation.
+	r.mu.Lock()
+	removed := r.removeWaiterLocked(w)
+	r.mu.Unlock()
+	if !removed {
+		return r.acquireDelivered(ctx, <-w.ready, start)
+	}
+	r.noteAcquireWaitDone(start)
+	r.noteAcquireAborted(ctx.Err())
+	return nil, r.acquireAbortErr(ctx.Err())
+}
+
+// acquireDelivered finishes a parked acquire once the hand-off channel
+// has yielded: the wait is accounted, then the outcome is the hand-off
+// error (the region died), the token (the normal case), or — when ctx
+// ended while the token was in flight — a full acquire/release pair
+// that keeps the books balanced while the caller still gets its
+// cancellation error.
+func (r *Region) acquireDelivered(ctx context.Context, h handoff, start time.Time) (*Owner, error) {
+	r.noteAcquireWaitDone(start)
+	if h.err != nil {
+		return nil, h.err
+	}
+	if c := r.counters(); c != nil {
+		c.acquires.Add(1)
+	}
+	r.arena.traceEvent(TraceRegionAcquired, r)
+	if err := ctx.Err(); err != nil {
+		r.noteAcquireAborted(err)
+		r.disposeToken(h.o)
+		return nil, r.acquireAbortErr(err)
+	}
+	return h.o, nil
+}
+
+// disposeToken releases a token its waiter no longer wants, retrying
+// injected flush failures so a cancelled acquire can never wedge the
+// queue behind an unreleased token. A token revoked in the meantime is
+// already disposed of.
+func (r *Region) disposeToken(o *Owner) {
+	for {
+		err := o.Release()
+		if err == nil || !errors.Is(err, ErrInjected) {
+			return
+		}
+	}
+}
+
+// acquireAbortErr is the cancellation error of AcquireContext: it wraps
+// both the context error (context.Canceled or context.DeadlineExceeded)
+// and ErrRegionOwned — the wait ended because the region was owned by
+// someone else for the whole of it.
+func (r *Region) acquireAbortErr(cause error) error {
+	return fmt.Errorf("rcgo: AcquireContext on region %d gave up: %w",
+		r.id, errors.Join(cause, ErrRegionOwned))
+}
+
+// noteAcquireWaitDone accrues the wall time one parked waiter spent
+// waiting, however the wait ended.
+func (r *Region) noteAcquireWaitDone(start time.Time) {
+	if c := r.counters(); c != nil {
+		c.acquireWaitNanos.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// noteAcquireAborted counts and traces one AcquireContext call that
+// returned with a context error after parking.
+func (r *Region) noteAcquireAborted(cause error) {
+	if c := r.counters(); c != nil {
+		if errors.Is(cause, context.DeadlineExceeded) {
+			c.acquireTimeouts.Add(1)
+		} else {
+			c.acquireCancels.Add(1)
+		}
+	}
+	r.arena.traceEvent(TraceAcquireAborted, r)
+}
+
+// removeWaiterLocked unlinks w from the wait queue, reporting whether
+// it was still there (false: a hand-off already popped it and owns the
+// obligation to send). Caller holds r.mu.
+func (r *Region) removeWaiterLocked(w *acquireWaiter) bool {
+	for i, q := range r.waitq {
+		if q == w {
+			r.waitq = append(r.waitq[:i], r.waitq[i+1:]...)
+			r.shard.acquireWaiters.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// waiterCount returns the wait-queue depth under mu, for the auditor
+// and the /owners inspector.
+func (r *Region) waiterCount() int {
+	r.mu.Lock()
+	n := len(r.waitq)
+	r.mu.Unlock()
+	return n
+}
+
+// handOffLocked moves the region on from a finished owner: the queue
+// head gets a fresh token without the region ever leaving stateOwned,
+// or — with no waiters — the region returns to the shared state. The
+// rcgo/own.handoff failpoint sits on each transfer attempt: an injected
+// error is a refused hand-off, requeueing that waiter at the tail and
+// trying the next (a waiter-level retry that keeps FIFO order among the
+// rest); a delay or yield widens the wake window.
+//
+// Caller holds r.mu with the region stateOwned and the outgoing token
+// already flushed (Release, Owner.Delete) or condemned (revokeOwner).
+// When a waiter is returned, the caller must send it handoff{o: next}
+// AFTER releasing mu and AFTER tracing its own released/revoked event —
+// that send is the hazard-4 edge publishing the old owner's plain
+// writes to the successor, and the sequencing keeps the trace stream's
+// released-before-acquired order.
+func (r *Region) handOffLocked() (w *acquireWaiter, next *Owner) {
+	for len(r.waitq) > 0 {
+		if err := fpOwnHandoff.Eval(); err != nil {
+			refused := r.waitq[0]
+			copy(r.waitq, r.waitq[1:])
+			r.waitq[len(r.waitq)-1] = refused
+			continue
+		}
+		w = r.waitq[0]
+		r.waitq = append(r.waitq[:0], r.waitq[1:]...)
+		r.shard.acquireWaiters.Add(-1)
+		next = &Owner{r: r}
+		r.owner.Store(next)
+		r.acquiredAt = time.Now()
+		r.acquirePC = w.pcs
+		r.acquirePCN = w.npc
+		return w, next
+	}
+	r.owner.Store(nil)
+	r.state.Store(stateAlive)
+	r.shard.ownedRegions.Add(-1)
+	return nil, nil
 }
 
 // flushLocked merges the token's owner-local state into the region's
@@ -251,17 +546,30 @@ func (o *Owner) flushLocked(r *Region) {
 	o.m = ownerCounters{}
 }
 
-// Release returns the region to the shared state, flushing every
-// owner-local delta into the shared counters (the exactness edge) and
-// invalidating the token. An injected rcgo/own.release error is a
-// transient release failure: nothing has been flushed, the region stays
-// owned and the token stays valid, so the caller retries.
+// Release returns the region to the shared state — or hands it straight
+// to the next parked AcquireContext waiter — flushing every owner-local
+// delta into the shared counters (the exactness edge) and invalidating
+// the token. An injected rcgo/own.release error is a transient release
+// failure: nothing has been flushed, the region stays owned and the
+// token stays valid, so the caller retries. A token the OwnerWatchdog
+// has revoked fails with ErrOwnerRevoked: the region has already moved
+// on, and there is nothing left for this token to release.
 func (o *Owner) Release() error {
 	r := o.r
 	if r == nil {
 		return fmt.Errorf("%w: Release of a released token", ErrNotOwner)
 	}
+	if o.revoked.Load() {
+		return fmt.Errorf("%w: Release of region %d", ErrOwnerRevoked, r.id)
+	}
 	r.mu.Lock()
+	if r.owner.Load() != o {
+		// Revoked between the check above and taking mu: the watchdog
+		// installed a successor (or returned the region to the shared
+		// state) and this token's deltas were condemned with it.
+		r.mu.Unlock()
+		return fmt.Errorf("%w: Release of region %d", ErrOwnerRevoked, r.id)
+	}
 	// Failpoint at the head of the flush window, under mu: an error
 	// aborts before any flush; a delay or yield holds the window open
 	// while owner-local deltas are about to be merged.
@@ -270,15 +578,19 @@ func (o *Owner) Release() error {
 		return fmt.Errorf("%w: release of region %d", err, r.id)
 	}
 	o.flushLocked(r)
-	r.owner.Store(nil)
-	r.state.Store(stateAlive)
-	r.shard.ownedRegions.Add(-1)
+	w, next := r.handOffLocked()
 	r.mu.Unlock()
 	o.r = nil
 	if c := r.counters(); c != nil {
 		c.releases.Add(1)
 	}
 	r.arena.traceEvent(TraceRegionReleased, r)
+	if w != nil {
+		// The hazard-4 publication edge: flush (under mu) and the trace
+		// above are sequenced before this send; the waiter's receive in
+		// AcquireContext is sequenced before its first owned operation.
+		w.ready <- handoff{o: next}
+	}
 	return nil
 }
 
@@ -295,7 +607,14 @@ func (o *Owner) Delete() error {
 	if r == nil {
 		return fmt.Errorf("%w: Delete of a released token", ErrNotOwner)
 	}
+	if o.revoked.Load() {
+		return fmt.Errorf("%w: Delete of region %d", ErrOwnerRevoked, r.id)
+	}
 	r.mu.Lock()
+	if r.owner.Load() != o {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: Delete of region %d", ErrOwnerRevoked, r.id)
+	}
 	if err := fpOwnRelease.Eval(); err != nil {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: delete of owned region %d", err, r.id)
@@ -316,7 +635,12 @@ func (o *Owner) Delete() error {
 		return fmt.Errorf("%w (rc=%d)", ErrRegionInUse, n)
 	}
 	// No dying window: stateOwned already rejects every operation that
-	// stateDying guards against, so the transition is owned → dead.
+	// stateDying guards against, so the transition is owned → dead. Any
+	// parked AcquireContext waiters are failed wholesale — the region
+	// they were queueing for no longer exists.
+	waiters := r.waitq
+	r.waitq = nil
+	r.shard.acquireWaiters.Add(-int64(len(waiters)))
 	r.owner.Store(nil)
 	r.state.Store(stateDead)
 	r.shard.liveRegions.Add(-1)
@@ -329,8 +653,86 @@ func (o *Owner) Delete() error {
 	}
 	r.arena.traceEvent(TraceRegionReleased, r)
 	r.arena.traceEvent(TraceRegionDeleted, r)
+	for _, w := range waiters {
+		w.ready <- handoff{err: fmt.Errorf("%w: region %d deleted while waiting to acquire",
+			ErrRegionDeleted, r.id)}
+	}
 	r.reclaim()
 	return nil
+}
+
+// revokeOwner is the OwnerWatchdog's forced-release escape hatch: it
+// condemns the token `expect` and moves the region on — to the next
+// parked waiter, or back to the shared state — exactly as a Release
+// would, except that the condemned token's unflushed owner-local deltas
+// are DISCARDED rather than merged. The revoker never reads the token's
+// plain fields (that would race a still-running owner); it only sets
+// the token's one atomic and swaps the region's owner pointer under mu.
+// The cost of discarding: owned allocations and metric deltas made
+// through the condemned token vanish from the counters (consistently —
+// both per-region and shard sides miss them equally), and any rc units
+// held by parked SetRefOwned slots are leaked. That is the documented
+// price of tearing a token out of a crashed goroutine's hands; a
+// still-running owner that mutates through the token after revocation
+// is a data race, the same contract as using a token from two
+// goroutines.
+//
+// Returns false when expect no longer holds the region — a legitimate
+// Release (or Owner.Delete) won the race, and nothing happens.
+func (r *Region) revokeOwner(expect *Owner) bool {
+	r.mu.Lock()
+	if r.state.Load() != stateOwned || r.owner.Load() != expect {
+		r.mu.Unlock()
+		return false
+	}
+	expect.revoked.Store(true)
+	w, next := r.handOffLocked()
+	r.mu.Unlock()
+	if c := r.counters(); c != nil {
+		c.ownerRevocations.Add(1)
+	}
+	r.arena.traceEvent(TraceOwnerRevoked, r)
+	if w != nil {
+		w.ready <- handoff{o: next}
+	}
+	return true
+}
+
+// ownerInfo samples the ownership picture of the region under mu, for
+// the OwnerWatchdog and the /owners inspector: whether it is owned, the
+// current token, when and where it was acquired, and the wait-queue
+// depth.
+func (r *Region) ownerInfo() (held bool, o *Owner, since time.Time, site string, depth int) {
+	r.mu.Lock()
+	if r.state.Load() != stateOwned {
+		r.mu.Unlock()
+		return false, nil, time.Time{}, "", 0
+	}
+	o = r.owner.Load()
+	since = r.acquiredAt
+	pcs := r.acquirePC
+	npc := r.acquirePCN
+	depth = len(r.waitq)
+	r.mu.Unlock()
+	return true, o, since, acquireSite(pcs, npc), depth
+}
+
+// acquireSite renders a recorded acquire call stack as "file:line (fn)",
+// or "" when no frames were captured.
+func acquireSite(pcs [acquirePCDepth]uintptr, npc int) string {
+	if npc <= 0 {
+		return ""
+	}
+	frames := runtime.CallersFrames(pcs[:npc])
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			return fmt.Sprintf("%s:%d (%s)", f.File, f.Line, f.Function)
+		}
+		if !more {
+			return ""
+		}
+	}
 }
 
 // AllocOwned allocates a zero T in the owned region through its token,
@@ -356,6 +758,9 @@ func TryAllocOwned[T any](o *Owner) (*Obj[T], error) {
 	r := o.r
 	if r == nil {
 		return nil, fmt.Errorf("%w: owned allocation", ErrNotOwner)
+	}
+	if o.revoked.Load() {
+		return nil, fmt.Errorf("%w: owned allocation", ErrOwnerRevoked)
 	}
 	var obj *Obj[T]
 	if r.allocSlow {
@@ -383,6 +788,9 @@ func SetRefOwned[T any, H any](o *Owner, holder *Obj[H], slot *Ref[T], target *O
 	r := o.r
 	if r == nil {
 		return fmt.Errorf("%w: owned counted store", ErrNotOwner)
+	}
+	if o.revoked.Load() {
+		return fmt.Errorf("%w: owned counted store", ErrOwnerRevoked)
 	}
 	if holder.region != r {
 		return fmt.Errorf("%w: holder lives in region %d, token owns region %d",
@@ -422,6 +830,9 @@ func SetSameOwned[T any, H any](o *Owner, holder *Obj[H], slot *Ref[T], target *
 	if r == nil {
 		return fmt.Errorf("%w: owned sameregion store", ErrNotOwner)
 	}
+	if o.revoked.Load() {
+		return fmt.Errorf("%w: owned sameregion store", ErrOwnerRevoked)
+	}
 	if holder.region != r {
 		return fmt.Errorf("%w: holder lives in region %d, token owns region %d",
 			ErrNotOwner, holder.region.id, r.id)
@@ -448,6 +859,9 @@ func SetTradOwned[T any, H any](o *Owner, holder *Obj[H], slot *Ref[T], target *
 	r := o.r
 	if r == nil {
 		return fmt.Errorf("%w: owned traditional store", ErrNotOwner)
+	}
+	if o.revoked.Load() {
+		return fmt.Errorf("%w: owned traditional store", ErrOwnerRevoked)
 	}
 	if holder.region != r {
 		return fmt.Errorf("%w: holder lives in region %d, token owns region %d",
@@ -476,6 +890,9 @@ func SetParentOwned[T any, H any](o *Owner, holder *Obj[H], slot *Ref[T], target
 	r := o.r
 	if r == nil {
 		return fmt.Errorf("%w: owned parentptr store", ErrNotOwner)
+	}
+	if o.revoked.Load() {
+		return fmt.Errorf("%w: owned parentptr store", ErrOwnerRevoked)
 	}
 	if holder.region != r {
 		return fmt.Errorf("%w: holder lives in region %d, token owns region %d",

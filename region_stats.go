@@ -190,6 +190,18 @@ func (a *Arena) OwnedRegions() int64 {
 	return n
 }
 
+// AcquireWaiters returns the number of AcquireContext contenders
+// currently parked on wait queues across the arena (region_owner.go).
+// Zero at quiesce: every waiter eventually receives a hand-off, is
+// failed by its region's death, or removes itself on cancellation.
+func (a *Arena) AcquireWaiters() int64 {
+	var n int64
+	for i := range a.shards {
+		n += a.shards[i].acquireWaiters.Load()
+	}
+	return n
+}
+
 // LiveObjects returns the number of live objects across the arena,
 // draining the batched allocation deltas first (exact at quiesce, like
 // Stats).

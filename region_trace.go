@@ -62,6 +62,19 @@ const (
 	// shared state (Owner.Release), or Owner.Delete consumed it — the
 	// latter emits released followed by deleted and reclaimed.
 	TraceRegionReleased
+	// TraceAcquireBlocked: an AcquireContext contender found the region
+	// owned and parked on its wait queue (region_owner.go). Emitted by
+	// the waiter after parking; a later acquired event from the same
+	// goroutine means the hand-off reached it.
+	TraceAcquireBlocked
+	// TraceAcquireAborted: a parked AcquireContext gave up — its context
+	// was cancelled or its deadline expired — and left the queue (or
+	// disposed of a token that arrived too late).
+	TraceAcquireAborted
+	// TraceOwnerRevoked: the OwnerWatchdog's forced release condemned a
+	// stale Owner token (ErrOwnerRevoked) and moved the region on to the
+	// next waiter or back to the shared state.
+	TraceOwnerRevoked
 )
 
 // String names the event kind.
@@ -83,6 +96,12 @@ func (k TraceKind) String() string {
 		return "acquired"
 	case TraceRegionReleased:
 		return "released"
+	case TraceAcquireBlocked:
+		return "acquire-blocked"
+	case TraceAcquireAborted:
+		return "acquire-aborted"
+	case TraceOwnerRevoked:
+		return "owner-revoked"
 	}
 	return fmt.Sprintf("TraceKind(%d)", int32(k))
 }
@@ -111,6 +130,12 @@ func (k *TraceKind) UnmarshalText(b []byte) error {
 		*k = TraceRegionAcquired
 	case "released":
 		*k = TraceRegionReleased
+	case "acquire-blocked":
+		*k = TraceAcquireBlocked
+	case "acquire-aborted":
+		*k = TraceAcquireAborted
+	case "owner-revoked":
+		*k = TraceOwnerRevoked
 	default:
 		return fmt.Errorf("unknown trace kind %q", b)
 	}

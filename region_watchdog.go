@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -328,6 +329,233 @@ func (w *ZombieWatchdog) Start(interval time.Duration) {
 // Stop halts the background checker and waits for it to exit. No-op if
 // Start was never called; safe to call more than once.
 func (w *ZombieWatchdog) Stop() {
+	if w.stop == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// StaleOwner describes one region held through an Owner token longer
+// than the owner watchdog's threshold, with the evidence an operator
+// needs: how long the current token has been held, where it was
+// acquired, and how many AcquireContext contenders are queued behind
+// it.
+type StaleOwner struct {
+	ID int64 `json:"id"`
+	// Age is how long the current token had been held when flagged
+	// (measured from the region's own acquire timestamp, so a hand-off
+	// that re-minted the token resets it).
+	Age time.Duration `json:"age_ns"`
+	// AcquireSite is the "file:line (func)" of the call that minted the
+	// current token — the TryAcquire/Acquire caller, or the parked
+	// AcquireContext waiter the token was handed to. Empty if no frames
+	// were captured.
+	AcquireSite string `json:"acquire_site,omitempty"`
+	// QueueDepth is the number of waiters parked behind the stale owner
+	// at flag time.
+	QueueDepth int `json:"queue_depth"`
+	// Revoked reports that this pass forcibly revoked the token
+	// (ForceReleaseAfter elapsed): the region moved on and the stale
+	// token now fails every operation with ErrOwnerRevoked.
+	Revoked bool `json:"revoked,omitempty"`
+}
+
+// OwnerWatchdog flags regions that stay exclusively owned longer than a
+// threshold — the ownership analogue of ZombieWatchdog, for the failure
+// mode where a goroutine acquires a region and then stalls or crashes
+// without releasing, wedging every parked AcquireContext waiter behind
+// it. It is a Tracer: install it with Arena.SetTracer (chaining any
+// previous tracer through next) and it learns acquire and release times
+// from the TraceRegionAcquired / TraceRegionReleased /
+// TraceOwnerRevoked events. Each Check (called directly, or
+// periodically after Start):
+//
+//  1. verifies against the region's own acquire timestamp — a region
+//     whose token was handed onward since the trace event is younger
+//     than the watchdog's notebook says and is skipped, not flagged;
+//  2. flags every region owned past the threshold, reporting the
+//     holder's acquire site and the current queue depth to the OnStale
+//     callback (if set);
+//  3. optionally, when ForceReleaseAfter is set and exceeded, revokes
+//     the stale token (Region.revokeOwner): the token fails every
+//     subsequent operation with ErrOwnerRevoked, its unflushed deltas
+//     are discarded, and the region is handed to the next waiter or
+//     returned to the shared state. The escape hatch is off by default
+//     — revocation tears a token out of a possibly-running goroutine's
+//     hands and is only safe when the owner is known to be wedged.
+type OwnerWatchdog struct {
+	arena     *Arena
+	next      Tracer
+	threshold time.Duration
+
+	// ForceReleaseAfter, when positive, is the held-age beyond which a
+	// Check forcibly revokes the stale token. Zero disables forced
+	// release (detection only). Set before installing the watchdog.
+	ForceReleaseAfter time.Duration
+
+	// OnStale, if non-nil, receives every flagged stale owner, once per
+	// Check that finds it still held. Set before installing the
+	// watchdog as a tracer.
+	OnStale func(StaleOwner)
+
+	// now is the clock, injectable in tests.
+	now func() time.Time
+
+	mu      sync.Mutex
+	pending map[int64]time.Time // owned region id -> when acquired
+
+	flagged atomic.Int64
+	revoked atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewOwnerWatchdog creates an owner watchdog for a with the given
+// held-age threshold. next, if non-nil, receives every trace event
+// after the watchdog has seen it, so it chains with a RingTracer or a
+// ZombieWatchdog:
+//
+//	ring := rcgo.NewRingTracer(1024)
+//	w := rcgo.NewOwnerWatchdog(arena, time.Second, ring)
+//	arena.SetTracer(w)
+func NewOwnerWatchdog(a *Arena, threshold time.Duration, next Tracer) *OwnerWatchdog {
+	return &OwnerWatchdog{
+		arena:     a,
+		next:      next,
+		threshold: threshold,
+		now:       time.Now,
+		pending:   make(map[int64]time.Time),
+	}
+}
+
+// Trace implements Tracer: acquires start the clock on a region,
+// releases and revocations clear it; every event is forwarded to the
+// chained tracer. The hand-off protocol orders a released event before
+// the successor's acquired event (the release is sequenced before the
+// channel send that wakes the waiter), so the pending map never drops
+// an update from out-of-order delivery of one region's events.
+func (w *OwnerWatchdog) Trace(ev TraceEvent) {
+	switch ev.Kind {
+	case TraceRegionAcquired:
+		w.mu.Lock()
+		w.pending[ev.Region] = w.now()
+		w.mu.Unlock()
+	case TraceRegionReleased, TraceOwnerRevoked:
+		w.mu.Lock()
+		delete(w.pending, ev.Region)
+		w.mu.Unlock()
+	}
+	if w.next != nil {
+		w.next.Trace(ev)
+	}
+}
+
+// Unwrap returns the chained tracer, so inspectors (DebugHandler's
+// trace stats) can reach a RingTracer underneath the watchdog.
+func (w *OwnerWatchdog) Unwrap() Tracer { return w.next }
+
+// Check runs one watchdog pass and returns the regions flagged as
+// stalely owned, sorted by id. See the type comment for what one pass
+// does.
+func (w *OwnerWatchdog) Check() []StaleOwner {
+	now := w.now()
+	w.mu.Lock()
+	var due []int64
+	for id, since := range w.pending {
+		if now.Sub(since) >= w.threshold {
+			due = append(due, id)
+		}
+	}
+	w.mu.Unlock()
+	if len(due) == 0 {
+		return nil
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+
+	var stale []StaleOwner
+	for _, id := range due {
+		r := w.arena.findRegion(id)
+		if r == nil {
+			// Released and reclaimed between the event and this pass.
+			w.forget(id)
+			continue
+		}
+		held, owner, since, site, depth := r.ownerInfo()
+		if !held {
+			// Released since; the released event will (or did) clear
+			// pending.
+			w.forget(id)
+			continue
+		}
+		// The region's own timestamp is authoritative: a hand-off since
+		// the traced acquire re-minted the token, and the new holder gets
+		// its own full threshold. Update the notebook, don't flag.
+		age := now.Sub(since)
+		if age < w.threshold {
+			w.mu.Lock()
+			w.pending[id] = since
+			w.mu.Unlock()
+			continue
+		}
+		so := StaleOwner{ID: id, Age: age, AcquireSite: site, QueueDepth: depth}
+		if w.ForceReleaseAfter > 0 && age >= w.ForceReleaseAfter {
+			if r.revokeOwner(owner) {
+				so.Revoked = true
+				w.revoked.Add(1)
+				w.forget(id)
+			}
+		}
+		stale = append(stale, so)
+		w.flagged.Add(1)
+		if w.OnStale != nil {
+			w.OnStale(so)
+		}
+	}
+	return stale
+}
+
+func (w *OwnerWatchdog) forget(id int64) {
+	w.mu.Lock()
+	delete(w.pending, id)
+	w.mu.Unlock()
+}
+
+// Flagged returns the cumulative number of stale-owner reports made.
+func (w *OwnerWatchdog) Flagged() int64 { return w.flagged.Load() }
+
+// Revoked returns the cumulative number of stale tokens the watchdog
+// forcibly revoked.
+func (w *OwnerWatchdog) Revoked() int64 { return w.revoked.Load() }
+
+// Start runs Check every interval on a background goroutine until
+// Stop. Start may be called at most once.
+func (w *OwnerWatchdog) Start(interval time.Duration) {
+	if w.stop != nil {
+		panic("rcgo: OwnerWatchdog.Start called twice")
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Check()
+			}
+		}
+	}()
+}
+
+// Stop halts the background checker and waits for it to exit. No-op if
+// Start was never called; safe to call more than once.
+func (w *OwnerWatchdog) Stop() {
 	if w.stop == nil {
 		return
 	}
