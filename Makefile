@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-shuffle vet staticcheck race check benchlint-files advise-smoke own-smoke contend-smoke chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
+.PHONY: all build test test-short test-shuffle vet staticcheck race check benchlint-files advise-smoke own-smoke contend-smoke slab-smoke docs-check chaos chaos-smoke bench bench-smoke experiments examples fuzz fuzz-delete clean
 
 all: check
 
@@ -44,9 +44,10 @@ race:
 	$(GO) test -race -short ./...
 
 # The default verification gate: build cleanliness, static analysis,
-# the full test suite, the race pass over the concurrent API, and the
-# checked-in benchmark reports revalidated against the current schema.
-check: vet staticcheck test test-shuffle race benchlint-files advise-smoke own-smoke contend-smoke
+# the full test suite, the race pass over the concurrent API, the
+# checked-in benchmark reports revalidated against the current schema,
+# and the documentation anchored to the tree it describes.
+check: vet staticcheck test test-shuffle race benchlint-files advise-smoke own-smoke contend-smoke slab-smoke docs-check
 
 # Every committed rcbench report must still satisfy the benchlint
 # invariants — catches schema drift against historical BENCH_*.json.
@@ -83,6 +84,23 @@ own-smoke:
 contend-smoke:
 	$(GO) run rcgo/cmd/rcbench -json -reps 1 -scale 2 -workloads moss -contend-ab 1 -contend-cpu 2 | $(GO) run rcgo/cmd/benchlint
 	$(GO) run -race rcgo/cmd/rcchaos -phase contention -seed 1 -workers 4 -conc-ops 300 -q
+
+# Off-heap slab end-to-end gate: a 1-round -slab-ab report (exercises
+# WithOffHeapSlabs, the pointer-free admission gate, reclaim-time page
+# return, the GC-pressure cell and the "slab" schema section) piped
+# through benchlint, then the slab chaos phase alone under the race
+# detector with the slab.map failpoint armed — the phase fails on any
+# leaked page. One round proves the machinery — BENCH_pr10_slab.json
+# records the real best-of run.
+slab-smoke:
+	$(GO) run rcgo/cmd/rcbench -json -reps 1 -scale 2 -workloads moss -slab-ab 1 -slab-cpu 2 | $(GO) run rcgo/cmd/benchlint
+	$(GO) run -race rcgo/cmd/rcchaos -phase slab -seed 1 -workers 4 -conc-ops 300 -q
+
+# Documentation anchor gate: every path named in ARCHITECTURE.md's
+# tables must exist on disk, and every "DESIGN.md §N" cross-reference
+# in *.go and *.md must resolve to a real numbered section.
+docs-check:
+	$(GO) run rcgo/cmd/docscheck
 
 # Chaos harness under the race detector: a seeded sequential phase
 # checked op-by-op against the reference model of the delete state

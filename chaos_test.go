@@ -32,8 +32,8 @@ func TestChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Coverage) != 8 {
-		t.Fatalf("expected 8 instrumented sites, got %d: %+v", len(rep.Coverage), rep.Coverage)
+	if len(rep.Coverage) != 9 {
+		t.Fatalf("expected 9 instrumented sites, got %d: %+v", len(rep.Coverage), rep.Coverage)
 	}
 	for _, st := range rep.Coverage {
 		if st.Fires == 0 {
@@ -92,6 +92,19 @@ func TestChaos(t *testing.T) {
 	}
 	if rep.Contention.Revocations == 0 {
 		t.Error("contention phase never exercised watchdog revocation")
+	}
+	if !rep.Slab.Audit.OK {
+		t.Errorf("slab quiesced audit not clean: %s", rep.Slab.Audit)
+	}
+	if rep.Slab.SlabRefills == 0 {
+		t.Error("slab phase never carved a slab-backed chunk")
+	}
+	if rep.Slab.SlabRefills != rep.Slab.SlabReleases {
+		t.Errorf("slab phase page drift: refills=%d releases=%d",
+			rep.Slab.SlabRefills, rep.Slab.SlabReleases)
+	}
+	if rep.Slab.SlabPagesLeaked != 0 {
+		t.Errorf("slab phase leaked %d pages at quiesce", rep.Slab.SlabPagesLeaked)
 	}
 }
 

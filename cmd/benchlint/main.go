@@ -5,9 +5,10 @@
 // It checks the invariants every rcgo.bench/1 document must satisfy —
 // the schema tag, at least one workload, positive times, non-negative
 // counters, a non-zero store total, and (when the optional parallel,
-// fabric, advisor, ownership or contention sections are present)
+// fabric, advisor, ownership, contention or slab sections are present)
 // positive A/B timings per cell, plus a sane shard/backdrop geometry
-// on fabric cells — and exits
+// on fabric cells and non-negative GC-pressure brackets on slab cells
+// — and exits
 // non-zero with a message naming the first violation. `make
 // bench-smoke` runs a tiny report through it as a sanity gate.
 package main
@@ -180,6 +181,49 @@ func main() {
 			fail("%s: baseline_ns_op = %g, want > 0", ob.Name, ob.BaselineNs)
 		}
 	}
+	seenSlab := make(map[string]bool)
+	for i, sb := range report.Slab {
+		if sb.Name == "" {
+			fail("slab cell %d has no name", i)
+		}
+		if seenSlab[sb.Name] {
+			fail("slab cell %q appears twice", sb.Name)
+		}
+		seenSlab[sb.Name] = true
+		if sb.CPU <= 0 {
+			fail("%s: cpu = %d, want > 0", sb.Name, sb.CPU)
+		}
+		if sb.BestOf <= 0 {
+			fail("%s: best_of = %d, want > 0", sb.Name, sb.BestOf)
+		}
+		if sb.NsPerOp <= 0 {
+			fail("%s: ns_op = %g, want > 0", sb.Name, sb.NsPerOp)
+		}
+		if sb.BaselineNs <= 0 {
+			fail("%s: baseline_ns_op = %g, want > 0", sb.Name, sb.BaselineNs)
+		}
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"baseline_heap_bytes", sb.HeapBytes},
+			{"heap_bytes", sb.SlabHeapBytes},
+			{"baseline_gc_pause_ns", sb.GCPauseNs},
+			{"gc_pause_ns", sb.SlabGCPauseNs},
+			{"baseline_num_gc", sb.NumGC},
+			{"num_gc", sb.SlabNumGC},
+		} {
+			if c.v < 0 {
+				fail("%s: %s = %d, want >= 0", sb.Name, c.name, c.v)
+			}
+		}
+		// A GC-pressure cell (a nonzero MemStats bracket on either side)
+		// must have measured some baseline heap traffic — an all-zero
+		// baseline means the bracket never ran.
+		if (sb.SlabHeapBytes != 0 || sb.GCPauseNs != 0 || sb.SlabGCPauseNs != 0) && sb.HeapBytes == 0 {
+			fail("%s: GC-pressure cell recorded no baseline heap bytes", sb.Name)
+		}
+	}
 	seenCon := make(map[string]bool)
 	for i, cb := range report.Contention {
 		if cb.Name == "" {
@@ -203,10 +247,10 @@ func main() {
 		}
 	}
 	if len(report.Parallel) > 0 || len(report.Fabric) > 0 || len(report.Advisor) > 0 ||
-		len(report.Ownership) > 0 || len(report.Contention) > 0 {
-		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells, %d advisor cells, %d ownership cells, %d contention cells)\n",
+		len(report.Ownership) > 0 || len(report.Contention) > 0 || len(report.Slab) > 0 {
+		fmt.Printf("benchlint: ok (%d workloads, %d parallel cells, %d fabric cells, %d advisor cells, %d ownership cells, %d contention cells, %d slab cells)\n",
 			len(report.Workloads), len(report.Parallel), len(report.Fabric), len(report.Advisor),
-			len(report.Ownership), len(report.Contention))
+			len(report.Ownership), len(report.Contention), len(report.Slab))
 		return
 	}
 	fmt.Printf("benchlint: ok (%d workloads)\n", len(report.Workloads))

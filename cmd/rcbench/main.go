@@ -14,6 +14,7 @@
 //	rcbench -advisor-ab 10 -advisor-cpu 8   # annotation-advisor gate A/B
 //	rcbench -own-ab 10 -own-cpu 2    # ownership fast-path A/B (shared vs Owner token)
 //	rcbench -contend-ab 10 -contend-cpu 4   # blocking-acquisition A/B (fast path + hand-off storm)
+//	rcbench -slab-ab 10 -slab-cpu 4  # off-heap slab A/B (GC-heap chunks vs slab store, with a GC-pressure cell)
 //	rcbench -advise              # profile a deliberately un-annotated
 //	                             # grobner-mix replay and print the
 //	                             # advisor's upgrade table; exits non-zero
@@ -56,6 +57,8 @@ func main() {
 	ownCPU := flag.Int("own-cpu", 2, "GOMAXPROCS for the -own-ab benchmarks")
 	contendAB := flag.Int("contend-ab", 0, "run the blocking-acquisition A/B benchmarks (TryAcquire cycle vs AcquireContext, uncontended and under a hand-off storm), best of N interleaved runs per side (0 = skip)")
 	contendCPU := flag.Int("contend-cpu", 4, "GOMAXPROCS (and contender count) for the -contend-ab benchmarks")
+	slabAB := flag.Int("slab-ab", 0, "run the off-heap slab A/B benchmarks (GC-heap chunks vs the slab backing store, plus a GC-pressure cell), best of N interleaved runs per side (0 = skip)")
+	slabCPU := flag.Int("slab-cpu", 4, "GOMAXPROCS for the -slab-ab benchmarks")
 	advise := flag.Bool("advise", false, "replay the grobner op mix un-annotated through an advisor-armed arena and print the upgrade table; exit non-zero if no upgrade candidate is found")
 	adviseAllocs := flag.Int("advise-allocs", 0, "allocation count for the -advise replay (0 = default)")
 	flag.Parse()
@@ -106,6 +109,12 @@ func main() {
 				fail(err)
 			}
 		}
+		if *slabAB > 0 {
+			report.Slab, err = exp.SlabAB(*slabCPU, *slabAB)
+			if err != nil {
+				fail(err)
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -123,7 +132,7 @@ func main() {
 		if rep.UpgradeCandidates == 0 {
 			fail(fmt.Errorf("advise replay found no upgrade candidates — the advisor lost the flavour lattice"))
 		}
-		if *allocAB == 0 && *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *table == 0 && *figure == 0 {
+		if *allocAB == 0 && *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *slabAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -135,7 +144,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintAllocAB(os.Stdout, cells)
-		if *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *table == 0 && *figure == 0 {
+		if *fabricAB == 0 && *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *slabAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -147,7 +156,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintFabricAB(os.Stdout, cells)
-		if *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *table == 0 && *figure == 0 {
+		if *advisorAB == 0 && *ownAB == 0 && *contendAB == 0 && *slabAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -159,7 +168,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintAdvisorAB(os.Stdout, cells)
-		if *ownAB == 0 && *contendAB == 0 && *table == 0 && *figure == 0 {
+		if *ownAB == 0 && *contendAB == 0 && *slabAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -171,7 +180,7 @@ func main() {
 			fail(err)
 		}
 		exp.PrintOwnAB(os.Stdout, cells)
-		if *contendAB == 0 && *table == 0 && *figure == 0 {
+		if *contendAB == 0 && *slabAB == 0 && *table == 0 && *figure == 0 {
 			return
 		}
 		fmt.Println()
@@ -183,6 +192,18 @@ func main() {
 			fail(err)
 		}
 		exp.PrintContendAB(os.Stdout, cells)
+		if *slabAB == 0 && *table == 0 && *figure == 0 {
+			return
+		}
+		fmt.Println()
+	}
+
+	if *slabAB > 0 {
+		cells, err := exp.SlabAB(*slabCPU, *slabAB)
+		if err != nil {
+			fail(err)
+		}
+		exp.PrintSlabAB(os.Stdout, cells)
 		if *table == 0 && *figure == 0 {
 			return
 		}

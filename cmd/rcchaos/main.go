@@ -1,11 +1,12 @@
 // Command rcchaos runs the chaos harness for the concurrent region
 // runtime (internal/chaos): a seeded sequential phase checked op-by-op
-// against a reference model of the delete state machine, then six
+// against a reference model of the delete state machine, then seven
 // concurrent phases — scheduler perturbation, error injection,
 // allocation churn through the fast path's caches, multi-shard
 // fabric churn with hundreds of live regions, ownership hand-off
-// churn around a token ring, and a contention storm of blocking
-// acquirers against one hub region — with failpoints armed on every
+// churn around a token ring, a contention storm of blocking
+// acquirers against one hub region, and off-heap slab churn with
+// injected map failures and immediate page reclaim — with failpoints armed on every
 // instrumented lifecycle edge, a zombie watchdog patrolling (an owner
 // watchdog in the contention phase), and Arena.Audit required clean
 // at every quiesce point.
@@ -102,6 +103,9 @@ func main() {
 		rep.Contention.Ops, rep.Contention.AcquireWaits, rep.Contention.AcquireTimeouts,
 		rep.Contention.AcquireCancels, rep.Contention.Acquires, rep.Contention.Releases,
 		rep.Contention.Revocations, len(rep.Contention.Audit.Violations))
+	fmt.Printf("rcchaos: concurrent/slab: %d ops, allocs=%d slab refills=%d releases=%d leaked=%d, audit violations=%d\n",
+		rep.Slab.Ops, rep.Slab.AllocSuccesses, rep.Slab.SlabRefills,
+		rep.Slab.SlabReleases, rep.Slab.SlabPagesLeaked, len(rep.Slab.Audit.Violations))
 	fmt.Println("rcchaos: failpoint site coverage:")
 	for _, st := range rep.Coverage {
 		fmt.Printf("rcchaos:   %-24s evals=%-8d fires=%d\n", st.Name, st.Evals, st.Fires)

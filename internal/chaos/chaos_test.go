@@ -42,6 +42,13 @@ func TestSequentialModelWithFailpoints(t *testing.T) {
 			// schedule cannot produce; the contention phase covers it.
 			continue
 		}
+		if name == "rcgo/slab.map" {
+			// The slab carve needs a backing store and a pointer-free
+			// payload; the model's node carries Ref slots, so the
+			// sequential schedule can never reach the site. The slab
+			// phase covers it.
+			continue
+		}
 		if n == before[name] {
 			t.Errorf("site %s never fired", name)
 		}
@@ -197,8 +204,8 @@ func fires(t *testing.T) map[string]uint64 {
 	for _, st := range siteCoverage() {
 		out[st.Name] = st.Fires
 	}
-	if len(out) != 8 {
-		t.Fatalf("expected 8 rcgo sites, got %v", out)
+	if len(out) != 9 {
+		t.Fatalf("expected 9 rcgo sites, got %v", out)
 	}
 	return out
 }

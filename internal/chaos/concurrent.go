@@ -104,6 +104,21 @@ func ContentionRules(seed uint64) map[string]failpoint.Rule {
 	}
 }
 
+// SlabRules arms the sites for the slab phase: injected map failures on
+// the slab refill edge (the only error a backing store may surface, as
+// a transient allocator failure), refused GC-heap refills so the
+// fallback path churns too, and yields inside the delete windows so
+// region reclaim — which returns slab pages for immediate reuse —
+// races the carve-and-track window as often as possible.
+func SlabRules(seed uint64) map[string]failpoint.Rule {
+	return map[string]failpoint.Rule{
+		"rcgo/slab.map":     {Action: failpoint.ActionError, Num: 1, Den: 7, Seed: seed},
+		"rcgo/alloc.refill": {Action: failpoint.ActionError, Num: 1, Den: 11, Seed: seed},
+		"rcgo/delete.dying": {Action: failpoint.ActionYield, Num: 1, Den: 3, Seed: seed, Yields: 2},
+		"rcgo/zombie.drain": {Action: failpoint.ActionYield, Num: 1, Den: 4, Seed: seed},
+	}
+}
+
 // ConcConfig sizes one concurrent phase.
 type ConcConfig struct {
 	Seed    int64
@@ -160,6 +175,14 @@ type ConcResult struct {
 	AcquireWaits    int64
 	AcquireTimeouts int64
 	AcquireCancels  int64
+	// SlabRefills / SlabReleases / SlabPagesLeaked are set by the slab
+	// phase only: chunks carved from the off-heap backing store, pages
+	// returned at region reclaim, and the store's in-use page count at
+	// quiesce. A quiesced run must show SlabRefills == SlabReleases and
+	// SlabPagesLeaked == 0 — a shortfall is a page the reclaim path lost.
+	SlabRefills     int64
+	SlabReleases    int64
+	SlabPagesLeaked int64
 }
 
 // advisorCounts is the workers' own tally of successful non-nil stores,
@@ -1130,10 +1153,221 @@ func RunContention(cfg ConcConfig) (ConcResult, error) {
 	return res, nil
 }
 
+// slabRec is the slab phase's payload: pointer-free, so the admission
+// gate (rcgo.chunkSlabEligible) routes its chunks to the off-heap
+// backing store. The fields carry a checksum pattern the workers verify
+// while they legitimately hold the object — any cross-region page
+// recycling bug shows up as a corrupted payload here before the
+// accounting judges even run.
+type slabRec struct {
+	Seq, Tag int64
+	Pad      [4]int64
+}
+
+// RunSlab runs the off-heap slab phase: a rcgo.WithOffHeapSlabs arena
+// whose workers churn regions full of pointer-free payloads (slab-
+// backed chunks) interleaved with pointer-carrying node payloads
+// (GC-heap chunks — the admission gate must keep the two apart), while
+// the rcgo/slab.map failpoint (SlabRules) injects map failures into the
+// refill edge and yields stretch the delete windows so reclaim's
+// immediate page return races the carve-and-track window. Workers write
+// and verify payload checksums only while they own the region or hold a
+// pin — the pointer-safety contract's sanctioned shapes (DESIGN.md
+// §16); shared regions are swapped out and deferred-deleted under the
+// other workers' feet, so pinned verification races page recycling
+// constantly.
+//
+// The judges are the page-accounting contract at quiesce: zero in-use
+// pages left in the store (every page carved for a region came back at
+// its reclaim), SlabRefills == SlabReleases exactly, a clean audit
+// (including the slab-pages-total and slab-store-accounting rules), the
+// usual alloc-exactness check, and nothing left alive. Closing the
+// store must be idempotent.
+func RunSlab(cfg ConcConfig) (ConcResult, error) {
+	var res ConcResult
+	a := rcgo.NewArena(rcgo.WithOffHeapSlabs(), rcgo.WithMetrics())
+	defer a.CloseBackingStore()
+	ring := rcgo.NewRingTracer(1 << 14)
+	a.SetTracer(ring)
+
+	const sharedN = 4
+	var shared [sharedN]atomic.Pointer[rcgo.Region]
+	for i := range shared {
+		shared[i].Store(a.NewRegion())
+	}
+
+	for name, r := range cfg.Rules {
+		if err := failpoint.Enable(name, r); err != nil {
+			return res, err
+		}
+	}
+	defer failpoint.DisableAll()
+
+	var successes atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(wid int, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < cfg.Ops; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					// Private region burst: this worker is the region's only
+					// user, so plain Value writes are sanctioned until its own
+					// delete below. The burst spans chunk boundaries, and the
+					// checksum verifies the slab pages were not recycled early.
+					r := a.NewRegion()
+					burst := 8 + rng.Intn(24)
+					objs := make([]*rcgo.Obj[slabRec], 0, burst)
+					for n := 0; n < burst; n++ {
+						o, err := rcgo.TryAlloc[slabRec](r)
+						if err != nil {
+							if !tolerable(err) {
+								errs <- fmt.Errorf("slab private alloc: %w", err)
+								return
+							}
+							continue
+						}
+						successes.Add(1)
+						o.Value.Seq, o.Value.Tag = int64(len(objs)), int64(wid)
+						objs = append(objs, o)
+					}
+					for n, o := range objs {
+						if o.Value.Seq != int64(n) || o.Value.Tag != int64(wid) {
+							errs <- fmt.Errorf("slab payload corrupted: seq=%d tag=%d, want seq=%d tag=%d",
+								o.Value.Seq, o.Value.Tag, n, wid)
+							return
+						}
+					}
+					if rng.Intn(2) == 0 {
+						ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+						err := r.DeleteWithRetry(ctx, rcgo.Backoff{Initial: 20 * time.Microsecond})
+						cancel()
+						if !tolerable(err) {
+							errs <- fmt.Errorf("slab private delete: %w", err)
+							return
+						}
+					} else {
+						r.DeleteDeferred()
+					}
+				case 2:
+					// Shared-region alloc with pinned verification: the pin is
+					// the sanctioned handle shape — it holds the region past
+					// any concurrent swap-and-delete, so the payload write
+					// cannot land in a recycled page.
+					target := shared[rng.Intn(sharedN)].Load()
+					o, err := rcgo.TryAlloc[slabRec](target)
+					if err != nil {
+						if !tolerable(err) {
+							errs <- fmt.Errorf("slab shared alloc: %w", err)
+							return
+						}
+						break
+					}
+					successes.Add(1)
+					if unpin, perr := rcgo.TryPin(o); perr == nil {
+						o.Value.Seq, o.Value.Tag = int64(i), int64(wid)
+						if o.Value.Tag != int64(wid) {
+							errs <- fmt.Errorf("slab pinned payload corrupted: tag=%d want %d", o.Value.Tag, wid)
+							unpin()
+							return
+						}
+						unpin()
+					} else if !tolerable(perr) {
+						errs <- fmt.Errorf("slab pin: %w", perr)
+						return
+					}
+				case 3:
+					// Pointer-carrying payloads ride the ordinary GC-heap
+					// chunk path through the same regions: the admission gate
+					// must keep them off the slab pages without disturbing the
+					// accounting.
+					target := shared[rng.Intn(sharedN)].Load()
+					if _, err := rcgo.TryAlloc[node](target); err == nil {
+						successes.Add(1)
+					} else if !tolerable(err) {
+						errs <- fmt.Errorf("slab heap alloc: %w", err)
+						return
+					}
+				}
+				if rng.Intn(97) == 0 {
+					// Swap a shared region while other workers still allocate
+					// into the old one — reclaim's page return racing carves.
+					old := shared[rng.Intn(sharedN)].Swap(a.NewRegion())
+					old.DeleteDeferred()
+				}
+			}
+		}(w, cfg.Seed+int64(w)*12289)
+	}
+	wg.Wait()
+	res.Ops = cfg.Workers * cfg.Ops
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	// Quiesce: disarm, delete what the swaps left behind, then judge the
+	// page accounting.
+	failpoint.DisableAll()
+	for i := range shared {
+		shared[i].Load().DeleteDeferred()
+	}
+	res.SweptAtQuiesce = a.SweepZombies()
+	res.TraceStats = ring.TraceStats()
+	res.Audit = a.Audit()
+	counters := a.Counters()
+	res.AllocSuccesses = successes.Load()
+	res.AllocFlushes = counters.AllocFlushes
+	res.SlabRefills = counters.SlabRefills
+	res.SlabReleases = counters.SlabReleases
+	ss, attached := a.SlabStats()
+	if !attached {
+		return res, fmt.Errorf("slab phase: no backing store attached")
+	}
+	res.SlabPagesLeaked = ss.InUsePages
+	if !res.Audit.OK {
+		return res, fmt.Errorf("quiesced slab audit failed:\n%s", res.Audit)
+	}
+	if res.SlabPagesLeaked != 0 {
+		return res, fmt.Errorf("slab pages leaked at quiesce: %d in use (refills=%d releases=%d)",
+			res.SlabPagesLeaked, res.SlabRefills, res.SlabReleases)
+	}
+	if res.SlabRefills == 0 {
+		return res, fmt.Errorf("slab phase inert: no chunk was ever slab-backed")
+	}
+	if res.SlabRefills != res.SlabReleases {
+		return res, fmt.Errorf("slab page drift: %d refills vs %d releases", res.SlabRefills, res.SlabReleases)
+	}
+	if counters.Allocs != res.AllocSuccesses {
+		return res, fmt.Errorf("slab alloc drift: arena counted %d allocs, workers observed %d successes",
+			counters.Allocs, res.AllocSuccesses)
+	}
+	if got := a.LiveObjects(); got != 0 {
+		return res, fmt.Errorf("quiesce: LiveObjects = %d, want 0", got)
+	}
+	if got := a.LiveRegions(); got != 1 {
+		return res, fmt.Errorf("quiesce: LiveRegions = %d, want 1 (traditional)", got)
+	}
+	if got := a.DeferredRegions(); got != 0 {
+		return res, fmt.Errorf("quiesce: DeferredRegions = %d, want 0", got)
+	}
+	if err := a.CloseBackingStore(); err != nil {
+		return res, fmt.Errorf("quiesce: close backing store: %w", err)
+	}
+	if err := a.CloseBackingStore(); err != nil {
+		return res, fmt.Errorf("quiesce: second close not idempotent: %w", err)
+	}
+	return res, nil
+}
+
 // Config sizes a full chaos run: one sequential model-checked phase,
 // then a perturbation-mix and an error-mix concurrent phase, then the
 // allocation-churn phase, then the multi-shard fabric phase, then the
-// ownership hand-off phase, then the contention phase.
+// ownership hand-off phase, then the contention phase, then the
+// off-heap slab phase.
 type Config struct {
 	Seed    int64
 	SeqOps  int
@@ -1154,6 +1388,7 @@ type Report struct {
 	Fabric      ConcResult
 	Ownership   ConcResult
 	Contention  ConcResult
+	Slab        ConcResult
 	// Coverage is the post-run failpoint counter snapshot; every
 	// instrumented site must show Fires > 0 for the run to count.
 	Coverage []failpoint.Stats
@@ -1264,6 +1499,18 @@ func Run(cfg Config) (*Report, error) {
 		res.Ops, res.AcquireWaits, res.AcquireTimeouts, res.AcquireCancels,
 		res.Acquires, res.Releases, res.Revocations)
 
+	logf("phase 8: off-heap slabs, %d workers x %d ops, injected map failures + swapped shared regions", cfg.Workers, cfg.ConcOps)
+	res, err = RunSlab(ConcConfig{
+		Seed: cfg.Seed + 7, Workers: cfg.Workers, Ops: cfg.ConcOps,
+		Rules: SlabRules(uint64(cfg.Seed) + 7),
+	})
+	rep.Slab = res
+	if err != nil {
+		return rep, fmt.Errorf("slab phase: %w", err)
+	}
+	logf("phase 8: ok, %d ops, %d slab refills all released, zero leaked pages, zero drift",
+		res.Ops, res.SlabRefills)
+
 	rep.Coverage = siteCoverage()
 	if un := rep.Uncovered(); len(un) > 0 {
 		return rep, fmt.Errorf("failpoint sites never fired: %v", un)
@@ -1274,7 +1521,7 @@ func Run(cfg Config) (*Report, error) {
 // PhaseNames lists the chaos phases in run order, by the names RunPhase
 // accepts.
 func PhaseNames() []string {
-	return []string{"seq", "perturb", "errors", "alloc-churn", "fabric", "ownership", "contention"}
+	return []string{"seq", "perturb", "errors", "alloc-churn", "fabric", "ownership", "contention", "slab"}
 }
 
 // RunPhase executes a single named phase with the same seed offset and
@@ -1315,6 +1562,7 @@ func RunPhase(name string, cfg Config) (*Report, error) {
 		"fabric":      {4, FabricRules, RunFabric, &rep.Fabric},
 		"ownership":   {5, OwnershipRules, RunOwnership, &rep.Ownership},
 		"contention":  {6, ContentionRules, RunContention, &rep.Contention},
+		"slab":        {7, SlabRules, RunSlab, &rep.Slab},
 	}
 	p, ok := phases[name]
 	if !ok {

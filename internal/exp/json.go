@@ -96,6 +96,12 @@ type BenchReport struct {
 	// fast path and then under a many-worker hand-off storm. Optional
 	// for the same reason as Parallel.
 	Contention []ContentionReport `json:"contention,omitempty"`
+	// Slab is the optional interleaved A/B section over the off-heap
+	// slab backing store (rcbench -slab-ab, slab.go): GC-heap object
+	// chunks against rcgo.WithOffHeapSlabs, including a GC-pressure
+	// cell with the collector live. Optional for the same reason as
+	// Parallel.
+	Slab []SlabReport `json:"slab,omitempty"`
 }
 
 // BenchJSON runs every selected workload under the RC and norc

@@ -1,0 +1,263 @@
+package exp
+
+// Interleaved A/B benchmarking of the off-heap slab backing store
+// (region_slab.go, internal/slab). Each scenario executes identical
+// logical work twice: once with ordinary GC-heap object chunks (the
+// default arena) and once with rcgo.WithOffHeapSlabs, where pointer-
+// free payload chunks are carved from mmap-backed slab pages and
+// returned to the store the moment the region is deleted.
+//
+// Two kinds of cells:
+//
+//   - Throughput cells follow the house methodology exactly (fabric.go,
+//     own.go): fixed-work wall-clocked rounds with the GC quiesced,
+//     ABBA ordering, per-side minima, DeltaPct as the median of
+//     per-round paired deltas. They answer "what does the slab path
+//     cost per allocation?" — the acceptance bound is that the alloc
+//     fast path stays within a few percent of the heap-chunk baseline.
+//   - The GC-pressure cell deliberately leaves the GC ON — it exists to
+//     measure what the other cells quiesce away. Both sides run the
+//     same build/delete volume while runtime.ReadMemStats brackets the
+//     run; the cell records the cumulative GC-heap allocation bytes
+//     (the memory the collector must eventually scan and sweep) and
+//     the cumulative GC pause total per side. With slabs on, payload
+//     chunks never touch the GC heap, so both numbers must drop — the
+//     paper's reclaim-at-delete argument made measurable.
+//
+// cmd/rcbench exposes this as -slab-ab and records the cells in the
+// rcgo.bench/1 "slab" section (BENCH_pr10_slab.json).
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"rcgo"
+)
+
+// slabBench is the A/B payload: pointer-free, so the slab side's
+// admission gate (the pointer-safety contract's first clause) routes
+// its chunks to the backing store. Six words — a realistic small record.
+type slabBench struct {
+	K, V    int64
+	Payload [4]int64
+}
+
+// SlabReport is one slab A/B cell. The throughput cells carry the usual
+// timing triple; the GC-pressure cell additionally carries the per-side
+// runtime.ReadMemStats deltas summed over its rounds (zero on the
+// throughput cells, whose GC is quiesced).
+type SlabReport struct {
+	Name   string `json:"name"`
+	CPU    int    `json:"cpu"`
+	BestOf int    `json:"best_of"`
+	// BaselineNs is the minimum ns/op with GC-heap chunks across
+	// rounds; NsPerOp is the same with the slab store attached.
+	BaselineNs float64 `json:"baseline_ns_op"`
+	NsPerOp    float64 `json:"ns_op"`
+	// DeltaPct is the median across rounds of the per-round paired
+	// improvement, (heap - slab) / heap * 100.
+	DeltaPct float64 `json:"delta_pct"`
+	// HeapBytes / SlabHeapBytes: cumulative GC-heap allocation
+	// (MemStats.TotalAlloc delta) per side over the cell's rounds — the
+	// bytes the collector must scan and sweep. GC-pressure cell only.
+	HeapBytes     int64 `json:"baseline_heap_bytes,omitempty"`
+	SlabHeapBytes int64 `json:"heap_bytes,omitempty"`
+	// GCPauseNs / SlabGCPauseNs: cumulative stop-the-world pause time
+	// (MemStats.PauseTotalNs delta) per side. GC-pressure cell only.
+	GCPauseNs     int64 `json:"baseline_gc_pause_ns,omitempty"`
+	SlabGCPauseNs int64 `json:"gc_pause_ns,omitempty"`
+	// NumGC / SlabNumGC: collection cycles per side. GC-pressure cell
+	// only.
+	NumGC     int64 `json:"baseline_num_gc,omitempty"`
+	SlabNumGC int64 `json:"num_gc,omitempty"`
+}
+
+// slabGCDelta is one side's ReadMemStats bracket.
+type slabGCDelta struct {
+	heapBytes int64
+	pauseNs   int64
+	numGC     int64
+}
+
+// measureSlab times one side of one scenario once: workers goroutines
+// each running iters build-batch-delete operations against private
+// regions of one arena (slab-backed when bs is non-nil; the store is
+// shared across rounds so its page free lists stay as warm as the Go
+// heap the baseline side reuses). With gcOn false the GC is quiesced
+// like every other throughput cell; with gcOn true the collector runs
+// free and the MemStats bracket is returned.
+func measureSlab(workers, iters, batch int, bs rcgo.BackingStore, gcOn bool) (float64, slabGCDelta, error) {
+	var opts []rcgo.Option
+	if bs != nil {
+		opts = append(opts, rcgo.WithBackingStore(bs))
+	}
+	a := rcgo.NewArena(opts...)
+	runtime.GC()
+	if !gcOn {
+		oldGC := debug.SetGCPercent(-1)
+		defer debug.SetGCPercent(oldGC)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	errs := make(chan error, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			r := a.NewRegion()
+			n := 0
+			for i := 0; i < iters; i++ {
+				o := rcgo.Alloc[slabBench](r)
+				o.Value.K, o.Value.V = int64(i), int64(n)
+				if n++; n == batch {
+					if err := r.Delete(); err != nil {
+						errs <- err
+						return
+					}
+					r = a.NewRegion()
+					n = 0
+				}
+			}
+			if err := r.Delete(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	select {
+	case err := <-errs:
+		return 0, slabGCDelta{}, err
+	default:
+	}
+	d := slabGCDelta{
+		heapBytes: int64(m1.TotalAlloc - m0.TotalAlloc),
+		pauseNs:   int64(m1.PauseTotalNs - m0.PauseTotalNs),
+		numGC:     int64(m1.NumGC - m0.NumGC),
+	}
+	return float64(elapsed.Nanoseconds()) / float64(workers*iters), d, nil
+}
+
+// SlabAB runs the interleaved A/B slab benchmarks at the given
+// GOMAXPROCS over bestOf rounds per scenario: the alloc fast path with
+// a long-lived region (per-op cost, where the slab side must stay
+// within a few percent of heap chunks), the build/delete loop with a
+// short batch (carve and page-return folded in — the slab side's
+// reclaim-at-delete actually runs per batch), and the GC-pressure cell
+// with the collector live.
+func SlabAB(cpu, bestOf int) ([]SlabReport, error) {
+	if bestOf <= 0 {
+		bestOf = 10
+	}
+	if cpu <= 0 {
+		cpu = 2
+	}
+	scenarios := []struct {
+		name string
+		// iters is per-worker operation count, sized like the other
+		// A/Bs: one run in the low-hundreds of milliseconds.
+		iters int
+		batch int
+		gcOn  bool
+	}{
+		{"slab-alloc", 200000, 1 << 20, false},
+		{"slab-build-delete", 150000, 64, false},
+		{"slab-gc-pressure", 150000, 64, true},
+	}
+	prev := runtime.GOMAXPROCS(cpu)
+	defer runtime.GOMAXPROCS(prev)
+	var out []SlabReport
+	for _, sc := range scenarios {
+		rep := SlabReport{Name: sc.name, CPU: cpu, BestOf: bestOf}
+		// One store for the scenario's slab rounds: pages freed by each
+		// round's deletes recycle into the next round, so the slab side
+		// is not charged a cold mmap-and-fault per round the heap side's
+		// warm runtime spans never pay.
+		store := rcgo.NewSlabStore()
+		// Unrecorded warmup of each side (see FabricAB).
+		if _, _, err := measureSlab(cpu, sc.iters/4, sc.batch, nil, sc.gcOn); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		if _, _, err := measureSlab(cpu, sc.iters/4, sc.batch, store, sc.gcOn); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		var deltas []float64
+		for i := 0; i < bestOf; i++ {
+			var slow, fast float64
+			var dSlow, dFast slabGCDelta
+			var err error
+			// ABBA: alternate which side runs first so a systematic
+			// first-runner advantage (or penalty) cancels across rounds.
+			if i%2 == 0 {
+				if slow, dSlow, err = measureSlab(cpu, sc.iters, sc.batch, nil, sc.gcOn); err == nil {
+					fast, dFast, err = measureSlab(cpu, sc.iters, sc.batch, store, sc.gcOn)
+				}
+			} else {
+				if fast, dFast, err = measureSlab(cpu, sc.iters, sc.batch, store, sc.gcOn); err == nil {
+					slow, dSlow, err = measureSlab(cpu, sc.iters, sc.batch, nil, sc.gcOn)
+				}
+			}
+			if err != nil {
+				store.Close()
+				return nil, fmt.Errorf("%s: %w", sc.name, err)
+			}
+			if rep.BaselineNs == 0 || slow < rep.BaselineNs {
+				rep.BaselineNs = slow
+			}
+			if rep.NsPerOp == 0 || fast < rep.NsPerOp {
+				rep.NsPerOp = fast
+			}
+			deltas = append(deltas, 100*(slow-fast)/slow)
+			if sc.gcOn {
+				// Cumulative, not best-of: pause time and heap bytes are
+				// volumes; both sides run the same number of rounds so the
+				// sums stay paired.
+				rep.HeapBytes += dSlow.heapBytes
+				rep.GCPauseNs += dSlow.pauseNs
+				rep.NumGC += dSlow.numGC
+				rep.SlabHeapBytes += dFast.heapBytes
+				rep.SlabGCPauseNs += dFast.pauseNs
+				rep.SlabNumGC += dFast.numGC
+			}
+		}
+		store.Close()
+		sort.Float64s(deltas)
+		if n := len(deltas); n%2 == 1 {
+			rep.DeltaPct = deltas[n/2]
+		} else {
+			rep.DeltaPct = (deltas[n/2-1] + deltas[n/2]) / 2
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// PrintSlabAB renders the slab A/B cells as a small table, with the
+// GC-pressure bracket on the cells that carry one.
+func PrintSlabAB(w io.Writer, reps []SlabReport) {
+	fmt.Fprintf(w, "%-20s %4s %7s %12s %12s %8s\n",
+		"scenario", "cpu", "best-of", "heap ns", "slab ns", "delta")
+	for _, r := range reps {
+		fmt.Fprintf(w, "%-20s %4d %7d %12.1f %12.1f %+7.1f%%\n",
+			r.Name, r.CPU, r.BestOf, r.BaselineNs, r.NsPerOp, r.DeltaPct)
+		if r.NumGC != 0 || r.SlabNumGC != 0 || r.HeapBytes != 0 {
+			fmt.Fprintf(w, "%-20s      heap: %d MiB allocated, %d GCs, %.2f ms paused; slab: %d MiB, %d GCs, %.2f ms\n",
+				"", r.HeapBytes>>20, r.NumGC, float64(r.GCPauseNs)/1e6,
+				r.SlabHeapBytes>>20, r.SlabNumGC, float64(r.SlabGCPauseNs)/1e6)
+		}
+	}
+}

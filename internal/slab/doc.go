@@ -1,0 +1,36 @@
+// Package slab provides off-GC-heap slab arenas for the Go-native
+// region runtime's backing store (rcgo.WithOffHeapSlabs).
+//
+// The paper's RC runtime owns its pages: allocation carves objects out
+// of 8 KiB region-owned blocks, and deleting a region returns its
+// blocks to the allocator immediately. This package is the Go-side
+// analogue of that page layer, following internal/alloc's segregated
+// free-list discipline: a Store maps large anonymous segments with
+// mmap (on platforms that have it; a GC-heap []byte backend is the
+// portability fallback, also selectable with Config.ForceHeap), carves
+// them into power-of-two size-class blocks (8/16/32/64 KiB), and
+// recycles freed blocks through per-class free lists. Blocks handed
+// out of the Store live outside the collected heap, so the GC never
+// scans region payloads and Free really does return the memory for
+// immediate reuse.
+//
+// Contract with callers (rcgo's pointer-safety contract, DESIGN.md
+// §16, builds on this):
+//
+//   - A block returned by Alloc is zeroed and at least 8 KiB-aligned.
+//   - Free(p, size) must be called at most once per Alloc with the
+//     same size; the Store does not detect double frees.
+//   - Memory inside a block is invisible to the garbage collector.
+//     Callers must not store the only reference to a Go heap object
+//     inside a block; anything a block points at must be kept alive by
+//     GC-visible references elsewhere.
+//   - Close unmaps every segment (idempotently); all outstanding
+//     blocks become invalid at once.
+//
+// Error conditions carry errors.Is-able sentinels: ErrMapFailed wraps
+// the OS error when mapping a segment fails, ErrExhausted reports the
+// Config.MaxBytes budget is spent, ErrClosed reports allocation from a
+// closed store, and ErrTooLarge rejects requests above the largest
+// size class. Callers that can fall back to ordinary GC-heap
+// allocation (rcgo does) treat all four as "use the fallback".
+package slab

@@ -1,0 +1,19 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package slab
+
+import "errors"
+
+// mmapAvailable is false here: the store always takes the GC-heap
+// []byte segment backend (the same path Config.ForceHeap selects), so
+// the package builds and behaves identically on platforms without a
+// usable syscall.Mmap — the blocks just live in pointerless heap
+// slices the GC will not scan, and Close releases them to the GC
+// instead of the OS.
+const mmapAvailable = false
+
+// sysMap and sysUnmap are never called when mmapAvailable is false;
+// the stubs exist so the package compiles everywhere.
+func sysMap(int) ([]byte, error) { return nil, errors.New("slab: mmap unavailable") }
+
+func sysUnmap([]byte) error { return nil }

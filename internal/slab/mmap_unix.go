@@ -1,0 +1,19 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package slab
+
+import "syscall"
+
+// mmapAvailable selects the anonymous-mmap segment backend on the
+// platforms whose syscall package exposes Mmap with MAP_ANON.
+const mmapAvailable = true
+
+// sysMap maps one anonymous read-write segment outside the Go heap.
+func sysMap(size int) ([]byte, error) {
+	return syscall.Mmap(-1, 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+}
+
+// sysUnmap returns a mapped segment to the OS.
+func sysUnmap(b []byte) error { return syscall.Munmap(b) }

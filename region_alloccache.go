@@ -221,10 +221,46 @@ type objChunk[T any] struct {
 	// box is this chunk's type-erased parking wrapper, built once at
 	// creation so parking allocates nothing.
 	box chunkBox
+	// slab marks a chunk carved from the arena's backing store
+	// (region_slab.go): buf points into an off-heap page owned by the
+	// region's slab page list, the chunk never enters a sync.Pool, and
+	// claimers publish through the claimed counter below.
+	slab bool
+	// claimed is the slab writer gate: a claimer increments it after its
+	// Obj-header write lands, so reclaim can poison the cursor, compute
+	// how many claims succeeded before the poison, and wait until that
+	// many header writes have been published before freeing the page
+	// (objChunk.quiesce, region_slab.go). Untouched on heap chunks.
+	claimed atomic.Int64
 }
 
 // release returns a displaced or type-mismatched chunk to its pool.
-func (ch *objChunk[T]) release() { chunkPool[T]().Put(ch) }
+// Slab chunks are region-owned, not pooled: their storage is freed by
+// reclaim's page return, so displacement just drops the reference (the
+// region's page list still holds the chunk).
+func (ch *objChunk[T]) release() {
+	if ch.slab {
+		return
+	}
+	chunkPool[T]().Put(ch)
+}
+
+// claim hands out one header from the chunk, or nil when the chunk is
+// exhausted (or, for slab chunks, quiesced by reclaim). Heap chunks
+// are a load-free fetch-add; slab chunks publish each completed header
+// write through the claimed counter, so reclaim can wait until every
+// pre-poison claim has landed before freeing the region-owned page.
+func (ch *objChunk[T]) claim(r *Region) *Obj[T] {
+	if i := ch.next.Add(1) - 1; i < int64(len(ch.buf)) {
+		o := &ch.buf[i]
+		o.region = r
+		if ch.slab {
+			ch.claimed.Add(1)
+		}
+		return o
+	}
+	return nil
+}
 
 // chunkBox type-erases a parked chunk: park slots hold *chunkBox (one
 // concrete type for every Obj instantiation), and the claimer
@@ -295,32 +331,41 @@ func newChunkedObj[T any](r *Region) (*Obj[T], error) {
 			}
 			break
 		}
-		if i := c.next.Add(1) - 1; i < int64(len(c.buf)) {
-			o := &c.buf[i]
-			o.region = r
+		if o := c.claim(r); o != nil {
 			return o, nil
 		}
 		// Exhausted: retire it so the next allocator refills. The chunk
 		// itself becomes garbage once its objects are.
 		slot.CompareAndSwap(b, nil)
 	}
-	// Slot miss. Pooled chunks may arrive partially consumed (handoff
-	// races below put them back with slots remaining) or, rarely,
-	// exhausted by a racer that still held them — the cursor check
-	// covers both.
+	// Slot miss: refill. Pointer-free payload types carve their chunk
+	// out of the arena's backing store when one is attached
+	// (region_slab.go); everything else — and every store refusal —
+	// takes the GC-heap pool path.
+	if r.arena.backing != nil && chunkSlabEligible[T]() {
+		return newSlabChunkedObj[T](r, slot)
+	}
+	return newHeapChunkedObj[T](r, slot)
+}
+
+// newHeapChunkedObj is the GC-heap refill: the sync.Pool second level,
+// then a fresh make. Pooled chunks may arrive partially consumed
+// (handoff races below put them back with slots remaining) or, rarely,
+// exhausted by a racer that still held them — the cursor check covers
+// both.
+func newHeapChunkedObj[T any](r *Region, slot *atomic.Pointer[chunkBox]) (*Obj[T], error) {
+	var probe Obj[T]
 	ch, _ := chunkPool[T]().Get().(*objChunk[T])
 	for {
 		if ch != nil {
-			if i := ch.next.Add(1) - 1; i < int64(len(ch.buf)) {
-				if i+1 < int64(len(ch.buf)) {
+			if o := ch.claim(r); o != nil {
+				if ch.next.Load() < int64(len(ch.buf)) {
 					// Offer the remainder to the slot; if a racer parked
 					// first, the chunk goes back to the pool instead.
 					if !slot.CompareAndSwap(nil, &ch.box) {
 						ch.release()
 					}
 				}
-				o := &ch.buf[i]
-				o.region = r
 				return o, nil
 			}
 			ch = nil

@@ -97,6 +97,13 @@ type Arena struct {
 	// the arena.
 	allocSlow atomic.Bool
 
+	// backing is the off-heap page store behind slab-backed object
+	// chunks (region_slab.go); nil — the default — means every chunk is
+	// an ordinary GC-heap allocation. Immutable after construction
+	// (WithOffHeapSlabs / WithBackingStore), touched only on the chunk
+	// refill edge and at reclaim's page return, never per object.
+	backing BackingStore
+
 	trad *Region
 }
 
@@ -145,6 +152,12 @@ type Region struct {
 	// this region's objects; deletion drains it to release outbound
 	// references, the analogue of the runtime's delete-time unscan.
 	slots [slotShards]slotShard
+
+	// slabPages tracks the off-heap store pages this region's slab
+	// chunks are carved from (region_slab.go): carve appends, reclaim
+	// closes the list and returns every page to the store after the
+	// writer gate drains. Unused (and empty) without a backing store.
+	slabPages slabPageList
 
 	// chunkPark parks this region's partially-used allocation chunks
 	// between allocations (region_alloccache.go): a strong-reference
@@ -656,6 +669,11 @@ func (r *Region) reclaim() {
 			b.c.release()
 		}
 	}
+	// Return the region's slab pages to the backing store
+	// (region_slab.go): the paper's reclaim-at-delete, for real — each
+	// page is handed back for immediate reuse once its chunk's writer
+	// gate drains, and no GC cycle is involved.
+	r.releaseSlabPages()
 	// The delete-time unscan: collect the registered slots shard by
 	// shard, then release the outbound counted references so the
 	// targets' counts drop (and deferred deletions may cascade). Releases

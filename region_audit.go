@@ -108,6 +108,20 @@ const (
 	// rules. Exact at quiesce (every parked waiter is counted on its
 	// region's shard at park and uncounted at pop/splice/queue-failure).
 	AuditAcquireWaitersTotal = "acquire-waiters-total"
+	// AuditSlabPagesTotal: the backing store's in-use page count
+	// disagrees with the pages tracked by the registered regions' slab
+	// page lists (region_slab.go). At quiesce every carved page is on
+	// exactly one live region's list and every reclaimed region's pages
+	// are back in the store, so a surplus on the store side is a leaked
+	// page — the exact failure the chaos slab phase judges. On a live
+	// arena an in-flight carve or reclaim makes this advisory, like the
+	// other totals.
+	AuditSlabPagesTotal = "slab-pages-total"
+	// AuditSlabStoreAccounting: the backing store's own partition is
+	// inconsistent — carved pages != in-use + free. This invariant
+	// holds under the store mutex at all times, so even a live-arena
+	// violation means corrupt store bookkeeping, never in-flight skew.
+	AuditSlabStoreAccounting = "slab-store-accounting"
 )
 
 // AuditViolation is one detected invariant breach.
@@ -339,6 +353,27 @@ func (a *Arena) Audit() AuditReport {
 		if got, want := sh.acquireWaiters.Load(), waitersByShard[i]; got != want {
 			add(AuditAcquireWaitersTotal, 0, got, want,
 				"shard %d AcquireWaiters %d != %d summed wait-queue lengths", i, got, want)
+		}
+	}
+
+	// Pass 4: the backing store (region_slab.go), when attached. The
+	// store's in-use pages must be exactly the pages the registered
+	// regions track — anything more is a page no reclaim will ever
+	// return — and the store's own carved = in-use + free partition
+	// must balance.
+	if a.backing != nil {
+		var tracked int64
+		for _, r := range regions {
+			tracked += r.slabPageCount()
+		}
+		ss := a.backing.Stats()
+		if ss.InUsePages != tracked {
+			add(AuditSlabPagesTotal, 0, ss.InUsePages, tracked,
+				"backing store has %d pages in use, registered regions track %d", ss.InUsePages, tracked)
+		}
+		if ss.CarvedPages != ss.InUsePages+ss.FreePages {
+			add(AuditSlabStoreAccounting, 0, ss.CarvedPages, ss.InUsePages+ss.FreePages,
+				"store carved %d pages != %d in use + %d free", ss.CarvedPages, ss.InUsePages, ss.FreePages)
 		}
 	}
 

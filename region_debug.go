@@ -354,6 +354,9 @@ func (a *Arena) debugEndpoints() []debugEndpoint {
 		{"/owners", "owned regions (holder age, acquire site, queue depth) and top-contended table as JSON", func(w http.ResponseWriter, req *http.Request) {
 			writeJSON(w, a.Owners())
 		}},
+		{"/slabs", "off-heap backing-store accounting and per-region slab page counts as JSON", func(w http.ResponseWriter, req *http.Request) {
+			writeJSON(w, a.slabsDoc())
+		}},
 		{"/trace", "ring-tracer occupancy and recent lifecycle events as JSON (?n= limits to the last n)", func(w http.ResponseWriter, req *http.Request) {
 			doc := struct {
 				Attached bool         `json:"attached"`
@@ -400,6 +403,11 @@ func (a *Arena) debugEndpoints() []debugEndpoint {
 //	                owned region with holder age, acquire site and queue
 //	                depth, the arena-wide parked-waiter count, and the
 //	                top-contended regions by lifetime wait count
+//	/slabs          off-heap backing-store report (region_slab.go) as
+//	                JSON: enabled flag, the store's page/byte accounting
+//	                (SlabStats), and per-region tracked page counts —
+//	                reports enabled=false until a store is attached with
+//	                WithOffHeapSlabs or WithBackingStore
 //	/trace          attached RingTracer's occupancy stats and buffered
 //	                lifecycle events as JSON; ?n=K limits to the last K
 //
@@ -434,6 +442,43 @@ func (a *Arena) DebugHandler() http.Handler {
 	return mux
 }
 
+// SlabRegionPages is one row of the /slabs report: a region and the
+// backing-store pages its slab chunks currently occupy.
+type SlabRegionPages struct {
+	ID    int64 `json:"id"`
+	Pages int64 `json:"pages"`
+}
+
+// SlabsReport is the /slabs document: whether a backing store is
+// attached, its page/byte accounting, and the per-region tracked page
+// counts (regions with zero pages are omitted). At quiesce the store's
+// InUsePages equals the sum of the region rows — the same invariant
+// the auditor's slab-pages-total rule enforces.
+type SlabsReport struct {
+	Enabled bool              `json:"enabled"`
+	Stats   SlabStats         `json:"stats,omitempty"`
+	Regions []SlabRegionPages `json:"regions"`
+}
+
+// slabsDoc assembles the /slabs report with the usual inspector
+// discipline: one registry shard lock at a time, never blocking the
+// runtime.
+func (a *Arena) slabsDoc() SlabsReport {
+	rep := SlabsReport{Regions: []SlabRegionPages{}}
+	if a.backing == nil {
+		return rep
+	}
+	rep.Enabled = true
+	rep.Stats = a.backing.Stats()
+	a.EachRegion(func(r *Region) {
+		if n := r.slabPageCount(); n > 0 {
+			rep.Regions = append(rep.Regions, SlabRegionPages{ID: r.id, Pages: n})
+		}
+	})
+	sort.Slice(rep.Regions, func(i, j int) bool { return rep.Regions[i].ID < rep.Regions[j].ID })
+	return rep
+}
+
 // countersDoc is the shared JSON document of the /counters endpoint and
 // PublishExpvar: arena stats, cumulative counters, and — when attached
 // — the ring tracer's occupancy/drop counts and the annotation
@@ -446,12 +491,16 @@ func (a *Arena) countersDoc() any {
 		Counters ArenaCounters `json:"counters"`
 		Trace    *TraceStats   `json:"trace,omitempty"`
 		Advisor  *AdvisorStats `json:"advisor,omitempty"`
+		Slabs    *SlabStats    `json:"slabs,omitempty"`
 	}{Stats: a.Stats(), Counters: a.Counters()}
 	if ts, ok := a.traceStats(); ok {
 		doc.Trace = &ts
 	}
 	if as, ok := a.advisorStats(); ok {
 		doc.Advisor = &as
+	}
+	if ss, ok := a.SlabStats(); ok {
+		doc.Slabs = &ss
 	}
 	return doc
 }

@@ -109,6 +109,7 @@ type arenaConfig struct {
 	advisor    bool
 	tracer     Tracer
 	allocCache bool
+	backing    BackingStore
 }
 
 // WithShards fixes the number of internal fabric shards. n is clamped
@@ -176,6 +177,7 @@ func clampShards(n int) int {
 //		rcgo.WithAdvisor(),          // annotation advisor from birth
 //		rcgo.WithTracer(tracer),     // lifecycle tracer from birth
 //		rcgo.WithAllocCache(true),   // allocation fast path (the default)
+//		rcgo.WithOffHeapSlabs(),     // off-heap slab backing store (region_slab.go)
 //	)
 //
 // NewArena() with no options is the previous constructor, unchanged in
@@ -196,6 +198,7 @@ func NewArena(opts ...Option) *Arena {
 	a := &Arena{
 		shards:    make([]arenaShard, n),
 		shardMask: uint64(n - 1),
+		backing:   cfg.backing,
 	}
 	a.allocSlow.Store(!cfg.allocCache)
 	if cfg.metrics {

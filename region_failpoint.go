@@ -58,6 +58,16 @@ import "rcgo/internal/failpoint"
 //	                      waiter granularity; a delay or yield widens
 //	                      the wake/transfer window the cancellation
 //	                      path races against.
+//	rcgo/slab.map         newSlabChunkedObj, on the slab map/refill
+//	                      window (region_slab.go) — an injected error
+//	                      is a refused slab map surfaced before the
+//	                      object is counted (a transient page-store
+//	                      failure, so nothing unwinds); a delay or
+//	                      yield widens the carve-vs-reclaim window
+//	                      that the region's page-list closed flag and
+//	                      the chunk writer gate decide. Only evaluated
+//	                      when a backing store is attached and the
+//	                      payload type is slab-eligible.
 //
 // Disarmed (the steady state), each site costs its edge one atomic
 // pointer load and a never-taken branch — the same budget as the
@@ -73,6 +83,7 @@ var (
 	fpAllocRefill    = failpoint.New("rcgo/alloc.refill")
 	fpOwnRelease     = failpoint.New("rcgo/own.release")
 	fpOwnHandoff     = failpoint.New("rcgo/own.handoff")
+	fpSlabMap        = failpoint.New("rcgo/slab.map")
 )
 
 // ErrInjected is failpoint.ErrInjected re-exported: every error a

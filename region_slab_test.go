@@ -1,0 +1,413 @@
+package rcgo
+
+// Tests for the off-heap slab backing store integration
+// (region_slab.go): the pointer-free admission gate, page return at
+// reclaim, the error paths' unwrap chains (injected map failures,
+// refusing and capped stores, use after close), close idempotence, the
+// /slabs inspector endpoint, the slab audit rules, and a churn stress
+// whose judge is zero leaked pages (run under -race by make race).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"unsafe"
+
+	"rcgo/internal/failpoint"
+	"rcgo/internal/slab"
+)
+
+// slabVal is pointer-free: the admission gate must slab-back it.
+type slabVal struct {
+	A, B int64
+	Pad  [4]int64
+}
+
+// slabRefVal carries a Ref (an atomic pointer): the gate must refuse it.
+type slabRefVal struct {
+	N    int64
+	Next Ref[slabRefVal]
+}
+
+func TestSlabEligibility(t *testing.T) {
+	cases := []struct {
+		name string
+		got  bool
+		want bool
+	}{
+		{"pointer-free struct", chunkSlabEligible[slabVal](), true},
+		{"int", chunkSlabEligible[int](), true},
+		{"array of float", chunkSlabEligible[[8]float64](), true},
+		{"ref field", chunkSlabEligible[slabRefVal](), false},
+		{"string", chunkSlabEligible[string](), false},
+		{"slice", chunkSlabEligible[[]int](), false},
+		{"pointer", chunkSlabEligible[*int](), false},
+		{"map", chunkSlabEligible[map[int]int](), false},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("chunkSlabEligible(%s) = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSlabBackedAllocAndReclaim(t *testing.T) {
+	a := NewArena(WithOffHeapSlabs(), WithMetrics())
+	defer a.CloseBackingStore()
+	ring := NewRingTracer(1 << 10)
+	a.SetTracer(ring)
+
+	r := a.NewRegion()
+	// Enough objects to span several chunks.
+	perChunk := chunkTargetBytes / int(unsafe.Sizeof(Obj[slabVal]{}))
+	for i := 0; i < 3*perChunk; i++ {
+		o := Alloc[slabVal](r)
+		o.Value.A = int64(i)
+	}
+	ss, ok := a.SlabStats()
+	if !ok {
+		t.Fatal("SlabStats: no store attached")
+	}
+	if ss.InUsePages < 3 {
+		t.Fatalf("InUsePages = %d after 3 chunks' worth of allocs, want >= 3", ss.InUsePages)
+	}
+	if got := r.slabPageCount(); got != ss.InUsePages {
+		t.Fatalf("region tracks %d pages, store reports %d in use", got, ss.InUsePages)
+	}
+	if rep := a.Audit(); !rep.OK {
+		t.Fatalf("audit with live slab pages: %s", rep)
+	}
+
+	// A pointer-carrying payload in the same region must ride the
+	// GC-heap chunk path without adding pages.
+	before := ss.InUsePages
+	for i := 0; i < perChunk; i++ {
+		Alloc[slabRefVal](r)
+	}
+	if ss, _ = a.SlabStats(); ss.InUsePages != before {
+		t.Fatalf("Ref-carrying payload changed InUsePages %d -> %d", before, ss.InUsePages)
+	}
+
+	// Reclaim returns every page immediately.
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	ss, _ = a.SlabStats()
+	if ss.InUsePages != 0 {
+		t.Fatalf("InUsePages = %d after delete, want 0", ss.InUsePages)
+	}
+	if ss.FreePages == 0 {
+		t.Fatal("FreePages = 0 after delete — pages were not returned")
+	}
+	c := a.Counters()
+	if c.SlabRefills == 0 || c.SlabRefills != c.SlabReleases {
+		t.Fatalf("refills=%d releases=%d, want equal and nonzero", c.SlabRefills, c.SlabReleases)
+	}
+	var mapped, released int
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case TraceSlabMapped:
+			mapped++
+		case TraceSlabReleased:
+			released++
+		}
+	}
+	if mapped == 0 || released == 0 {
+		t.Fatalf("trace saw %d slab-mapped and %d slab-released events, want both nonzero", mapped, released)
+	}
+}
+
+func TestSlabMapFailpointUnwrapChain(t *testing.T) {
+	a := NewArena(WithOffHeapSlabs())
+	defer a.CloseBackingStore()
+	r := a.NewRegion()
+	defer r.Delete()
+
+	if err := failpoint.Enable("rcgo/slab.map", failpoint.Rule{Action: failpoint.ActionError}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := TryAlloc[slabVal](r)
+	failpoint.DisableAll()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("TryAlloc under rcgo/slab.map = %v, want unwrap chain to reach ErrInjected", err)
+	}
+	// Heap-chunked payloads never evaluate the site.
+	if err := failpoint.Enable("rcgo/slab.map", failpoint.Rule{Action: failpoint.ActionError}); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	if _, err := TryAlloc[slabRefVal](r); err != nil {
+		t.Fatalf("heap-chunk TryAlloc tripped the slab failpoint: %v", err)
+	}
+}
+
+// refusingStore fails every Alloc with a wrapped store error: the
+// runtime must fall back to GC-heap chunks and never surface it.
+type refusingStore struct{ closed bool }
+
+func (s *refusingStore) Alloc(size int) (unsafe.Pointer, error) {
+	return nil, fmt.Errorf("refusing %d bytes: %w", size, slab.ErrMapFailed)
+}
+func (s *refusingStore) Free(p unsafe.Pointer, size int) {}
+func (s *refusingStore) Stats() SlabStats               { return SlabStats{} }
+func (s *refusingStore) Close() error                   { s.closed = true; return nil }
+
+func TestSlabStoreRefusalFallsBackToHeap(t *testing.T) {
+	rs := &refusingStore{}
+	a := NewArena(WithBackingStore(rs))
+	r := a.NewRegion()
+	for i := 0; i < 100; i++ {
+		if _, err := TryAlloc[slabVal](r); err != nil {
+			t.Fatalf("alloc %d: refusal must fall back to heap chunks, got %v", i, err)
+		}
+	}
+	if got := r.Objects(); got != 100 {
+		t.Fatalf("Objects = %d, want 100", got)
+	}
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CloseBackingStore(); err != nil || !rs.closed {
+		t.Fatalf("CloseBackingStore = %v (closed=%v)", err, rs.closed)
+	}
+}
+
+func TestSlabCappedStoreExhaustion(t *testing.T) {
+	// One segment, two pages: the third carve hits ErrExhausted and the
+	// runtime quietly switches that region to heap chunks.
+	store := slab.New(slab.Config{MaxBytes: 64 << 10, SegmentBytes: 64 << 10})
+	a := NewArena(WithBackingStore(slabStore{s: store}))
+	defer a.CloseBackingStore()
+	r := a.NewRegion()
+	perChunk := chunkTargetBytes / int(unsafe.Sizeof(Obj[slabVal]{}))
+	for i := 0; i < 32*perChunk; i++ {
+		if _, err := TryAlloc[slabVal](r); err != nil {
+			t.Fatalf("alloc %d past exhaustion: %v", i, err)
+		}
+	}
+	ss, _ := a.SlabStats()
+	if ss.InUsePages == 0 {
+		t.Fatal("capped store carved nothing before exhausting")
+	}
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if ss, _ = a.SlabStats(); ss.InUsePages != 0 {
+		t.Fatalf("InUsePages = %d after delete, want 0", ss.InUsePages)
+	}
+}
+
+func TestSlabCloseIdempotentAndUseAfterClose(t *testing.T) {
+	a := NewArena(WithOffHeapSlabs())
+	r := a.NewRegion()
+	Alloc[slabVal](r)
+	if err := r.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CloseBackingStore(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := a.CloseBackingStore(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// Allocation against a closed store degrades to heap chunks; the
+	// region still works and its delete (whose page list is empty —
+	// nothing was carved) is clean.
+	r2 := a.NewRegion()
+	for i := 0; i < 50; i++ {
+		if _, err := TryAlloc[slabVal](r2); err != nil {
+			t.Fatalf("alloc after close: %v", err)
+		}
+	}
+	if err := r2.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	// No store at all: CloseBackingStore is a nil no-op.
+	if err := NewArena().CloseBackingStore(); err != nil {
+		t.Fatalf("close without store: %v", err)
+	}
+}
+
+// lyingStore wraps a real store but inflates InUsePages: the auditor's
+// slab-pages-total rule must flag the mismatch against the per-region
+// page lists.
+type lyingStore struct {
+	BackingStore
+	inflate int64
+}
+
+func (s *lyingStore) Stats() SlabStats {
+	st := s.BackingStore.Stats()
+	st.InUsePages += s.inflate
+	return st
+}
+
+func TestSlabAuditRules(t *testing.T) {
+	ls := &lyingStore{BackingStore: NewSlabStore()}
+	a := NewArena(WithBackingStore(ls))
+	defer a.CloseBackingStore()
+	r := a.NewRegion()
+	Alloc[slabVal](r)
+	defer r.Delete()
+
+	if rep := a.Audit(); !rep.OK {
+		t.Fatalf("audit of honest store: %s", rep)
+	}
+	ls.inflate = 3
+	rep := a.Audit()
+	if rep.OK {
+		t.Fatal("audit accepted a store whose InUsePages disagrees with the region page lists")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == AuditSlabPagesTotal {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected %s violation, got: %s", AuditSlabPagesTotal, rep)
+	}
+}
+
+func TestSlabsEndpoint(t *testing.T) {
+	get := func(t *testing.T, srv *httptest.Server) SlabsReport {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/slabs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /slabs: status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep SlabsReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatalf("GET /slabs: %v in %s", err, body)
+		}
+		return rep
+	}
+
+	t.Run("disabled", func(t *testing.T) {
+		a := NewArena()
+		srv := httptest.NewServer(a.DebugHandler())
+		defer srv.Close()
+		if rep := get(t, srv); rep.Enabled {
+			t.Fatal("/slabs reports Enabled on a storeless arena")
+		}
+	})
+
+	t.Run("enabled", func(t *testing.T) {
+		a := NewArena(WithOffHeapSlabs())
+		defer a.CloseBackingStore()
+		r := a.NewRegion()
+		defer r.Delete()
+		Alloc[slabVal](r)
+		srv := httptest.NewServer(a.DebugHandler())
+		defer srv.Close()
+		rep := get(t, srv)
+		if !rep.Enabled {
+			t.Fatal("/slabs reports Disabled with a store attached")
+		}
+		if rep.Stats.InUsePages == 0 {
+			t.Fatalf("/slabs reports 0 in-use pages, want > 0: %+v", rep)
+		}
+		found := false
+		for _, row := range rep.Regions {
+			if row.ID == r.ID() && row.Pages > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("/slabs region rows missing region %d: %+v", r.ID(), rep.Regions)
+		}
+	})
+}
+
+func TestSlabTraceKindsRoundTrip(t *testing.T) {
+	for kind, want := range map[TraceKind]string{
+		TraceSlabMapped:   "slab-mapped",
+		TraceSlabReleased: "slab-released",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("TraceKind(%d).String() = %q, want %q", kind, got, want)
+		}
+		var back TraceKind
+		if err := back.UnmarshalText([]byte(want)); err != nil {
+			t.Errorf("UnmarshalText(%q): %v", want, err)
+		} else if back != kind {
+			t.Errorf("UnmarshalText(%q) = %d, want %d", want, back, kind)
+		}
+	}
+}
+
+// TestSlabChurnZeroLeaks is the stress judge (run under -race by make
+// race): workers churn create/populate/delete against a slab arena,
+// racing region reclaim's immediate page return against concurrent
+// carves, and at quiesce the store must report zero in-use pages with
+// refills and releases balanced exactly.
+func TestSlabChurnZeroLeaks(t *testing.T) {
+	a := NewArena(WithOffHeapSlabs(), WithMetrics())
+	defer a.CloseBackingStore()
+
+	workers, rounds := 8, 60
+	if testing.Short() {
+		workers, rounds = 4, 20
+	}
+	perChunk := chunkTargetBytes / int(unsafe.Sizeof(Obj[slabVal]{}))
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r := a.NewRegion()
+				for n := 0; n < 2*perChunk+w; n++ {
+					o, err := TryAlloc[slabVal](r)
+					if err != nil {
+						errs <- err
+						return
+					}
+					o.Value.A, o.Value.B = int64(n), int64(w)
+				}
+				if i%2 == 0 {
+					if err := r.Delete(); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					r.DeleteDeferred()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if rep := a.Audit(); !rep.OK {
+		t.Fatalf("quiesced audit: %s", rep)
+	}
+	if got := a.LiveObjects(); got != 0 {
+		t.Fatalf("LiveObjects = %d, want 0", got)
+	}
+	ss, _ := a.SlabStats()
+	if ss.InUsePages != 0 {
+		t.Fatalf("leaked %d slab pages at quiesce", ss.InUsePages)
+	}
+	c := a.Counters()
+	if c.SlabRefills == 0 || c.SlabRefills != c.SlabReleases {
+		t.Fatalf("refills=%d releases=%d, want equal and nonzero", c.SlabRefills, c.SlabReleases)
+	}
+}

@@ -140,6 +140,14 @@ type ArenaStats struct {
 	// Shards is the arena's fabric width (Arena.Shards): a constant,
 	// carried here so monitoring snapshots are self-describing.
 	Shards int `json:"shards"`
+	// SlabPages / SlabBytes are the backing store's in-use pages and
+	// bytes (region_slab.go) — payload memory currently carved out for
+	// live regions' object chunks, returned at reclaim. Zero without a
+	// backing store; exact at quiesce like every other counter (the
+	// auditor's slab-pages-total rule cross-checks it against the
+	// per-region page lists).
+	SlabPages int64 `json:"slab_pages,omitempty"`
+	SlabBytes int64 `json:"slab_bytes,omitempty"`
 }
 
 // Stats returns a snapshot of the arena-wide counters. It first drains
@@ -156,6 +164,11 @@ func (a *Arena) Stats() ArenaStats {
 		st.LiveRegions += sh.liveRegions.Load()
 		st.DeferredRegions += sh.deferredRegions.Load()
 		st.OwnedRegions += sh.ownedRegions.Load()
+	}
+	if a.backing != nil {
+		ss := a.backing.Stats()
+		st.SlabPages = ss.InUsePages
+		st.SlabBytes = ss.InUseBytes
 	}
 	return st
 }

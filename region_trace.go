@@ -75,6 +75,14 @@ const (
 	// stale Owner token (ErrOwnerRevoked) and moved the region on to the
 	// next waiter or back to the shared state.
 	TraceOwnerRevoked
+	// TraceSlabMapped: the allocation fast path carved an object chunk
+	// from the arena's off-heap backing store for this region
+	// (region_slab.go). One event per page, not per object.
+	TraceSlabMapped
+	// TraceSlabReleased: reclaim returned the region's slab pages to
+	// the backing store. One event per region (its SlabReleases counter
+	// carries the page count), emitted before the reclaimed event.
+	TraceSlabReleased
 )
 
 // String names the event kind.
@@ -102,6 +110,10 @@ func (k TraceKind) String() string {
 		return "acquire-aborted"
 	case TraceOwnerRevoked:
 		return "owner-revoked"
+	case TraceSlabMapped:
+		return "slab-mapped"
+	case TraceSlabReleased:
+		return "slab-released"
 	}
 	return fmt.Sprintf("TraceKind(%d)", int32(k))
 }
@@ -136,6 +148,10 @@ func (k *TraceKind) UnmarshalText(b []byte) error {
 		*k = TraceAcquireAborted
 	case "owner-revoked":
 		*k = TraceOwnerRevoked
+	case "slab-mapped":
+		*k = TraceSlabMapped
+	case "slab-released":
+		*k = TraceSlabReleased
 	default:
 		return fmt.Errorf("unknown trace kind %q", b)
 	}
